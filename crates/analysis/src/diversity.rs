@@ -1,0 +1,136 @@
+//! Shortest-path diversity census (paper §2.3.3).
+//!
+//! All three topologies trade minimal-path diversity for scalability;
+//! this module quantifies exactly how much survives: the mean and maximum
+//! number of minimal routes over router pairs, and the share of pairs
+//! with any diversity at all.
+
+use d2net_topo::{Network, RouterId};
+
+/// Path-diversity census over a set of router pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityStats {
+    /// Pairs examined.
+    pub pairs: u64,
+    /// Mean number of minimal paths per pair.
+    pub mean: f64,
+    /// Maximum observed minimal-path count.
+    pub max: u64,
+    /// Fraction of pairs with more than one minimal path.
+    pub multi_fraction: f64,
+}
+
+/// Allocation-free count of common neighbors (sorted-merge).
+fn common_count(net: &Network, a: RouterId, b: RouterId) -> u64 {
+    let (la, lb) = (net.neighbors(a), net.neighbors(b));
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < la.len() && j < lb.len() {
+        match la[i].cmp(&lb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Census over all *non-adjacent* router pairs (distance exactly 2 in a
+/// diameter-two graph) — the population §2.3.3 reports for the Slim Fly.
+pub fn non_adjacent_diversity(net: &Network) -> DiversityStats {
+    census(net, &(0..net.num_routers()).collect::<Vec<_>>(), true)
+}
+
+/// Census over all pairs of endpoint routers, adjacent or not — the
+/// population relevant to end-to-end traffic on the indirect topologies.
+pub fn endpoint_diversity(net: &Network) -> DiversityStats {
+    census(net, &net.endpoint_routers(), false)
+}
+
+fn census(net: &Network, routers: &[RouterId], skip_adjacent_only: bool) -> DiversityStats {
+    let mut pairs = 0u64;
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    let mut multi = 0u64;
+    for (i, &a) in routers.iter().enumerate() {
+        for &b in routers.iter().skip(i + 1) {
+            let paths = if net.are_adjacent(a, b) {
+                if skip_adjacent_only {
+                    continue;
+                }
+                1
+            } else {
+                common_count(net, a, b)
+            };
+            pairs += 1;
+            sum += paths;
+            max = max.max(paths);
+            if paths > 1 {
+                multi += 1;
+            }
+        }
+    }
+    DiversityStats {
+        pairs,
+        mean: sum as f64 / pairs.max(1) as f64,
+        max,
+        multi_fraction: multi as f64 / pairs.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_topo::{mlfm, oft, slim_fly, SlimFlyP};
+
+    #[test]
+    fn sf_q23_matches_paper_numbers() {
+        // §2.3.3: "for q = 23, the average number of minimal paths between
+        // pairs of non-directly connected routers is approximately 1.1,
+        // with the maximum path diversity being 8."
+        let net = slim_fly(23, SlimFlyP::Floor);
+        let d = non_adjacent_diversity(&net);
+        assert!(
+            (d.mean - 1.1).abs() < 0.05,
+            "expected mean ≈ 1.1, got {:.3}",
+            d.mean
+        );
+        assert_eq!(d.max, 8, "expected max diversity 8, got {}", d.max);
+    }
+
+    #[test]
+    fn mlfm_diversity_is_h_on_columns() {
+        let h = 5;
+        let net = mlfm(h);
+        let d = endpoint_diversity(&net);
+        assert_eq!(d.max, h);
+        // Same-column pairs: (h+1) positions × C(h,2) layer pairs out of
+        // C(h(h+1), 2) total.
+        let lrs = h * (h + 1);
+        let expected =
+            ((h + 1) * h * (h - 1) / 2) as f64 / ((lrs * (lrs - 1)) / 2) as f64;
+        assert!((d.multi_fraction - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oft_diversity_is_k_on_counterparts() {
+        let k = 4;
+        let net = oft(k);
+        let d = endpoint_diversity(&net);
+        assert_eq!(d.max, k);
+        let rl = k * (k - 1) + 1;
+        let expected = rl as f64 / ((2 * rl) * (2 * rl - 1) / 2) as f64;
+        assert!((d.multi_fraction - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_sf_diversity_is_low() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let d = non_adjacent_diversity(&net);
+        assert!(d.mean >= 1.0);
+        assert!(d.mean < 2.0, "SF diversity should be scarce, got {}", d.mean);
+    }
+}

@@ -1,0 +1,22 @@
+//! # d2net-analysis
+//!
+//! Analytic and heuristic characterization of the diameter-two
+//! topologies (paper §2.3):
+//!
+//! - [`scale`]: the Fig. 3 scalability/cost comparison and Moore-bound
+//!   fractions;
+//! - [`bisection`]: Fiduccia–Mattheyses balanced min-cut bisection — the
+//!   Fig. 4 bisection-bandwidth approximation (METIS substitute);
+//! - [`diversity`]: the §2.3.3 shortest-path-diversity census;
+//! - [`linkload`]: static channel-load analysis predicting the §4.2
+//!   saturation bounds analytically.
+
+pub mod bisection;
+pub mod diversity;
+pub mod linkload;
+pub mod scale;
+
+pub use bisection::{bisection, is_balanced, Bisection};
+pub use diversity::{endpoint_diversity, non_adjacent_diversity, DiversityStats};
+pub use linkload::{permutation_link_load, LinkLoadReport};
+pub use scale::{moore_bound, scale_table, slim_fly_moore_fraction, slim_fly_scale, ScaleRow};

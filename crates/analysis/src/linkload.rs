@@ -1,0 +1,211 @@
+//! Static channel-load analysis: the analytic counterpart of the
+//! worst-case saturation arguments in paper §4.2.
+//!
+//! For a permutation traffic pattern under minimal routing, each flow
+//! contributes one unit of offered load, split evenly over its minimal
+//! paths (the random-selection rule of §3.1 footnote 1). Two predictions
+//! follow: the busiest link bounds the *bottlenecked* flows at
+//! `1 / max_link_load` (exactly the paper's 1/2p, 1/h, 1/k worst-case
+//! saturations), and a per-flow bottleneck model predicts the *mean*
+//! accepted throughput the simulator reports for arbitrary permutations.
+
+use d2net_topo::{Network, RouterId};
+use std::collections::HashMap;
+
+/// Static per-link load report for a node-level permutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoadReport {
+    /// Highest expected flow count on any directed router-router link
+    /// (fractional because multi-path pairs split).
+    pub max_link_load: f64,
+    /// Mean load over links that carry any traffic.
+    pub mean_link_load: f64,
+    /// Number of directed links carrying traffic.
+    pub loaded_links: usize,
+    /// Predicted saturation throughput per node (fraction of injection
+    /// bandwidth): `1 / max_link_load` (a link serves one flow at full
+    /// rate), capped at 1. Tight when every flow crosses the bottleneck
+    /// (the §4.2 worst cases); a lower bound otherwise.
+    pub predicted_saturation: f64,
+    /// Predicted *mean* accepted throughput across all nodes: each flow
+    /// is individually limited by the most-loaded link on its route
+    /// (proportional sharing), intra-router flows run at full rate.
+    /// Tracks the simulator on arbitrary permutations.
+    pub predicted_mean_throughput: f64,
+}
+
+/// Computes expected directed-link loads for a node permutation routed
+/// minimally with uniform splitting over minimal paths. Diameter-two
+/// networks only (every minimal path is direct or via one common
+/// neighbor).
+pub fn permutation_link_load(net: &Network, perm: &[u32]) -> LinkLoadReport {
+    assert_eq!(perm.len(), net.num_nodes() as usize);
+    let mut load: HashMap<(RouterId, RouterId), f64> = HashMap::new();
+    for (src, &dst) in perm.iter().enumerate() {
+        let rs = net.node_router(src as u32);
+        let rd = net.node_router(dst);
+        if rs == rd {
+            continue;
+        }
+        if net.are_adjacent(rs, rd) {
+            *load.entry((rs, rd)).or_default() += 1.0;
+        } else {
+            let mids = net.common_neighbors(rs, rd);
+            assert!(
+                !mids.is_empty(),
+                "link-load analysis requires diameter-two reachability"
+            );
+            let share = 1.0 / mids.len() as f64;
+            for m in mids {
+                *load.entry((rs, m)).or_default() += share;
+                *load.entry((m, rd)).or_default() += share;
+            }
+        }
+    }
+    let max_link_load = load.values().copied().fold(0.0, f64::max);
+    let loaded_links = load.len();
+    let mean_link_load = if loaded_links > 0 {
+        load.values().sum::<f64>() / loaded_links as f64
+    } else {
+        0.0
+    };
+    // Per-flow bottleneck estimate: a path carrying share `s` of a flow
+    // achieves s/L on a link of total load L (proportional sharing), so
+    // the flow's rate is Σ_paths s / max(1, L_max(path)).
+    let mut rate_sum = 0.0f64;
+    for (src, &dst) in perm.iter().enumerate() {
+        let rs = net.node_router(src as u32);
+        let rd = net.node_router(dst);
+        if rs == rd {
+            rate_sum += 1.0;
+            continue;
+        }
+        if net.are_adjacent(rs, rd) {
+            rate_sum += 1.0 / load[&(rs, rd)].max(1.0);
+        } else {
+            let mids = net.common_neighbors(rs, rd);
+            let share = 1.0 / mids.len() as f64;
+            for m in mids {
+                let l = load[&(rs, m)].max(load[&(m, rd)]).max(1.0);
+                rate_sum += share / l;
+            }
+        }
+    }
+    LinkLoadReport {
+        max_link_load,
+        mean_link_load,
+        loaded_links,
+        predicted_saturation: if max_link_load > 0.0 {
+            (1.0 / max_link_load).min(1.0)
+        } else {
+            1.0
+        },
+        predicted_mean_throughput: rate_sum / perm.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_topo::{mlfm, oft, slim_fly, SlimFlyP};
+    use d2net_traffic::{worst_case, worst_case_saturation, SyntheticPattern};
+
+    fn perm_of(net: &d2net_topo::Network) -> Vec<u32> {
+        match worst_case(net) {
+            SyntheticPattern::Permutation(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mlfm_worst_case_predicts_one_over_h() {
+        for h in [4u64, 8, 15] {
+            let net = mlfm(h);
+            let rep = permutation_link_load(&net, &perm_of(&net));
+            assert_eq!(rep.max_link_load, h as f64, "h={h}");
+            assert!(
+                (rep.predicted_saturation - worst_case_saturation(&net)).abs() < 1e-12,
+                "h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn oft_worst_case_predicts_one_over_k() {
+        for k in [4u64, 6, 12] {
+            let net = oft(k);
+            let rep = permutation_link_load(&net, &perm_of(&net));
+            assert_eq!(rep.max_link_load, k as f64, "k={k}");
+            assert!((rep.predicted_saturation - 1.0 / k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sf_worst_case_approaches_one_over_2p() {
+        // The greedy chain cover drives the hottest link to ≈2p flows.
+        for q in [7u64, 13] {
+            let net = slim_fly(q, SlimFlyP::Floor);
+            let p = net.nodes_at(0) as f64;
+            let rep = permutation_link_load(&net, &perm_of(&net));
+            assert!(
+                rep.max_link_load >= 2.0 * p - 2.0,
+                "q={q}: max load {} vs 2p = {}",
+                rep.max_link_load,
+                2.0 * p
+            );
+            assert!(rep.predicted_saturation <= 1.0 / (2.0 * p - 2.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_model_equals_saturation_on_uniform_bottlenecks() {
+        // In the structured worst cases every flow crosses an equally
+        // loaded bottleneck, so the two predictions coincide.
+        for net in [mlfm(4), oft(4)] {
+            let rep = permutation_link_load(&net, &perm_of(&net));
+            assert!(
+                (rep.predicted_mean_throughput - rep.predicted_saturation).abs() < 1e-9,
+                "{}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn benign_permutation_saturates_at_one() {
+        // Nodes swap within the same router pair via distinct links: a
+        // permutation between two adjacent routers with one node each.
+        let net = slim_fly(5, SlimFlyP::Floor);
+        // Identity-with-one-adjacent-swap: node 0 <-> first node of an
+        // adjacent router.
+        let nb = net.neighbors(0)[0];
+        let other = net.router_nodes(nb).start;
+        let mut perm: Vec<u32> = (0..net.num_nodes()).collect();
+        perm.swap(0, other as usize);
+        let rep = permutation_link_load(&net, &perm);
+        assert_eq!(rep.max_link_load, 1.0);
+        assert_eq!(rep.predicted_saturation, 1.0);
+        assert_eq!(rep.loaded_links, 2);
+    }
+
+    #[test]
+    fn multi_path_pairs_split_load() {
+        // MLFM same-column pair: h minimal paths, each carrying 1/h of
+        // the pair's flows.
+        let h = 4u64;
+        let net = mlfm(h);
+        // All nodes of LR 0 (layer 0, pos 0) -> same-index nodes of LR
+        // h+1 (layer 1, pos 0): a same-column pair.
+        let mut perm: Vec<u32> = (0..net.num_nodes()).collect();
+        let src = net.router_nodes(0);
+        let dst = net.router_nodes((h + 1) as u32);
+        for (a, b) in src.clone().zip(dst.clone()) {
+            perm[a as usize] = b;
+            perm[b as usize] = a;
+        }
+        let rep = permutation_link_load(&net, &perm);
+        // h flows split over h paths: each link carries h·(1/h) = 1.
+        assert!((rep.max_link_load - 1.0).abs() < 1e-12);
+        assert_eq!(rep.predicted_saturation, 1.0);
+    }
+}

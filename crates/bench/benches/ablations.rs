@@ -1,0 +1,160 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. `ablation_vc` — indirect routing with the paper's 2-VC scheme vs a
+//!    deliberately broken single-VC scheme (deadlock pressure);
+//! 2. `ablation_p` — Slim Fly p = ⌊r'/2⌋ vs ⌈r'/2⌉ (§2.1.2 tradeoff);
+//! 3. `ablation_intermediate` — MLFM Valiant with the paper's
+//!    endpoint-router intermediates vs unrestricted intermediates;
+//! 4. `ablation_threshold` — UGAL threshold T sweep beyond the paper's
+//!    10 %.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn run(net: &Network, policy: &RoutePolicy, pattern: &SyntheticPattern, cfg: SimConfig) -> SyntheticStats {
+    run_synthetic(net, policy, pattern, 1.0, 10_000, 2_000, cfg)
+}
+
+fn ablation_vc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vc");
+    g.sample_size(10);
+    let net = mlfm(4);
+    let wc = worst_case(&net);
+    let cfg = SimConfig {
+        buffer_bytes: 2_048,
+        ..Default::default()
+    };
+    for (tag, scheme) in [("2vc", VcScheme::PhaseBased), ("1vc", VcScheme::SingleVc)] {
+        g.bench_with_input(BenchmarkId::from_parameter(tag), &net, |b, net| {
+            let policy = RoutePolicy::with_overrides(
+                net,
+                Algorithm::Valiant,
+                scheme,
+                IntermediateSet::EndpointRouters,
+                false,
+            );
+            b.iter(|| black_box(run(net, &policy, &wc, cfg)));
+        });
+    }
+    g.finish();
+
+    // The qualitative pin: with tight buffers, the single-VC scheme
+    // wedges or collapses while the paper's scheme stays live.
+    let good = RoutePolicy::new(&net, Algorithm::Valiant);
+    let bad = RoutePolicy::with_overrides(
+        &net,
+        Algorithm::Valiant,
+        VcScheme::SingleVc,
+        IntermediateSet::EndpointRouters,
+        false,
+    );
+    let sg = run_synthetic(&net, &good, &wc, 1.0, 100_000, 20_000, cfg);
+    let sb = run_synthetic(&net, &bad, &wc, 1.0, 100_000, 20_000, cfg);
+    assert!(!sg.deadlocked);
+    assert!(
+        sb.deadlocked || sb.throughput < sg.throughput,
+        "single-VC should wedge or degrade: {} vs {}",
+        sb.throughput,
+        sg.throughput
+    );
+}
+
+fn ablation_p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_p");
+    g.sample_size(10);
+    for (tag, p) in [("floor", SlimFlyP::Floor), ("ceil", SlimFlyP::Ceil)] {
+        let net = slim_fly(5, p);
+        g.bench_with_input(BenchmarkId::from_parameter(tag), &net, |b, net| {
+            let policy = RoutePolicy::new(net, Algorithm::Minimal);
+            b.iter(|| black_box(run(net, &policy, &SyntheticPattern::Uniform, SimConfig::default())));
+        });
+    }
+    g.finish();
+
+    // §4.3.1: the ceil configuration saturates earlier on uniform traffic.
+    let floor = slim_fly(7, SlimFlyP::Floor);
+    let ceil = slim_fly(7, SlimFlyP::Ceil);
+    let pf = RoutePolicy::new(&floor, Algorithm::Minimal);
+    let pc = RoutePolicy::new(&ceil, Algorithm::Minimal);
+    let cfg = SimConfig::default();
+    let tf = run_synthetic(&floor, &pf, &SyntheticPattern::Uniform, 1.0, 60_000, 12_000, cfg).throughput;
+    let tc = run_synthetic(&ceil, &pc, &SyntheticPattern::Uniform, 1.0, 60_000, 12_000, cfg).throughput;
+    assert!(
+        tf > tc,
+        "floor ({tf}) must out-saturate ceil ({tc}) on uniform traffic"
+    );
+}
+
+fn ablation_intermediate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_intermediate");
+    g.sample_size(10);
+    let net = mlfm(4);
+    let wc = worst_case(&net);
+    for (tag, set) in [
+        ("endpoint", IntermediateSet::EndpointRouters),
+        ("all", IntermediateSet::AllRouters),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(tag), &net, |b, net| {
+            let policy = RoutePolicy::with_overrides(
+                net,
+                Algorithm::Valiant,
+                VcScheme::PhaseBased,
+                set,
+                false,
+            );
+            b.iter(|| black_box(run(net, &policy, &wc, SimConfig::default())));
+        });
+    }
+    g.finish();
+}
+
+fn ablation_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_threshold");
+    g.sample_size(10);
+    let net = oft(4);
+    let wc = worst_case(&net);
+    for t in [0.0, 0.1, 0.3, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("T={t}")), &net, |b, net| {
+            let policy = RoutePolicy::new(
+                net,
+                Algorithm::Ugal {
+                    n_i: 1,
+                    c: 2.0,
+                    threshold: (t > 0.0).then_some(t),
+                },
+            );
+            b.iter(|| black_box(run(net, &policy, &wc, SimConfig::default())));
+        });
+    }
+    g.finish();
+}
+
+/// UGAL-L (local, implementable) vs UGAL-G (global, idealized): the
+/// paper's §3.3 justification for evaluating only the local variant.
+fn ablation_global(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_global");
+    g.sample_size(10);
+    let net = mlfm(4);
+    let wc = worst_case(&net);
+    for (tag, algo) in [
+        ("ugal_l", Algorithm::Ugal { n_i: 4, c: 2.0, threshold: None }),
+        ("ugal_g", Algorithm::UgalG { n_i: 4, c: 2.0 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(tag), &net, |b, net| {
+            let policy = RoutePolicy::new(net, algo);
+            b.iter(|| black_box(run(net, &policy, &wc, SimConfig::default())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_vc,
+    ablation_p,
+    ablation_intermediate,
+    ablation_threshold,
+    ablation_global
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figs. 13/14: the all-to-all and nearest-neighbor exchange
+//! comparisons, benchmarked at reduced message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig13_a2a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_a2a");
+    g.sample_size(10);
+    for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)] {
+        let ex = d2net_core::traffic::all_to_all_shuffled(net.num_nodes(), 512, 7);
+        for (tag, algo) in [
+            ("MIN", Algorithm::Minimal),
+            ("INR", Algorithm::Valiant),
+            ("ADAPT", best_adaptive(&net).1),
+        ] {
+            let id = format!("{}/{tag}", net.name());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &net, |b, net| {
+                let policy = RoutePolicy::new(net, algo);
+                b.iter(|| black_box(run_exchange(net, &policy, &ex, 1, SimConfig::default())));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig14_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_nn");
+    g.sample_size(10);
+    for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)] {
+        let dims = torus_dims_for(&net);
+        let mut ex = nearest_neighbor(dims, 4_096);
+        ex.sends.resize(net.num_nodes() as usize, Vec::new());
+        for (tag, algo) in [
+            ("MIN", Algorithm::Minimal),
+            ("INR", Algorithm::Valiant),
+            ("ADAPT", best_adaptive(&net).1),
+        ] {
+            let id = format!("{}/{tag}", net.name());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &net, |b, net| {
+                let policy = RoutePolicy::new(net, algo);
+                b.iter(|| black_box(run_exchange(net, &policy, &ex, 6, SimConfig::default())));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13_a2a, bench_fig14_nn);
+criterion_main!(benches);

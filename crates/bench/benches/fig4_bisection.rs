@@ -1,0 +1,28 @@
+//! Fig. 4: the bisection-bandwidth approximation (FM partitioner) on the
+//! three topology families, and a correctness pin of the reported
+//! ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_bisection");
+    g.sample_size(10);
+    for net in [slim_fly(7, SlimFlyP::Floor), mlfm(8), oft(6)] {
+        g.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, net| {
+            b.iter(|| black_box(bisection(net, 2, 0xF16)));
+        });
+    }
+    g.finish();
+
+    // Fig. 4's qualitative claim at comparable scales: MLFM is the lowest
+    // of the three.
+    let m = bisection(&mlfm(8), 4, 1).per_node;
+    let s = bisection(&slim_fly(7, SlimFlyP::Floor), 4, 1).per_node;
+    let o = bisection(&oft(6), 4, 1).per_node;
+    assert!(m < s && m < o, "MLFM must be lowest: {m} vs {s} / {o}");
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 6: oblivious routing (MIN / INR) under uniform and worst-case
+//! traffic — benchmarks the simulator on exactly the runs that produce
+//! Fig. 6a/6b, and pins the qualitative result (saturation ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_bench::{bench_topologies, quick_run};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig6a_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_uniform");
+    g.sample_size(10);
+    for net in bench_topologies() {
+        for (tag, algo) in [("MIN", Algorithm::Minimal), ("INR", Algorithm::Valiant)] {
+            let id = format!("{}/{tag}", net.name());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &net, |b, net| {
+                b.iter(|| black_box(quick_run(net, algo, &SyntheticPattern::Uniform, 1.0)));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig6b_worst_case(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_worst_case");
+    g.sample_size(10);
+    for net in bench_topologies() {
+        let wc = worst_case(&net);
+        for (tag, algo) in [("MIN", Algorithm::Minimal), ("INR", Algorithm::Valiant)] {
+            let id = format!("{}/{tag}", net.name());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &net, |b, net| {
+                b.iter(|| black_box(quick_run(net, algo, &wc, 1.0)));
+            });
+        }
+    }
+    g.finish();
+
+    // Pin Fig. 6's shape on the MLFM instance: MIN ≈ 1 (UNI), collapses
+    // to 1/h (WC); INR recovers the WC at ~half uniform capacity.
+    let net = mlfm(4);
+    let wc = worst_case(&net);
+    let min_uni = quick_run(&net, Algorithm::Minimal, &SyntheticPattern::Uniform, 1.0);
+    let min_wc = quick_run(&net, Algorithm::Minimal, &wc, 1.0);
+    let inr_wc = quick_run(&net, Algorithm::Valiant, &wc, 1.0);
+    assert!(min_uni > 0.85, "MIN UNI {min_uni}");
+    assert!(min_wc < 0.35, "MIN WC {min_wc}");
+    assert!(inr_wc > min_wc, "INR WC {inr_wc} vs MIN WC {min_wc}");
+}
+
+criterion_group!(benches, bench_fig6a_uniform, bench_fig6b_worst_case);
+criterion_main!(benches);

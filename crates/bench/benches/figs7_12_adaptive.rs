@@ -1,0 +1,75 @@
+//! Figs. 7–12: the UGAL adaptive-routing parameter sweeps (generic and
+//! thresholded variants on SF, MLFM and OFT) — one benchmark per figure
+//! panel, exercising the exact variant grids of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn net_for_fig(fig: u8) -> Network {
+    match fig {
+        7 | 8 => slim_fly(5, SlimFlyP::Floor),
+        9 | 11 => mlfm(4),
+        _ => oft(4),
+    }
+}
+
+fn bench_adaptive_panels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figs7_12_adaptive");
+    g.sample_size(10);
+    for fig in [7u8, 8, 9, 10, 11, 12] {
+        let net = net_for_fig(fig);
+        // One representative variant per panel keeps the bench wall-clock
+        // sane; the figure harness runs the full grid.
+        for panel in ['a', 'b'] {
+            let (label, n_i, cost, th) = adaptive_variants(fig, panel)
+                .into_iter()
+                .next()
+                .unwrap();
+            let id = format!("fig{fig}{panel}/{}/{label}", net.name());
+            g.bench_with_input(BenchmarkId::from_parameter(id), &net, |b, net| {
+                let policy = RoutePolicy::new(
+                    net,
+                    Algorithm::Ugal {
+                        n_i,
+                        c: cost,
+                        threshold: th,
+                    },
+                );
+                b.iter(|| {
+                    black_box(run_synthetic(
+                        net,
+                        &policy,
+                        &SyntheticPattern::Uniform,
+                        1.0,
+                        10_000,
+                        2_000,
+                        SimConfig::default(),
+                    ))
+                });
+            });
+        }
+    }
+    g.finish();
+
+    // Pin the adaptive headline: UGAL on the worst case beats minimal on
+    // the worst case, while staying near minimal on uniform.
+    let net = mlfm(4);
+    let wc = worst_case(&net);
+    let ugal = RoutePolicy::new(
+        &net,
+        Algorithm::Ugal {
+            n_i: 5,
+            c: 2.0,
+            threshold: None,
+        },
+    );
+    let minimal = RoutePolicy::new(&net, Algorithm::Minimal);
+    let cfg = SimConfig::default();
+    let u_wc = run_synthetic(&net, &ugal, &wc, 1.0, 30_000, 6_000, cfg).throughput;
+    let m_wc = run_synthetic(&net, &minimal, &wc, 1.0, 30_000, 6_000, cfg).throughput;
+    assert!(u_wc > 1.2 * m_wc, "UGAL WC {u_wc} vs MIN WC {m_wc}");
+}
+
+criterion_group!(benches, bench_adaptive_panels);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table 2 + Fig. 3 regeneration benches, plus substrate-construction
+//! benchmarks (topology builders, Galois fields, minimal-route tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+/// Table 2: the 4-ML3B construction, and larger ML3Bs.
+fn bench_table2_ml3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_ml3b");
+    for k in [4u64, 8, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(d2net_core::topo::ml3b(k)));
+        });
+    }
+    // Pin the paper's table while we're here.
+    assert_eq!(table2()[0], vec![9, 10, 11, 12]);
+    g.finish();
+}
+
+/// Fig. 3: the scale/cost table across radixes.
+fn bench_fig3_scale(c: &mut Criterion) {
+    c.bench_function("fig3_scale_table", |b| {
+        b.iter(|| black_box(fig3(&[16, 24, 32, 48, 64])));
+    });
+}
+
+/// Topology construction throughput at the paper's evaluation sizes.
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.bench_function("slim_fly_q13", |b| {
+        b.iter(|| black_box(slim_fly(13, SlimFlyP::Floor)))
+    });
+    g.bench_function("mlfm_h15", |b| b.iter(|| black_box(mlfm(15))));
+    g.bench_function("oft_k12", |b| b.iter(|| black_box(oft(12))));
+    g.finish();
+}
+
+/// All-pairs minimal-route table construction (the routing substrate).
+fn bench_route_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimal_tables");
+    g.sample_size(10);
+    for net in [slim_fly(13, SlimFlyP::Floor), mlfm(15), oft(12)] {
+        g.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, net| {
+            b.iter(|| black_box(MinimalTables::build(net)));
+        });
+    }
+    g.finish();
+}
+
+/// §2.3.3 path-diversity census on the paper's q = 23 Slim Fly.
+fn bench_diversity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diversity");
+    g.sample_size(10);
+    let sf = slim_fly(13, SlimFlyP::Floor);
+    g.bench_function("sf_q13_census", |b| {
+        b.iter(|| black_box(non_adjacent_diversity(&sf)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_ml3b,
+    bench_fig3_scale,
+    bench_construction,
+    bench_route_tables,
+    bench_diversity
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! # d2net-core
+//!
+//! The top-level API of `d2net`, a full reproduction of *"Cost-Effective
+//! Diameter-Two Topologies: Analysis and Evaluation"* (Kathareios,
+//! Minkenberg, Prisacari, Rodriguez, Hoefler — SC '15).
+//!
+//! Everything below re-exports the workspace crates:
+//!
+//! - [`topo`]: Slim Fly / MLFM / OFT / SSPT / Fat-Tree / HyperX builders;
+//! - [`routing`]: MIN, INR (Valiant) and UGAL-L policies plus VC-based
+//!   deadlock avoidance and CDG verification;
+//! - [`traffic`]: uniform, adversarial worst-case, all-to-all and
+//!   nearest-neighbor workloads;
+//! - [`sim`]: the flit-level discrete-event simulator (§4.1 parameters);
+//! - [`analysis`]: scalability, bisection-bandwidth and path-diversity
+//!   analytics;
+//! - [`configs`] / [`experiment`] / [`report`]: the §4 evaluation
+//!   harness — one driver per table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use d2net_core::prelude::*;
+//!
+//! // Build the paper's OFT evaluation config, route adaptively, measure.
+//! let net = oft(6);
+//! let policy = RoutePolicy::new(&net, Algorithm::Ugal { n_i: 1, c: 2.0, threshold: None });
+//! let stats = run_synthetic(
+//!     &net, &policy, &SyntheticPattern::Uniform,
+//!     0.5, 30_000, 6_000, SimConfig::default(),
+//! );
+//! assert!(!stats.deadlocked);
+//! assert!((stats.throughput - 0.5).abs() < 0.05);
+//! ```
+
+pub mod configs;
+pub mod experiment;
+pub mod plot;
+pub mod report;
+
+pub use d2net_analysis as analysis;
+pub use d2net_galois as galois;
+pub use d2net_routing as routing;
+pub use d2net_sim as sim;
+pub use d2net_topo as topo;
+pub use d2net_traffic as traffic;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use crate::configs::{eval_topologies, RunParams, Scale};
+    pub use crate::experiment::{
+        adaptive_sweep, adaptive_variants, best_adaptive, diversity_report, fig13, fig14, fig3,
+        fig4, fig6, table2, Curve, ExchangeRow, Traffic,
+    };
+    pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
+    pub use crate::report::*;
+    pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
+    pub use d2net_routing::{
+        build_cdg, Algorithm, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
+    };
+    pub use d2net_sim::{
+        load_grid, load_sweep, run_exchange, run_synthetic, ExchangeStats, SimConfig,
+        SyntheticStats,
+    };
+    pub use d2net_topo::{
+        fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,
+        Network, SlimFlyP, TopologyKind,
+    };
+    pub use d2net_traffic::{
+        all_to_all, fit_torus, nearest_neighbor, shift_pattern, torus_dims_for, worst_case,
+        worst_case_saturation, SyntheticPattern,
+    };
+}

@@ -1,0 +1,435 @@
+//! Minimal self-contained SVG rendering for the regenerated figures —
+//! throughput/delay curves (Figs. 6–12) and exchange bar charts
+//! (Figs. 13/14) — with no external dependencies.
+
+use crate::experiment::{Curve, ExchangeRow};
+
+/// A categorical 8-color palette (colorblind-friendly Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple 2-D line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Fixed y-axis maximum; autoscaled when `None`.
+    pub y_max: Option<f64>,
+}
+
+const W: f64 = 720.0;
+const H: f64 = 440.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 190.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self) -> String {
+        let (px, py) = (W - ML - MR, H - MT - MB);
+        let x_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(f64::EPSILON, f64::max);
+        let y_max = self.y_max.unwrap_or_else(|| {
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.1))
+                .fold(f64::EPSILON, f64::max)
+                * 1.05
+        });
+        let sx = |x: f64| ML + x / x_max * px;
+        let sy = |y: f64| MT + py - (y.min(y_max) / y_max) * py;
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        ));
+        out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        out.push_str(&format!(
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+            ML + px / 2.0,
+            esc(&self.title)
+        ));
+        // Axes.
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MT + py,
+            ML + px,
+            MT + py
+        ));
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            MT + py
+        ));
+        // Ticks + grid: 5 divisions per axis.
+        for i in 0..=5 {
+            let fx = i as f64 / 5.0;
+            let (x, y) = (ML + fx * px, MT + py - fx * py);
+            out.push_str(&format!(
+                r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="black"/>"#,
+                MT + py,
+                MT + py + 5.0
+            ));
+            out.push_str(&format!(
+                r#"<text x="{x}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+                MT + py + 18.0,
+                fmt(fx * x_max)
+            ));
+            out.push_str(&format!(
+                r#"<line x1="{}" y1="{y}" x2="{ML}" y2="{y}" stroke="black"/>"#,
+                ML - 5.0
+            ));
+            out.push_str(&format!(
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                ML - 8.0,
+                y + 4.0,
+                fmt(fx * y_max)
+            ));
+            if i > 0 {
+                out.push_str(&format!(
+                    r##"<line x1="{ML}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd" stroke-dasharray="3,3"/>"##,
+                    ML + px
+                ));
+            }
+        }
+        // Axis labels.
+        out.push_str(&format!(
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            ML + px / 2.0,
+            H - 12.0,
+            esc(&self.x_label)
+        ));
+        out.push_str(&format!(
+            r#"<text x="18" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MT + py / 2.0,
+            MT + py / 2.0,
+            esc(&self.y_label)
+        ));
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            out.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            ));
+            for &(x, y) in &s.points {
+                out.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                ));
+            }
+            // Legend entry.
+            let ly = MT + 14.0 + i as f64 * 18.0;
+            let lx = W - MR + 10.0;
+            out.push_str(&format!(
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            ));
+            out.push_str(&format!(
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                esc(&s.label)
+            ));
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+/// A grouped bar chart (Figs. 13/14): one group per topology, one bar per
+/// routing strategy.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    pub title: String,
+    pub y_label: String,
+    /// `(group, bar_label, value)` in display order.
+    pub bars: Vec<(String, String, f64)>,
+}
+
+impl BarChart {
+    pub fn render(&self) -> String {
+        let (px, py) = (W - ML - MR, H - MT - MB);
+        let y_max = self.bars.iter().map(|b| b.2).fold(f64::EPSILON, f64::max) * 1.1;
+        // Group by first field preserving order.
+        let mut groups: Vec<(&str, Vec<(&str, f64)>)> = Vec::new();
+        let mut labels: Vec<&str> = Vec::new();
+        for (g, l, v) in &self.bars {
+            if !labels.contains(&l.as_str()) {
+                labels.push(l);
+            }
+            match groups.iter_mut().find(|(name, _)| *name == g.as_str()) {
+                Some((_, v2)) => v2.push((l, *v)),
+                None => groups.push((g, vec![(l, *v)])),
+            }
+        }
+        let ng = groups.len() as f64;
+        let group_w = px / ng;
+        let bar_w = group_w * 0.8 / labels.len().max(1) as f64;
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        ));
+        out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        out.push_str(&format!(
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+            ML + px / 2.0,
+            esc(&self.title)
+        ));
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MT + py,
+            ML + px,
+            MT + py
+        ));
+        out.push_str(&format!(
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            MT + py
+        ));
+        for i in 0..=5 {
+            let fy = i as f64 / 5.0;
+            let y = MT + py - fy * py;
+            out.push_str(&format!(
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                ML - 8.0,
+                y + 4.0,
+                fmt(fy * y_max)
+            ));
+            if i > 0 {
+                out.push_str(&format!(
+                    r##"<line x1="{ML}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd" stroke-dasharray="3,3"/>"##,
+                    ML + px
+                ));
+            }
+        }
+        out.push_str(&format!(
+            r#"<text x="18" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            MT + py / 2.0,
+            MT + py / 2.0,
+            esc(&self.y_label)
+        ));
+        for (gi, (gname, bars)) in groups.iter().enumerate() {
+            let gx = ML + gi as f64 * group_w + group_w * 0.1;
+            for (bi, (blabel, v)) in bars.iter().enumerate() {
+                let color = PALETTE[labels.iter().position(|l| l == blabel).unwrap_or(0) % 8];
+                let h = v / y_max * py;
+                out.push_str(&format!(
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}"/>"#,
+                    gx + bi as f64 * bar_w,
+                    MT + py - h,
+                    bar_w * 0.92,
+                    h
+                ));
+            }
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{}" font-family="sans-serif" font-size="10" text-anchor="middle">{}</text>"#,
+                gx + bars.len() as f64 * bar_w / 2.0,
+                MT + py + 16.0,
+                esc(gname)
+            ));
+        }
+        for (i, l) in labels.iter().enumerate() {
+            let ly = MT + 14.0 + i as f64 * 18.0;
+            let lx = W - MR + 10.0;
+            out.push_str(&format!(
+                r#"<rect x="{lx}" y="{}" width="14" height="10" fill="{}"/>"#,
+                ly - 8.0,
+                PALETTE[i % 8]
+            ));
+            out.push_str(&format!(
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                lx + 20.0,
+                ly + 1.0,
+                esc(l)
+            ));
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Builds the throughput-vs-load chart for a set of sweep curves.
+pub fn throughput_chart(title: &str, curves: &[Curve]) -> LineChart {
+    LineChart {
+        title: title.into(),
+        x_label: "offered load (fraction of link bandwidth)".into(),
+        y_label: "accepted throughput".into(),
+        y_max: Some(1.0),
+        series: curves
+            .iter()
+            .map(|c| Series {
+                label: c.label.clone(),
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| (p.load, p.stats.throughput))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Builds the delay-vs-load chart for a set of sweep curves.
+pub fn delay_chart(title: &str, curves: &[Curve]) -> LineChart {
+    LineChart {
+        title: title.into(),
+        x_label: "offered load (fraction of link bandwidth)".into(),
+        y_label: "mean packet delay (ns)".into(),
+        y_max: None,
+        series: curves
+            .iter()
+            .map(|c| Series {
+                label: c.label.clone(),
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| (p.load, p.stats.avg_delay_ns))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Builds the effective-throughput bar chart for exchange rows.
+pub fn exchange_chart(title: &str, rows: &[ExchangeRow]) -> BarChart {
+    BarChart {
+        title: title.into(),
+        y_label: "effective throughput".into(),
+        bars: rows
+            .iter()
+            .map(|r| {
+                // Normalize adaptive labels into one legend bucket.
+                let routing = if r.routing.starts_with("MIN") {
+                    "MIN".to_string()
+                } else if r.routing.starts_with("INR") {
+                    "INR".to_string()
+                } else {
+                    "adaptive".to_string()
+                };
+                (r.topology.clone(), routing, r.stats.effective_throughput)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_sim::{SimConfig, SweepPoint, SyntheticStats};
+
+    fn curve(label: &str, pts: &[(f64, f64)]) -> Curve {
+        Curve {
+            label: label.into(),
+            points: pts
+                .iter()
+                .map(|&(load, thr)| SweepPoint {
+                    load,
+                    stats: SyntheticStats {
+                        offered_load: load,
+                        throughput: thr,
+                        avg_delay_ns: 600.0 + 1000.0 * load,
+                        max_delay_ns: 5000,
+                        delivered_packets: 100,
+                        indirect_packets: 0,
+                        avg_hops: 2.0,
+                        p99_delay_ns: 2048,
+                        max_link_utilization: thr,
+                        deadlocked: false,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn line_chart_is_wellformed_svg() {
+        let curves = vec![
+            curve("MIN UNI", &[(0.2, 0.2), (0.6, 0.6), (1.0, 0.98)]),
+            curve("INR UNI", &[(0.2, 0.2), (0.6, 0.5), (1.0, 0.5)]),
+        ];
+        let svg = throughput_chart("Fig 6a", &curves).render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("MIN UNI"));
+        assert!(svg.contains("accepted throughput"));
+    }
+
+    #[test]
+    fn delay_chart_autoscales() {
+        let curves = vec![curve("x", &[(0.5, 0.5), (1.0, 0.9)])];
+        let svg = delay_chart("d", &curves).render();
+        assert!(svg.contains("mean packet delay"));
+        // Autoscaled top tick: max delay 1600 ns × 1.05 headroom = 1680.
+        assert!(svg.contains("1680"));
+    }
+
+    #[test]
+    fn bar_chart_groups_and_legend() {
+        let svg = BarChart {
+            title: "Fig 13".into(),
+            y_label: "effective throughput".into(),
+            bars: vec![
+                ("MLFM".into(), "MIN".into(), 0.9),
+                ("MLFM".into(), "INR".into(), 0.5),
+                ("OFT".into(), "MIN".into(), 0.85),
+                ("OFT".into(), "INR".into(), 0.48),
+            ],
+        }
+        .render();
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1); // bars + legend + bg
+        assert!(svg.contains("MLFM"));
+        assert!(svg.contains("OFT"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let svg = LineChart {
+            title: "a < b & c".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![],
+            y_max: Some(1.0),
+        }
+        .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        let _ = SimConfig::default();
+    }
+}

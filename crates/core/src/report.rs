@@ -1,0 +1,99 @@
+//! Plain-text rendering of experiment data — the "same rows/series the
+//! paper reports", printable from the `paper_figures` example.
+
+use crate::experiment::{Curve, ExchangeRow};
+use d2net_analysis::ScaleRow;
+
+/// Renders the Fig. 3 scale table.
+pub fn render_fig3(rows: &[ScaleRow]) -> String {
+    let mut s = String::new();
+    s.push_str("radix |   2D-HyperX |    Slim Fly |   2-lvl FT |    3-lvl FT |        MLFM |         OFT\n");
+    s.push_str("------+-------------+-------------+------------+-------------+-------------+------------\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:5} | {:11} | {:11} | {:10} | {:11} | {:11} | {:11}\n",
+            r.radix, r.hyperx2, r.slim_fly, r.fat_tree2, r.fat_tree3, r.mlfm, r.oft
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 4 bisection rows `(family, N, per-node)`.
+pub fn render_fig4(rows: &[(String, u32, f64)]) -> String {
+    let mut s = String::from("family       |     N | bisection b/node\n");
+    s.push_str("-------------+-------+-----------------\n");
+    for (family, n, b) in rows {
+        s.push_str(&format!("{family:12} | {n:5} | {b:.3}\n"));
+    }
+    s
+}
+
+/// Renders throughput/delay curves (Figs. 6-12): one block per curve,
+/// one `load throughput delay` row per point.
+pub fn render_curves(curves: &[Curve]) -> String {
+    let mut s = String::new();
+    for c in curves {
+        s.push_str(&format!("# {}\n", c.label));
+        s.push_str("load  | accepted | avg delay (ns)\n");
+        for p in &c.points {
+            s.push_str(&format!(
+                "{:5.2} | {:8.4} | {:10.1}{}\n",
+                p.load,
+                p.stats.throughput,
+                p.stats.avg_delay_ns,
+                if p.stats.deadlocked { "  [DEADLOCK]" } else { "" }
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders exchange comparisons (Figs. 13/14).
+pub fn render_exchange(rows: &[ExchangeRow]) -> String {
+    let mut s = String::from("topology                 | routing            | eff.thr | completion (us)\n");
+    s.push_str("-------------------------+--------------------+---------+----------------\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:24} | {:18} | {:7.3} | {:12.1}{}\n",
+            r.topology,
+            r.routing,
+            r.stats.effective_throughput,
+            r.stats.completion_ns as f64 / 1_000.0,
+            if r.stats.deadlocked { "  [DEADLOCK]" } else { "" }
+        ));
+    }
+    s
+}
+
+/// Renders the ML3B table (Table 2).
+pub fn render_table2(table: &[Vec<u64>]) -> String {
+    let mut s = String::from("i  | j, s.t. (1,j) and (0,i) are connected\n");
+    s.push_str("---+--------------------------------------\n");
+    for (i, row) in table.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:2}")).collect();
+        s.push_str(&format!("{i:2} | {}\n", cells.join(" ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::table2;
+
+    #[test]
+    fn table2_rendering_contains_paper_rows() {
+        let s = render_table2(&table2());
+        assert!(s.contains(" 0 |  9 10 11 12"));
+        assert!(s.contains("12 | 12  2  4  6"));
+    }
+
+    #[test]
+    fn fig3_rendering_alignment() {
+        let rows = d2net_analysis::scale_table(&[16, 64]);
+        let s = render_fig3(&rows);
+        assert!(s.lines().count() == 4);
+        assert!(s.contains("radix"));
+    }
+}

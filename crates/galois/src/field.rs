@@ -1,0 +1,339 @@
+//! The finite field GF(q) for a prime power `q = p^n`.
+//!
+//! Elements are encoded as integers in `[0, q)`: an element is the base-`p`
+//! digit encoding of its polynomial representation modulo a fixed monic
+//! irreducible polynomial of degree `n`. For `n = 1` this is ordinary
+//! arithmetic modulo `p`.
+//!
+//! Multiplication, inversion and powers of the primitive element are served
+//! from precomputed exp/log tables, so all field operations after
+//! construction are O(1) table lookups — the Slim Fly generator needs
+//! `O(q^2)` of them.
+
+use crate::poly::{find_irreducible, Poly};
+use crate::primes::{as_prime_power, prime_divisors};
+
+/// A concrete finite field GF(p^n) with precomputed discrete-log tables.
+#[derive(Debug, Clone)]
+pub struct Gf {
+    /// Field characteristic (prime).
+    p: u64,
+    /// Extension degree.
+    n: u32,
+    /// Field order `q = p^n`.
+    q: u64,
+    /// `exp[i] = xi^i` for `i` in `[0, q-1)`, where `xi` is the chosen
+    /// primitive element; `exp[q-1] = exp[0] = 1` conceptually.
+    exp: Vec<u64>,
+    /// `log[e]` = discrete log of element `e` base `xi`; `log[0]` is unused.
+    log: Vec<u64>,
+    /// Additive table is implicit: addition is digit-wise mod p.
+    modulus: Poly,
+}
+
+impl Gf {
+    /// Constructs GF(q). Panics if `q` is not a prime power `>= 2`.
+    pub fn new(q: u64) -> Self {
+        let (p, n) = as_prime_power(q).unwrap_or_else(|| panic!("{q} is not a prime power"));
+        let modulus = if n == 1 {
+            // Unused for n = 1, but keep a canonical degree-1 modulus (x).
+            Poly::new(vec![0, 1])
+        } else {
+            find_irreducible(p, n)
+        };
+        let mut gf = Gf {
+            p,
+            n,
+            q,
+            exp: Vec::new(),
+            log: Vec::new(),
+            modulus,
+        };
+        let xi = gf.find_primitive_element();
+        gf.build_tables(xi);
+        gf
+    }
+
+    /// Field order `q`.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Field characteristic `p`.
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `n` (so `q = p^n`).
+    pub fn degree(&self) -> u32 {
+        self.n
+    }
+
+    /// The primitive element `xi` chosen at construction (generator of the
+    /// multiplicative group).
+    pub fn primitive_element(&self) -> u64 {
+        self.exp[1]
+    }
+
+    /// Addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if self.n == 1 {
+            let s = a + b;
+            if s >= self.p {
+                s - self.p
+            } else {
+                s
+            }
+        } else {
+            // Digit-wise addition mod p.
+            let (mut a, mut b) = (a, b);
+            let mut out = 0u64;
+            let mut mult = 1u64;
+            while a > 0 || b > 0 {
+                let d = (a % self.p + b % self.p) % self.p;
+                out += d * mult;
+                mult *= self.p;
+                a /= self.p;
+                b /= self.p;
+            }
+            out
+        }
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if self.n == 1 {
+            if a == 0 {
+                0
+            } else {
+                self.p - a
+            }
+        } else {
+            let mut a = a;
+            let mut out = 0u64;
+            let mut mult = 1u64;
+            while a > 0 {
+                let d = a % self.p;
+                if d != 0 {
+                    out += (self.p - d) * mult;
+                }
+                mult *= self.p;
+                a /= self.p;
+            }
+            out
+        }
+    }
+
+    /// Subtraction `a - b`.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.neg(b))
+    }
+
+    /// Multiplication via exp/log tables.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let la = self.log[a as usize];
+        let lb = self.log[b as usize];
+        self.exp[((la + lb) % (self.q - 1)) as usize]
+    }
+
+    /// Multiplicative inverse; panics on 0.
+    #[inline]
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "inverse of zero");
+        let la = self.log[a as usize];
+        self.exp[((self.q - 1 - la) % (self.q - 1)) as usize]
+    }
+
+    /// `a^e` (e a non-negative integer exponent).
+    pub fn pow(&self, a: u64, e: u64) -> u64 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let la = self.log[a as usize];
+        self.exp[((la as u128 * e as u128) % (self.q as u128 - 1)) as usize]
+    }
+
+    /// Power of the primitive element: `xi^e`.
+    #[inline]
+    pub fn xi_pow(&self, e: u64) -> u64 {
+        self.exp[(e % (self.q - 1)) as usize]
+    }
+
+    /// Iterator over all field elements `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Raw polynomial multiplication modulo the field's irreducible
+    /// polynomial (used only to bootstrap the tables).
+    fn raw_mul(&self, a: u64, b: u64) -> u64 {
+        if self.n == 1 {
+            a * b % self.p
+        } else {
+            let pa = Poly::decode(a, self.p);
+            let pb = Poly::decode(b, self.p);
+            pa.mul(&pb, self.p).rem(&self.modulus, self.p).encode(self.p)
+        }
+    }
+
+    /// Multiplicative order of `a` (bootstrap path, no tables yet).
+    fn raw_order(&self, a: u64) -> u64 {
+        let mut x = a;
+        let mut k = 1u64;
+        while x != 1 {
+            x = self.raw_mul(x, a);
+            k += 1;
+            assert!(k <= self.q, "element order exceeded group order");
+        }
+        k
+    }
+
+    fn find_primitive_element(&self) -> u64 {
+        let group = self.q - 1;
+        if group == 1 {
+            return 1;
+        }
+        let divisors = prime_divisors(group);
+        'candidates: for cand in 2..self.q {
+            // cand is primitive iff cand^(group/f) != 1 for every prime f | group.
+            for &f in &divisors {
+                let mut x = 1u64;
+                let mut e = group / f;
+                let mut base = cand;
+                while e > 0 {
+                    if e & 1 == 1 {
+                        x = self.raw_mul(x, base);
+                    }
+                    base = self.raw_mul(base, base);
+                    e >>= 1;
+                }
+                if x == 1 {
+                    continue 'candidates;
+                }
+            }
+            debug_assert_eq!(self.raw_order(cand), group);
+            return cand;
+        }
+        unreachable!("the multiplicative group of a finite field is cyclic")
+    }
+
+    fn build_tables(&mut self, xi: u64) {
+        let group = (self.q - 1) as usize;
+        let mut exp = vec![0u64; group.max(1)];
+        let mut log = vec![0u64; self.q as usize];
+        let mut x = 1u64;
+        for (i, item) in exp.iter_mut().enumerate() {
+            *item = x;
+            log[x as usize] = i as u64;
+            x = self.raw_mul(x, xi);
+        }
+        assert_eq!(x, 1, "primitive element order mismatch");
+        self.exp = exp;
+        self.log = log;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms(q: u64) {
+        let f = Gf::new(q);
+        assert_eq!(f.order(), q);
+        // Additive group: closure, identity, inverse, commutativity.
+        for a in f.elements() {
+            assert_eq!(f.add(a, 0), a);
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            for b in f.elements() {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert!(f.add(a, b) < q);
+            }
+        }
+        // Multiplicative group: identity, inverse, commutativity, distributivity.
+        for a in f.elements() {
+            assert_eq!(f.mul(a, 1), a);
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), 1);
+            }
+            for b in f.elements() {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in [0, 1, q - 1, a, b] {
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axioms_prime_fields() {
+        for q in [2, 3, 5, 7, 13] {
+            check_field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn axioms_extension_fields() {
+        for q in [4, 8, 9, 16, 25, 27] {
+            check_field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn primitive_element_generates_group() {
+        for q in [4u64, 5, 8, 9, 13, 25] {
+            let f = Gf::new(q);
+            let xi = f.primitive_element();
+            let mut seen = std::collections::HashSet::new();
+            let mut x = 1u64;
+            for _ in 0..q - 1 {
+                assert!(seen.insert(x), "xi repeats before covering the group");
+                x = f.mul(x, xi);
+            }
+            assert_eq!(x, 1);
+            assert_eq!(seen.len() as u64, q - 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf::new(9);
+        for a in f.elements() {
+            let mut acc = 1u64;
+            for e in 0..10u64 {
+                assert_eq!(f.pow(a, e), acc, "a={a} e={e}");
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn char2_negation_is_identity() {
+        let f = Gf::new(8);
+        for a in f.elements() {
+            assert_eq!(f.neg(a), a);
+            assert_eq!(f.add(a, a), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prime power")]
+    fn rejects_composite_order() {
+        Gf::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        Gf::new(7).inv(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # d2net-galois
+//!
+//! Exact finite-field and combinatorial-design machinery underpinning the
+//! diameter-two topology constructions of Kathareios et al. (SC '15):
+//!
+//! - [`Gf`]: the finite field GF(p^n) with O(1) arithmetic after table
+//!   construction — the Slim Fly's McKay–Miller–Širáň graph is defined over
+//!   GF(q) for a prime power `q = 4w + δ`, `δ ∈ {-1, 0, 1}`.
+//! - [`mols`]: Mutually Orthogonal Latin Squares of prime order, from which
+//!   the Orthogonal Fat-Tree's ML3B interconnection table is assembled.
+//! - [`primes`]: primality / prime-power utilities used to enumerate valid
+//!   topology parameters.
+
+pub mod field;
+pub mod mols;
+pub mod poly;
+pub mod primes;
+
+pub use field::Gf;
+pub use primes::{as_prime_power, factorize, is_prime, slim_fly_prime_powers};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_prime_power() -> impl Strategy<Value = u64> {
+        prop::sample::select(vec![2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27])
+    }
+
+    proptest! {
+        #[test]
+        fn field_ops_closed_and_invertible(q in small_prime_power(), a in 0u64..64, b in 0u64..64) {
+            let f = Gf::new(q);
+            let a = a % q;
+            let b = b % q;
+            let s = f.add(a, b);
+            prop_assert!(s < q);
+            prop_assert_eq!(f.sub(s, b), a);
+            let m = f.mul(a, b);
+            prop_assert!(m < q);
+            if b != 0 {
+                prop_assert_eq!(f.mul(m, f.inv(b)), a);
+            }
+        }
+
+        #[test]
+        fn associativity(q in small_prime_power(), a in 0u64..64, b in 0u64..64, c in 0u64..64) {
+            let f = Gf::new(q);
+            let (a, b, c) = (a % q, b % q, c % q);
+            prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+            prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        }
+
+        #[test]
+        fn frobenius_in_char_p(q in small_prime_power(), a in 0u64..64, b in 0u64..64) {
+            // (a + b)^p = a^p + b^p in characteristic p.
+            let f = Gf::new(q);
+            let p = f.characteristic();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(f.pow(f.add(a, b), p), f.add(f.pow(a, p), f.pow(b, p)));
+        }
+
+        #[test]
+        fn factorize_reconstructs(n in 2u64..100_000) {
+            let f = factorize(n);
+            let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            prop_assert_eq!(prod, n);
+        }
+    }
+}

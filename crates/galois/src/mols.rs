@@ -1,0 +1,133 @@
+//! Mutually Orthogonal Latin Squares (MOLS).
+//!
+//! The two-level Orthogonal Fat-Tree's Maximal-Leaves Basic Building Block
+//! (`k`-ML3B, paper §2.2.4) is assembled from the complete family of
+//! `n - 1` MOLS of order `n = k - 1` when `n` is prime:
+//! `L_m(i, j) = (i + m·j) mod n` for `m = 1 .. n-1`.
+
+/// A Latin square of order `n`, stored row-major; `square[i][j]` in `[0, n)`.
+pub type LatinSquare = Vec<Vec<u64>>;
+
+/// Builds the cyclic Latin square `L_m(i, j) = (i + m·j) mod n`.
+///
+/// For `n` prime and `m` in `[1, n)` this is a Latin square, and distinct
+/// `m` values yield mutually orthogonal squares.
+pub fn cyclic_latin_square(n: u64, m: u64) -> LatinSquare {
+    assert!(n >= 1);
+    (0..n)
+        .map(|i| (0..n).map(|j| (i + m * j) % n).collect())
+        .collect()
+}
+
+/// The complete family of `n - 1` MOLS of prime order `n`.
+pub fn mols_prime(n: u64) -> Vec<LatinSquare> {
+    assert!(crate::primes::is_prime(n), "MOLS family requires prime order, got {n}");
+    (1..n).map(|m| cyclic_latin_square(n, m)).collect()
+}
+
+/// Checks that `sq` is a Latin square of order `n`: every row and every
+/// column is a permutation of `0..n`.
+pub fn is_latin_square(sq: &LatinSquare) -> bool {
+    let n = sq.len();
+    if sq.iter().any(|row| row.len() != n) {
+        return false;
+    }
+    let full: u128 = if n >= 128 { return false } else { (1u128 << n) - 1 };
+    for row in sq {
+        let mut seen = 0u128;
+        for &v in row {
+            if v as usize >= n {
+                return false;
+            }
+            seen |= 1 << v;
+        }
+        if seen != full {
+            return false;
+        }
+    }
+    for j in 0..n {
+        let mut seen = 0u128;
+        for row in sq {
+            seen |= 1 << row[j];
+        }
+        if seen != full {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks orthogonality: superimposing `a` and `b` yields every ordered pair
+/// `(a_ij, b_ij)` exactly once.
+pub fn are_orthogonal(a: &LatinSquare, b: &LatinSquare) -> bool {
+    let n = a.len();
+    if b.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let idx = (a[i][j] as usize) * n + b[i][j] as usize;
+            if seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_squares_are_latin() {
+        for n in [2u64, 3, 5, 7, 11, 13] {
+            for m in 1..n {
+                assert!(is_latin_square(&cyclic_latin_square(n, m)), "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn m_zero_is_not_latin_for_n_gt_1() {
+        // L_0 has constant rows — every row repeats a single symbol.
+        assert!(!is_latin_square(&cyclic_latin_square(3, 0)));
+    }
+
+    #[test]
+    fn family_is_mutually_orthogonal() {
+        for n in [3u64, 5, 7, 11] {
+            let fam = mols_prime(n);
+            assert_eq!(fam.len() as u64, n - 1);
+            for i in 0..fam.len() {
+                for j in i + 1..fam.len() {
+                    assert!(are_orthogonal(&fam[i], &fam[j]), "n={n} i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonality_detects_failure() {
+        let a = cyclic_latin_square(5, 1);
+        assert!(!are_orthogonal(&a, &a)); // a square is never orthogonal to itself (n>1)
+    }
+
+    #[test]
+    fn order3_family_matches_paper_table2_squares() {
+        // The 4-ML3B in the paper (Table 2) embeds L_1 and L_2 of order 3:
+        // rows 7-9 use (i + j) mod 3, rows 10-12 use (i + 2j) mod 3.
+        let l1 = cyclic_latin_square(3, 1);
+        assert_eq!(l1, vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]]);
+        let l2 = cyclic_latin_square(3, 2);
+        assert_eq!(l2, vec![vec![0, 2, 1], vec![1, 0, 2], vec![2, 1, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires prime order")]
+    fn mols_rejects_composite() {
+        mols_prime(4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Primality, factorization, and prime-power detection for small integers.
+//!
+//! Every quantity in this crate is bounded by practical network sizes
+//! (router radix ≤ a few hundred, Galois field order ≤ a few thousand),
+//! so simple trial division is both adequate and exactly correct.
+
+/// Returns `true` if `n` is prime. `0` and `1` are not prime.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Returns the prime factorization of `n` as `(prime, exponent)` pairs in
+/// ascending prime order. `factorize(1)` is empty.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            let mut e = 0;
+            while n.is_multiple_of(d) {
+                n /= d;
+                e += 1;
+            }
+            out.push((d, e));
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// If `q` is a prime power `p^n` with `n >= 1`, returns `(p, n)`.
+pub fn as_prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let f = factorize(q);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Returns the distinct prime divisors of `n`.
+pub fn prime_divisors(n: u64) -> Vec<u64> {
+    factorize(n).into_iter().map(|(p, _)| p).collect()
+}
+
+/// Returns all prime powers `q` in `[lo, hi]` of the Slim Fly form
+/// `q = 4w + delta` with `delta` in `{-1, 0, 1}` (i.e. `q mod 4 != 2`),
+/// together with the `delta` value.
+pub fn slim_fly_prime_powers(lo: u64, hi: u64) -> Vec<(u64, i64)> {
+    let mut out = Vec::new();
+    for q in lo.max(2)..=hi {
+        if as_prime_power(q).is_none() {
+            continue;
+        }
+        let delta = match q % 4 {
+            0 => 0,
+            1 => 1,
+            3 => -1,
+            _ => continue, // q ≡ 2 (mod 4) is not of the form 4w + δ
+        };
+        // w must be a positive natural number: q = 4w + δ ⇒ w = (q - δ)/4 ≥ 1.
+        if (q as i64 - delta) >= 4 {
+            out.push((q, delta));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn factorization_roundtrip() {
+        for n in 2..2000u64 {
+            let f = factorize(n);
+            let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(prod, n);
+            for &(p, _) in &f {
+                assert!(is_prime(p));
+            }
+        }
+    }
+
+    #[test]
+    fn prime_powers() {
+        assert_eq!(as_prime_power(2), Some((2, 1)));
+        assert_eq!(as_prime_power(4), Some((2, 2)));
+        assert_eq!(as_prime_power(8), Some((2, 3)));
+        assert_eq!(as_prime_power(9), Some((3, 2)));
+        assert_eq!(as_prime_power(13), Some((13, 1)));
+        assert_eq!(as_prime_power(25), Some((5, 2)));
+        assert_eq!(as_prime_power(27), Some((3, 3)));
+        assert_eq!(as_prime_power(12), None);
+        assert_eq!(as_prime_power(1), None);
+        assert_eq!(as_prime_power(0), None);
+    }
+
+    #[test]
+    fn sf_prime_powers_include_paper_configs() {
+        let qs = slim_fly_prime_powers(4, 30);
+        // q = 13 (paper's evaluation config) has δ = 1; q = 5 has δ = 1;
+        // q = 7 has δ = -1; q = 4 and 8 have δ = 0; q = 27 ≡ 3 (mod 4) has δ = -1.
+        assert!(qs.contains(&(13, 1)));
+        assert!(qs.contains(&(5, 1)));
+        assert!(qs.contains(&(7, -1)));
+        assert!(qs.contains(&(4, 0)));
+        assert!(qs.contains(&(8, 0)));
+        assert!(qs.contains(&(27, -1)));
+        // q ≡ 2 (mod 4) such as 2, 6, 18 are excluded.
+        assert!(!qs.iter().any(|&(q, _)| q % 4 == 2));
+    }
+
+    #[test]
+    fn distinct_prime_divisors() {
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(13), vec![13]);
+        assert_eq!(prime_divisors(360), vec![2, 3, 5]);
+    }
+}

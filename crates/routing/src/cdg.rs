@@ -1,0 +1,332 @@
+//! Channel dependency graph (CDG) construction and acyclicity checking —
+//! the formal tool behind the paper's deadlock-freedom arguments (§3.4,
+//! after Dally & Towles).
+//!
+//! A *channel* is a directed router-to-router link paired with a VC. A
+//! route that uses channel `c1` immediately followed by channel `c2`
+//! induces the dependency `c1 → c2`; routing is deadlock-free if the
+//! union of dependencies over every route the policy can produce is
+//! acyclic.
+
+use crate::path::RoutePath;
+use crate::policy::{Algorithm, RouteChoice, RoutePolicy};
+use crate::tables::MinimalTables;
+use d2net_topo::{Network, RouterId};
+
+/// A CDG over `channels = directed links × VCs`.
+pub struct ChannelGraph {
+    /// Per-router offset into the directed-edge id space.
+    edge_offset: Vec<u32>,
+    /// Neighbor lists (mirrors the network adjacency) for edge-id lookup.
+    neighbors: Vec<Vec<RouterId>>,
+    num_vcs: u8,
+    /// Dependency adjacency: `deps[c1]` lists channels reachable from `c1`.
+    deps: Vec<Vec<u32>>,
+}
+
+impl ChannelGraph {
+    /// Creates an empty CDG for `net` with `num_vcs` virtual channels.
+    pub fn new(net: &Network, num_vcs: u8) -> Self {
+        assert!(num_vcs >= 1);
+        let r = net.num_routers();
+        let mut edge_offset = Vec::with_capacity(r as usize);
+        let mut neighbors = Vec::with_capacity(r as usize);
+        let mut total = 0u32;
+        for u in 0..r {
+            edge_offset.push(total);
+            let nb = net.neighbors(u).to_vec();
+            total += nb.len() as u32;
+            neighbors.push(nb);
+        }
+        ChannelGraph {
+            edge_offset,
+            neighbors,
+            num_vcs,
+            deps: vec![Vec::new(); total as usize * num_vcs as usize],
+        }
+    }
+
+    /// Channel id of directed link `(u, v)` on `vc`.
+    pub fn channel(&self, u: RouterId, v: RouterId, vc: u8) -> u32 {
+        debug_assert!(vc < self.num_vcs);
+        let j = self.neighbors[u as usize]
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("no link {u} -> {v}"));
+        (self.edge_offset[u as usize] + j as u32) * self.num_vcs as u32 + vc as u32
+    }
+
+    /// Total channel count.
+    pub fn num_channels(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Registers the dependencies induced by one route: consecutive
+    /// `(link, vc)` pairs along the path.
+    pub fn add_route(&mut self, path: &RoutePath, vcs: &[u8]) {
+        assert_eq!(vcs.len(), path.num_hops());
+        let routers = path.routers();
+        for i in 0..path.num_hops().saturating_sub(1) {
+            let c1 = self.channel(routers[i], routers[i + 1], vcs[i]);
+            let c2 = self.channel(routers[i + 1], routers[i + 2], vcs[i + 1]);
+            self.deps[c1 as usize].push(c2);
+        }
+    }
+
+    /// True if the dependency graph contains no cycle (iterative
+    /// three-color DFS).
+    pub fn is_acyclic(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.deps.len();
+        let mut color = vec![Color::White; n];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n as u32 {
+            if color[start as usize] != Color::White {
+                continue;
+            }
+            color[start as usize] = Color::Gray;
+            stack.push((start, 0));
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < self.deps[u as usize].len() {
+                    let v = self.deps[u as usize][*i];
+                    *i += 1;
+                    match color[v as usize] {
+                        Color::White => {
+                            color[v as usize] = Color::Gray;
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => return false,
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u as usize] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Enumerates every minimal path between `s` and `d` (DFS over the
+/// first-hop DAG).
+pub fn enumerate_min_paths(tables: &MinimalTables, s: RouterId, d: RouterId) -> Vec<RoutePath> {
+    fn rec(tables: &MinimalTables, cur: RouterId, d: RouterId, prefix: RoutePath, out: &mut Vec<RoutePath>) {
+        if cur == d {
+            out.push(prefix);
+            return;
+        }
+        for &n in tables.first_hops(cur, d) {
+            let mut p = prefix;
+            p.push(n);
+            rec(tables, n, d, p, out);
+        }
+    }
+    let mut out = Vec::new();
+    if s != d {
+        rec(tables, s, d, RoutePath::new(s), &mut out);
+    }
+    out
+}
+
+/// Every route `policy` can produce, paired with its per-hop VC labels:
+/// all minimal paths for every router pair, plus — for indirect-capable
+/// algorithms — all `minimal ∘ minimal` compositions through every
+/// eligible intermediate. Exhaustive, so only feasible on small networks
+/// (the property being verified is scale-independent).
+pub fn all_policy_routes(net: &Network, policy: &RoutePolicy) -> Vec<(RoutePath, Vec<u8>)> {
+    let tables = policy.tables();
+    let mut out = Vec::new();
+    let label = |path: RoutePath, phase_hops: u8, indirect: bool| {
+        let choice = RouteChoice {
+            path,
+            phase_hops,
+            indirect,
+        };
+        let vcs: Vec<u8> = (0..path.num_hops())
+            .map(|h| policy.vc_for_hop(&choice, h))
+            .collect();
+        (path, vcs)
+    };
+    let endpoint_routers = net.endpoint_routers();
+    for &s in &endpoint_routers {
+        for &d in &endpoint_routers {
+            if s == d {
+                continue;
+            }
+            for p in enumerate_min_paths(tables, s, d) {
+                out.push(label(p, p.num_hops() as u8, false));
+            }
+        }
+    }
+    if matches!(policy.algorithm(), Algorithm::Minimal) {
+        return out;
+    }
+    // Indirect routes. The eligible intermediate set is internal to the
+    // policy; re-derive it the same way the policy does.
+    let mids: Vec<RouterId> = match net.kind() {
+        d2net_topo::TopologyKind::SlimFly(_) => (0..net.num_routers()).collect(),
+        d2net_topo::TopologyKind::Mlfm(_)
+        | d2net_topo::TopologyKind::Oft(_)
+        | d2net_topo::TopologyKind::Sspt(_)
+        | d2net_topo::TopologyKind::FatTree2(_) => endpoint_routers.clone(),
+        _ => (0..net.num_routers()).collect(),
+    };
+    for &s in &endpoint_routers {
+        for &m in &mids {
+            if m == s {
+                continue;
+            }
+            for &d in &endpoint_routers {
+                if d == s || d == m {
+                    continue;
+                }
+                for head in enumerate_min_paths(tables, s, m) {
+                    for tail in enumerate_min_paths(tables, m, d) {
+                        out.push(label(head.join(&tail), head.num_hops() as u8, true));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the full CDG for `net` under `policy`.
+pub fn build_cdg(net: &Network, policy: &RoutePolicy) -> ChannelGraph {
+    let mut g = ChannelGraph::new(net, policy.num_vcs());
+    for (path, vcs) in all_policy_routes(net, policy) {
+        g.add_route(&path, &vcs);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Algorithm, RoutePolicy};
+    use d2net_topo::{mlfm, oft, slim_fly, SlimFlyP};
+
+    #[test]
+    fn sf_minimal_two_vcs_acyclic() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        assert_eq!(policy.num_vcs(), 2);
+        assert!(build_cdg(&net, &policy).is_acyclic());
+    }
+
+    #[test]
+    fn sf_indirect_four_vcs_acyclic() {
+        let net = slim_fly(3, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        assert_eq!(policy.num_vcs(), 4);
+        assert!(build_cdg(&net, &policy).is_acyclic());
+    }
+
+    #[test]
+    fn sspt_minimal_single_vc_acyclic() {
+        // §3.4: MLFM and OFT are inherently deadlock-free under minimal
+        // routing — every route is a towards link followed by an away link.
+        for net in [mlfm(3), oft(3)] {
+            let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+            assert_eq!(policy.num_vcs(), 1);
+            assert!(build_cdg(&net, &policy).is_acyclic(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn generic_sspt_schemes_deadlock_free() {
+        // The stacked-SSPT generic builder inherits the MLFM/OFT VC rules.
+        let net = d2net_topo::stacked_sspt(4, 2, 4);
+        for algo in [Algorithm::Minimal, Algorithm::Valiant] {
+            let policy = RoutePolicy::new(&net, algo);
+            assert!(build_cdg(&net, &policy).is_acyclic(), "{algo:?}");
+        }
+        assert_eq!(RoutePolicy::new(&net, Algorithm::Minimal).num_vcs(), 1);
+        assert_eq!(RoutePolicy::new(&net, Algorithm::Valiant).num_vcs(), 2);
+    }
+
+    #[test]
+    fn sspt_indirect_two_vcs_acyclic() {
+        for net in [mlfm(3), oft(3)] {
+            let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+            assert_eq!(policy.num_vcs(), 2);
+            assert!(build_cdg(&net, &policy).is_acyclic(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn sspt_indirect_single_vc_has_cycles() {
+        // The negative control for §3.4: collapsing both phases onto one VC
+        // leaves towards→away→towards→away routes that close cycles in the
+        // CDG. This is the deadlock the second VC exists to break.
+        for net in [mlfm(3), oft(3)] {
+            let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+            let mut g = ChannelGraph::new(&net, 1);
+            for (path, _) in all_policy_routes(&net, &policy) {
+                let vcs = vec![0u8; path.num_hops()];
+                g.add_route(&path, &vcs);
+            }
+            assert!(!g.is_acyclic(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn sf_indirect_single_vc_has_cycles() {
+        let net = slim_fly(3, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let mut g = ChannelGraph::new(&net, 1);
+        for (path, _) in all_policy_routes(&net, &policy) {
+            let vcs = vec![0u8; path.num_hops()];
+            g.add_route(&path, &vcs);
+        }
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn ugal_uses_same_route_space_as_valiant() {
+        // UGAL chooses per packet between the same minimal and indirect
+        // routes, so its CDG is a subgraph of Valiant's: acyclic too.
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: Some(0.1),
+            },
+        );
+        assert!(build_cdg(&net, &policy).is_acyclic());
+    }
+
+    #[test]
+    fn enumerate_min_paths_counts() {
+        let net = mlfm(3);
+        let t = MinimalTables::build(&net);
+        // Same-column LR pair: h = 3 paths; cross-column pair: 1.
+        assert_eq!(enumerate_min_paths(&t, 0, 4).len(), 3);
+        assert_eq!(enumerate_min_paths(&t, 0, 5).len(), 1);
+        assert!(enumerate_min_paths(&t, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn channel_ids_are_dense_and_distinct() {
+        let net = mlfm(3);
+        let g = ChannelGraph::new(&net, 2);
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..net.num_routers() {
+            for &v in net.neighbors(u) {
+                for vc in 0..2 {
+                    let c = g.channel(u, v, vc);
+                    assert!((c as usize) < g.num_channels());
+                    assert!(seen.insert(c));
+                }
+            }
+        }
+        assert_eq!(seen.len(), g.num_channels());
+    }
+}

@@ -1,0 +1,156 @@
+//! Fixed-capacity route paths.
+//!
+//! All routes in this crate are source-determined at injection time
+//! (matching the paper's per-packet UGAL decision) and are at most
+//! `2 + 2` router-to-router hops for the restricted indirect schemes, or
+//! `2 + 2 + 2` for the unrestricted-intermediate ablation. A small inline
+//! array avoids any allocation on the packet hot path.
+
+use d2net_topo::RouterId;
+
+/// Maximum number of routers on a route (supports up to 7 hops).
+pub const MAX_PATH_ROUTERS: usize = 8;
+
+/// A router-level route: the sequence of routers a packet traverses,
+/// including source and destination routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePath {
+    len: u8,
+    hops: [RouterId; MAX_PATH_ROUTERS],
+}
+
+impl RoutePath {
+    /// Starts a path at `src`.
+    pub fn new(src: RouterId) -> Self {
+        let mut hops = [0; MAX_PATH_ROUTERS];
+        hops[0] = src;
+        RoutePath { len: 1, hops }
+    }
+
+    /// Builds a path from a router sequence.
+    pub fn from_routers(routers: &[RouterId]) -> Self {
+        assert!(
+            !routers.is_empty() && routers.len() <= MAX_PATH_ROUTERS,
+            "path must have 1..={MAX_PATH_ROUTERS} routers"
+        );
+        let mut hops = [0; MAX_PATH_ROUTERS];
+        hops[..routers.len()].copy_from_slice(routers);
+        RoutePath {
+            len: routers.len() as u8,
+            hops,
+        }
+    }
+
+    /// Appends a router.
+    #[inline]
+    pub fn push(&mut self, r: RouterId) {
+        assert!(
+            (self.len as usize) < MAX_PATH_ROUTERS,
+            "route exceeds {MAX_PATH_ROUTERS} routers"
+        );
+        self.hops[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// The routers on the path, source first.
+    #[inline]
+    pub fn routers(&self) -> &[RouterId] {
+        &self.hops[..self.len as usize]
+    }
+
+    /// Number of router-to-router hops (`routers - 1`).
+    #[inline]
+    pub fn num_hops(&self) -> usize {
+        self.len as usize - 1
+    }
+
+    /// Source router.
+    #[inline]
+    pub fn src(&self) -> RouterId {
+        self.hops[0]
+    }
+
+    /// Destination router.
+    #[inline]
+    pub fn dst(&self) -> RouterId {
+        self.hops[self.len as usize - 1]
+    }
+
+    /// Router after position `i` (the next hop for a packet currently at
+    /// `routers()[i]`). Returns `None` at the destination.
+    #[inline]
+    pub fn next_after(&self, i: usize) -> Option<RouterId> {
+        (i + 1 < self.len as usize).then(|| self.hops[i + 1])
+    }
+
+    /// Directed links `(from, to)` along the path.
+    pub fn links(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        self.routers().windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Concatenates two path segments sharing a junction router
+    /// (`self.dst() == tail.src()`).
+    pub fn join(&self, tail: &RoutePath) -> RoutePath {
+        assert_eq!(self.dst(), tail.src(), "segments must share the junction router");
+        let mut out = *self;
+        for &r in &tail.routers()[1..] {
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut p = RoutePath::new(3);
+        p.push(7);
+        p.push(9);
+        assert_eq!(p.routers(), &[3, 7, 9]);
+        assert_eq!(p.num_hops(), 2);
+        assert_eq!(p.src(), 3);
+        assert_eq!(p.dst(), 9);
+        assert_eq!(p.next_after(0), Some(7));
+        assert_eq!(p.next_after(1), Some(9));
+        assert_eq!(p.next_after(2), None);
+        let links: Vec<_> = p.links().collect();
+        assert_eq!(links, vec![(3, 7), (7, 9)]);
+    }
+
+    #[test]
+    fn join_segments() {
+        let a = RoutePath::from_routers(&[1, 2, 3]);
+        let b = RoutePath::from_routers(&[3, 4]);
+        let j = a.join(&b);
+        assert_eq!(j.routers(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_router_path() {
+        let p = RoutePath::from_routers(&[5]);
+        assert_eq!(p.num_hops(), 0);
+        assert_eq!(p.src(), 5);
+        assert_eq!(p.dst(), 5);
+        assert_eq!(p.next_after(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn join_requires_shared_router() {
+        let a = RoutePath::from_routers(&[1, 2]);
+        let b = RoutePath::from_routers(&[3, 4]);
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overflow_detected() {
+        let mut p = RoutePath::new(0);
+        for i in 1..=MAX_PATH_ROUTERS as u32 {
+            p.push(i);
+        }
+    }
+}

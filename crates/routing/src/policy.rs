@@ -1,0 +1,707 @@
+//! Route selection policies: oblivious minimal (§3.1), oblivious indirect
+//! random / Valiant (§3.2), and the local UGAL adaptive variants (§3.3),
+//! together with the VC assignment rules that make each deadlock-free
+//! (§3.4).
+//!
+//! All decisions are taken once, at packet injection, using only state
+//! local to the source router (the occupancies of its own output ports) —
+//! the paper's "local variant of UGAL".
+
+use crate::path::RoutePath;
+use crate::tables::MinimalTables;
+use d2net_topo::{Network, RouterId, TopologyKind};
+use rand::Rng;
+
+/// The routing algorithm to apply at injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Oblivious minimal routing (MIN).
+    Minimal,
+    /// Oblivious indirect random routing (INR): always route via a
+    /// uniformly random intermediate router.
+    Valiant,
+    /// Global UGAL (UGAL-G): like [`Algorithm::Ugal`], but costs each
+    /// candidate by the *sum of output occupancies along its whole path*
+    /// rather than the first port only. The paper (§3.3) notes this
+    /// variant "requires knowledge of the buffers' state for the whole
+    /// topology at the point of injection, which is hard to implement in
+    /// practice" — included here as the idealized upper baseline.
+    UgalG {
+        /// Number of indirect candidates considered per packet.
+        n_i: usize,
+        /// Penalty constant applied to indirect path costs.
+        c: f64,
+    },
+    /// Local UGAL: choose between the minimal path and `n_i` random
+    /// indirect candidates by comparing first-output-port occupancies.
+    Ugal {
+        /// Number of indirect candidates considered per packet.
+        n_i: usize,
+        /// Penalty constant `c` (`cSF` for the Slim Fly's scaled variant).
+        c: f64,
+        /// `Some(T)` enables the thresholded variant (SF-ATh/MLFM-ATh/
+        /// OFT-ATh): route minimally outright while the minimal output
+        /// buffer is below fraction `T` of its capacity.
+        threshold: Option<f64>,
+    },
+}
+
+/// How VCs are assigned along a route (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcScheme {
+    /// VC = hop index. Used by the Slim Fly: 2 VCs suffice for minimal
+    /// routing, 4 for indirect — the VC strictly increases along any path,
+    /// so the channel dependency graph is a DAG by construction.
+    HopIndex,
+    /// VC = 0 while heading toward the Valiant intermediate, 1 afterwards.
+    /// Used by the MLFM and OFT: each phase is a *towards*/*away* pair
+    /// that is inherently cycle-free, so minimal routing needs 1 VC and
+    /// indirect routing 2.
+    PhaseBased,
+    /// Every hop on VC 0. **Deliberately unsafe** under indirect routing —
+    /// kept as the negative control for the deadlock-avoidance ablation
+    /// (§3.4 shows the resulting CDG cycles; the simulator shows the
+    /// wedge).
+    SingleVc,
+}
+
+/// Which routers may serve as Valiant intermediates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntermediateSet {
+    /// Any router (the Slim Fly rule; paths of 2–4 hops).
+    AllRouters,
+    /// Only routers with end-nodes attached (the MLFM/OFT rule; paths of
+    /// exactly 4 hops). Avoids both under-balancing 2-hop and high-latency
+    /// 6-hop indirect routes (§3.2).
+    EndpointRouters,
+}
+
+/// A fully resolved route for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteChoice {
+    /// The router sequence, source to destination.
+    pub path: RoutePath,
+    /// Hops belonging to the first phase (toward the intermediate);
+    /// equal to `path.num_hops()` for minimal routes.
+    pub phase_hops: u8,
+    /// True if this is an indirect (Valiant) route.
+    pub indirect: bool,
+}
+
+/// Read-only view of the injection router's output-port occupancies, the
+/// only network state local UGAL is allowed to consult.
+pub trait OccupancyView {
+    /// Bytes currently queued at `router`'s output port toward `next`.
+    fn occupancy_bytes(&self, router: RouterId, next: RouterId) -> u64;
+    /// Capacity of one output buffer in bytes (for threshold tests).
+    fn capacity_bytes(&self) -> u64;
+}
+
+/// An [`OccupancyView`] reporting empty buffers everywhere; useful for
+/// oblivious policies and tests.
+pub struct ZeroOccupancy;
+
+impl OccupancyView for ZeroOccupancy {
+    fn occupancy_bytes(&self, _: RouterId, _: RouterId) -> u64 {
+        0
+    }
+    fn capacity_bytes(&self) -> u64 {
+        1
+    }
+}
+
+/// A route policy bound to one network.
+pub struct RoutePolicy {
+    tables: MinimalTables,
+    algorithm: Algorithm,
+    vc_scheme: VcScheme,
+    intermediates: Vec<RouterId>,
+    /// Scale the indirect penalty by path-length ratio `L_I / L_M`
+    /// (the Slim Fly cost rule; constant-`c` otherwise).
+    scaled_penalty: bool,
+    /// Router-graph diameter, bounding minimal path length.
+    diameter: u8,
+}
+
+impl RoutePolicy {
+    /// Builds a policy for `net`, deriving the VC scheme, intermediate set
+    /// and penalty rule from the topology family as prescribed in §3.
+    pub fn new(net: &Network, algorithm: Algorithm) -> Self {
+        let (vc_scheme, intermediate_set, scaled) = match net.kind() {
+            TopologyKind::SlimFly(_) => (VcScheme::HopIndex, IntermediateSet::AllRouters, true),
+            TopologyKind::Mlfm(_)
+            | TopologyKind::Oft(_)
+            | TopologyKind::Sspt(_)
+            | TopologyKind::FatTree2(_) => {
+                (VcScheme::PhaseBased, IntermediateSet::EndpointRouters, false)
+            }
+            // HyperX and custom networks get the always-safe hop-indexed
+            // scheme and unrestricted intermediates.
+            _ => (VcScheme::HopIndex, IntermediateSet::AllRouters, false),
+        };
+        Self::with_overrides(net, algorithm, vc_scheme, intermediate_set, scaled)
+    }
+
+    /// Builds a policy with explicit scheme choices (ablations and tests).
+    pub fn with_overrides(
+        net: &Network,
+        algorithm: Algorithm,
+        vc_scheme: VcScheme,
+        intermediate_set: IntermediateSet,
+        scaled_penalty: bool,
+    ) -> Self {
+        let tables = MinimalTables::build(net);
+        let intermediates = match intermediate_set {
+            IntermediateSet::AllRouters => (0..net.num_routers()).collect(),
+            IntermediateSet::EndpointRouters => net.endpoint_routers(),
+        };
+        let mut diameter = 0u8;
+        for s in 0..net.num_routers() {
+            for d in 0..net.num_routers() {
+                diameter = diameter.max(tables.dist(s, d));
+            }
+        }
+        RoutePolicy {
+            tables,
+            algorithm,
+            vc_scheme,
+            intermediates,
+            scaled_penalty,
+            diameter,
+        }
+    }
+
+    /// The minimal-route tables (shared with analysis code).
+    pub fn tables(&self) -> &MinimalTables {
+        &self.tables
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The VC scheme in force.
+    pub fn vc_scheme(&self) -> VcScheme {
+        self.vc_scheme
+    }
+
+    /// Number of virtual channels the simulator must provision:
+    /// SF needs 2 (minimal) / 4 (indirect-capable); MLFM and OFT need
+    /// 1 / 2 (§3.4).
+    pub fn num_vcs(&self) -> u8 {
+        let indirect_capable = !matches!(self.algorithm, Algorithm::Minimal);
+        match self.vc_scheme {
+            VcScheme::HopIndex => {
+                if indirect_capable {
+                    2 * self.diameter
+                } else {
+                    self.diameter
+                }
+            }
+            VcScheme::PhaseBased => {
+                if indirect_capable {
+                    2
+                } else {
+                    1
+                }
+            }
+            VcScheme::SingleVc => 1,
+        }
+    }
+
+    /// VC for the `hop`-th link (0-based) of `choice`.
+    #[inline]
+    pub fn vc_for_hop(&self, choice: &RouteChoice, hop: usize) -> u8 {
+        match self.vc_scheme {
+            VcScheme::HopIndex => hop as u8,
+            VcScheme::PhaseBased => {
+                if choice.indirect && hop >= choice.phase_hops as usize {
+                    1
+                } else {
+                    0
+                }
+            }
+            VcScheme::SingleVc => 0,
+        }
+    }
+
+    /// Chooses the route for a packet from router `src` to router `dst`
+    /// (`src != dst`), consulting `occ` for adaptive decisions.
+    pub fn choose<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+    ) -> RouteChoice {
+        assert_ne!(src, dst, "intra-router traffic never enters the network");
+        match self.algorithm {
+            Algorithm::Minimal => self.minimal_choice(src, dst, rng),
+            Algorithm::Valiant => self.valiant_choice(src, dst, rng),
+            Algorithm::Ugal { n_i, c, threshold } => {
+                self.ugal_choice(src, dst, n_i, c, threshold, occ, rng)
+            }
+            Algorithm::UgalG { n_i, c } => self.ugal_g_choice(src, dst, n_i, c, occ, rng),
+        }
+    }
+
+    /// Sum of output-port occupancies along every link of `path`.
+    fn path_cost(&self, path: &RoutePath, occ: &impl OccupancyView) -> u64 {
+        path.links().map(|(a, b)| occ.occupancy_bytes(a, b)).sum()
+    }
+
+    /// The idealized global UGAL decision: whole-path congestion sums.
+    fn ugal_g_choice<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        n_i: usize,
+        c: f64,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+    ) -> RouteChoice {
+        let min_path = self.tables.sample_min_path(src, dst, rng);
+        let c_m = self.path_cost(&min_path, occ) as f64;
+        let mut best: Option<(f64, RouteChoice)> = None;
+        for _ in 0..n_i {
+            let mid = self.sample_intermediate(src, dst, rng);
+            let cand = self.indirect_path(src, mid, dst, rng);
+            let cost = c * self.path_cost(&cand.path, occ) as f64;
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, cand));
+            }
+        }
+        match best {
+            Some((cost, cand)) if cost < c_m => cand,
+            _ => RouteChoice {
+                phase_hops: min_path.num_hops() as u8,
+                path: min_path,
+                indirect: false,
+            },
+        }
+    }
+
+    fn minimal_choice<R: Rng>(&self, src: RouterId, dst: RouterId, rng: &mut R) -> RouteChoice {
+        let path = self.tables.sample_min_path(src, dst, rng);
+        RouteChoice {
+            phase_hops: path.num_hops() as u8,
+            path,
+            indirect: false,
+        }
+    }
+
+    /// Samples an intermediate router distinct from both endpoints.
+    fn sample_intermediate<R: Rng>(&self, src: RouterId, dst: RouterId, rng: &mut R) -> RouterId {
+        loop {
+            let i = self.intermediates[rng.gen_range(0..self.intermediates.len())];
+            if i != src && i != dst {
+                return i;
+            }
+        }
+    }
+
+    fn indirect_path<R: Rng>(
+        &self,
+        src: RouterId,
+        mid: RouterId,
+        dst: RouterId,
+        rng: &mut R,
+    ) -> RouteChoice {
+        let head = self.tables.sample_min_path(src, mid, rng);
+        let tail = self.tables.sample_min_path(mid, dst, rng);
+        RouteChoice {
+            phase_hops: head.num_hops() as u8,
+            path: head.join(&tail),
+            indirect: true,
+        }
+    }
+
+    fn valiant_choice<R: Rng>(&self, src: RouterId, dst: RouterId, rng: &mut R) -> RouteChoice {
+        let mid = self.sample_intermediate(src, dst, rng);
+        self.indirect_path(src, mid, dst, rng)
+    }
+
+    /// The UGAL-L decision (§3.3): cost the minimal path as `CM = qM`, and
+    /// each indirect candidate as `CI = penalty · qI`, where the penalty is
+    /// `(L_I / L_M) · c` for the Slim Fly and the constant `c` otherwise;
+    /// ties favor the minimal path. With a threshold `T`, the packet is
+    /// routed minimally outright while `qM < T · capacity`.
+    #[allow(clippy::too_many_arguments)]
+    fn ugal_choice<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        n_i: usize,
+        c: f64,
+        threshold: Option<f64>,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+    ) -> RouteChoice {
+        // Among equal-length minimal paths, take the least-occupied first
+        // hop (footnote 1 in the paper).
+        let first_hops = self.tables.first_hops(src, dst);
+        let (&best_first, q_m) = first_hops
+            .iter()
+            .map(|n| (n, occ.occupancy_bytes(src, *n)))
+            .min_by_key(|&(_, q)| q)
+            .expect("src != dst implies at least one first hop");
+
+        let min_choice = |rng: &mut R| {
+            let mut path = RoutePath::new(src);
+            path.push(best_first);
+            if best_first != dst {
+                let rest = self.tables.sample_min_path(best_first, dst, rng);
+                path = path.join(&rest);
+            }
+            RouteChoice {
+                phase_hops: path.num_hops() as u8,
+                path,
+                indirect: false,
+            }
+        };
+
+        if let Some(t) = threshold {
+            if (q_m as f64) < t * occ.capacity_bytes() as f64 {
+                return min_choice(rng);
+            }
+        }
+
+        let l_m = self.tables.dist(src, dst) as f64;
+        let c_m = q_m as f64;
+        let mut best: Option<(f64, RouterId)> = None;
+        for _ in 0..n_i {
+            let mid = self.sample_intermediate(src, dst, rng);
+            let l_i = (self.tables.dist(src, mid) + self.tables.dist(mid, dst)) as f64;
+            let penalty = if self.scaled_penalty { l_i / l_m * c } else { c };
+            let first = {
+                let hops = self.tables.first_hops(src, mid);
+                hops[rng.gen_range(0..hops.len())]
+            };
+            let cost = penalty * occ.occupancy_bytes(src, first) as f64;
+            if best.is_none_or(|(b, _)| cost < b) {
+                best = Some((cost, mid));
+            }
+        }
+        match best {
+            // Strict inequality: ties go to the shorter minimal route.
+            Some((cost, mid)) if cost < c_m => self.indirect_path(src, mid, dst, rng),
+            _ => min_choice(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_topo::{mlfm, oft, slim_fly, SlimFlyP};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    struct MapOccupancy {
+        map: HashMap<(RouterId, RouterId), u64>,
+        cap: u64,
+    }
+
+    impl OccupancyView for MapOccupancy {
+        fn occupancy_bytes(&self, r: RouterId, n: RouterId) -> u64 {
+            *self.map.get(&(r, n)).unwrap_or(&0)
+        }
+        fn capacity_bytes(&self) -> u64 {
+            self.cap
+        }
+    }
+
+    #[test]
+    fn minimal_routes_have_minimal_length() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for s in 0..net.num_routers() {
+            for d in 0..net.num_routers() {
+                if s == d {
+                    continue;
+                }
+                let c = policy.choose(s, d, &ZeroOccupancy, &mut rng);
+                assert!(!c.indirect);
+                assert_eq!(c.path.num_hops(), policy.tables().dist(s, d) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_on_sspt_is_exactly_four_hops() {
+        // §3.2: restricting intermediates to endpoint routers pins MLFM and
+        // OFT indirect paths at 4 hops.
+        for net in [mlfm(3), oft(3)] {
+            let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+            let mut rng = SmallRng::seed_from_u64(2);
+            let eps = net.endpoint_routers();
+            for &s in eps.iter().take(6) {
+                for &d in eps.iter().rev().take(6) {
+                    if s == d {
+                        continue;
+                    }
+                    for _ in 0..8 {
+                        let c = policy.choose(s, d, &ZeroOccupancy, &mut rng);
+                        assert!(c.indirect);
+                        assert_eq!(c.path.num_hops(), 4, "{}", net.name());
+                        assert_eq!(c.phase_hops, 2);
+                        // Intermediate must carry endpoints.
+                        let mid = c.path.routers()[2];
+                        assert!(net.nodes_at(mid) > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_on_sf_is_two_to_four_hops() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = rng.gen_range(0..net.num_routers());
+            let d = rng.gen_range(0..net.num_routers());
+            if s == d {
+                continue;
+            }
+            let c = policy.choose(s, d, &ZeroOccupancy, &mut rng);
+            assert!((2..=4).contains(&c.path.num_hops()));
+        }
+    }
+
+    #[test]
+    fn vc_budgets_match_section_3_4() {
+        let sf = slim_fly(5, SlimFlyP::Floor);
+        assert_eq!(RoutePolicy::new(&sf, Algorithm::Minimal).num_vcs(), 2);
+        assert_eq!(RoutePolicy::new(&sf, Algorithm::Valiant).num_vcs(), 4);
+        for net in [mlfm(3), oft(3)] {
+            assert_eq!(RoutePolicy::new(&net, Algorithm::Minimal).num_vcs(), 1);
+            assert_eq!(RoutePolicy::new(&net, Algorithm::Valiant).num_vcs(), 2);
+            assert_eq!(
+                RoutePolicy::new(
+                    &net,
+                    Algorithm::Ugal {
+                        n_i: 4,
+                        c: 2.0,
+                        threshold: None
+                    }
+                )
+                .num_vcs(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn vc_assignment_follows_scheme() {
+        let sf = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&sf, Algorithm::Valiant);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let c = policy.choose(0, 30, &ZeroOccupancy, &mut rng);
+        for hop in 0..c.path.num_hops() {
+            assert_eq!(policy.vc_for_hop(&c, hop), hop as u8);
+        }
+
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let c = policy.choose(0, 5, &ZeroOccupancy, &mut rng);
+        assert_eq!(c.path.num_hops(), 4);
+        assert_eq!(policy.vc_for_hop(&c, 0), 0);
+        assert_eq!(policy.vc_for_hop(&c, 1), 0);
+        assert_eq!(policy.vc_for_hop(&c, 2), 1);
+        assert_eq!(policy.vc_for_hop(&c, 3), 1);
+    }
+
+    #[test]
+    fn ugal_prefers_minimal_when_uncongested() {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: None,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let c = policy.choose(0, 6, &ZeroOccupancy, &mut rng);
+            assert!(!c.indirect, "zero occupancy must keep traffic minimal");
+            assert_eq!(c.path.num_hops(), 2);
+        }
+    }
+
+    #[test]
+    fn ugal_diverts_when_minimal_is_congested() {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 1.0,
+                threshold: None,
+            },
+        );
+        // LR 0 and LR 6 (different columns): single minimal path via one GR.
+        let the_gr = net.common_neighbors(0, 6)[0];
+        let occ = MapOccupancy {
+            map: HashMap::from([((0, the_gr), 100_000u64)]),
+            cap: 100_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        let diverted = (0..200)
+            .filter(|_| policy.choose(0, 6, &occ, &mut rng).indirect)
+            .count();
+        assert!(
+            diverted > 150,
+            "congested minimal port must push traffic indirect, got {diverted}/200"
+        );
+    }
+
+    #[test]
+    fn threshold_forces_minimal_below_t() {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 0.0, // free indirect paths: generic UGAL would always divert
+                threshold: Some(0.10),
+            },
+        );
+        let the_gr = net.common_neighbors(0, 6)[0];
+        // Occupancy just below 10% of capacity: stay minimal.
+        let occ = MapOccupancy {
+            map: HashMap::from([((0, the_gr), 9_999u64)]),
+            cap: 100_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert!(!policy.choose(0, 6, &occ, &mut rng).indirect);
+        }
+        // Above the threshold with c = 0, indirect becomes free and wins.
+        let occ = MapOccupancy {
+            map: HashMap::from([((0, the_gr), 10_001u64)]),
+            cap: 100_000,
+        };
+        let diverted = (0..50)
+            .filter(|_| policy.choose(0, 6, &occ, &mut rng).indirect)
+            .count();
+        assert!(diverted == 50);
+    }
+
+    #[test]
+    fn ugal_g_sees_downstream_congestion_that_ugal_l_misses() {
+        // Congest only the SECOND hop of the minimal route: local UGAL
+        // (first-port cost) keeps routing into the jam, global UGAL
+        // detects it and diverts.
+        let net = mlfm(4);
+        let the_gr = net.common_neighbors(0, 6)[0];
+        let occ = MapOccupancy {
+            map: HashMap::from([((the_gr, 6u32), 90_000u64)]),
+            cap: 100_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let local = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 1.0,
+                threshold: None,
+            },
+        );
+        let global = RoutePolicy::new(&net, Algorithm::UgalG { n_i: 4, c: 1.0 });
+        let local_diverted = (0..100)
+            .filter(|_| local.choose(0, 6, &occ, &mut rng).indirect)
+            .count();
+        let global_diverted = (0..100)
+            .filter(|_| global.choose(0, 6, &occ, &mut rng).indirect)
+            .count();
+        assert!(local_diverted < 10, "UGAL-L cannot see hop 2: {local_diverted}/100");
+        assert!(global_diverted > 90, "UGAL-G must divert: {global_diverted}/100");
+    }
+
+    #[test]
+    fn ugal_g_stays_minimal_when_clear() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::UgalG { n_i: 4, c: 2.0 });
+        let mut rng = SmallRng::seed_from_u64(12);
+        let eps = net.endpoint_routers();
+        for _ in 0..50 {
+            let c = policy.choose(eps[0], eps[5], &ZeroOccupancy, &mut rng);
+            assert!(!c.indirect);
+        }
+    }
+
+    #[test]
+    fn generic_ugal_diverts_on_empty_indirect_buffers() {
+        // The drawback the paper calls out for generic UGAL: if some
+        // indirect candidate's first buffer is empty, qI = 0 makes its cost
+        // zero regardless of c, and the (longer) indirect route is taken
+        // even though the minimal buffer is barely occupied.
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 8,
+                c: 1000.0,
+                threshold: None,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(8);
+        let (s, d) = (0u32, {
+            (1..net.num_routers())
+                .find(|&d| !net.are_adjacent(0, d))
+                .unwrap()
+        });
+        let mut map = HashMap::new();
+        for &n in policy.tables().first_hops(s, d) {
+            map.insert((s, n), 10u64);
+        }
+        let occ = MapOccupancy { map, cap: 100_000 };
+        let diverted = (0..100)
+            .filter(|_| policy.choose(s, d, &occ, &mut rng).indirect)
+            .count();
+        assert!(diverted > 80, "generic UGAL should divert here, got {diverted}/100");
+    }
+
+    #[test]
+    fn sf_penalty_scales_with_path_length_ratio() {
+        // With every port equally occupied, the scaled penalty
+        // (L_I/L_M)·cSF decides: a large cSF keeps traffic minimal, a tiny
+        // one lets the indirect candidates win on cost.
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (s, d) = (0u32, {
+            (1..net.num_routers())
+                .find(|&d| !net.are_adjacent(0, d))
+                .unwrap()
+        });
+        let mut map = HashMap::new();
+        for &n in net.neighbors(s) {
+            map.insert((s, n), 10u64);
+        }
+        let occ = MapOccupancy { map, cap: 100_000 };
+        for (c_sf, expect_indirect) in [(4.0, false), (0.001, true)] {
+            let policy = RoutePolicy::new(
+                &net,
+                Algorithm::Ugal {
+                    n_i: 8,
+                    c: c_sf,
+                    threshold: None,
+                },
+            );
+            for _ in 0..50 {
+                assert_eq!(
+                    policy.choose(s, d, &occ, &mut rng).indirect,
+                    expect_indirect,
+                    "cSF = {c_sf}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation parameters.
+//!
+//! Defaults reproduce the paper's setup (§4.1): virtual-channel
+//! input-output-buffered switches with 100 KB of buffer per port per
+//! direction, 100 ns switch traversal, 100 Gb/s links with 50 ns latency,
+//! credit-based flow control, and 256-byte packets.
+//!
+//! Time is measured in integer **picoseconds**: one 256 B packet at
+//! 100 Gb/s serializes in exactly 20 480 ps, so no floating-point time
+//! drift can accumulate.
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+
+/// Packet inter-arrival process for synthetic sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arrival {
+    /// Constant spacing at the configured load (the paper's "generated
+    /// continuously at link rate" methodology).
+    #[default]
+    Deterministic,
+    /// Exponential inter-arrivals with the same mean (Poisson process);
+    /// burstier, raising queueing delay at equal load.
+    Exponential,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Link bandwidth in Gb/s (default 100).
+    pub link_bandwidth_gbps: f64,
+    /// Link propagation latency in ns (default 50).
+    pub link_latency_ns: u64,
+    /// Switch traversal latency in ns (default 100).
+    pub switch_latency_ns: u64,
+    /// Buffer space per port per direction in bytes (default 100 KB).
+    pub buffer_bytes: u64,
+    /// Packet size in bytes (default 256).
+    pub packet_bytes: u32,
+    /// RNG seed for all stochastic components (traffic, route sampling).
+    pub seed: u64,
+    /// Synthetic-source inter-arrival process.
+    pub arrival: Arrival,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_bandwidth_gbps: 100.0,
+            link_latency_ns: 50,
+            switch_latency_ns: 100,
+            buffer_bytes: 100_000,
+            packet_bytes: 256,
+            seed: 0xD2_4E7,
+            arrival: Arrival::Deterministic,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Picoseconds needed to serialize one byte at link rate
+    /// (80 ps at 100 Gb/s).
+    pub fn ps_per_byte(&self) -> u64 {
+        let ps = 8_000.0 / self.link_bandwidth_gbps;
+        let r = ps.round();
+        assert!(
+            (ps - r).abs() < 1e-9,
+            "link bandwidth must divide 8000 ps/byte exactly (got {ps} ps/byte)"
+        );
+        r as u64
+    }
+
+    /// Serialization time of `bytes` in ps.
+    #[inline]
+    pub fn ser_ps(&self, bytes: u32) -> u64 {
+        bytes as u64 * self.ps_per_byte()
+    }
+
+    /// Link latency in ps.
+    #[inline]
+    pub fn link_ps(&self) -> u64 {
+        self.link_latency_ns * PS_PER_NS
+    }
+
+    /// Switch traversal latency in ps.
+    #[inline]
+    pub fn switch_ps(&self) -> u64 {
+        self.switch_latency_ns * PS_PER_NS
+    }
+
+    /// Mean packet inter-arrival time (ps) at a node injecting at
+    /// `load` ∈ (0, 1] of link bandwidth.
+    pub fn interval_ps(&self, load: f64) -> u64 {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1], got {load}");
+        (self.ser_ps(self.packet_bytes) as f64 / load).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.ps_per_byte(), 80);
+        assert_eq!(c.ser_ps(256), 20_480);
+        assert_eq!(c.link_ps(), 50_000);
+        assert_eq!(c.switch_ps(), 100_000);
+        assert_eq!(c.buffer_bytes, 100_000);
+    }
+
+    #[test]
+    fn interval_scales_inversely_with_load() {
+        let c = SimConfig::default();
+        assert_eq!(c.interval_ps(1.0), 20_480);
+        assert_eq!(c.interval_ps(0.5), 40_960);
+        assert_eq!(c.interval_ps(0.1), 204_800);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn rejects_zero_load() {
+        SimConfig::default().interval_ps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 8000")]
+    fn rejects_inexact_bandwidth() {
+        SimConfig {
+            link_bandwidth_gbps: 3.0, // 2666.67 ps/byte
+            ..Default::default()
+        }
+        .ps_per_byte();
+    }
+}

@@ -1,0 +1,726 @@
+//! The discrete-event network simulator.
+//!
+//! Model (paper §4.1): input-output-buffered virtual-channel switches,
+//! credit-based flow control on every channel, store-and-forward packet
+//! transfer with pipelined link serialization:
+//!
+//! - a packet arriving at a router occupies its input buffer (per
+//!   input-port, per-VC FIFO) and becomes eligible to cross the switch
+//!   after the 100 ns traversal latency;
+//! - crossing requires free space in the target output buffer; full
+//!   output buffers backpressure the input FIFO (and, transitively, the
+//!   upstream credit loop), so routing deadlock is physically expressible;
+//! - output ports arbitrate VCs round-robin and serialize one packet at a
+//!   time onto the link; a packet may only start when the downstream
+//!   input VC has credit for its full size;
+//! - credits return to the upstream router one link latency after a
+//!   packet vacates the input buffer.
+//!
+//! All state lives in flat arrays indexed by dense port ids; the event
+//! queue is a binary heap of `(time_ps, seq, event)`.
+
+use crate::config::SimConfig;
+use crate::injector::{NextPacket, NodeSource};
+use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
+use d2net_routing::{OccupancyView, RouteChoice, RoutePath, RoutePolicy};
+use d2net_topo::{Network, NodeId, RouterId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A packet in flight. `hop` is the index (within the route's router
+/// sequence) of the router the packet currently occupies or is arriving
+/// at; `link_vc` is the VC of the last link traversed (= the input VC).
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u32,
+    birth_ps: u64,
+    ready_ps: u64,
+    choice: RouteChoice,
+    hop: u8,
+    link_vc: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Re-examine a node source (generation instant reached).
+    NodeWake(u32),
+    /// Node finished serializing a packet onto its injection link.
+    NodeSendDone(u32),
+    /// Packet fully received at a router input buffer.
+    ArriveRouter(u32),
+    /// Attempt the input→output transfer at an input (port, VC).
+    TrySwitch(u32),
+    /// Output port finished serializing: buffer space frees, link idles.
+    SendDone(u32),
+    /// Packet fully received by the destination node.
+    ArriveNode(u32),
+    /// Credit arrives back at an upstream output (port, VC).
+    Credit { pv: u32, bytes: u32 },
+    /// Credit arrives back at an injecting node.
+    NodeCredit { node: u32, bytes: u32 },
+}
+
+/// Dense port numbering: router `r` owns ports `base[r] .. base[r+1]`;
+/// the first `deg(r)` are network ports (in adjacency order), the rest
+/// are node ports (ejection on the output side, injection on the input
+/// side), one per attached end-node.
+struct Ports {
+    base: Vec<u32>,
+    /// Router owning each port.
+    owner: Vec<RouterId>,
+    /// For network ports: the mirror port on the peer router
+    /// (downstream input for sends, upstream output for credits);
+    /// `u32::MAX` for node ports.
+    peer: Vec<u32>,
+}
+
+impl Ports {
+    fn build(net: &Network) -> Self {
+        let r = net.num_routers() as usize;
+        let mut base = Vec::with_capacity(r + 1);
+        let mut owner = Vec::new();
+        let mut total = 0u32;
+        for i in 0..r as u32 {
+            base.push(total);
+            let radix = net.radix(i);
+            owner.extend(std::iter::repeat_n(i, radix as usize));
+            total += radix;
+        }
+        base.push(total);
+        let mut peer = vec![u32::MAX; total as usize];
+        for i in 0..r as u32 {
+            for (j, &v) in net.neighbors(i).iter().enumerate() {
+                let back = net
+                    .neighbors(v)
+                    .binary_search(&i)
+                    .expect("adjacency is symmetric");
+                peer[(base[i as usize] + j as u32) as usize] = base[v as usize] + back as u32;
+            }
+        }
+        Ports { base, owner, peer }
+    }
+
+    #[inline]
+    fn network_port(&self, net: &Network, r: RouterId, next: RouterId) -> u32 {
+        let j = net
+            .neighbors(r)
+            .binary_search(&next)
+            .expect("next hop must be adjacent");
+        self.base[r as usize] + j as u32
+    }
+
+    #[inline]
+    fn node_port(&self, net: &Network, r: RouterId, node: NodeId) -> u32 {
+        let local = node - net.router_nodes(r).start;
+        self.base[r as usize] + net.degree(r) + local
+    }
+
+    #[inline]
+    fn is_node_port(&self, net: &Network, port: u32) -> bool {
+        let r = self.owner[port as usize];
+        port - self.base[r as usize] >= net.degree(r)
+    }
+}
+
+/// Occupancy view handed to the routing policy: the injection router's
+/// output-buffer fill levels (local UGAL's only input).
+struct OccView<'a> {
+    net: &'a Network,
+    ports: &'a Ports,
+    /// Per-(port, VC) output occupancies.
+    out_occ: &'a [u64],
+    num_vcs: u32,
+    cap: u64,
+}
+
+impl OccupancyView for OccView<'_> {
+    #[inline]
+    fn occupancy_bytes(&self, router: RouterId, next: RouterId) -> u64 {
+        // UGAL observes the physical port's total buffer fill.
+        let port = self.ports.network_port(self.net, router, next);
+        let base = (port * self.num_vcs) as usize;
+        self.out_occ[base..base + self.num_vcs as usize].iter().sum()
+    }
+    fn capacity_bytes(&self) -> u64 {
+        self.cap
+    }
+}
+
+/// The simulator engine for one run. Construct via [`crate::run_synthetic`]
+/// or [`crate::run_exchange`].
+pub struct Engine<'a> {
+    net: &'a Network,
+    policy: &'a RoutePolicy,
+    cfg: SimConfig,
+    num_vcs: u32,
+    /// Per-VC buffer capacity, input and output side alike (the paper's
+    /// 100 KB per port per direction, statically partitioned across VCs
+    /// so the virtual networks stay independent — a shared pool would
+    /// couple them and void the deadlock-freedom argument of §3.4).
+    vc_cap: u64,
+    ports: Ports,
+
+    // Per output port.
+    busy_until: Vec<u64>,
+    /// Payload bytes serialized per output port after warm-up (for link
+    /// utilization reporting).
+    sent_bytes: Vec<u64>,
+    /// `(bytes, pv)` of the packet currently on the wire head.
+    sending: Vec<(u32, u32)>,
+    rr: Vec<u8>,
+    blocked: Vec<Vec<u32>>,
+
+    // Per (port, VC).
+    out_occ: Vec<u64>,
+    out_q: Vec<VecDeque<u32>>,
+    credits: Vec<u64>,
+    in_q: Vec<VecDeque<u32>>,
+    in_occ: Vec<u64>,
+    blocked_flag: Vec<bool>,
+
+    // Per node.
+    sources: Vec<NodeSource>,
+    node_busy: Vec<u64>,
+    node_sending: Vec<bool>,
+    node_credits: Vec<u64>,
+    node_wake: Vec<bool>,
+
+    // Packet slab.
+    packets: Vec<Packet>,
+    free: Vec<u32>,
+    created: u64,
+    delivered: u64,
+
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    now: u64,
+    rng: SmallRng,
+    acc: Accumulator,
+    warmup_ps: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine; `sources` must hold one [`NodeSource`] per node.
+    pub fn new(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        cfg: SimConfig,
+        sources: Vec<NodeSource>,
+        warmup_ps: u64,
+        rng: SmallRng,
+    ) -> Self {
+        assert_eq!(sources.len(), net.num_nodes() as usize);
+        let num_vcs = policy.num_vcs() as u32;
+        let ports = Ports::build(net);
+        let total = *ports.base.last().unwrap() as usize;
+        let pv_total = total * num_vcs as usize;
+        let vc_cap = cfg.buffer_bytes / num_vcs as u64;
+        assert!(
+            vc_cap >= cfg.packet_bytes as u64,
+            "per-VC buffer must hold at least one packet"
+        );
+        let n = net.num_nodes() as usize;
+        let mut engine = Engine {
+            net,
+            policy,
+            cfg,
+            num_vcs,
+            vc_cap,
+            ports,
+            busy_until: vec![0; total],
+            sent_bytes: vec![0; total],
+            sending: vec![(0, 0); total],
+            rr: vec![0; total],
+            blocked: vec![Vec::new(); total],
+            out_occ: vec![0; pv_total],
+            out_q: vec![VecDeque::new(); pv_total],
+            credits: vec![vc_cap; pv_total],
+            in_q: vec![VecDeque::new(); pv_total],
+            in_occ: vec![0; pv_total],
+            blocked_flag: vec![false; pv_total],
+            sources,
+            node_busy: vec![0; n],
+            node_sending: vec![false; n],
+            node_credits: vec![cfg.buffer_bytes; n],
+            node_wake: vec![false; n],
+            packets: Vec::new(),
+            free: Vec::new(),
+            created: 0,
+            delivered: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            rng,
+            acc: Accumulator::default(),
+            warmup_ps,
+        };
+        for node in 0..n as u32 {
+            engine.schedule(0, Ev::NodeWake(node));
+            engine.node_wake[node as usize] = true;
+        }
+        engine
+    }
+
+    #[inline]
+    fn schedule(&mut self, t: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, ev)));
+    }
+
+    #[inline]
+    fn pv(&self, port: u32, vc: u8) -> usize {
+        (port * self.num_vcs + vc as u32) as usize
+    }
+
+    fn alloc(&mut self, p: Packet) -> u32 {
+        self.created += 1;
+        if let Some(id) = self.free.pop() {
+            self.packets[id as usize] = p;
+            id
+        } else {
+            self.packets.push(p);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    // ----- node side ------------------------------------------------
+
+    fn node_kick(&mut self, node: u32) {
+        if self.node_sending[node as usize] {
+            return; // NodeSendDone re-kicks
+        }
+        let n_nodes = self.net.num_nodes();
+        let next = self.sources[node as usize].next(self.now, n_nodes, node, &mut self.rng);
+        match next {
+            NextPacket::Exhausted => {}
+            NextPacket::WakeAt(t) => {
+                if !self.node_wake[node as usize] {
+                    self.node_wake[node as usize] = true;
+                    self.schedule(t, Ev::NodeWake(node));
+                }
+            }
+            NextPacket::Ready(spec) => {
+                if self.node_credits[node as usize] < spec.bytes as u64 {
+                    return; // NodeCredit re-kicks
+                }
+                self.sources[node as usize].consume(&mut self.rng);
+                self.node_credits[node as usize] -= spec.bytes as u64;
+                self.node_sending[node as usize] = true;
+                let pkt = self.alloc(Packet {
+                    src: node,
+                    dst: spec.dst,
+                    bytes: spec.bytes,
+                    birth_ps: spec.birth_ps,
+                    ready_ps: 0,
+                    choice: RouteChoice {
+                        path: RoutePath::new(0),
+                        phase_hops: 0,
+                        indirect: false,
+                    },
+                    hop: 0,
+                    link_vc: 0,
+                });
+                let done = self.now + self.cfg.ser_ps(spec.bytes);
+                self.node_busy[node as usize] = done;
+                self.schedule(done, Ev::NodeSendDone(node));
+                self.schedule(done + self.cfg.link_ps(), Ev::ArriveRouter(pkt));
+            }
+        }
+    }
+
+    // ----- router side ----------------------------------------------
+
+    fn arrive_router(&mut self, pkt: u32) {
+        let (src, dst, bytes, hop, link_vc) = {
+            let p = &self.packets[pkt as usize];
+            (p.src, p.dst, p.bytes, p.hop, p.link_vc)
+        };
+        let (r, in_port, in_vc) = if hop == 0 {
+            // Injection: decide the route now, at the source router, from
+            // its local output occupancies (paper §3.3).
+            let src_r = self.net.node_router(src);
+            let dst_r = self.net.node_router(dst);
+            let choice = if src_r == dst_r {
+                RouteChoice {
+                    path: RoutePath::new(src_r),
+                    phase_hops: 0,
+                    indirect: false,
+                }
+            } else {
+                let view = OccView {
+                    net: self.net,
+                    ports: &self.ports,
+                    out_occ: &self.out_occ,
+                    num_vcs: self.num_vcs,
+                    cap: self.cfg.buffer_bytes,
+                };
+                self.policy.choose(src_r, dst_r, &view, &mut self.rng)
+            };
+            self.packets[pkt as usize].choice = choice;
+            (src_r, self.ports.node_port(self.net, src_r, src), 0u8)
+        } else {
+            let p = &self.packets[pkt as usize];
+            let routers = p.choice.path.routers();
+            let r = routers[hop as usize];
+            let prev = routers[hop as usize - 1];
+            (r, self.ports.network_port(self.net, r, prev), link_vc)
+        };
+        let _ = r;
+        let pv = self.pv(in_port, in_vc);
+        self.in_occ[pv] += bytes as u64;
+        let ready = self.now + self.cfg.switch_ps();
+        self.packets[pkt as usize].ready_ps = ready;
+        self.in_q[pv].push_back(pkt);
+        if self.in_q[pv].len() == 1 {
+            self.schedule(ready, Ev::TrySwitch(pv as u32));
+        }
+    }
+
+    fn try_switch(&mut self, pv: usize) {
+        let Some(&pkt) = self.in_q[pv].front() else {
+            return;
+        };
+        let (bytes, ready, hop, dst, choice) = {
+            let p = &self.packets[pkt as usize];
+            (p.bytes, p.ready_ps, p.hop as usize, p.dst, p.choice)
+        };
+        if ready > self.now {
+            self.schedule(ready, Ev::TrySwitch(pv as u32));
+            return;
+        }
+        let in_port = pv as u32 / self.num_vcs;
+        let r = self.ports.owner[in_port as usize];
+        let routers = choice.path.routers();
+        debug_assert_eq!(routers[hop], r);
+        let at_dst = hop == routers.len() - 1;
+        let (out_port, out_vc) = if at_dst {
+            (self.ports.node_port(self.net, r, dst), 0u8)
+        } else {
+            let next = routers[hop + 1];
+            (
+                self.ports.network_port(self.net, r, next),
+                self.policy.vc_for_hop(&choice, hop),
+            )
+        };
+        let out_pv = self.pv(out_port, out_vc);
+        if self.out_occ[out_pv] + bytes as u64 > self.vc_cap {
+            if !self.blocked_flag[pv] {
+                self.blocked_flag[pv] = true;
+                self.blocked[out_port as usize].push(pv as u32);
+            }
+            return;
+        }
+        // Transfer input → output.
+        self.in_q[pv].pop_front();
+        self.blocked_flag[pv] = false;
+        self.in_occ[pv] -= bytes as u64;
+        // Return the credit upstream after one link latency.
+        let in_idx = in_port - self.ports.base[r as usize];
+        let credit_at = self.now + self.cfg.link_ps();
+        if in_idx >= self.net.degree(r) {
+            let node = self.net.router_nodes(r).start + (in_idx - self.net.degree(r));
+            self.schedule(credit_at, Ev::NodeCredit { node, bytes });
+        } else {
+            let up_out = self.ports.peer[in_port as usize];
+            let vc = (pv as u32 % self.num_vcs) as u8;
+            self.schedule(
+                credit_at,
+                Ev::Credit {
+                    pv: up_out * self.num_vcs + vc as u32,
+                    bytes,
+                },
+            );
+        }
+        self.out_occ[out_pv] += bytes as u64;
+        self.packets[pkt as usize].link_vc = out_vc;
+        self.out_q[out_pv].push_back(pkt);
+        self.kick_output(out_port);
+        // Wake the next packet waiting on this input FIFO.
+        if let Some(&nx) = self.in_q[pv].front() {
+            let t = self.packets[nx as usize].ready_ps.max(self.now);
+            self.schedule(t, Ev::TrySwitch(pv as u32));
+        }
+    }
+
+    fn kick_output(&mut self, out_port: u32) {
+        // Gate on the explicit in-progress marker, not the clock: a Credit
+        // event with the same timestamp as the pending SendDone must not
+        // start a second transmission before the first one is retired.
+        if self.sending[out_port as usize].0 != 0 {
+            return; // SendDone re-kicks
+        }
+        let is_node = self.ports.is_node_port(self.net, out_port);
+        for i in 0..self.num_vcs {
+            let vc = ((self.rr[out_port as usize] as u32 + i) % self.num_vcs) as u8;
+            let out_pv = self.pv(out_port, vc);
+            let Some(&pkt) = self.out_q[out_pv].front() else {
+                continue;
+            };
+            let bytes = self.packets[pkt as usize].bytes;
+            if !is_node && self.credits[out_pv] < bytes as u64 {
+                continue;
+            }
+            // Send.
+            self.out_q[out_pv].pop_front();
+            if !is_node {
+                self.credits[out_pv] -= bytes as u64;
+            }
+            self.rr[out_port as usize] = ((vc as u32 + 1) % self.num_vcs) as u8;
+            self.sending[out_port as usize] = (bytes, out_pv as u32);
+            if self.now >= self.warmup_ps {
+                self.sent_bytes[out_port as usize] += bytes as u64;
+            }
+            let done = self.now + self.cfg.ser_ps(bytes);
+            self.busy_until[out_port as usize] = done;
+            self.schedule(done, Ev::SendDone(out_port));
+            let arrive = done + self.cfg.link_ps();
+            if is_node {
+                self.schedule(arrive, Ev::ArriveNode(pkt));
+            } else {
+                self.packets[pkt as usize].hop += 1;
+                self.schedule(arrive, Ev::ArriveRouter(pkt));
+            }
+            return;
+        }
+    }
+
+    fn send_done(&mut self, out_port: u32) {
+        let (bytes, pv) = self.sending[out_port as usize];
+        self.out_occ[pv as usize] -= bytes as u64;
+        self.sending[out_port as usize] = (0, 0);
+        // Output space freed: retry every input transfer blocked on it.
+        let waiting = std::mem::take(&mut self.blocked[out_port as usize]);
+        for pv in waiting {
+            self.blocked_flag[pv as usize] = false;
+            self.schedule(self.now, Ev::TrySwitch(pv));
+        }
+        self.kick_output(out_port);
+    }
+
+    fn arrive_node(&mut self, pkt: u32) {
+        let p = self.packets[pkt as usize];
+        debug_assert_eq!(self.net.node_router(p.dst), p.choice.path.dst());
+        self.delivered += 1;
+        if self.now >= self.warmup_ps {
+            self.acc.record(
+                self.now - p.birth_ps,
+                p.bytes,
+                p.choice.indirect,
+                p.choice.path.num_hops() as u32,
+                self.now,
+            );
+        }
+        self.free.push(pkt);
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::NodeWake(n) => {
+                self.node_wake[n as usize] = false;
+                self.node_kick(n);
+            }
+            Ev::NodeSendDone(n) => {
+                self.node_sending[n as usize] = false;
+                self.node_kick(n);
+            }
+            Ev::ArriveRouter(p) => self.arrive_router(p),
+            Ev::TrySwitch(pv) => self.try_switch(pv as usize),
+            Ev::SendDone(port) => self.send_done(port),
+            Ev::ArriveNode(p) => self.arrive_node(p),
+            Ev::Credit { pv, bytes } => {
+                self.credits[pv as usize] += bytes as u64;
+                debug_assert!(self.credits[pv as usize] <= self.vc_cap);
+                self.kick_output(pv / self.num_vcs);
+            }
+            Ev::NodeCredit { node, bytes } => {
+                self.node_credits[node as usize] += bytes as u64;
+                self.node_kick(node);
+            }
+        }
+    }
+
+    /// Runs until the event horizon `end_ps` (events beyond it are left
+    /// unprocessed) or the queue drains. Returns `true` if the run wedged
+    /// with packets still in flight — a deadlock.
+    fn run(&mut self, end_ps: Option<u64>) -> bool {
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            if let Some(end) = end_ps {
+                if t > end {
+                    self.now = end;
+                    return false;
+                }
+            }
+            let Reverse((t, _, ev)) = self.heap.pop().unwrap();
+            self.now = t;
+            self.handle(ev);
+        }
+        let wedged = self.created > self.delivered;
+        if wedged && std::env::var_os("D2NET_DEBUG_WEDGE").is_some() {
+            self.dump_wedge();
+        }
+        wedged
+    }
+
+    /// Diagnostic dump of stuck state (enabled via D2NET_DEBUG_WEDGE).
+    fn dump_wedge(&self) {
+        eprintln!(
+            "WEDGE at t={} ps: created={} delivered={}",
+            self.now, self.created, self.delivered
+        );
+        let mut in_total = 0usize;
+        let mut printed = 0;
+        for (pv, q) in self.in_q.iter().enumerate() {
+            if !q.is_empty() {
+                in_total += q.len();
+                let port = pv as u32 / self.num_vcs;
+                let owner = self.ports.owner[port as usize];
+                let is_injection = port - self.ports.base[owner as usize] >= self.net.degree(owner);
+                if !is_injection && printed < 40 {
+                    printed += 1;
+                    let vc = pv as u32 % self.num_vcs;
+                    let head = &self.packets[*q.front().unwrap() as usize];
+                    eprintln!(
+                        "  in_q port={} (router {}, idx {}) vc={} len={} head: hop={} path={:?} ready={} blocked_flag={}",
+                        port,
+                        self.ports.owner[port as usize],
+                        port - self.ports.base[self.ports.owner[port as usize] as usize],
+                        vc,
+                        q.len(),
+                        head.hop,
+                        head.choice.path.routers(),
+                        head.ready_ps,
+                        self.blocked_flag[pv],
+                    );
+                }
+            }
+        }
+        let mut out_total = 0usize;
+        for (pv, q) in self.out_q.iter().enumerate() {
+            if !q.is_empty() {
+                out_total += q.len();
+                if out_total < 4000 {
+                    let port = pv as u32 / self.num_vcs;
+                    eprintln!(
+                        "  out_q port={} (router {}) vc={} len={} credits={} busy_until={} occ={}",
+                        port,
+                        self.ports.owner[port as usize],
+                        pv as u32 % self.num_vcs,
+                        q.len(),
+                        self.credits[pv],
+                        self.busy_until[port as usize],
+                        self.out_occ[pv],
+                    );
+                }
+            }
+        }
+        eprintln!("  totals: in_q={in_total} out_q={out_total}");
+    }
+
+    /// Consumes the engine after a synthetic run.
+    pub fn finish_synthetic(mut self, load: f64, end_ps: u64) -> SyntheticStats {
+        let deadlocked = self.run(Some(end_ps));
+        let window = (end_ps - self.warmup_ps) as f64;
+        let n = self.net.num_nodes() as f64;
+        let throughput =
+            self.acc.delivered_bytes as f64 * self.cfg.ps_per_byte() as f64 / (window * n);
+        // Busiest router-to-router link, as a fraction of link bandwidth.
+        let mut max_sent = 0u64;
+        for (port, &sent) in self.sent_bytes.iter().enumerate() {
+            if !self.ports.is_node_port(self.net, port as u32) {
+                max_sent = max_sent.max(sent);
+            }
+        }
+        let max_link_utilization =
+            (max_sent as f64 * self.cfg.ps_per_byte() as f64 / window).min(1.0);
+        SyntheticStats {
+            offered_load: load,
+            throughput,
+            avg_delay_ns: self.acc.avg_delay_ns(),
+            max_delay_ns: self.acc.max_delay_ps / 1_000,
+            delivered_packets: self.acc.delivered_packets,
+            indirect_packets: self.acc.indirect_packets,
+            avg_hops: self.acc.avg_hops(),
+            p99_delay_ns: self.acc.histogram.quantile_ns(0.99),
+            max_link_utilization,
+            deadlocked,
+        }
+    }
+
+    /// Consumes the engine after an exchange run.
+    pub fn finish_exchange(mut self, total_bytes: u64) -> ExchangeStats {
+        let deadlocked = self.run(None);
+        let completion_ps = self.acc.last_delivery_ps;
+        let n = self.net.num_nodes() as f64;
+        let effective = if completion_ps > 0 {
+            self.acc.delivered_bytes as f64 * self.cfg.ps_per_byte() as f64
+                / (completion_ps as f64 * n)
+        } else {
+            0.0
+        };
+        debug_assert!(deadlocked || self.acc.delivered_bytes == total_bytes);
+        ExchangeStats {
+            delivered_bytes: self.acc.delivered_bytes,
+            completion_ns: completion_ps / 1_000,
+            effective_throughput: effective,
+            delivered_packets: self.acc.delivered_packets,
+            indirect_packets: self.acc.indirect_packets,
+            deadlocked: deadlocked || self.acc.delivered_bytes < total_bytes,
+        }
+    }
+}
+
+/// Runs steady-state synthetic traffic on `net` under `policy`.
+///
+/// `load` is the per-node offered load as a fraction of link bandwidth;
+/// the system is simulated for `duration_ns` with statistics collected
+/// after `warmup_ns` (paper §4.1: 200 µs with a 20 µs warm-up).
+pub fn run_synthetic(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> SyntheticStats {
+    assert!(warmup_ns < duration_ns);
+    let end_ps = duration_ns * 1_000;
+    let interval = cfg.interval_ps(load);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = (0..net.num_nodes())
+        .map(|_| {
+            NodeSource::synthetic_with(
+                pattern.clone(),
+                interval,
+                cfg.packet_bytes,
+                end_ps,
+                cfg.arrival,
+                &mut rng,
+            )
+        })
+        .collect();
+    let engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
+    engine.finish_synthetic(load, end_ps)
+}
+
+/// Runs a fixed-size exchange to completion. `window` is the number of
+/// messages each node keeps in flight simultaneously (1 = fully staged).
+pub fn run_exchange(
+    net: &Network,
+    policy: &RoutePolicy,
+    exchange: &d2net_traffic::Exchange,
+    window: usize,
+    cfg: SimConfig,
+) -> ExchangeStats {
+    assert_eq!(exchange.sends.len(), net.num_nodes() as usize);
+    let rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = (0..net.num_nodes())
+        .map(|n| NodeSource::exchange(exchange, n, window, cfg.packet_bytes))
+        .collect();
+    let engine = Engine::new(net, policy, cfg, sources, 0, rng);
+    engine.finish_exchange(exchange.total_bytes())
+}

@@ -1,0 +1,543 @@
+//! # d2net-sim
+//!
+//! A from-scratch discrete-event flit/packet-level interconnect simulator
+//! reproducing the evaluation substrate of Kathareios et al. (SC '15,
+//! §4.1): virtual-channel input-output-buffered switches, credit-based
+//! flow control, 100 KB buffers per port per direction, 100 ns switch
+//! traversal, 100 Gb/s links with 50 ns latency, 256 B packets.
+//!
+//! Entry points:
+//! - [`run_synthetic`] — steady-state uniform / permutation traffic with
+//!   warm-up, reporting accepted throughput and mean packet delay;
+//! - [`run_exchange`] — fixed-size collective exchanges (A2A / NN) run to
+//!   completion, reporting effective throughput;
+//! - [`sweep::load_sweep`] — the offered-load axes of Figs. 6–12.
+
+pub mod config;
+pub mod engine;
+pub mod injector;
+pub mod stats;
+pub mod sweep;
+
+pub use config::SimConfig;
+pub use engine::{run_exchange, run_synthetic, Engine};
+pub use stats::{ExchangeStats, SyntheticStats};
+pub use sweep::{load_grid, load_sweep, saturation_throughput, SweepPoint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_routing::{Algorithm, IntermediateSet, RoutePolicy, VcScheme};
+    use d2net_topo::{
+        fat_tree2, hyperx2_balanced, mlfm, oft, slim_fly, Network, SlimFlyP, TopologyKind,
+    };
+    use d2net_traffic::{all_to_all, worst_case, SyntheticPattern};
+
+    /// Two routers, one node each, one link: the smallest network with a
+    /// fully analyzable end-to-end latency.
+    fn two_routers() -> Network {
+        Network::from_parts(
+            TopologyKind::Custom {
+                label: "pair".into(),
+            },
+            vec![vec![1], vec![0]],
+            vec![1, 1],
+        )
+    }
+
+    #[test]
+    fn single_hop_latency_is_analytic() {
+        // node-ser + link + switch + ser + link + switch + ser + link
+        // = 3·20480 + 3·50000 + 2·100000 = 411440 ps at the defaults.
+        let net = two_routers();
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let pattern = SyntheticPattern::Permutation(vec![1, 0]);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &pattern,
+            0.01, // one packet every 2048 ns: zero queueing
+            200_000,
+            20_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(stats.delivered_packets > 50);
+        assert!(
+            (stats.avg_delay_ns - 411.44).abs() < 0.5,
+            "expected ≈411.44 ns, got {}",
+            stats.avg_delay_ns
+        );
+    }
+
+    #[test]
+    fn two_hop_latency_adds_one_stage() {
+        // A distance-2 pair adds one switch traversal, one serialization
+        // and one link: 411440 + 170480 = 581920 ps. Drive a single
+        // distance-2 node pair (everything else "sends to itself" via a
+        // router-local turnaround) and read the max delay.
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let r1 = (1..net.num_routers())
+            .find(|&r| !net.are_adjacent(0, r))
+            .unwrap();
+        let mut perm: Vec<u32> = (0..net.num_nodes()).collect();
+        let a = net.router_nodes(0).start;
+        let b = net.router_nodes(r1).start;
+        perm.swap(a as usize, b as usize);
+        let pattern = SyntheticPattern::Permutation(perm);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &pattern,
+            0.005,
+            400_000,
+            40_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(
+            (stats.max_delay_ns as f64 - 581.92).abs() < 1.0,
+            "expected ≈581.92 ns max, got {}",
+            stats.max_delay_ns
+        );
+    }
+
+    #[test]
+    fn uniform_low_load_throughput_tracks_offered() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.3,
+            100_000,
+            20_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(
+            (stats.throughput - 0.3).abs() < 0.02,
+            "accepted {} at offered 0.3",
+            stats.throughput
+        );
+    }
+
+    #[test]
+    fn mlfm_worst_case_saturates_at_one_over_h() {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let pattern = worst_case(&net);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &pattern,
+            1.0,
+            150_000,
+            30_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(
+            (stats.throughput - 0.25).abs() < 0.03,
+            "h = 4 worst case must cap at 1/h = 0.25, got {}",
+            stats.throughput
+        );
+    }
+
+    #[test]
+    fn oft_worst_case_saturates_at_one_over_k() {
+        let net = oft(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let pattern = worst_case(&net);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &pattern,
+            1.0,
+            150_000,
+            30_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(
+            (stats.throughput - 0.25).abs() < 0.03,
+            "k = 4 worst case must cap at 1/k = 0.25, got {}",
+            stats.throughput
+        );
+    }
+
+    #[test]
+    fn valiant_halves_uniform_capacity() {
+        let net = mlfm(4);
+        let min_p = RoutePolicy::new(&net, Algorithm::Minimal);
+        let inr_p = RoutePolicy::new(&net, Algorithm::Valiant);
+        let cfg = SimConfig::default();
+        let min = run_synthetic(&net, &min_p, &SyntheticPattern::Uniform, 1.0, 100_000, 20_000, cfg);
+        let inr = run_synthetic(&net, &inr_p, &SyntheticPattern::Uniform, 1.0, 100_000, 20_000, cfg);
+        assert!(!min.deadlocked && !inr.deadlocked);
+        assert!(min.throughput > 0.9, "MIN uniform ≈ full bw, got {}", min.throughput);
+        assert!(
+            (inr.throughput - 0.5).abs() < 0.08,
+            "INR uniform ≈ half bw, got {}",
+            inr.throughput
+        );
+        // All but the router-local (same source router) packets go indirect.
+        assert!(inr.indirect_packets as f64 > 0.9 * inr.delivered_packets as f64);
+    }
+
+    #[test]
+    fn valiant_rescues_worst_case() {
+        let net = mlfm(4);
+        let pattern = worst_case(&net);
+        let cfg = SimConfig::default();
+        let min_p = RoutePolicy::new(&net, Algorithm::Minimal);
+        let inr_p = RoutePolicy::new(&net, Algorithm::Valiant);
+        let min = run_synthetic(&net, &min_p, &pattern, 1.0, 100_000, 20_000, cfg);
+        let inr = run_synthetic(&net, &inr_p, &pattern, 1.0, 100_000, 20_000, cfg);
+        // §4.3.1: INR lifts WC throughput from 1/h toward ~0.5.
+        assert!(min.throughput < 0.3);
+        assert!(
+            inr.throughput > 1.5 * min.throughput,
+            "INR {} vs MIN {}",
+            inr.throughput,
+            min.throughput
+        );
+    }
+
+    #[test]
+    fn ugal_matches_min_on_uniform_and_helps_worst_case() {
+        let net = mlfm(4);
+        let cfg = SimConfig::default();
+        let ugal = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: None,
+            },
+        );
+        let uni = run_synthetic(&net, &ugal, &SyntheticPattern::Uniform, 0.8, 100_000, 20_000, cfg);
+        assert!(!uni.deadlocked);
+        assert!(
+            uni.throughput > 0.75,
+            "UGAL uniform at 0.8 load: {}",
+            uni.throughput
+        );
+        let wc = run_synthetic(&net, &ugal, &worst_case(&net), 0.4, 100_000, 20_000, cfg);
+        assert!(!wc.deadlocked);
+        assert!(
+            wc.throughput > 0.3,
+            "UGAL worst-case at 0.4 load: {}",
+            wc.throughput
+        );
+    }
+
+    #[test]
+    fn broken_single_vc_wedges_or_collapses() {
+        // Ablation §3.4: indirect routing with one VC admits CDG cycles.
+        // Under pressure with tiny buffers the simulator must either wedge
+        // outright or collapse far below the 2-VC throughput.
+        let net = mlfm(4);
+        let cfg = SimConfig {
+            buffer_bytes: 1024,
+            ..Default::default()
+        };
+        let good = RoutePolicy::new(&net, Algorithm::Valiant);
+        let bad = RoutePolicy::with_overrides(
+            &net,
+            Algorithm::Valiant,
+            VcScheme::SingleVc,
+            IntermediateSet::EndpointRouters,
+            false,
+        );
+        let pattern = worst_case(&net);
+        let g = run_synthetic(&net, &good, &pattern, 1.0, 150_000, 30_000, cfg);
+        let b = run_synthetic(&net, &bad, &pattern, 1.0, 150_000, 30_000, cfg);
+        assert!(!g.deadlocked, "2-VC run must stay live");
+        assert!(
+            b.deadlocked || b.throughput < 0.5 * g.throughput,
+            "single-VC indirect routing should wedge or collapse: good={} bad={} deadlocked={}",
+            g.throughput,
+            b.throughput,
+            b.deadlocked
+        );
+    }
+
+    #[test]
+    fn ugal_g_handles_worst_case_at_least_as_well() {
+        // The idealized global variant should not underperform local UGAL
+        // on the adversarial pattern.
+        let net = mlfm(4);
+        let cfg = SimConfig::default();
+        let wc = worst_case(&net);
+        let local = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: None,
+            },
+        );
+        let global = RoutePolicy::new(&net, Algorithm::UgalG { n_i: 4, c: 2.0 });
+        let l = run_synthetic(&net, &local, &wc, 1.0, 100_000, 20_000, cfg);
+        let g = run_synthetic(&net, &global, &wc, 1.0, 100_000, 20_000, cfg);
+        assert!(!l.deadlocked && !g.deadlocked);
+        assert!(
+            g.throughput > 0.8 * l.throughput,
+            "UGAL-G {} should be competitive with UGAL-L {}",
+            g.throughput,
+            l.throughput
+        );
+    }
+
+    #[test]
+    fn a2a_exchange_completes_and_is_fast() {
+        let net = fat_tree2(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let ex = all_to_all(net.num_nodes(), 1024);
+        let stats = run_exchange(&net, &policy, &ex, 1, SimConfig::default());
+        assert!(!stats.deadlocked);
+        assert_eq!(stats.delivered_bytes, ex.total_bytes());
+        assert!(stats.effective_throughput > 0.4, "{}", stats.effective_throughput);
+    }
+
+    #[test]
+    fn exchange_on_oft_with_adaptive_routing() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal {
+                n_i: 1,
+                c: 2.0,
+                threshold: Some(0.1),
+            },
+        );
+        let ex = all_to_all(net.num_nodes(), 512);
+        let stats = run_exchange(&net, &policy, &ex, 1, SimConfig::default());
+        assert!(!stats.deadlocked);
+        assert_eq!(stats.delivered_bytes, ex.total_bytes());
+    }
+
+    #[test]
+    fn worst_case_bottleneck_link_runs_hot() {
+        // Under the MLFM worst case the single-path bottleneck links are
+        // the limiting resource: the busiest link must run near 100%.
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &worst_case(&net),
+            1.0,
+            100_000,
+            20_000,
+            SimConfig::default(),
+        );
+        assert!(
+            stats.max_link_utilization > 0.95,
+            "bottleneck link utilization {}",
+            stats.max_link_utilization
+        );
+        // While accepted throughput is capped at 1/h.
+        assert!(stats.throughput < 0.3);
+    }
+
+    #[test]
+    fn poisson_arrivals_raise_delay_at_equal_load() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let base = SimConfig::default();
+        let det = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.7, 60_000, 12_000, base);
+        let exp = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.7,
+            60_000,
+            12_000,
+            SimConfig {
+                arrival: config::Arrival::Exponential,
+                ..base
+            },
+        );
+        assert!(!det.deadlocked && !exp.deadlocked);
+        // Same accepted load...
+        assert!((det.throughput - exp.throughput).abs() < 0.03);
+        // ...but the burstier process queues longer.
+        assert!(
+            exp.avg_delay_ns > det.avg_delay_ns,
+            "Poisson {} vs deterministic {}",
+            exp.avg_delay_ns,
+            det.avg_delay_ns
+        );
+    }
+
+    #[test]
+    fn hop_counts_match_routing_mode() {
+        let net = mlfm(4);
+        let cfg = SimConfig::default();
+        let min_p = RoutePolicy::new(&net, Algorithm::Minimal);
+        let inr_p = RoutePolicy::new(&net, Algorithm::Valiant);
+        let min = run_synthetic(&net, &min_p, &SyntheticPattern::Uniform, 0.3, 40_000, 8_000, cfg);
+        let inr = run_synthetic(&net, &inr_p, &SyntheticPattern::Uniform, 0.3, 40_000, 8_000, cfg);
+        // Minimal: nearly all routes are 2 hops (a few same-router zeros).
+        assert!((1.6..=2.0).contains(&min.avg_hops), "MIN hops {}", min.avg_hops);
+        // Valiant on an SSPT: 4 hops for all inter-router traffic.
+        assert!((3.4..=4.0).contains(&inr.avg_hops), "INR hops {}", inr.avg_hops);
+        // p99 sits above the mean and below the max.
+        assert!(min.p99_delay_ns as f64 >= min.avg_delay_ns * 0.5);
+        assert!(min.p99_delay_ns <= min.max_delay_ns * 4);
+    }
+
+    #[test]
+    fn ejection_bottleneck_caps_hotspot_throughput() {
+        // Three routers in a line network: nodes on routers 0 and 2 both
+        // send everything to the single node on router 1. The ejection
+        // link serializes, so each sender gets at most ~half bandwidth.
+        let net = Network::from_parts(
+            TopologyKind::Custom {
+                label: "hotspot".into(),
+            },
+            vec![vec![1], vec![0, 2], vec![1]],
+            vec![1, 1, 1],
+        );
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        // Node ids: 0 on router 0, 1 on router 1, 2 on router 2.
+        let pattern = SyntheticPattern::Permutation(vec![1, 2, 1]);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &pattern,
+            1.0,
+            100_000,
+            20_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        // Aggregate accepted: node 1 receives at link rate (1.0) and node
+        // 2 receives node 1's flow at full rate: (1.0 + 1.0)/3 ≈ 0.667.
+        assert!(
+            (stats.throughput - 2.0 / 3.0).abs() < 0.05,
+            "hotspot aggregate should be ~0.667, got {}",
+            stats.throughput
+        );
+    }
+
+    #[test]
+    fn delay_rises_with_load() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let lo = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.1, 60_000, 12_000, cfg);
+        let hi = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.9, 60_000, 12_000, cfg);
+        assert!(
+            hi.avg_delay_ns > lo.avg_delay_ns,
+            "queueing delay must grow with load: {} vs {}",
+            lo.avg_delay_ns,
+            hi.avg_delay_ns
+        );
+        // At 10% load, delay is close to the zero-load path latency
+        // (≈580-590 ns for a diameter-2 route plus some router-local
+        // deliveries).
+        assert!(lo.avg_delay_ns < 800.0, "low-load delay {}", lo.avg_delay_ns);
+    }
+
+    #[test]
+    fn empty_exchange_finishes_instantly() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let ex = d2net_traffic::Exchange {
+            sends: vec![Vec::new(); net.num_nodes() as usize],
+            label: "empty".into(),
+        };
+        let stats = run_exchange(&net, &policy, &ex, 1, SimConfig::default());
+        assert!(!stats.deadlocked);
+        assert_eq!(stats.delivered_bytes, 0);
+        assert_eq!(stats.completion_ns, 0);
+    }
+
+    #[test]
+    fn tiny_buffers_still_make_progress() {
+        // One packet per VC buffer: maximum backpressure, but the paper's
+        // VC scheme must still deliver (just slowly).
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let cfg = SimConfig {
+            buffer_bytes: 512, // 256 per VC = exactly one packet
+            ..Default::default()
+        };
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.5,
+            80_000,
+            16_000,
+            cfg,
+        );
+        assert!(!stats.deadlocked, "paper VC scheme must stay live");
+        assert!(stats.delivered_packets > 100);
+    }
+
+    #[test]
+    fn hyperx_simulates_with_generic_scheme() {
+        // HyperX uses the hop-indexed fallback VC scheme; make sure the
+        // whole pipeline holds together for the baseline topology too.
+        let net = hyperx2_balanced(9);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.8,
+            60_000,
+            12_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(stats.throughput > 0.7, "{}", stats.throughput);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let cfg = SimConfig::default();
+        let a = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.5, 60_000, 10_000, cfg);
+        let b = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.5, 60_000, 10_000, cfg);
+        assert_eq!(a, b);
+        let c = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.5,
+            60_000,
+            10_000,
+            SimConfig { seed: 99, ..cfg },
+        );
+        assert_ne!(a.delivered_packets, 0);
+        assert_ne!(a, c, "different seeds should perturb the run");
+    }
+
+    #[test]
+    fn throughput_never_exceeds_offered_or_unity() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        for load in [0.2, 0.6, 1.0] {
+            let s = run_synthetic(
+                &net,
+                &policy,
+                &SyntheticPattern::Uniform,
+                load,
+                80_000,
+                16_000,
+                SimConfig::default(),
+            );
+            assert!(s.throughput <= load + 0.02, "load={load}: {}", s.throughput);
+            assert!(s.throughput <= 1.0 + 1e-9);
+            assert!(s.throughput > 0.0);
+        }
+    }
+}

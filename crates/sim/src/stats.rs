@@ -1,0 +1,181 @@
+//! Measurement output of simulation runs.
+
+/// Results of a steady-state synthetic-traffic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticStats {
+    /// Offered load as a fraction of injection bandwidth.
+    pub offered_load: f64,
+    /// Accepted throughput: delivered payload per node per unit time,
+    /// as a fraction of link bandwidth, measured after warm-up.
+    pub throughput: f64,
+    /// Mean end-to-end packet delay (generation → full delivery) in ns,
+    /// over packets delivered after warm-up.
+    pub avg_delay_ns: f64,
+    /// Maximum observed packet delay in ns.
+    pub max_delay_ns: u64,
+    /// Packets delivered inside the measurement window.
+    pub delivered_packets: u64,
+    /// Packets delivered indirectly (Valiant/UGAL divert decisions).
+    pub indirect_packets: u64,
+    /// Mean router-to-router hops per delivered packet.
+    pub avg_hops: f64,
+    /// Approximate 99th-percentile packet delay in ns (log-bucket upper
+    /// bound).
+    pub p99_delay_ns: u64,
+    /// Utilization of the busiest router-to-router link (fraction of
+    /// link bandwidth over the measurement window).
+    pub max_link_utilization: f64,
+    /// True if the network wedged (no event progress with packets
+    /// in flight) — a routing deadlock.
+    pub deadlocked: bool,
+}
+
+/// Results of a fixed-size exchange run (A2A / NN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeStats {
+    /// Total payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Completion time in ns (first injection to last delivery).
+    pub completion_ns: u64,
+    /// Effective throughput per node as a fraction of link bandwidth
+    /// (paper §4.4: total data / completion time, normalized per node).
+    pub effective_throughput: f64,
+    /// Packets delivered in total.
+    pub delivered_packets: u64,
+    /// Packets routed indirectly.
+    pub indirect_packets: u64,
+    /// True if the exchange wedged before completing.
+    pub deadlocked: bool,
+}
+
+/// A logarithmic latency histogram: bucket `i` covers delays in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 additionally catches < 1 ns).
+/// Good to ~±50 % per sample, which is ample for p50/p99 quantile
+/// *estimates* on curves spanning two orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct DelayHistogram {
+    buckets: [u64; 40],
+    total: u64,
+}
+
+impl Default for DelayHistogram {
+    fn default() -> Self {
+        DelayHistogram {
+            buckets: [0; 40],
+            total: 0,
+        }
+    }
+}
+
+impl DelayHistogram {
+    pub fn record(&mut self, delay_ps: u64) {
+        let ns = delay_ps / 1_000;
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(39);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Upper bound (in ns) of the bucket containing quantile `q` ∈ [0, 1].
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << 40
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Internal accumulator shared by both run modes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Accumulator {
+    pub delivered_packets: u64,
+    pub delivered_bytes: u64,
+    pub delay_sum_ps: u128,
+    pub max_delay_ps: u64,
+    pub indirect_packets: u64,
+    pub hops_sum: u64,
+    pub first_delivery_ps: Option<u64>,
+    pub last_delivery_ps: u64,
+    pub histogram: DelayHistogram,
+}
+
+impl Accumulator {
+    pub fn record(&mut self, delay_ps: u64, bytes: u32, indirect: bool, hops: u32, now_ps: u64) {
+        self.delivered_packets += 1;
+        self.delivered_bytes += bytes as u64;
+        self.delay_sum_ps += delay_ps as u128;
+        self.max_delay_ps = self.max_delay_ps.max(delay_ps);
+        if indirect {
+            self.indirect_packets += 1;
+        }
+        self.hops_sum += hops as u64;
+        if self.first_delivery_ps.is_none() {
+            self.first_delivery_ps = Some(now_ps);
+        }
+        self.last_delivery_ps = now_ps;
+        self.histogram.record(delay_ps);
+    }
+
+    pub fn avg_delay_ns(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            return 0.0;
+        }
+        self.delay_sum_ps as f64 / self.delivered_packets as f64 / 1_000.0
+    }
+
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            return 0.0;
+        }
+        self.hops_sum as f64 / self.delivered_packets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = DelayHistogram::default();
+        // 99 samples at ~1 us, 1 at ~100 us.
+        for _ in 0..99 {
+            h.record(1_000_000);
+        }
+        h.record(100_000_000);
+        assert_eq!(h.samples(), 100);
+        let p50 = h.quantile_ns(0.5);
+        assert!((1_000..=2_048).contains(&p50), "p50 {p50}");
+        let p995 = h.quantile_ns(0.995);
+        assert!(p995 >= 100_000, "p99.5 {p995} should catch the outlier");
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = DelayHistogram::default();
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut a = Accumulator::default();
+        a.record(1_000_000, 256, false, 2, 10);
+        a.record(3_000_000, 256, true, 4, 20);
+        assert_eq!(a.avg_delay_ns(), 2_000.0);
+        assert_eq!(a.avg_hops(), 3.0);
+        assert_eq!(a.indirect_packets, 1);
+        assert_eq!(a.first_delivery_ps, Some(10));
+        assert_eq!(a.last_delivery_ps, 20);
+    }
+}

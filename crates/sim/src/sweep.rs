@@ -1,0 +1,71 @@
+//! Load sweeps and saturation search — the X axes of the paper's
+//! throughput/delay figures (Figs. 6–12).
+
+use crate::config::SimConfig;
+use crate::engine::run_synthetic;
+use crate::stats::SyntheticStats;
+use d2net_routing::RoutePolicy;
+use d2net_topo::Network;
+use d2net_traffic::SyntheticPattern;
+
+/// One point of a throughput/delay curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    pub load: f64,
+    pub stats: SyntheticStats,
+}
+
+/// Simulates `net` at each offered load in `loads`, returning one curve
+/// point per load.
+pub fn load_sweep(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> Vec<SweepPoint> {
+    loads
+        .iter()
+        .map(|&load| SweepPoint {
+            load,
+            stats: run_synthetic(net, policy, pattern, load, duration_ns, warmup_ns, cfg),
+        })
+        .collect()
+}
+
+/// The standard load grid used by the figure harness: 5 % to 100 % in
+/// settable steps.
+pub fn load_grid(steps: usize) -> Vec<f64> {
+    assert!(steps >= 2);
+    (1..=steps)
+        .map(|i| i as f64 / steps as f64)
+        .collect()
+}
+
+/// Estimates the saturation throughput: the accepted throughput when
+/// offering full load (the plateau of the throughput curve).
+pub fn saturation_throughput(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> f64 {
+    run_synthetic(net, policy, pattern, 1.0, duration_ns, warmup_ns, cfg).throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = load_grid(10);
+        assert_eq!(g.len(), 10);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[9] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Two-level full-bisection Fat-Tree (paper §2.2.1), the cost/diameter
+//! reference point the diameter-two designs are measured against, plus the
+//! closed-form scale of the three-level Fat-Tree used in Fig. 3.
+
+use crate::graph::Network;
+use crate::TopologyKind;
+
+/// Parameters of a two-level Fat-Tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTree2Params {
+    /// Even router radix `r`; leaves get `p = r/2` end-nodes.
+    pub radix: u32,
+}
+
+/// Builds a full-bisection two-level Fat-Tree from radix-`r` routers
+/// (`r` even): `r` leaf routers each with `r/2` end-nodes and `r/2` uplinks,
+/// `r/2` spine routers each linking to every leaf.
+///
+/// Router ids: leaves `0..r`, spines `r..r + r/2`.
+pub fn fat_tree2(r: u32) -> Network {
+    assert!(r >= 2 && r.is_multiple_of(2), "two-level Fat-Tree needs even radix >= 2");
+    let leaves = r;
+    let spines = r / 2;
+    let total = (leaves + spines) as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+    for leaf in 0..leaves {
+        for s in 0..spines {
+            let spine = leaves + s;
+            adj[leaf as usize].push(spine);
+            adj[spine as usize].push(leaf);
+        }
+    }
+    let mut nodes_at = vec![r / 2; leaves as usize];
+    nodes_at.extend(std::iter::repeat_n(0, spines as usize));
+    Network::from_parts(
+        TopologyKind::FatTree2(FatTree2Params { radix: r }),
+        adj,
+        nodes_at,
+    )
+}
+
+/// End-node scale of a full-bisection two-level Fat-Tree of radix `r`:
+/// `N = r²/2` (paper Fig. 3).
+pub fn fat_tree2_scale(r: u64) -> u64 {
+    r * r / 2
+}
+
+/// End-node scale of a full-bisection three-level Fat-Tree of radix `r`:
+/// `N = r³/4` (paper Fig. 3). Included for the scalability comparison only;
+/// its diameter is 4 and it costs 5 ports / 3 links per endpoint.
+pub fn fat_tree3_scale(r: u64) -> u64 {
+    r * r * r / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_cost_formulas() {
+        for r in [4u32, 8, 16, 24] {
+            let n = fat_tree2(r);
+            assert_eq!(n.num_nodes() as u64, fat_tree2_scale(r as u64));
+            assert_eq!(n.num_routers(), r + r / 2);
+            // 3 ports and 2 links per endpoint.
+            assert_eq!(n.total_ports(), 3 * n.num_nodes() as u64);
+            assert_eq!(n.total_links(), 2 * n.num_nodes() as u64);
+        }
+    }
+
+    #[test]
+    fn every_router_has_radix_r() {
+        let r = 8;
+        let n = fat_tree2(r);
+        for id in 0..n.num_routers() {
+            assert_eq!(n.radix(id), r);
+        }
+    }
+
+    #[test]
+    fn leaf_pairs_have_full_diversity() {
+        // The defining property the SSPTs trade away: every leaf pair has
+        // r/2 parallel minimal paths.
+        let r = 8;
+        let n = fat_tree2(r);
+        for a in 0..r {
+            for b in a + 1..r {
+                assert_eq!(n.common_neighbors(a, b).len() as u32, r / 2);
+            }
+        }
+        assert_eq!(n.endpoint_diameter(), 2);
+    }
+
+    #[test]
+    fn three_level_scale() {
+        assert_eq!(fat_tree3_scale(4), 16);
+        assert_eq!(fat_tree3_scale(64), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "even radix")]
+    fn rejects_odd_radix() {
+        fat_tree2(7);
+    }
+}

@@ -1,0 +1,466 @@
+//! Flat, index-based network representation shared by every topology.
+//!
+//! Routers and end-nodes are dense `u32` ids. All adjacency is stored in
+//! sorted `Vec`s; the hot queries used by routing (`are_adjacent`,
+//! `common_neighbors`) are O(degree) merges with no hashing or allocation.
+
+use crate::TopologyKind;
+
+/// Router id.
+pub type RouterId = u32;
+/// End-node id.
+pub type NodeId = u32;
+
+/// An immutable interconnection network: a router graph plus end-node
+/// attachment. Construct via the per-topology builders in this crate.
+#[derive(Debug, Clone)]
+pub struct Network {
+    kind: TopologyKind,
+    /// Sorted neighbor list per router.
+    adj: Vec<Vec<RouterId>>,
+    /// Router of each end-node; node ids are contiguous per router.
+    node_router: Vec<RouterId>,
+    /// First node id attached to each router (node range is
+    /// `node_base[r] .. node_base[r] + nodes_at[r]`).
+    node_base: Vec<u32>,
+    /// Number of end-nodes attached to each router.
+    nodes_at: Vec<u32>,
+}
+
+impl Network {
+    /// Assembles a network from adjacency and per-router endpoint counts,
+    /// normalizing and sanity-checking the structure. Node ids are assigned
+    /// contiguously in router-id order, which implements the paper's
+    /// "contiguous mapping derived from the morphology" (§4.4) provided the
+    /// builder orders routers accordingly.
+    pub fn from_parts(kind: TopologyKind, mut adj: Vec<Vec<RouterId>>, nodes_at: Vec<u32>) -> Self {
+        let r = adj.len();
+        assert_eq!(nodes_at.len(), r, "nodes_at length must match router count");
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            assert!(
+                !list.contains(&(i as u32)),
+                "router {i} has a self-loop"
+            );
+            for &n in list.iter() {
+                assert!((n as usize) < r, "router {i} links to out-of-range {n}");
+            }
+        }
+        // Symmetry check: every link must appear in both endpoint lists.
+        for (i, list) in adj.iter().enumerate() {
+            for &n in list {
+                assert!(
+                    adj[n as usize].binary_search(&(i as u32)).is_ok(),
+                    "asymmetric link {i} -> {n}"
+                );
+            }
+        }
+        let mut node_router = Vec::new();
+        let mut node_base = Vec::with_capacity(r);
+        for (i, &cnt) in nodes_at.iter().enumerate() {
+            node_base.push(node_router.len() as u32);
+            node_router.extend(std::iter::repeat_n(i as u32, cnt as usize));
+        }
+        Network {
+            kind,
+            adj,
+            node_router,
+            node_base,
+            nodes_at,
+        }
+    }
+
+    /// The topology family and parameters this network was built from.
+    pub fn kind(&self) -> &TopologyKind {
+        &self.kind
+    }
+
+    /// Human-readable name, e.g. `SF(q=13,p=9)`.
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+
+    /// Number of routers `R`.
+    pub fn num_routers(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of end-nodes `N`.
+    pub fn num_nodes(&self) -> u32 {
+        self.node_router.len() as u32
+    }
+
+    /// Sorted neighbors of router `r`.
+    #[inline]
+    pub fn neighbors(&self, r: RouterId) -> &[RouterId] {
+        &self.adj[r as usize]
+    }
+
+    /// Network degree (router-to-router links) of router `r`.
+    #[inline]
+    pub fn degree(&self, r: RouterId) -> u32 {
+        self.adj[r as usize].len() as u32
+    }
+
+    /// Total router radix of `r`: network links plus attached end-nodes.
+    #[inline]
+    pub fn radix(&self, r: RouterId) -> u32 {
+        self.degree(r) + self.nodes_at(r)
+    }
+
+    /// Number of end-nodes attached to router `r`.
+    #[inline]
+    pub fn nodes_at(&self, r: RouterId) -> u32 {
+        self.nodes_at[r as usize]
+    }
+
+    /// End-node ids attached to router `r`.
+    pub fn router_nodes(&self, r: RouterId) -> std::ops::Range<u32> {
+        let base = self.node_base[r as usize];
+        base..base + self.nodes_at[r as usize]
+    }
+
+    /// The router an end-node is attached to.
+    #[inline]
+    pub fn node_router(&self, n: NodeId) -> RouterId {
+        self.node_router[n as usize]
+    }
+
+    /// Routers that have at least one end-node attached (the eligible
+    /// Valiant intermediates for the MLFM and OFT, paper §3.2).
+    pub fn endpoint_routers(&self) -> Vec<RouterId> {
+        (0..self.num_routers())
+            .filter(|&r| self.nodes_at(r) > 0)
+            .collect()
+    }
+
+    /// True if routers `a` and `b` are directly linked.
+    #[inline]
+    pub fn are_adjacent(&self, a: RouterId, b: RouterId) -> bool {
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Common neighbors of `a` and `b` (sorted-merge intersection).
+    pub fn common_neighbors(&self, a: RouterId, b: RouterId) -> Vec<RouterId> {
+        let (la, lb) = (&self.adj[a as usize], &self.adj[b as usize]);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() && j < lb.len() {
+            match la[i].cmp(&lb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(la[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Undirected router-router links as `(low, high)` pairs.
+    pub fn links(&self) -> Vec<(RouterId, RouterId)> {
+        let mut out = Vec::new();
+        for (i, list) in self.adj.iter().enumerate() {
+            for &n in list {
+                if (i as u32) < n {
+                    out.push((i as u32, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of links `Nl`: router-router links plus one link per
+    /// end-node.
+    pub fn total_links(&self) -> u64 {
+        let rr: u64 = self.adj.iter().map(|l| l.len() as u64).sum::<u64>() / 2;
+        rr + self.num_nodes() as u64
+    }
+
+    /// Total number of router ports `Np`: network ports plus endpoint ports.
+    pub fn total_ports(&self) -> u64 {
+        let net: u64 = self.adj.iter().map(|l| l.len() as u64).sum();
+        net + self.num_nodes() as u64
+    }
+
+    /// BFS distances (in router hops) from `src` to every router.
+    /// Unreachable routers get `u32::MAX`.
+    pub fn bfs_distances(&self, src: RouterId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in &self.adj[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Router-graph diameter (max over all pairs). Panics if disconnected.
+    pub fn diameter(&self) -> u32 {
+        let mut d = 0;
+        for r in 0..self.num_routers() {
+            let dist = self.bfs_distances(r);
+            for &x in &dist {
+                assert!(x != u32::MAX, "network is disconnected");
+                d = d.max(x);
+            }
+        }
+        d
+    }
+
+    /// Maximum distance between any two routers that have end-nodes
+    /// attached — the latency-relevant diameter for indirect topologies
+    /// where top-level switches carry no endpoints.
+    pub fn endpoint_diameter(&self) -> u32 {
+        let eps = self.endpoint_routers();
+        let mut d = 0;
+        for &r in &eps {
+            let dist = self.bfs_distances(r);
+            for &e in &eps {
+                assert!(dist[e as usize] != u32::MAX, "network is disconnected");
+                d = d.max(dist[e as usize]);
+            }
+        }
+        d
+    }
+
+    /// Number of distinct shortest paths between routers `a` and `b`
+    /// (`a != b`). For diameter-two graphs this is either the single direct
+    /// link or the number of common neighbors.
+    pub fn shortest_path_count(&self, a: RouterId, b: RouterId) -> usize {
+        assert_ne!(a, b);
+        if self.are_adjacent(a, b) {
+            1
+        } else {
+            self.common_neighbors(a, b).len()
+        }
+    }
+
+    /// Full structural self-check against the invariants of the network's
+    /// declared [`TopologyKind`]: router/node counts, degree regularity,
+    /// endpoint diameter, and — for SSPT members — the single-path law.
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let fail = |msg: String| -> Result<(), String> { Err(msg) };
+        // Universal: connectivity between endpoint routers (checked
+        // without the panicking diameter helpers).
+        let eps = self.endpoint_routers();
+        if let Some(&first) = eps.first() {
+            let dist = self.bfs_distances(first);
+            if eps.iter().any(|&e| dist[e as usize] == u32::MAX) {
+                return fail("endpoint routers are not mutually reachable".into());
+            }
+        }
+        match self.kind().clone() {
+            TopologyKind::SlimFly(p) => {
+                if self.num_routers() as u64 != 2 * p.q * p.q {
+                    return fail(format!("SF router count != 2q² for q = {}", p.q));
+                }
+                for r in 0..self.num_routers() {
+                    if self.degree(r) != p.network_radix {
+                        return fail(format!("SF router {r} degree {} != r'", self.degree(r)));
+                    }
+                    if self.nodes_at(r) != p.p {
+                        return fail(format!("SF router {r} endpoint count != p"));
+                    }
+                }
+                if self.diameter() != 2 {
+                    return fail("SF diameter != 2".into());
+                }
+            }
+            TopologyKind::Mlfm(p) => {
+                let lrs = p.l * (p.h + 1);
+                let grs = p.h * (p.h + 1) / 2;
+                if self.num_routers() as u64 != lrs + grs {
+                    return fail("MLFM router count mismatch".into());
+                }
+                if self.endpoint_diameter() != 2 {
+                    return fail("MLFM endpoint diameter != 2".into());
+                }
+            }
+            TopologyKind::Oft(p) => {
+                let rl = p.k * (p.k - 1) + 1;
+                if self.num_routers() as u64 != 3 * rl {
+                    return fail("OFT router count != 3·RL".into());
+                }
+                if self.endpoint_diameter() != 2 {
+                    return fail("OFT endpoint diameter != 2".into());
+                }
+            }
+            TopologyKind::Sspt(_) | TopologyKind::FatTree2(_) => {
+                if self.endpoint_diameter() != 2 {
+                    return fail("SSPT/FT2 endpoint diameter != 2".into());
+                }
+                // Every endpoint-router pair needs a 2-hop connection and
+                // endpoint routers must not interlink.
+                let eps = self.endpoint_routers();
+                for &a in &eps {
+                    for &b in self.neighbors(a) {
+                        if self.nodes_at(b) > 0 {
+                            return fail(format!(
+                                "endpoint routers {a} and {b} directly linked"
+                            ));
+                        }
+                    }
+                }
+            }
+            TopologyKind::HyperX2(p) => {
+                if self.num_routers() != p.s1 * p.s2 {
+                    return fail("HyperX router count mismatch".into());
+                }
+                if self.diameter() != 2 {
+                    return fail("HyperX diameter != 2".into());
+                }
+            }
+            TopologyKind::Custom { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        // Square: 0-1-2-3-0, one endpoint on 0 and 2, two on 1.
+        Network::from_parts(
+            TopologyKind::Custom {
+                label: "square".into(),
+            },
+            vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![0, 2]],
+            vec![1, 2, 1, 0],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let n = tiny();
+        assert_eq!(n.num_routers(), 4);
+        assert_eq!(n.num_nodes(), 4);
+        assert_eq!(n.neighbors(0), &[1, 3]);
+        assert_eq!(n.degree(0), 2);
+        assert_eq!(n.radix(1), 4);
+        assert_eq!(n.node_router(0), 0);
+        assert_eq!(n.node_router(1), 1);
+        assert_eq!(n.node_router(2), 1);
+        assert_eq!(n.node_router(3), 2);
+        assert_eq!(n.router_nodes(1), 1..3);
+        assert_eq!(n.endpoint_routers(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let n = tiny();
+        assert!(n.are_adjacent(0, 1));
+        assert!(!n.are_adjacent(0, 2));
+        assert_eq!(n.common_neighbors(0, 2), vec![1, 3]);
+        assert_eq!(n.shortest_path_count(0, 2), 2);
+        assert_eq!(n.shortest_path_count(0, 1), 1);
+    }
+
+    #[test]
+    fn counts_and_diameter() {
+        let n = tiny();
+        assert_eq!(n.links().len(), 4);
+        assert_eq!(n.total_links(), 4 + 4);
+        assert_eq!(n.total_ports(), 8 + 4);
+        assert_eq!(n.diameter(), 2);
+        assert_eq!(n.endpoint_diameter(), 2);
+        let d = n.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_all_builders() {
+        use crate::{fat_tree2, hyperx2_balanced, mlfm, oft, slim_fly, spt, SlimFlyP};
+        for net in [
+            slim_fly(5, SlimFlyP::Floor),
+            mlfm(4),
+            oft(4),
+            spt::stacked_sspt(4, 2, 4),
+            fat_tree2(8),
+            hyperx2_balanced(9),
+            tiny(),
+        ] {
+            assert!(net.validate().is_ok(), "{}: {:?}", net.name(), net.validate());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_mislabeled_networks() {
+        use crate::slimfly::SlimFlyParams;
+        // A ring masquerading as a Slim Fly.
+        let net = Network::from_parts(
+            TopologyKind::SlimFly(SlimFlyParams {
+                q: 5,
+                delta: 1,
+                w: 1,
+                p: 3,
+                network_radix: 7,
+            }),
+            vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![0, 2]],
+            vec![3; 4],
+        );
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn diameter_panics_on_disconnected() {
+        let n = Network::from_parts(
+            TopologyKind::Custom { label: "disc".into() },
+            vec![vec![1], vec![0], vec![3], vec![2]],
+            vec![1, 1, 1, 1],
+        );
+        n.diameter();
+    }
+
+    #[test]
+    fn duplicate_adjacency_entries_are_deduped() {
+        let n = Network::from_parts(
+            TopologyKind::Custom { label: "dup".into() },
+            vec![vec![1, 1, 1], vec![0, 0]],
+            vec![0, 0],
+        );
+        assert_eq!(n.degree(0), 1);
+        assert_eq!(n.links().len(), 1);
+    }
+
+    #[test]
+    fn router_with_no_nodes_has_empty_range() {
+        let n = tiny();
+        assert_eq!(n.router_nodes(3), 4..4);
+        assert_eq!(n.nodes_at(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric link")]
+    fn rejects_asymmetric_adjacency() {
+        Network::from_parts(
+            TopologyKind::Custom { label: "bad".into() },
+            vec![vec![1], vec![]],
+            vec![0, 0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Network::from_parts(
+            TopologyKind::Custom { label: "bad".into() },
+            vec![vec![0]],
+            vec![0],
+        );
+    }
+}

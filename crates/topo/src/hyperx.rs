@@ -1,0 +1,100 @@
+//! The two-dimensional HyperX / Generalized Hypercube (paper §2.1.1),
+//! the direct diameter-two baseline: the Cartesian product of two
+//! fully-connected graphs.
+
+use crate::graph::Network;
+use crate::TopologyKind;
+
+/// Parameters of a 2-D HyperX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HyperX2Params {
+    /// Routers per fully-connected group in dimension 1.
+    pub s1: u32,
+    /// Routers per fully-connected group in dimension 2.
+    pub s2: u32,
+    /// End-nodes per router.
+    pub p: u32,
+}
+
+/// Builds an `s1 × s2` two-dimensional HyperX with `p` end-nodes per
+/// router. Router `(i, j)` links to every `(i', j)` and every `(i, j')`.
+pub fn hyperx2(s1: u32, s2: u32, p: u32) -> Network {
+    assert!(s1 >= 2 && s2 >= 2);
+    let rid = |i: u32, j: u32| i * s2 + j;
+    let total = (s1 * s2) as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+    for i in 0..s1 {
+        for j in 0..s2 {
+            let me = rid(i, j);
+            for i2 in 0..s1 {
+                if i2 != i {
+                    adj[me as usize].push(rid(i2, j));
+                }
+            }
+            for j2 in 0..s2 {
+                if j2 != j {
+                    adj[me as usize].push(rid(i, j2));
+                }
+            }
+        }
+    }
+    Network::from_parts(
+        TopologyKind::HyperX2(HyperX2Params { s1, s2, p }),
+        adj,
+        vec![p; total],
+    )
+}
+
+/// Builds the balanced square HyperX from radix-`r` routers (`r` divisible
+/// by 3): `r/3` ports per dimension, `p = r/3` end-nodes, `(r/3 + 1)²`
+/// routers (paper §2.1.1).
+pub fn hyperx2_balanced(r: u32) -> Network {
+    assert!(r >= 3 && r.is_multiple_of(3), "balanced 2-D HyperX needs radix divisible by 3");
+    let s = r / 3 + 1;
+    hyperx2(s, s, r / 3)
+}
+
+/// End-node scale of the balanced 2-D HyperX of radix `r`:
+/// `N = (r/3)(r/3 + 1)² ≈ r³/27` (paper Fig. 3).
+pub fn hyperx2_scale(r: u64) -> u64 {
+    (r / 3) * (r / 3 + 1) * (r / 3 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_scale_and_cost() {
+        for r in [6u32, 9, 12, 24] {
+            let n = hyperx2_balanced(r);
+            assert_eq!(n.num_nodes() as u64, hyperx2_scale(r as u64));
+            let s = r / 3 + 1;
+            assert_eq!(n.num_routers(), s * s);
+            for id in 0..n.num_routers() {
+                assert_eq!(n.radix(id), r);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_two() {
+        let n = hyperx2(4, 5, 2);
+        assert_eq!(n.diameter(), 2);
+    }
+
+    #[test]
+    fn adjacency_structure() {
+        let n = hyperx2(3, 3, 1);
+        // (0,0)=0 and (1,1)=4 differ in both dims: distance 2, two minimal
+        // paths (via (0,1) and via (1,0)).
+        assert!(!n.are_adjacent(0, 4));
+        assert_eq!(n.common_neighbors(0, 4), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 3")]
+    fn rejects_bad_radix() {
+        hyperx2_balanced(8);
+    }
+}

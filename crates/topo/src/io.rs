@@ -1,0 +1,161 @@
+//! Interop export/import for networks: flat edge lists (round-trippable)
+//! and Graphviz DOT (for visualization).
+
+use crate::graph::Network;
+use crate::TopologyKind;
+
+/// Serializes a network to a plain-text edge list:
+///
+/// ```text
+/// # d2net network <name>
+/// routers <R>
+/// nodes_at <n0> <n1> ... <nR-1>
+/// <a> <b>        (one undirected router link per line, a < b)
+/// ```
+pub fn to_edge_list(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# d2net network {}\n", net.name()));
+    out.push_str(&format!("routers {}\n", net.num_routers()));
+    out.push_str("nodes_at");
+    for r in 0..net.num_routers() {
+        out.push_str(&format!(" {}", net.nodes_at(r)));
+    }
+    out.push('\n');
+    for (a, b) in net.links() {
+        out.push_str(&format!("{a} {b}\n"));
+    }
+    out
+}
+
+/// Parses the [`to_edge_list`] format back into a network (as a
+/// `Custom`-kind topology; parameters are not round-tripped).
+pub fn from_edge_list(text: &str) -> Result<Network, String> {
+    let mut routers: Option<u32> = None;
+    let mut nodes_at: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut label = String::from("imported");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# d2net network ") {
+            label = rest.to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("routers ") {
+            routers = Some(rest.trim().parse().map_err(|e| format!("routers: {e}"))?);
+        } else if let Some(rest) = line.strip_prefix("nodes_at") {
+            for tok in rest.split_whitespace() {
+                nodes_at.push(tok.parse().map_err(|e| format!("nodes_at: {e}"))?);
+            }
+        } else {
+            let mut it = line.split_whitespace();
+            let a: u32 = it
+                .next()
+                .ok_or("missing edge endpoint")?
+                .parse()
+                .map_err(|e| format!("edge: {e}"))?;
+            let b: u32 = it
+                .next()
+                .ok_or("missing edge endpoint")?
+                .parse()
+                .map_err(|e| format!("edge: {e}"))?;
+            edges.push((a, b));
+        }
+    }
+    let r = routers.ok_or("missing `routers` header")? as usize;
+    if nodes_at.len() != r {
+        return Err(format!(
+            "nodes_at has {} entries for {r} routers",
+            nodes_at.len()
+        ));
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); r];
+    for (a, b) in edges {
+        if a as usize >= r || b as usize >= r {
+            return Err(format!("edge ({a}, {b}) out of range"));
+        }
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    Ok(Network::from_parts(
+        TopologyKind::Custom { label },
+        adj,
+        nodes_at,
+    ))
+}
+
+/// Renders the router graph as Graphviz DOT. Routers with end-nodes are
+/// drawn as boxes labelled `r<i> (+p)`, top-level routers as ellipses.
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{}\" {{\n", net.name()));
+    out.push_str("  layout=neato;\n  node [fontsize=10];\n");
+    for r in 0..net.num_routers() {
+        if net.nodes_at(r) > 0 {
+            out.push_str(&format!(
+                "  r{r} [shape=box,label=\"r{r} (+{})\"];\n",
+                net.nodes_at(r)
+            ));
+        } else {
+            out.push_str(&format!("  r{r} [shape=ellipse];\n"));
+        }
+    }
+    for (a, b) in net.links() {
+        out.push_str(&format!("  r{a} -- r{b};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mlfm, oft, slim_fly, SlimFlyP};
+
+    #[test]
+    fn edge_list_round_trips() {
+        for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(3)] {
+            let text = to_edge_list(&net);
+            let back = from_edge_list(&text).unwrap();
+            assert_eq!(back.num_routers(), net.num_routers());
+            assert_eq!(back.num_nodes(), net.num_nodes());
+            for r in 0..net.num_routers() {
+                assert_eq!(back.neighbors(r), net.neighbors(r), "{}", net.name());
+                assert_eq!(back.nodes_at(r), net.nodes_at(r));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_contains_all_links() {
+        let net = mlfm(3);
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("graph"));
+        assert_eq!(dot.matches(" -- ").count(), net.links().len());
+        assert!(dot.contains("r0 [shape=box,label=\"r0 (+3)\"];"));
+        // GRs carry no endpoints: ellipses.
+        assert!(dot.contains("r12 [shape=ellipse];"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("routers 2\nnodes_at 1\n").is_err()); // count mismatch
+        assert!(from_edge_list("routers 2\nnodes_at 1 1\n0 5\n").is_err()); // range
+        assert!(from_edge_list("routers 2\nnodes_at 1 1\nx y\n").is_err()); // parse
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let net = from_edge_list(
+            "# a comment\n\nrouters 2\nnodes_at 1 1\n# another\n0 1\n",
+        )
+        .unwrap();
+        assert!(net.are_adjacent(0, 1));
+    }
+}

@@ -1,0 +1,268 @@
+//! The two-level Orthogonal Fat-Tree (paper §2.2.4; Valerio et al.
+//! [22, 23]) — the SSPT obtained by stacking two SPTs with
+//! `r1 = r2 = k`, for `k − 1` prime.
+//!
+//! Three levels of `RL = k(k−1) + 1` routers each. End-nodes attach to the
+//! outer levels L0 and L2 (`p = k` each); L1 is the shared upper level of
+//! both stacked SPTs. The L0↔L1 and L2↔L1 interconnections both follow the
+//! *Maximal Leaves Basic Building Block* (`k`-ML3B): a `RL × k` table whose
+//! row `i` lists the L1 routers adjacent to outer router `i`.
+//!
+//! The ML3B is the incidence table of a projective plane of order `k − 1`:
+//! every two rows share exactly one entry, which is precisely the
+//! single-path property of the SPT.
+
+use crate::graph::Network;
+use crate::TopologyKind;
+use d2net_galois::mols::cyclic_latin_square;
+use d2net_galois::primes::is_prime;
+
+/// Parameters of a two-level OFT instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OftParams {
+    /// Network radix of outer routers; `k − 1` must be prime.
+    pub k: u64,
+    /// End-nodes per outer (L0/L2) router.
+    pub p: u32,
+}
+
+/// Routers per level: `RL = k(k−1) + 1 = k² − k + 1`.
+pub fn routers_per_level(k: u64) -> u64 {
+    k * (k - 1) + 1
+}
+
+/// Builds the tabular representation of the `k`-ML3B exactly as described
+/// in paper §2.2.4 (requires `k − 1` prime). Row `i` lists, in construction
+/// order, the L1 routers connected to outer router `i`.
+pub fn ml3b(k: u64) -> Vec<Vec<u64>> {
+    let n = k - 1;
+    assert!(is_prime(n), "k-ML3B construction requires k - 1 prime, got k = {k}");
+    let rl = routers_per_level(k);
+    let mut table = vec![vec![0u64; k as usize]; rl as usize];
+
+    // Step 1: first row gets [RL − k, RL − 1].
+    for (j, cell) in table[0].iter_mut().enumerate() {
+        *cell = rl - k + j as u64;
+    }
+    // Step 2: first column of the remaining rows: k−1 copies of RL−k,
+    // then k−1 copies of RL−k+1, ...
+    for i in 1..rl {
+        table[i as usize][0] = rl - k + (i - 1) / n;
+    }
+    // Step 3: the k(k−1) × (k−1) area is divided into k squares of
+    // (k−1) × (k−1), stacked vertically (rows 1 + s·n .. 1 + (s+1)·n).
+    for s in 0..k {
+        for i in 0..n {
+            for j in 0..n {
+                let row = (1 + s * n + i) as usize;
+                let col = (1 + j) as usize;
+                table[row][col] = match s {
+                    // First square: 0 .. (k−1)² − 1 row-major.
+                    0 => i * n + j,
+                    // Second: its transpose.
+                    1 => j * n + i,
+                    // Remaining k − 2 squares: the MOLS L_m(i,j) = i + m·j
+                    // (m = s − 1), with column j increased by j·(k−1).
+                    _ => {
+                        let m = s - 1;
+                        let sq = cyclic_latin_square(n, m);
+                        sq[i as usize][j as usize] + j * n
+                    }
+                };
+            }
+        }
+    }
+    table
+}
+
+/// Builds a two-level `k`-OFT with `p` end-nodes per outer router
+/// (`p = k` in the paper). Router ids: L0 = `0..RL`, L1 = `RL..2RL`,
+/// L2 = `2RL..3RL`; nodes attach contiguously to L0 then L2, matching the
+/// paper's intra-layer → inter-layer contiguous mapping.
+pub fn oft_general(k: u64, p: u32) -> Network {
+    let rl = routers_per_level(k);
+    let table = ml3b(k);
+    let total = (3 * rl) as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+    for (i, row) in table.iter().enumerate() {
+        for &j in row {
+            let l1 = (rl + j) as u32;
+            // L0 ↔ L1
+            adj[i].push(l1);
+            adj[l1 as usize].push(i as u32);
+            // L2 ↔ L1 (same pattern; symmetric counterpart routers share
+            // all k L1 neighbors, giving the k-wide diversity of §2.3.3)
+            let l2 = (2 * rl + i as u64) as u32;
+            adj[l2 as usize].push(l1);
+            adj[l1 as usize].push(l2);
+        }
+    }
+    let mut nodes_at = vec![p; rl as usize]; // L0
+    nodes_at.extend(std::iter::repeat_n(0, rl as usize)); // L1
+    nodes_at.extend(std::iter::repeat_n(p, rl as usize)); // L2
+    Network::from_parts(TopologyKind::Oft(OftParams { k, p }), adj, nodes_at)
+}
+
+/// Builds the paper's `k`-OFT (`p = k`).
+pub fn oft(k: u64) -> Network {
+    oft_general(k, k as u32)
+}
+
+/// Level of a router id in a `k`-OFT: 0, 1 or 2.
+pub fn level(k: u64, r: u32) -> u32 {
+    (r as u64 / routers_per_level(k)) as u32
+}
+
+/// The symmetric counterpart of an outer router (L0 `i` ↔ L2 `i`).
+/// Panics for L1 routers.
+pub fn counterpart(k: u64, r: u32) -> u32 {
+    let rl = routers_per_level(k);
+    match r as u64 / rl {
+        0 => (r as u64 + 2 * rl) as u32,
+        2 => (r as u64 - 2 * rl) as u32,
+        _ => panic!("L1 router {r} has no counterpart"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml3b_matches_paper_table2() {
+        // Table 2 of the paper: the 4-ML3B.
+        let t = ml3b(4);
+        let expected: Vec<Vec<u64>> = vec![
+            vec![9, 10, 11, 12],
+            vec![9, 0, 1, 2],
+            vec![9, 3, 4, 5],
+            vec![9, 6, 7, 8],
+            vec![10, 0, 3, 6],
+            vec![10, 1, 4, 7],
+            vec![10, 2, 5, 8],
+            vec![11, 0, 4, 8],
+            vec![11, 1, 5, 6],
+            vec![11, 2, 3, 7],
+            vec![12, 0, 5, 7],
+            vec![12, 1, 3, 8],
+            vec![12, 2, 4, 6],
+        ];
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn ml3b_is_projective_plane_incidence() {
+        // Two properties give the SPT single-path guarantee:
+        //  (a) every pair of rows shares exactly one entry;
+        //  (b) every L1 index appears in exactly k rows.
+        for k in [3u64, 4, 6, 8, 12] {
+            let t = ml3b(k);
+            let rl = routers_per_level(k) as usize;
+            assert_eq!(t.len(), rl, "k={k}");
+            for row in &t {
+                let mut s = row.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), k as usize, "k={k}: duplicate entries in a row");
+            }
+            for i in 0..rl {
+                for j in i + 1..rl {
+                    let shared = t[i].iter().filter(|v| t[j].contains(v)).count();
+                    assert_eq!(shared, 1, "k={k}: rows {i},{j} share {shared} entries");
+                }
+            }
+            let mut appearances = vec![0u32; rl];
+            for row in &t {
+                for &v in row {
+                    appearances[v as usize] += 1;
+                }
+            }
+            assert!(appearances.iter().all(|&c| c == k as u32), "k={k}");
+        }
+    }
+
+    #[test]
+    fn paper_config_k12() {
+        // §4.1: OFT with k = 12 → N = 3192, R = 399, r = 24.
+        let n = oft(12);
+        assert_eq!(n.num_routers(), 399);
+        assert_eq!(n.num_nodes(), 3192);
+        for r in 0..n.num_routers() {
+            assert_eq!(n.radix(r), 24);
+        }
+    }
+
+    #[test]
+    fn counts_follow_formulas() {
+        for k in [3u64, 4, 6, 8] {
+            let n = oft(k);
+            assert_eq!(n.num_nodes() as u64, 2 * k * k * k - 2 * k * k + 2 * k);
+            assert_eq!(n.num_routers() as u64, 3 * (k * k - k + 1));
+            assert_eq!(n.total_ports(), 3 * n.num_nodes() as u64);
+            assert_eq!(n.total_links(), 2 * n.num_nodes() as u64);
+        }
+    }
+
+    #[test]
+    fn endpoint_diameter_is_two() {
+        for k in [3u64, 4, 6] {
+            let n = oft(k);
+            assert_eq!(n.endpoint_diameter(), 2, "k={k}");
+        }
+    }
+
+    #[test]
+    fn path_diversity_matches_section_2_3_3() {
+        // Symmetric counterpart pairs (0,i)/(2,i) have k minimal paths;
+        // every other outer pair has exactly one.
+        let k = 4u64;
+        let n = oft(k);
+        let rl = routers_per_level(k) as u32;
+        for a in 0..rl {
+            for b in 0..rl {
+                let (l0, l2) = (a, 2 * rl + b);
+                let expected = if a == b { k as usize } else { 1 };
+                assert_eq!(n.common_neighbors(l0, l2).len(), expected);
+            }
+        }
+        // Same-level pairs always share exactly one L1 router.
+        for a in 0..rl {
+            for b in a + 1..rl {
+                assert_eq!(n.common_neighbors(a, b).len(), 1);
+                assert_eq!(n.common_neighbors(2 * rl + a, 2 * rl + b).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn level_and_counterpart() {
+        let k = 4;
+        let rl = routers_per_level(k) as u32;
+        assert_eq!(level(k, 0), 0);
+        assert_eq!(level(k, rl), 1);
+        assert_eq!(level(k, 2 * rl + 3), 2);
+        assert_eq!(counterpart(k, 5), 2 * rl + 5);
+        assert_eq!(counterpart(k, 2 * rl + 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires k - 1 prime")]
+    fn rejects_k_minus_one_composite() {
+        ml3b(5); // k − 1 = 4 is not prime
+    }
+
+    #[test]
+    fn outer_levels_never_link_directly() {
+        let n = oft(4);
+        let rl = routers_per_level(4) as u32;
+        for a in 0..rl {
+            for b in 0..rl {
+                assert!(!n.are_adjacent(a, 2 * rl + b));
+                if a != b {
+                    assert!(!n.are_adjacent(a, b));
+                    assert!(!n.are_adjacent(rl + a, rl + b)); // L1 mutual
+                }
+            }
+        }
+    }
+}

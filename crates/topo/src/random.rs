@@ -1,0 +1,94 @@
+//! Random connected test networks.
+//!
+//! Not part of the paper — these exist to fuzz the routing and
+//! simulation stacks on *unstructured* graphs, so that correctness
+//! arguments never silently rely on the symmetries of the constructed
+//! topologies.
+
+use crate::graph::Network;
+use crate::TopologyKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random connected network of `routers` routers with `p`
+/// end-nodes each: a Hamiltonian ring (guaranteeing connectivity) plus
+/// random chords until every router has degree ≥ `min_degree`, then
+/// further chords until the router-graph diameter is at most
+/// `max_diameter` (keeping routes within the fixed-capacity path
+/// representation).
+pub fn random_connected(
+    routers: u32,
+    min_degree: u32,
+    p: u32,
+    max_diameter: u32,
+    seed: u64,
+) -> Network {
+    assert!(routers >= 3);
+    assert!(min_degree >= 2 && min_degree < routers);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = routers as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut has = vec![vec![false; n]; n];
+    let add = |adj: &mut Vec<Vec<u32>>, has: &mut Vec<Vec<bool>>, a: usize, b: usize| {
+        if a != b && !has[a][b] {
+            has[a][b] = true;
+            has[b][a] = true;
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+    };
+    // Ring.
+    for i in 0..n {
+        add(&mut adj, &mut has, i, (i + 1) % n);
+    }
+    // Random chords to satisfy the degree floor.
+    for i in 0..n {
+        while adj[i].len() < min_degree as usize {
+            let j = rng.gen_range(0..n);
+            add(&mut adj, &mut has, i, j);
+        }
+    }
+    // Shrink the diameter with random chords if needed.
+    loop {
+        let net = Network::from_parts(
+            TopologyKind::Custom {
+                label: format!("rand(R={routers},seed={seed})"),
+            },
+            adj.clone(),
+            vec![p; n],
+        );
+        if net.diameter() <= max_diameter {
+            return net;
+        }
+        for _ in 0..n {
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            add(&mut adj, &mut has, a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_networks_are_connected_and_bounded() {
+        for seed in 0..8 {
+            let net = random_connected(16, 4, 2, 3, seed);
+            assert!(net.diameter() <= 3, "seed {seed}");
+            for r in 0..net.num_routers() {
+                assert!(net.degree(r) >= 4, "seed {seed}");
+            }
+            assert_eq!(net.num_nodes(), 32);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_connected(12, 3, 1, 4, 7);
+        let b = random_connected(12, 3, 1, 4, 7);
+        for r in 0..a.num_routers() {
+            assert_eq!(a.neighbors(r), b.neighbors(r));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The Stacked Single-Path Tree (SSPT) class introduced by the paper
+//! (§2.2.2): the structural laws shared by the MLFM (`r2 = 2`) and the
+//! two-level OFT (`r2 = r1`), plus validators that check a concrete
+//! [`Network`] actually satisfies the SPT/SSPT properties.
+
+use crate::graph::Network;
+
+/// Closed-form scale of a Single-Path Tree with level-1 router-to-router
+/// radix `r1` and level-2 radix `r2` (paper §2.2.2):
+/// `R1 = 1 + r1(r2 − 1)` first-level routers, `p = r1` nodes each.
+pub fn spt_level1_routers(r1: u64, r2: u64) -> u64 {
+    1 + r1 * (r2 - 1)
+}
+
+/// Second-level routers of an SPT: `R2 = R1 · r1 / r2`.
+///
+/// Returns `None` when the division is not exact (no such SPT).
+pub fn spt_level2_routers(r1: u64, r2: u64) -> Option<u64> {
+    let prod = spt_level1_routers(r1, r2) * r1;
+    prod.is_multiple_of(r2).then(|| prod / r2)
+}
+
+/// End-node scale of an SPT: `N = r1²(r2 − 1) + r1`.
+pub fn spt_scale(r1: u64, r2: u64) -> u64 {
+    r1 * r1 * (r2 - 1) + r1
+}
+
+/// End-node scale of the SSPT obtained by stacking `2·r1/r2` SPTs so that
+/// all routers have the uniform radix `r = 2·r1`:
+/// `N = (r³/4)·((r2−1)/r2) + r²/(2·r2)`.
+pub fn sspt_scale(r1: u64, r2: u64) -> u64 {
+    spt_scale(r1, r2) * 2 * r1 / r2
+}
+
+/// Parameters of a generic stacked SSPT built by [`stacked_sspt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsptParams {
+    /// Level-1 router-to-router radix of each constituent SPT.
+    pub r1: u64,
+    /// Level-2 radix of each constituent SPT; `r2` must divide `2·r1`.
+    pub r2: u64,
+    /// End-nodes per level-1 router.
+    pub p: u32,
+    /// Number of stacked SPT copies: `2·r1 / r2`.
+    pub copies: u64,
+}
+
+/// The level-1 → level-2 incidence of an SPT(r1, r2): row `i` lists the
+/// level-2 routers adjacent to level-1 router `i`. Exactly one common
+/// level-2 neighbor exists for every level-1 pair.
+///
+/// Precise constructions are known for two families (paper §2.2.2):
+/// `r2 = 2` (level-2 routers = the edges of the complete graph on
+/// `r1 + 1` level-1 routers) and `r2 = r1` with `r1 − 1` prime (the
+/// ML3B / projective-plane incidence). Returns `None` otherwise.
+pub fn spt_incidence(r1: u64, r2: u64) -> Option<Vec<Vec<u64>>> {
+    if r2 == 2 {
+        // R1 = 1 + r1 level-1 routers; one level-2 router per pair {a, b}.
+        let n1 = r1 + 1;
+        let pair_id = |a: u64, b: u64| {
+            // Rank of (a, b), a < b, in lexicographic order.
+            a * (2 * n1 - a - 3) / 2 + b - 1
+        };
+        let rows = (0..n1)
+            .map(|a| {
+                (0..n1)
+                    .filter(|&b| b != a)
+                    .map(|b| if a < b { pair_id(a, b) } else { pair_id(b, a) })
+                    .collect()
+            })
+            .collect();
+        return Some(rows);
+    }
+    if r2 == r1 && r1 >= 3 && d2net_galois::is_prime(r1 - 1) {
+        return Some(crate::oft::ml3b(r1));
+    }
+    None
+}
+
+/// Builds the Stacked Single-Path Tree obtained by instantiating
+/// `2·r1/r2` copies of SPT(r1, r2) and merging corresponding level-2
+/// routers (paper §2.2.2), with `p` end-nodes per level-1 router.
+///
+/// - `stacked_sspt(h, 2, h)` is isomorphic to the `h`-MLFM;
+/// - `stacked_sspt(k, k, k)` is isomorphic to the two-level `k`-OFT.
+///
+/// Router ids: level-1 routers copy-major (copy 0 first), then the
+/// merged level-2 routers — so node ids follow the paper's contiguous
+/// intra-router → intra-copy → inter-copy order.
+///
+/// Panics if `r2` does not divide `2·r1` or no SPT(r1, r2) construction
+/// is known.
+pub fn stacked_sspt(r1: u64, r2: u64, p: u32) -> crate::graph::Network {
+    assert!(
+        (2 * r1).is_multiple_of(r2),
+        "stacking requires r2 | 2·r1 (got r1 = {r1}, r2 = {r2})"
+    );
+    let incidence = spt_incidence(r1, r2)
+        .unwrap_or_else(|| panic!("no known SPT(r1 = {r1}, r2 = {r2}) interconnection pattern"));
+    let copies = 2 * r1 / r2;
+    let n1 = incidence.len() as u64; // level-1 routers per copy
+    let n2 = spt_level2_routers(r1, r2).expect("incidence exists implies divisibility");
+    // Sanity: every row has r1 entries, every level-2 index < n2.
+    for row in &incidence {
+        assert_eq!(row.len() as u64, r1, "incidence row degree must be r1");
+        for &j in row {
+            assert!(j < n2, "level-2 index out of range");
+        }
+    }
+    let total = (copies * n1 + n2) as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+    for t in 0..copies {
+        for (i, row) in incidence.iter().enumerate() {
+            let l1 = (t * n1 + i as u64) as u32;
+            for &j in row {
+                let l2 = (copies * n1 + j) as u32;
+                adj[l1 as usize].push(l2);
+                adj[l2 as usize].push(l1);
+            }
+        }
+    }
+    let mut nodes_at = vec![p; (copies * n1) as usize];
+    nodes_at.extend(std::iter::repeat_n(0, n2 as usize));
+    crate::graph::Network::from_parts(
+        crate::TopologyKind::Sspt(SsptParams { r1, r2, p, copies }),
+        adj,
+        nodes_at,
+    )
+}
+
+/// Report from [`validate_sspt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsptReport {
+    /// Endpoint-router pairs with exactly one minimal path.
+    pub single_path_pairs: u64,
+    /// Endpoint-router pairs with more than one minimal path
+    /// (the stacked "counterpart" pairs).
+    pub multi_path_pairs: u64,
+    /// The uniform path diversity observed on multi-path pairs.
+    pub multi_path_diversity: Option<u64>,
+}
+
+/// Validates that `net` is a well-formed two-level SSPT:
+///
+/// 1. end-nodes attach only to lower-level routers, and lower-level routers
+///    never link to each other (the graph is bipartite between endpoint
+///    routers and top routers);
+/// 2. every pair of endpoint routers is joined by at least one 2-hop path;
+/// 3. all pairs have exactly one minimal path, except pairs of stacked
+///    counterparts, which all share the same diversity.
+///
+/// Returns the observed path-diversity census, panicking on a structural
+/// violation (these are programming errors in a builder, not data errors).
+pub fn validate_sspt(net: &Network) -> SsptReport {
+    let eps = net.endpoint_routers();
+    // (1) bipartiteness between endpoint routers and the rest.
+    for &a in &eps {
+        for &b in net.neighbors(a) {
+            assert_eq!(
+                net.nodes_at(b),
+                0,
+                "endpoint routers {a} and {b} are directly linked — not an SSPT"
+            );
+        }
+    }
+    // (2) + (3) path census.
+    let mut report = SsptReport {
+        single_path_pairs: 0,
+        multi_path_pairs: 0,
+        multi_path_diversity: None,
+    };
+    for (i, &a) in eps.iter().enumerate() {
+        for &b in eps.iter().skip(i + 1) {
+            let paths = net.common_neighbors(a, b).len() as u64;
+            assert!(paths >= 1, "endpoint routers {a}, {b} have no 2-hop path");
+            if paths == 1 {
+                report.single_path_pairs += 1;
+            } else {
+                report.multi_path_pairs += 1;
+                match report.multi_path_diversity {
+                    None => report.multi_path_diversity = Some(paths),
+                    Some(d) => assert_eq!(
+                        d, paths,
+                        "irregular multi-path diversity at pair ({a}, {b})"
+                    ),
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlfm::mlfm;
+    use crate::oft::oft;
+
+    #[test]
+    fn spt_formulas() {
+        // r2 = 2 (MLFM building block): R1 = 1 + r1, N = r1² + r1.
+        assert_eq!(spt_level1_routers(4, 2), 5);
+        assert_eq!(spt_scale(4, 2), 20);
+        assert_eq!(spt_level2_routers(4, 2), Some(10));
+        // r2 = r1 = k (OFT building block): R1 = 1 + k(k−1).
+        assert_eq!(spt_level1_routers(4, 4), 13);
+        assert_eq!(spt_level2_routers(4, 4), Some(13));
+        assert_eq!(spt_scale(4, 4), 52);
+    }
+
+    #[test]
+    fn sspt_scale_matches_members() {
+        // h-MLFM = stacking h SPT(r1 = h, r2 = 2): N = h³ + h².
+        for h in [3u64, 4, 7, 15] {
+            assert_eq!(sspt_scale(h, 2), h * h * h + h * h);
+        }
+        // k-OFT = stacking 2 SPT(k, k): N = 2k³ − 2k² + 2k.
+        for k in [3u64, 4, 6, 12] {
+            assert_eq!(sspt_scale(k, k), 2 * k * k * k - 2 * k * k + 2 * k);
+        }
+    }
+
+    #[test]
+    fn mlfm_is_valid_sspt() {
+        let h = 4u64;
+        let net = mlfm(h);
+        let rep = validate_sspt(&net);
+        // Same-column pairs: positions (h+1) × layer pairs C(h,2) each.
+        let cols = h + 1;
+        let expected_multi = cols * h * (h - 1) / 2;
+        assert_eq!(rep.multi_path_pairs, expected_multi);
+        assert_eq!(rep.multi_path_diversity, Some(h));
+        let total = (cols * h) * (cols * h - 1) / 2;
+        assert_eq!(rep.single_path_pairs + rep.multi_path_pairs, total);
+    }
+
+    #[test]
+    fn oft_is_valid_sspt() {
+        let k = 4u64;
+        let net = oft(k);
+        let rep = validate_sspt(&net);
+        let rl = k * (k - 1) + 1;
+        // Counterpart pairs: one per outer index.
+        assert_eq!(rep.multi_path_pairs, rl);
+        assert_eq!(rep.multi_path_diversity, Some(k));
+        let total = (2 * rl) * (2 * rl - 1) / 2;
+        assert_eq!(rep.single_path_pairs + rep.multi_path_pairs, total);
+    }
+
+    /// Degree-sequence + structural fingerprint for isomorphism-free
+    /// comparison of two networks.
+    fn fingerprint(net: &crate::graph::Network) -> (u32, u32, Vec<u32>, u64, u64) {
+        let mut degs: Vec<u32> = (0..net.num_routers()).map(|r| net.degree(r)).collect();
+        degs.sort_unstable();
+        let rep = validate_sspt(net);
+        (
+            net.num_routers(),
+            net.num_nodes(),
+            degs,
+            rep.multi_path_pairs,
+            rep.multi_path_diversity.unwrap_or(1),
+        )
+    }
+
+    #[test]
+    fn stacking_r2_two_reproduces_mlfm() {
+        for h in [3u64, 4, 6] {
+            let generic = stacked_sspt(h, 2, h as u32);
+            let direct = mlfm(h);
+            assert_eq!(fingerprint(&generic), fingerprint(&direct), "h={h}");
+            assert_eq!(generic.endpoint_diameter(), 2);
+        }
+    }
+
+    #[test]
+    fn stacking_r2_eq_r1_reproduces_oft() {
+        for k in [3u64, 4, 6] {
+            let generic = stacked_sspt(k, k, k as u32);
+            let direct = oft(k);
+            assert_eq!(fingerprint(&generic), fingerprint(&direct), "k={k}");
+            assert_eq!(generic.endpoint_diameter(), 2);
+        }
+    }
+
+    #[test]
+    fn generic_sspt_cost_is_3_ports_2_links() {
+        for (r1, r2) in [(4u64, 2u64), (4, 4), (6, 2), (6, 6)] {
+            let net = stacked_sspt(r1, r2, r1 as u32);
+            assert_eq!(net.total_ports(), 3 * net.num_nodes() as u64, "({r1},{r2})");
+            assert_eq!(net.total_links(), 2 * net.num_nodes() as u64, "({r1},{r2})");
+            assert_eq!(net.num_nodes() as u64, sspt_scale(r1, r2), "({r1},{r2})");
+        }
+    }
+
+    #[test]
+    fn spt_incidence_has_single_path_property() {
+        for (r1, r2) in [(3u64, 2u64), (5, 2), (8, 2), (4, 4), (6, 6)] {
+            let inc = spt_incidence(r1, r2).unwrap();
+            assert_eq!(inc.len() as u64, spt_level1_routers(r1, r2), "({r1},{r2})");
+            for (i, a) in inc.iter().enumerate() {
+                for b in inc.iter().skip(i + 1) {
+                    let shared = a.iter().filter(|v| b.contains(v)).count();
+                    assert_eq!(shared, 1, "rows must share exactly one level-2 router");
+                }
+            }
+            // Every level-2 router appears exactly r2 times.
+            let n2 = spt_level2_routers(r1, r2).unwrap();
+            let mut count = vec![0u64; n2 as usize];
+            for row in &inc {
+                for &j in row {
+                    count[j as usize] += 1;
+                }
+            }
+            assert!(count.iter().all(|&c| c == r2), "({r1},{r2})");
+        }
+    }
+
+    #[test]
+    fn unknown_incidence_combinations_return_none() {
+        assert!(spt_incidence(5, 3).is_none());
+        assert!(spt_incidence(5, 5).is_none()); // r1 − 1 = 4 not prime
+        assert!(spt_incidence(9, 6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "r2 | 2")]
+    fn stacking_requires_divisibility() {
+        stacked_sspt(5, 3, 5);
+    }
+
+    #[test]
+    fn spt_level2_divisibility() {
+        // (r1 = 5, r2 = 3): R1·r1 = 16·5 = 80, not divisible by 3.
+        assert_eq!(spt_level2_routers(5, 3), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! # d2net-traffic
+//!
+//! Workload generation for the paper's evaluation (§4):
+//!
+//! - [`patterns`]: steady-state synthetic traffic — global uniform random
+//!   and fixed permutations (shift, random);
+//! - [`worstcase`]: the per-topology adversarial permutations of §4.2 and
+//!   their analytic saturation bounds (1/2p, 1/h, 1/k);
+//! - [`exchange`]: the All-to-All and 3-D-torus Nearest-Neighbor
+//!   exchanges of §4.4, with the paper's contiguous rank mapping and
+//!   torus dimensions.
+
+pub mod exchange;
+pub mod patterns;
+pub mod worstcase;
+
+pub use exchange::{all_to_all, all_to_all_shuffled, fit_torus, nearest_neighbor, torus_dims_for, Exchange, Message};
+pub use patterns::{random_permutation, shift_pattern, SyntheticPattern};
+pub use worstcase::{slim_fly_worst_case, worst_case, worst_case_saturation};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn shift_patterns_are_permutations(n in 2u32..5000, s in 1u32..100) {
+            prop_assume!(s % n != 0);
+            prop_assert!(shift_pattern(n, s).is_valid_permutation(n));
+        }
+
+        #[test]
+        fn random_permutations_are_valid(n in 2u32..300, seed in 0u64..100) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            prop_assert!(random_permutation(n, &mut rng).is_valid_permutation(n));
+        }
+
+        #[test]
+        fn fit_torus_never_overflows(n in 1u32..100_000) {
+            let [a, b, c] = fit_torus(n);
+            prop_assert!(a as u64 * b as u64 * c as u64 <= n as u64);
+            prop_assert!(a <= b && b <= c);
+        }
+
+        #[test]
+        fn a2a_is_balanced(n in 2u32..60, bytes in 1u64..10_000) {
+            let e = all_to_all(n, bytes);
+            let mut recv = vec![0u64; n as usize];
+            for msgs in &e.sends {
+                for m in msgs {
+                    recv[m.dst as usize] += m.bytes;
+                }
+            }
+            for &r in &recv {
+                prop_assert_eq!(r, (n as u64 - 1) * bytes);
+            }
+        }
+
+        #[test]
+        fn nn_degree_and_symmetry(x in 1u32..6, y in 1u32..6, z in 1u32..6, bytes in 1u64..1000) {
+            let e = nearest_neighbor([x, y, z], bytes);
+            for (s, msgs) in e.sends.iter().enumerate() {
+                let deg: usize = [x, y, z].iter().map(|&d| match d {
+                    1 => 0usize,
+                    2 => 1,
+                    _ => 2,
+                }).sum();
+                prop_assert_eq!(msgs.len(), deg);
+                for m in msgs {
+                    prop_assert!(e.sends[m.dst as usize].iter().any(|r| r.dst as usize == s));
+                }
+            }
+        }
+    }
+}

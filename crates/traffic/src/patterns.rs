@@ -1,0 +1,143 @@
+//! Steady-state synthetic traffic patterns (paper §4.3): global uniform
+//! random traffic and fixed permutations (the adversarial patterns of
+//! §4.2 are permutations produced by [`crate::worstcase`]).
+
+use d2net_topo::NodeId;
+use rand::Rng;
+
+/// Destination selection for continuously generated synthetic traffic.
+#[derive(Debug, Clone)]
+pub enum SyntheticPattern {
+    /// Every packet goes to a fresh uniformly random node other than the
+    /// source ("global uniform traffic").
+    Uniform,
+    /// Fixed node-level permutation: `dst[i]` receives all of node `i`'s
+    /// traffic. Used for adversarial/worst-case experiments.
+    Permutation(Vec<NodeId>),
+}
+
+impl SyntheticPattern {
+    /// Draws the destination of the next packet from `src`.
+    #[inline]
+    pub fn dest<R: Rng>(&self, src: NodeId, n_nodes: u32, rng: &mut R) -> NodeId {
+        match self {
+            SyntheticPattern::Uniform => {
+                // Uniform over the other n-1 nodes without rejection.
+                let d = rng.gen_range(0..n_nodes - 1);
+                if d >= src {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            SyntheticPattern::Permutation(p) => p[src as usize],
+        }
+    }
+
+    /// True if the pattern is a valid permutation without fixed points
+    /// (every node sends, every node receives exactly one flow, nobody
+    /// sends to itself) — the "not end-node limited" requirement of §4.2.
+    pub fn is_valid_permutation(&self, n_nodes: u32) -> bool {
+        match self {
+            SyntheticPattern::Uniform => false,
+            SyntheticPattern::Permutation(p) => {
+                if p.len() != n_nodes as usize {
+                    return false;
+                }
+                let mut seen = vec![false; n_nodes as usize];
+                for (i, &d) in p.iter().enumerate() {
+                    if d as usize == i || d >= n_nodes || seen[d as usize] {
+                        return false;
+                    }
+                    seen[d as usize] = true;
+                }
+                true
+            }
+        }
+    }
+}
+
+/// The node-level shift permutation `dst(i) = (i + shift) mod n`
+/// (paper §4.2: shift by `h` is the MLFM worst case, shift by `k` the
+/// OFT worst case, given the contiguous node numbering).
+pub fn shift_pattern(n_nodes: u32, shift: u32) -> SyntheticPattern {
+    assert!(!shift.is_multiple_of(n_nodes), "zero shift would be a self-send pattern");
+    SyntheticPattern::Permutation(
+        (0..n_nodes).map(|i| (i + shift) % n_nodes).collect(),
+    )
+}
+
+/// A random derangement-style permutation (uniform random permutation,
+/// resampled until fixed-point free). Used as a generic permutation
+/// workload.
+pub fn random_permutation<R: Rng>(n_nodes: u32, rng: &mut R) -> SyntheticPattern {
+    assert!(n_nodes >= 2);
+    let mut p: Vec<NodeId> = (0..n_nodes).collect();
+    loop {
+        // Fisher–Yates shuffle.
+        for i in (1..p.len()).rev() {
+            p.swap(i, rng.gen_range(0..=i));
+        }
+        if p.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+            return SyntheticPattern::Permutation(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_self_and_covers_all() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pat = SyntheticPattern::Uniform;
+        let n = 16u32;
+        let mut hit = vec![false; n as usize];
+        for _ in 0..2000 {
+            let d = pat.dest(5, n, &mut rng);
+            assert_ne!(d, 5);
+            assert!(d < n);
+            hit[d as usize] = true;
+        }
+        let misses = hit
+            .iter()
+            .enumerate()
+            .filter(|&(i, &h)| i != 5 && !h)
+            .count();
+        assert_eq!(misses, 0, "2000 draws over 15 targets must cover all");
+    }
+
+    #[test]
+    fn shift_is_valid_permutation() {
+        for (n, s) in [(10u32, 3u32), (3600, 15), (3192, 12)] {
+            let p = shift_pattern(n, s);
+            assert!(p.is_valid_permutation(n));
+            let mut rng = SmallRng::seed_from_u64(0);
+            assert_eq!(p.dest(0, n, &mut rng), s);
+            assert_eq!(p.dest(n - 1, n, &mut rng), s - 1);
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for n in [2u32, 5, 64, 501] {
+            let p = random_permutation(n, &mut rng);
+            assert!(p.is_valid_permutation(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_not_a_permutation() {
+        assert!(!SyntheticPattern::Uniform.is_valid_permutation(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shift")]
+    fn shift_rejects_identity() {
+        shift_pattern(10, 10);
+    }
+}

@@ -1,0 +1,268 @@
+//! Adversarial / worst-case permutations (paper §4.2).
+//!
+//! Under minimal routing each topology has a pattern that funnels the
+//! traffic of whole routers over single links:
+//!
+//! - **Slim Fly**: routers communicate in distance-2 pairs whose routes
+//!   overlap pairwise (`A→B→C` and `B→C→D` share link `B→C`, which then
+//!   carries `2p` flows → 1/2p throughput). Built here with a greedy
+//!   chain assignment.
+//! - **MLFM**: node shift by `h` — every LR sends to an LR outside its
+//!   column, overloading the unique minimal path with `h` flows → 1/h.
+//! - **OFT**: node shift by `k` — every outer router sends to a
+//!   non-counterpart router, `k` flows on the single path → 1/k.
+
+use crate::patterns::{shift_pattern, SyntheticPattern};
+use d2net_topo::{Network, RouterId, TopologyKind};
+
+/// Builds the worst-case permutation for `net` under minimal routing,
+/// dispatching on the topology family. Panics for families without a
+/// defined worst case (HyperX/custom).
+pub fn worst_case(net: &Network) -> SyntheticPattern {
+    match net.kind() {
+        TopologyKind::SlimFly(_) => slim_fly_worst_case(net),
+        TopologyKind::Mlfm(p) => shift_pattern(net.num_nodes(), p.p),
+        TopologyKind::Oft(p) => shift_pattern(net.num_nodes(), p.p),
+        // Generic SSPT: shifting by one router concentrates the p flows of
+        // every level-1 router on its (generically unique) minimal path.
+        TopologyKind::Sspt(p) => shift_pattern(net.num_nodes(), p.p),
+        k => panic!("no worst-case pattern defined for {}", k.name()),
+    }
+}
+
+/// The saturation throughput (fraction of injection bandwidth) that the
+/// worst-case pattern admits under minimal routing: `1/2p`, `1/h`, `1/k`
+/// for SF, MLFM, OFT respectively (§4.2).
+pub fn worst_case_saturation(net: &Network) -> f64 {
+    match net.kind() {
+        TopologyKind::SlimFly(p) => 1.0 / (2.0 * p.p as f64),
+        TopologyKind::Mlfm(p) => 1.0 / p.p as f64,
+        TopologyKind::Oft(p) => 1.0 / p.p as f64,
+        TopologyKind::Sspt(p) => 1.0 / p.p as f64,
+        k => panic!("no worst-case saturation defined for {}", k.name()),
+    }
+}
+
+/// Greedy construction of the Slim Fly worst case: a router-level
+/// permutation `σ` in which routers communicate in chains
+/// `A → B → C → D` with `σ(A) = C`, `σ(B) = D`, where both 2-hop routes
+/// are *unique* minimal paths (so minimal routing has no escape), making
+/// link `B→C` carry the flows of both `A` and `B`.
+///
+/// Node level: node `j` of router `X` sends to node `j` of `σ(X)`.
+pub fn slim_fly_worst_case(net: &Network) -> SyntheticPattern {
+    let r = net.num_routers();
+    let mut dst_of: Vec<Option<RouterId>> = vec![None; r as usize];
+    let mut used_dst = vec![false; r as usize];
+
+    // Distance-2 pair (x, y) with a unique common neighbor `via`.
+    let unique_via = |x: RouterId, y: RouterId| -> Option<RouterId> {
+        if x == y || net.are_adjacent(x, y) {
+            return None;
+        }
+        let cn = net.common_neighbors(x, y);
+        (cn.len() == 1).then(|| cn[0])
+    };
+
+    // Phase 1: greedy chain pairing A→(B)→C, B→(C)→D.
+    for a in 0..r {
+        if dst_of[a as usize].is_some() {
+            continue;
+        }
+        'search: for &b in net.neighbors(a) {
+            if dst_of[b as usize].is_some() {
+                continue;
+            }
+            for &c in net.neighbors(b) {
+                if used_dst[c as usize] || unique_via(a, c) != Some(b) {
+                    continue;
+                }
+                for &d in net.neighbors(c) {
+                    if d == c || used_dst[d as usize] || unique_via(b, d) != Some(c) {
+                        continue;
+                    }
+                    if d == a {
+                        // σ would map B onto A's own router while A is a
+                        // source; allowed (A receives from B) but keep it —
+                        // permutations may include 2-cycles across chains.
+                    }
+                    dst_of[a as usize] = Some(c);
+                    used_dst[c as usize] = true;
+                    dst_of[b as usize] = Some(d);
+                    used_dst[d as usize] = true;
+                    break 'search;
+                }
+            }
+        }
+    }
+
+    // Phase 2: any leftover routers get a best-effort distance-2 partner
+    // with a unique path; Phase 3 falls back to any free destination.
+    for a in 0..r {
+        if dst_of[a as usize].is_some() {
+            continue;
+        }
+        let pick = (0..r)
+            .find(|&c| !used_dst[c as usize] && unique_via(a, c).is_some())
+            .or_else(|| (0..r).find(|&c| c != a && !used_dst[c as usize]));
+        let c = pick.expect("a free destination always exists");
+        dst_of[a as usize] = Some(c);
+        used_dst[c as usize] = true;
+    }
+
+    // Expand to node level; all SF routers carry the same p.
+    let p = net.nodes_at(0);
+    let mut perm = vec![0u32; net.num_nodes() as usize];
+    for a in 0..r {
+        let c = dst_of[a as usize].unwrap();
+        let (src_base, dst_base) = (
+            net.router_nodes(a).start,
+            net.router_nodes(c).start,
+        );
+        for j in 0..p {
+            perm[(src_base + j) as usize] = dst_base + j;
+        }
+    }
+    SyntheticPattern::Permutation(perm)
+}
+
+/// Counts, for a router-level interpretation of a permutation pattern
+/// under *unique-path* minimal routing, the maximum number of flows that
+/// share a directed link. Used to verify adversarial pressure.
+pub fn max_link_flows(net: &Network, pattern: &SyntheticPattern) -> u32 {
+    let perm = match pattern {
+        SyntheticPattern::Permutation(p) => p,
+        _ => panic!("flow counting requires a permutation"),
+    };
+    use std::collections::HashMap;
+    let mut flows: HashMap<(RouterId, RouterId), u32> = HashMap::new();
+    for (src, &dst) in perm.iter().enumerate() {
+        let (rs, rd) = (net.node_router(src as u32), net.node_router(dst));
+        if rs == rd {
+            continue;
+        }
+        if net.are_adjacent(rs, rd) {
+            *flows.entry((rs, rd)).or_default() += 1;
+        } else {
+            // Attribute the flow to all minimal paths' links, weighted as
+            // the worst case: a unique path takes the whole flow; for
+            // diversity > 1 assume perfect splitting (conservative).
+            let cn = net.common_neighbors(rs, rd);
+            let share = 1.0 / cn.len() as f64;
+            if share == 1.0 {
+                let via = cn[0];
+                *flows.entry((rs, via)).or_default() += 1;
+                *flows.entry((via, rd)).or_default() += 1;
+            }
+        }
+    }
+    flows.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_topo::{mlfm, oft, slim_fly, MlfmLayout, SlimFlyP};
+
+    #[test]
+    fn sf_worst_case_is_permutation_with_overloaded_links() {
+        for q in [5u64, 7, 13] {
+            let net = slim_fly(q, SlimFlyP::Floor);
+            let pat = slim_fly_worst_case(&net);
+            assert!(pat.is_valid_permutation(net.num_nodes()), "q={q}");
+            let p = net.nodes_at(0);
+            let worst = max_link_flows(&net, &pat);
+            // The chain construction drives some link to 2p flows.
+            assert!(
+                worst >= 2 * p - 2,
+                "q={q}: expected ≈{} flows on the hottest link, got {worst}",
+                2 * p
+            );
+        }
+    }
+
+    #[test]
+    fn sf_worst_case_pairs_are_distance_two() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let pat = slim_fly_worst_case(&net);
+        let perm = match &pat {
+            SyntheticPattern::Permutation(p) => p,
+            _ => unreachable!(),
+        };
+        let mut distance2 = 0;
+        let mut total = 0;
+        for (s, &d) in perm.iter().enumerate() {
+            let (rs, rd) = (net.node_router(s as u32), net.node_router(d));
+            total += 1;
+            if !net.are_adjacent(rs, rd) && rs != rd {
+                distance2 += 1;
+            }
+        }
+        // The greedy phase covers almost all routers; allow a small
+        // fallback remainder.
+        assert!(
+            distance2 as f64 >= 0.9 * total as f64,
+            "only {distance2}/{total} flows at distance 2"
+        );
+    }
+
+    #[test]
+    fn mlfm_worst_case_crosses_columns() {
+        let h = 4u64;
+        let net = mlfm(h);
+        let pat = worst_case(&net);
+        assert!(pat.is_valid_permutation(net.num_nodes()));
+        let perm = match &pat {
+            SyntheticPattern::Permutation(p) => p,
+            _ => unreachable!(),
+        };
+        let layout = MlfmLayout { h, l: h };
+        for (s, &d) in perm.iter().enumerate() {
+            let (rs, rd) = (net.node_router(s as u32), net.node_router(d));
+            assert_ne!(rs, rd, "self-router traffic would not stress the network");
+            let (_, ps) = layout.lr_coords(rs);
+            let (_, pd) = layout.lr_coords(rd);
+            assert_ne!(ps, pd, "worst case must avoid same-column pairs (h paths)");
+        }
+        assert_eq!(max_link_flows(&net, &pat), h as u32);
+    }
+
+    #[test]
+    fn oft_worst_case_avoids_counterparts() {
+        let k = 4u64;
+        let net = oft(k);
+        let pat = worst_case(&net);
+        assert!(pat.is_valid_permutation(net.num_nodes()));
+        let perm = match &pat {
+            SyntheticPattern::Permutation(p) => p,
+            _ => unreachable!(),
+        };
+        let rl = d2net_topo::oft::routers_per_level(k) as u32;
+        for (s, &d) in perm.iter().enumerate() {
+            let (rs, rd) = (net.node_router(s as u32), net.node_router(d));
+            assert_ne!(rs, rd);
+            // Counterpart pairs (0,i)/(2,i) have k paths; the shift must
+            // never produce one.
+            assert_ne!(rs % rl, rd % rl, "shift hit a counterpart/self pair");
+        }
+        assert_eq!(max_link_flows(&net, &pat), k as u32);
+    }
+
+    #[test]
+    fn generic_sspt_worst_case() {
+        let net = d2net_topo::stacked_sspt(4, 4, 4);
+        let pat = worst_case(&net);
+        assert!(pat.is_valid_permutation(net.num_nodes()));
+        assert!((worst_case_saturation(&net) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_formulas() {
+        let sf = slim_fly(13, SlimFlyP::Floor);
+        assert!((worst_case_saturation(&sf) - 1.0 / 18.0).abs() < 1e-12);
+        let m = mlfm(15);
+        assert!((worst_case_saturation(&m) - 1.0 / 15.0).abs() < 1e-12);
+        let o = oft(12);
+        assert!((worst_case_saturation(&o) - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! All-to-all exchange benchmark (paper §4.4, Fig. 13): each process
+//! sends one message to every other process; we report the effective
+//! throughput (total data / completion time, per node) under minimal,
+//! indirect-random and adaptive routing.
+//!
+//! Usage: `cargo run --release --example a2a_exchange [-- --bytes 7680 --topo all]`
+
+use d2net::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bytes = arg_value(&args, "--bytes")
+        .map(|v| v.parse().expect("--bytes takes an integer"))
+        .unwrap_or(7_680u64); // the paper's 7.5 KB (30 packets)
+    let topo = arg_value(&args, "--topo").unwrap_or_else(|| "all".into());
+
+    let nets: Vec<Network> = eval_topologies(Scale::Reduced)
+        .into_iter()
+        .filter(|n| topo == "all" || n.name().to_lowercase().contains(&topo.to_lowercase()))
+        .collect();
+    assert!(!nets.is_empty(), "no topology matches --topo {topo}");
+
+    println!("== all-to-all exchange: {bytes} B per pair ==\n");
+    let params = RunParams::reduced();
+    let rows = fig13(&nets, bytes, &params);
+    print!("{}", render_exchange(&rows));
+
+    // The paper's observation: MIN and adaptive sustain ~full bandwidth,
+    // INR about half.
+    for net in &nets {
+        let get = |tag: &str| {
+            rows.iter()
+                .find(|r| r.topology == net.name() && r.routing.starts_with(tag))
+                .map(|r| r.stats.effective_throughput)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "\n{}: MIN/INR ratio = {:.2} (paper: ~2x)",
+            net.name(),
+            get("MIN") / get("INR").max(1e-9)
+        );
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,34 @@
+//! Exports any of the evaluated topologies as a Graphviz DOT file and a
+//! round-trippable edge list.
+//!
+//! Usage: `cargo run --release --example export_topology [sf|mlfm|oft|hyperx] [out_dir]`
+
+use d2net::prelude::*;
+use d2net::topo::{to_dot, to_edge_list};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "oft".into());
+    let out_dir = std::env::args().nth(2).unwrap_or_else(|| "results".into());
+    let net = match which.as_str() {
+        "sf" => slim_fly(5, SlimFlyP::Floor),
+        "mlfm" => mlfm(4),
+        "oft" => oft(4),
+        "hyperx" => hyperx2_balanced(9),
+        other => {
+            eprintln!("unknown topology {other}");
+            std::process::exit(1);
+        }
+    };
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let dot = format!("{out_dir}/{which}.dot");
+    let edges = format!("{out_dir}/{which}.edges");
+    std::fs::write(&dot, to_dot(&net)).expect("write dot");
+    std::fs::write(&edges, to_edge_list(&net)).expect("write edges");
+    println!(
+        "{}: {} routers / {} nodes -> {dot}, {edges}",
+        net.name(),
+        net.num_routers(),
+        net.num_nodes()
+    );
+    println!("render with: neato -Tsvg {dot} -o {out_dir}/{which}.svg");
+}

@@ -1,0 +1,49 @@
+//! Nearest-neighbor (3-D stencil halo) exchange benchmark (paper §4.4,
+//! Fig. 14): processes arranged in the largest 3-D torus that fits each
+//! topology exchange halos with their six neighbors under the paper's
+//! contiguous rank mapping.
+//!
+//! Usage: `cargo run --release --example nn_stencil [-- --bytes 65536]`
+
+use d2net::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // The paper exchanges 512 KB per pair; default smaller here so the
+    // reduced-scale example finishes in seconds. Pass --bytes 524288 for
+    // the paper's size.
+    let bytes = args
+        .iter()
+        .position(|a| a == "--bytes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--bytes takes an integer"))
+        .unwrap_or(32_768u64);
+
+    let nets = eval_topologies(Scale::Reduced);
+    println!("== nearest-neighbor exchange: {bytes} B per halo ==\n");
+    for net in &nets {
+        let dims = torus_dims_for(net);
+        println!(
+            "{:16} -> {}x{}x{} torus over {} of {} nodes",
+            net.name(),
+            dims[0],
+            dims[1],
+            dims[2],
+            dims[0] * dims[1] * dims[2],
+            net.num_nodes()
+        );
+    }
+    println!();
+
+    let params = RunParams::reduced();
+    let rows = fig14(&nets, bytes, &params);
+    print!("{}", render_exchange(&rows));
+
+    println!(
+        "\nPaper's observations to compare against: MIN performs worst \
+         (few routes carry whole planes of traffic), INR reaches ~70%, \
+         adaptive routing improves on INR except on the OFT, and on the \
+         MLFM approaches full bandwidth (its torus maps onto the \
+         router/layer/column structure)."
+    );
+}

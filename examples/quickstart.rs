@@ -1,0 +1,80 @@
+//! Quickstart: build the three cost-effective diameter-two topologies,
+//! inspect their cost/scale properties, and run a short uniform-traffic
+//! simulation under adaptive routing on each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use d2net::prelude::*;
+
+fn main() {
+    println!("== d2net quickstart ==\n");
+
+    // 1. Build one instance of each topology family (reduced scale).
+    let nets = vec![
+        slim_fly(7, SlimFlyP::Floor),
+        mlfm(8),
+        oft(6),
+        fat_tree2(16), // the classic reference design
+    ];
+
+    println!(
+        "{:14} | {:>6} | {:>7} | {:>5} | {:>10} | {:>10}",
+        "topology", "nodes", "routers", "radix", "ports/node", "links/node"
+    );
+    println!("{}", "-".repeat(70));
+    for net in &nets {
+        let n = net.num_nodes() as f64;
+        println!(
+            "{:14} | {:>6} | {:>7} | {:>5} | {:>10.2} | {:>10.2}",
+            net.name(),
+            net.num_nodes(),
+            net.num_routers(),
+            net.radix(0),
+            net.total_ports() as f64 / n,
+            net.total_links() as f64 / n,
+        );
+    }
+
+    // 2. Verify the headline structural property: diameter two between
+    //    all endpoint routers, for every topology.
+    println!();
+    for net in &nets {
+        println!(
+            "{:14} endpoint diameter = {}",
+            net.name(),
+            net.endpoint_diameter()
+        );
+    }
+
+    // 3. Simulate 30 us of global uniform traffic at 60% load under
+    //    adaptive (UGAL-L) routing.
+    println!("\nuniform traffic at 60% load, UGAL-L adaptive routing:");
+    println!(
+        "{:14} | {:>9} | {:>12} | {:>9}",
+        "topology", "accepted", "avg delay ns", "indirect%"
+    );
+    println!("{}", "-".repeat(55));
+    for net in nets.iter().take(3) {
+        let (_, algo) = best_adaptive(net);
+        let policy = RoutePolicy::new(net, algo);
+        let stats = run_synthetic(
+            net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.6,
+            30_000,
+            6_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        println!(
+            "{:14} | {:>9.4} | {:>12.1} | {:>8.1}%",
+            net.name(),
+            stats.throughput,
+            stats.avg_delay_ns,
+            100.0 * stats.indirect_packets as f64 / stats.delivered_packets.max(1) as f64,
+        );
+    }
+
+    println!("\nDone. See `examples/paper_figures.rs` for the full evaluation harness.");
+}

@@ -1,0 +1,84 @@
+//! The Stacked Single-Path Tree class (paper §2.2.2) — the paper's own
+//! topological contribution — explored through its generic constructor:
+//! instantiate `2·r1/r2` Single-Path Trees and merge their upper levels.
+//!
+//! Shows, for each buildable `(r1, r2)` pair:
+//!   - that the construction yields a valid SSPT (single-path property,
+//!     endpoint diameter 2, the 3-ports/2-links cost law),
+//!   - how scale and path diversity trade off across the class
+//!     (`r2 = 2` → MLFM-like; `r2 = r1` → OFT-like, 2× the scale),
+//!   - a short simulation confirming the 1/p worst-case collapse and its
+//!     recovery under indirect routing.
+//!
+//! Run with: `cargo run --release --example sspt_class`
+
+use d2net::prelude::*;
+use d2net::topo::spt;
+
+fn main() {
+    println!("== the SSPT class: stacked Single-Path Trees ==\n");
+
+    let combos: Vec<(u64, u64)> = vec![
+        (4, 2),
+        (6, 2),
+        (8, 2), // MLFM family
+        (4, 4),
+        (6, 6),
+        (8, 8), // OFT family
+    ];
+
+    println!(
+        "{:>4} {:>4} | {:>6} | {:>7} | {:>7} | {:>10} | {:>9} | {:>11}",
+        "r1", "r2", "copies", "routers", "nodes", "ports/node", "diameter", "multi-paths"
+    );
+    println!("{}", "-".repeat(78));
+    for &(r1, r2) in &combos {
+        let net = spt::stacked_sspt(r1, r2, r1 as u32);
+        let report = spt::validate_sspt(&net); // panics if not a valid SSPT
+        println!(
+            "{:>4} {:>4} | {:>6} | {:>7} | {:>7} | {:>10.2} | {:>9} | {:>4} pairs x{}",
+            r1,
+            r2,
+            2 * r1 / r2,
+            net.num_routers(),
+            net.num_nodes(),
+            net.total_ports() as f64 / net.num_nodes() as f64,
+            net.endpoint_diameter(),
+            report.multi_path_pairs,
+            report.multi_path_diversity.unwrap_or(1),
+        );
+    }
+
+    println!(
+        "\nSame r1 = 8, same per-endpoint cost — but r2 = r1 doubles the scale\n\
+         ({} vs {} end-nodes), which is the paper's central OFT-vs-MLFM result.\n",
+        spt::sspt_scale(8, 8),
+        spt::sspt_scale(8, 2),
+    );
+
+    // Simulate the class-wide worst case and its indirect-routing rescue
+    // on one instance of each family.
+    println!("worst-case shift traffic at full load (60 us simulated):");
+    println!(
+        "{:20} | {:>9} | {:>9} | {:>9}",
+        "instance", "analytic", "MIN", "INR"
+    );
+    println!("{}", "-".repeat(56));
+    for &(r1, r2) in &[(6u64, 2u64), (6, 6)] {
+        let net = spt::stacked_sspt(r1, r2, r1 as u32);
+        let pattern = worst_case(&net);
+        let cfg = SimConfig::default();
+        let min = RoutePolicy::new(&net, Algorithm::Minimal);
+        let inr = RoutePolicy::new(&net, Algorithm::Valiant);
+        let s_min = run_synthetic(&net, &min, &pattern, 1.0, 60_000, 12_000, cfg);
+        let s_inr = run_synthetic(&net, &inr, &pattern, 1.0, 60_000, 12_000, cfg);
+        assert!(!s_min.deadlocked && !s_inr.deadlocked);
+        println!(
+            "{:20} | {:>9.3} | {:>9.3} | {:>9.3}",
+            net.name(),
+            worst_case_saturation(&net),
+            s_min.throughput,
+            s_inr.throughput,
+        );
+    }
+}

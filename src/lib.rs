@@ -1,0 +1,1 @@
+pub use d2net_core::*;

@@ -1,0 +1,69 @@
+//! Cross-validation between the independent analytic and simulation
+//! stacks: the static channel-load model (`analysis::linkload`) must
+//! predict the simulator's measured saturation for arbitrary permutation
+//! patterns — not just the hand-constructed worst cases.
+
+use d2net::analysis::permutation_link_load;
+use d2net::prelude::*;
+use d2net::traffic::random_permutation;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn check(net: &Network, perm: &SyntheticPattern, label: &str) {
+    let p = match perm {
+        SyntheticPattern::Permutation(p) => p,
+        _ => unreachable!(),
+    };
+    let predicted = permutation_link_load(net, p).predicted_mean_throughput;
+    let policy = RoutePolicy::new(net, Algorithm::Minimal);
+    let measured = run_synthetic(
+        net,
+        &policy,
+        perm,
+        1.0,
+        100_000,
+        20_000,
+        SimConfig::default(),
+    );
+    assert!(!measured.deadlocked, "{label}");
+    // The static model ignores queueing/HOL second-order effects; demand
+    // a 15 % + small-absolute agreement band.
+    let tol = 0.15 * predicted + 0.02;
+    assert!(
+        (measured.throughput - predicted).abs() < tol,
+        "{label}: simulated {:.4} vs predicted {:.4}",
+        measured.throughput,
+        predicted
+    );
+}
+
+#[test]
+fn analytic_model_predicts_simulated_saturation_on_worst_cases() {
+    for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)] {
+        let wc = worst_case(&net);
+        check(&net, &wc, &net.name());
+    }
+}
+
+#[test]
+fn analytic_model_predicts_simulated_saturation_on_random_permutations() {
+    let mut rng = SmallRng::seed_from_u64(20_260_706);
+    for net in [mlfm(4), oft(4)] {
+        for i in 0..3 {
+            let perm = random_permutation(net.num_nodes(), &mut rng);
+            check(&net, &perm, &format!("{} random #{i}", net.name()));
+        }
+    }
+}
+
+#[test]
+fn shift_family_sweep_matches_predictions() {
+    // Shifts by whole-router multiples stress different structures:
+    // the model must track the simulator across the family.
+    let net = mlfm(4);
+    let p = 4u32;
+    for mult in [1u32, 2, 5] {
+        let pattern = shift_pattern(net.num_nodes(), p * mult);
+        check(&net, &pattern, &format!("shift x{mult}"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Fuzz the routing + simulation stacks on random *unstructured*
+//! connected graphs: none of the invariants below may depend on the
+//! symmetries of the paper's constructed topologies.
+
+use d2net::prelude::*;
+use d2net::topo::random_connected;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Synthetic runs on random graphs stay live and conserve bounds.
+    #[test]
+    fn random_graph_simulation_invariants(
+        seed in 0u64..500,
+        routers in 8u32..20,
+        load_pct in 20u32..=100,
+    ) {
+        let net = random_connected(routers, 4, 2, 3, seed);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            load_pct as f64 / 100.0,
+            30_000,
+            6_000,
+            SimConfig::default(),
+        );
+        prop_assert!(!stats.deadlocked, "minimal routing on a random graph wedged");
+        prop_assert!(stats.throughput > 0.0);
+        prop_assert!(stats.throughput <= load_pct as f64 / 100.0 + 0.03);
+        // Physics floor: nothing beats the zero-load minimum.
+        prop_assert!(stats.avg_delay_ns >= 240.0);
+    }
+
+    /// Valiant with the hop-indexed VC fallback is deadlock-free on
+    /// random graphs too (VC strictly increases per hop, so the CDG is a
+    /// DAG regardless of graph structure).
+    #[test]
+    fn random_graph_valiant_stays_live(seed in 0u64..300, routers in 8u32..16) {
+        let net = random_connected(routers, 4, 2, 3, seed);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let stats = run_synthetic(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.8,
+            30_000,
+            6_000,
+            SimConfig::default(),
+        );
+        prop_assert!(!stats.deadlocked);
+        prop_assert!(stats.delivered_packets > 0);
+    }
+
+    /// The CDG checker agrees on random graphs: hop-indexed VCs acyclic,
+    /// single-VC indirect cyclic (whenever any 3+-hop dependency chain
+    /// exists, which dense-random + Valiant guarantees).
+    #[test]
+    fn random_graph_cdg_properties(seed in 0u64..200) {
+        let net = random_connected(12, 4, 1, 3, seed);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let cdg = build_cdg(&net, &policy);
+        prop_assert!(cdg.is_acyclic(), "hop-indexed VCs must be acyclic");
+    }
+
+    /// Exchange conservation on random graphs.
+    #[test]
+    fn random_graph_exchange_conserves(seed in 0u64..200) {
+        let net = random_connected(10, 4, 2, 3, seed);
+        let ex = all_to_all(net.num_nodes(), 700);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let stats = run_exchange(&net, &policy, &ex, 2, SimConfig::default());
+        prop_assert!(!stats.deadlocked);
+        prop_assert_eq!(stats.delivered_bytes, ex.total_bytes());
+    }
+}
