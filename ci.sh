@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Fully offline — all dependencies are
+# vendored in vendor/ and wired up via [workspace.dependencies].
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --workspace --all-targets
+
+echo "== cargo test =="
+cargo test -q --release --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "ci.sh: all green"

@@ -59,8 +59,10 @@ pub mod prelude {
         build_cdg, Algorithm, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        load_grid, load_sweep, run_exchange, run_synthetic, ExchangeStats, SimConfig,
-        SyntheticStats,
+        load_grid, load_sweep, load_sweep_probed, run_exchange, run_exchange_probed,
+        run_synthetic, run_synthetic_probed, DeadlockReport, ExchangeStats, ProbeConfig,
+        RingEvent, RingEventKind, SimConfig, SweepPoint, SyntheticStats, TelemetryReport,
+        TelemetrySummary, WaitPoint, WaitSide,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,

@@ -360,6 +360,7 @@ mod tests {
                 .iter()
                 .map(|&(load, thr)| SweepPoint {
                     load,
+                    telemetry: None,
                     stats: SyntheticStats {
                         offered_load: load,
                         throughput: thr,

@@ -1,8 +1,11 @@
 //! Plain-text rendering of experiment data — the "same rows/series the
-//! paper reports", printable from the `paper_figures` example.
+//! paper reports", printable from the `paper_figures` example — plus the
+//! self-describing JSON run manifest ([`RunManifest`]).
 
 use crate::experiment::{Curve, ExchangeRow};
 use d2net_analysis::ScaleRow;
+use d2net_sim::SimConfig;
+use d2net_topo::Network;
 
 /// Renders the Fig. 3 scale table.
 pub fn render_fig3(rows: &[ScaleRow]) -> String {
@@ -77,6 +80,272 @@ pub fn render_table2(table: &[Vec<u64>]) -> String {
     s
 }
 
+/// Minimal hand-rolled JSON emitter (the workspace carries no serde).
+/// Keys/values are written in call order; comma placement and string
+/// escaping are handled here, nesting is tracked with a stack.
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether an item was already written
+    /// at that level (so the next one needs a comma).
+    has_item: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            has_item: vec![false],
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(top) = self.has_item.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes `"key":` (inside an object, before the value call).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.comma();
+        Self::escape_into(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not get its own comma.
+        if let Some(top) = self.has_item.last_mut() {
+            *top = false;
+        }
+        self
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('{');
+        self.has_item.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.has_item.pop();
+        self.out.push('}');
+        if let Some(top) = self.has_item.last_mut() {
+            *top = true;
+        }
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('[');
+        self.has_item.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.has_item.pop();
+        self.out.push(']');
+        if let Some(top) = self.has_item.last_mut() {
+            *top = true;
+        }
+        self
+    }
+
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.comma();
+        Self::escape_into(&mut self.out, v);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Finite floats print with up to 6 significant decimals; NaN and
+    /// infinities become `null` (JSON has no encoding for them).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.comma();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:.6}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push_str("null");
+        self
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A self-describing record of one simulation campaign: what was run
+/// (topology, routing, traffic, simulator parameters) and what came out
+/// (curves with per-point stats and optional telemetry summaries).
+/// Serializes to JSON via [`RunManifest::to_json`] with explicit schema
+/// and unit declarations so downstream tooling needs no out-of-band
+/// knowledge.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    pub title: String,
+    pub topology: String,
+    pub num_routers: u32,
+    pub num_nodes: u32,
+    pub routing: String,
+    pub pattern: String,
+    pub duration_ns: u64,
+    pub warmup_ns: u64,
+    pub sim: SimConfig,
+    pub curves: Vec<Curve>,
+}
+
+impl RunManifest {
+    pub fn new(
+        title: impl Into<String>,
+        net: &Network,
+        routing: impl Into<String>,
+        pattern: impl Into<String>,
+        duration_ns: u64,
+        warmup_ns: u64,
+        sim: SimConfig,
+    ) -> Self {
+        RunManifest {
+            title: title.into(),
+            topology: net.name(),
+            num_routers: net.num_routers(),
+            num_nodes: net.num_nodes(),
+            routing: routing.into(),
+            pattern: pattern.into(),
+            duration_ns,
+            warmup_ns,
+            sim,
+            curves: Vec::new(),
+        }
+    }
+
+    pub fn push_curve(&mut self, curve: Curve) -> &mut Self {
+        self.curves.push(curve);
+        self
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("d2net.run-manifest/v1");
+        w.key("units").begin_object();
+        w.key("time").string("ns");
+        w.key("load").string("fraction of injection bandwidth");
+        w.key("throughput").string("fraction of link bandwidth");
+        w.key("utilization").string("fraction of link bandwidth");
+        w.end_object();
+        w.key("title").string(&self.title);
+        w.key("topology").begin_object();
+        w.key("name").string(&self.topology);
+        w.key("routers").u64(self.num_routers as u64);
+        w.key("nodes").u64(self.num_nodes as u64);
+        w.end_object();
+        w.key("routing").string(&self.routing);
+        w.key("pattern").string(&self.pattern);
+        w.key("sim").begin_object();
+        w.key("link_bandwidth_gbps").f64(self.sim.link_bandwidth_gbps);
+        w.key("link_latency_ns").u64(self.sim.link_latency_ns);
+        w.key("switch_latency_ns").u64(self.sim.switch_latency_ns);
+        w.key("buffer_bytes").u64(self.sim.buffer_bytes);
+        w.key("packet_bytes").u64(self.sim.packet_bytes as u64);
+        w.key("seed").u64(self.sim.seed);
+        w.key("arrival").string(&format!("{:?}", self.sim.arrival));
+        w.key("duration_ns").u64(self.duration_ns);
+        w.key("warmup_ns").u64(self.warmup_ns);
+        w.end_object();
+        w.key("curves").begin_array();
+        for c in &self.curves {
+            w.begin_object();
+            w.key("label").string(&c.label);
+            w.key("points").begin_array();
+            for p in &c.points {
+                w.begin_object();
+                w.key("load").f64(p.load);
+                w.key("throughput").f64(p.stats.throughput);
+                w.key("avg_delay_ns").f64(p.stats.avg_delay_ns);
+                w.key("p99_delay_ns").u64(p.stats.p99_delay_ns);
+                w.key("max_delay_ns").u64(p.stats.max_delay_ns);
+                w.key("avg_hops").f64(p.stats.avg_hops);
+                w.key("delivered_packets").u64(p.stats.delivered_packets);
+                w.key("indirect_packets").u64(p.stats.indirect_packets);
+                w.key("max_link_utilization").f64(p.stats.max_link_utilization);
+                w.key("deadlocked").bool(p.stats.deadlocked);
+                w.key("telemetry");
+                match &p.telemetry {
+                    None => {
+                        w.null();
+                    }
+                    Some(t) => {
+                        w.begin_object();
+                        w.key("num_samples").u64(t.num_samples as u64);
+                        w.key("sample_interval_ns").u64(t.sample_interval_ns);
+                        w.key("mean_link_utilization").f64(t.mean_link_utilization);
+                        w.key("peak_link_utilization").f64(t.peak_link_utilization);
+                        w.key("peak_occupancy").f64(t.peak_occupancy);
+                        w.key("mean_indirect_fraction").f64(t.mean_indirect_fraction);
+                        w.key("converged_at_ns");
+                        match t.converged_at_ns {
+                            Some(ns) => {
+                                w.u64(ns);
+                            }
+                            None => {
+                                w.null();
+                            }
+                        }
+                        w.key("deadlock_cycle_len").u64(t.deadlock_cycle_len as u64);
+                        w.end_object();
+                    }
+                }
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +364,67 @@ mod tests {
         let s = render_fig3(&rows);
         assert!(s.lines().count() == 4);
         assert!(s.contains("radix"));
+    }
+
+    #[test]
+    fn json_writer_escapes_and_nests() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a\"b").string("line\nbreak\ttab \\ \u{1} end");
+        w.key("nums").begin_array();
+        w.u64(7).f64(0.5).f64(f64::NAN).bool(true).null();
+        w.end_array();
+        w.key("empty").begin_object().end_object();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\"a\\\"b\":\"line\\nbreak\\ttab \\\\ \\u0001 end\",\
+             \"nums\":[7,0.500000,null,true,null],\"empty\":{}}"
+        );
+    }
+
+    #[test]
+    fn run_manifest_is_self_describing_json() {
+        use d2net_sim::{SimConfig, SweepPoint, SyntheticStats, TelemetrySummary};
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "probe demo",
+            &net,
+            "MIN",
+            "uniform",
+            30_000,
+            6_000,
+            SimConfig::default(),
+        );
+        m.push_curve(Curve {
+            label: "MIN UNI".into(),
+            points: vec![SweepPoint {
+                load: 0.5,
+                stats: SyntheticStats::deadlocked_stub(0.5),
+                telemetry: Some(TelemetrySummary {
+                    num_samples: 30,
+                    sample_interval_ns: 1_000,
+                    mean_link_utilization: 0.4,
+                    peak_link_utilization: 0.9,
+                    peak_occupancy: 0.7,
+                    mean_indirect_fraction: 0.0,
+                    converged_at_ns: Some(12_000),
+                    deadlock_cycle_len: 0,
+                }),
+            }],
+        });
+        let s = m.to_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"schema\":\"d2net.run-manifest/v1\""));
+        assert!(s.contains("\"units\""));
+        assert!(s.contains("\"converged_at_ns\":12000"));
+        assert!(s.contains("\"deadlocked\":true"));
+        // Braces and brackets balance (no string in this manifest
+        // contains them, so plain counting is sound).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 }

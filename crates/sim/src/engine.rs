@@ -22,6 +22,9 @@
 use crate::config::SimConfig;
 use crate::injector::{NextPacket, NodeSource};
 use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
+use crate::telemetry::{
+    DeadlockReport, ProbeConfig, Telemetry, TelemetryReport, WaitPoint, WaitSide,
+};
 use d2net_routing::{OccupancyView, RouteChoice, RoutePath, RoutePolicy};
 use d2net_topo::{Network, NodeId, RouterId};
 use rand::rngs::SmallRng;
@@ -201,6 +204,10 @@ pub struct Engine<'a> {
     rng: SmallRng,
     acc: Accumulator,
     warmup_ps: u64,
+    /// Optional observability probe (see [`crate::telemetry`]). `None`
+    /// costs the event loop a single branch per event and leaves the
+    /// simulated schedule byte-identical to an unprobed run.
+    telemetry: Option<Telemetry>,
 }
 
 impl<'a> Engine<'a> {
@@ -257,12 +264,39 @@ impl<'a> Engine<'a> {
             rng,
             acc: Accumulator::default(),
             warmup_ps,
+            telemetry: None,
         };
         for node in 0..n as u32 {
             engine.schedule(0, Ev::NodeWake(node));
             engine.node_wake[node as usize] = true;
         }
         engine
+    }
+
+    /// Attaches an observability probe; must be called before the run
+    /// starts. See [`crate::telemetry`] for what gets recorded.
+    pub fn attach_probe(&mut self, probe: ProbeConfig) {
+        let total = *self.ports.base.last().unwrap();
+        let port_is_node = (0..total)
+            .map(|p| self.ports.is_node_port(self.net, p))
+            .collect();
+        self.telemetry = Some(Telemetry::new(
+            probe,
+            self.net.num_routers(),
+            self.net.num_nodes(),
+            self.num_vcs,
+            self.ports.owner.clone(),
+            port_is_node,
+            self.vc_cap,
+            self.cfg.ps_per_byte(),
+        ));
+    }
+
+    /// Flushes probe sample windows up to simulated time `t`.
+    fn flush_probe(&mut self, t: u64) {
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.sample_to(t, &self.in_occ, &self.out_occ);
+        }
     }
 
     #[inline]
@@ -361,6 +395,9 @@ impl<'a> Engine<'a> {
                 self.policy.choose(src_r, dst_r, &view, &mut self.rng)
             };
             self.packets[pkt as usize].choice = choice;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_inject(self.now, src_r, src, dst, bytes, choice.indirect);
+            }
             (src_r, self.ports.node_port(self.net, src_r, src), 0u8)
         } else {
             let p = &self.packets[pkt as usize];
@@ -411,6 +448,10 @@ impl<'a> Engine<'a> {
             if !self.blocked_flag[pv] {
                 self.blocked_flag[pv] = true;
                 self.blocked[out_port as usize].push(pv as u32);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    let in_vc = (pv as u32 % self.num_vcs) as u8;
+                    tel.on_blocked(self.now, in_port, in_vc, out_port, out_vc);
+                }
             }
             return;
         }
@@ -471,6 +512,9 @@ impl<'a> Engine<'a> {
             }
             self.rr[out_port as usize] = ((vc as u32 + 1) % self.num_vcs) as u8;
             self.sending[out_port as usize] = (bytes, out_pv as u32);
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_send(out_port, bytes);
+            }
             if self.now >= self.warmup_ps {
                 self.sent_bytes[out_port as usize] += bytes as u64;
             }
@@ -505,6 +549,10 @@ impl<'a> Engine<'a> {
         let p = self.packets[pkt as usize];
         debug_assert_eq!(self.net.node_router(p.dst), p.choice.path.dst());
         self.delivered += 1;
+        if let Some(tel) = self.telemetry.as_mut() {
+            let r = self.net.node_router(p.dst);
+            tel.on_eject(self.now, r, p.dst, p.src, p.bytes, self.now - p.birth_ps);
+        }
         if self.now >= self.warmup_ps {
             self.acc.record(
                 self.now - p.birth_ps,
@@ -556,6 +604,9 @@ impl<'a> Engine<'a> {
             }
             let Reverse((t, _, ev)) = self.heap.pop().unwrap();
             self.now = t;
+            if self.telemetry.is_some() {
+                self.flush_probe(t);
+            }
             self.handle(ev);
         }
         let wedged = self.created > self.delivered;
@@ -620,9 +671,147 @@ impl<'a> Engine<'a> {
         eprintln!("  totals: in_q={in_total} out_q={out_total}");
     }
 
+    /// Reconstructs the wait-for cycle of a wedged run. Call only after
+    /// [`Engine::run`] returned wedged: the frozen buffer state is walked
+    /// as a functional graph — each blocked input FIFO waits on exactly
+    /// one full output buffer, and each credit-starved output buffer
+    /// waits on exactly one downstream input buffer — so the first
+    /// revisited node closes the cycle.
+    fn deadlock_forensics(&self) -> Option<DeadlockReport> {
+        let pv_total = self.in_q.len();
+        const NONE: u32 = u32::MAX;
+        // Node ids: In(pv) = pv, Out(pv) = pv_total + pv.
+        let mut succ = vec![NONE; 2 * pv_total];
+        for pv in 0..pv_total {
+            if let Some(&pkt) = self.in_q[pv].front() {
+                let p = &self.packets[pkt as usize];
+                let in_port = pv as u32 / self.num_vcs;
+                let r = self.ports.owner[in_port as usize];
+                let routers = p.choice.path.routers();
+                let hop = p.hop as usize;
+                let (out_port, out_vc) = if hop == routers.len() - 1 {
+                    (self.ports.node_port(self.net, r, p.dst), 0u8)
+                } else {
+                    let next = routers[hop + 1];
+                    (
+                        self.ports.network_port(self.net, r, next),
+                        self.policy.vc_for_hop(&p.choice, hop),
+                    )
+                };
+                let out_pv = self.pv(out_port, out_vc);
+                if self.out_occ[out_pv] + p.bytes as u64 > self.vc_cap {
+                    succ[pv] = (pv_total + out_pv) as u32;
+                }
+            }
+            if let Some(&pkt) = self.out_q[pv].front() {
+                let port = pv as u32 / self.num_vcs;
+                if !self.ports.is_node_port(self.net, port) {
+                    let bytes = self.packets[pkt as usize].bytes as u64;
+                    if self.credits[pv] < bytes {
+                        let down_port = self.ports.peer[port as usize];
+                        let vc = pv as u32 % self.num_vcs;
+                        succ[pv_total + pv] = down_port * self.num_vcs + vc;
+                    }
+                }
+            }
+        }
+        let mut state = vec![0u8; 2 * pv_total]; // 0 new, 1 on path, 2 done
+        for start in 0..2 * pv_total {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            loop {
+                if state[cur] == 1 {
+                    let pos = path.iter().position(|&x| x == cur).unwrap();
+                    let cycle = path[pos..]
+                        .iter()
+                        .map(|&id| self.wait_point(id, pv_total))
+                        .collect();
+                    return Some(DeadlockReport {
+                        cycle,
+                        stranded_packets: self.created - self.delivered,
+                        t_ps: self.now,
+                    });
+                }
+                if state[cur] == 2 || succ[cur] == NONE {
+                    state[cur] = 2;
+                    for &x in &path {
+                        state[x] = 2;
+                    }
+                    break;
+                }
+                state[cur] = 1;
+                path.push(cur);
+                cur = succ[cur] as usize;
+            }
+        }
+        None
+    }
+
+    /// Snapshots one wait-for-graph node for the forensics report.
+    fn wait_point(&self, id: usize, pv_total: usize) -> WaitPoint {
+        let (side, pv) = if id < pv_total {
+            (WaitSide::Input, id)
+        } else {
+            (WaitSide::Output, id - pv_total)
+        };
+        let port = pv as u32 / self.num_vcs;
+        let (q, occ) = match side {
+            WaitSide::Input => (&self.in_q[pv], self.in_occ[pv]),
+            WaitSide::Output => (&self.out_q[pv], self.out_occ[pv]),
+        };
+        let head = &self.packets[*q.front().expect("wait point has a head") as usize];
+        let missing_credits = match side {
+            WaitSide::Input => 0,
+            WaitSide::Output => (head.bytes as u64).saturating_sub(self.credits[pv]),
+        };
+        WaitPoint {
+            router: self.ports.owner[port as usize],
+            port,
+            vc: (pv as u32 % self.num_vcs) as u8,
+            side,
+            occupancy_bytes: occ,
+            queue_len: q.len(),
+            head_src: head.src,
+            head_dst: head.dst,
+            head_hop: head.hop,
+            head_route: head.choice.path.routers().to_vec(),
+            missing_credits,
+        }
+    }
+
+    /// Detaches the probe (if any) into its report, running deadlock
+    /// forensics on the frozen state when the run wedged.
+    fn take_probe_report(&mut self, wedged: bool) -> Option<TelemetryReport> {
+        self.telemetry.take().map(|tel| {
+            let forensics = if wedged {
+                self.deadlock_forensics()
+            } else {
+                None
+            };
+            tel.into_report(forensics)
+        })
+    }
+
     /// Consumes the engine after a synthetic run.
-    pub fn finish_synthetic(mut self, load: f64, end_ps: u64) -> SyntheticStats {
+    pub fn finish_synthetic(self, load: f64, end_ps: u64) -> SyntheticStats {
+        self.finish_synthetic_probed(load, end_ps).0
+    }
+
+    /// Like [`Engine::finish_synthetic`], also returning the telemetry
+    /// report when a probe was attached.
+    pub fn finish_synthetic_probed(
+        mut self,
+        load: f64,
+        end_ps: u64,
+    ) -> (SyntheticStats, Option<TelemetryReport>) {
         let deadlocked = self.run(Some(end_ps));
+        if self.telemetry.is_some() {
+            self.flush_probe(end_ps);
+        }
+        let telemetry = self.take_probe_report(deadlocked);
         let window = (end_ps - self.warmup_ps) as f64;
         let n = self.net.num_nodes() as f64;
         let throughput =
@@ -636,7 +825,7 @@ impl<'a> Engine<'a> {
         }
         let max_link_utilization =
             (max_sent as f64 * self.cfg.ps_per_byte() as f64 / window).min(1.0);
-        SyntheticStats {
+        let stats = SyntheticStats {
             offered_load: load,
             throughput,
             avg_delay_ns: self.acc.avg_delay_ns(),
@@ -647,12 +836,26 @@ impl<'a> Engine<'a> {
             p99_delay_ns: self.acc.histogram.quantile_ns(0.99),
             max_link_utilization,
             deadlocked,
-        }
+        };
+        (stats, telemetry)
     }
 
     /// Consumes the engine after an exchange run.
-    pub fn finish_exchange(mut self, total_bytes: u64) -> ExchangeStats {
+    pub fn finish_exchange(self, total_bytes: u64) -> ExchangeStats {
+        self.finish_exchange_probed(total_bytes).0
+    }
+
+    /// Like [`Engine::finish_exchange`], also returning the telemetry
+    /// report when a probe was attached.
+    pub fn finish_exchange_probed(
+        mut self,
+        total_bytes: u64,
+    ) -> (ExchangeStats, Option<TelemetryReport>) {
         let deadlocked = self.run(None);
+        if self.telemetry.is_some() {
+            self.flush_probe(self.now);
+        }
+        let telemetry = self.take_probe_report(deadlocked);
         let completion_ps = self.acc.last_delivery_ps;
         let n = self.net.num_nodes() as f64;
         let effective = if completion_ps > 0 {
@@ -662,14 +865,17 @@ impl<'a> Engine<'a> {
             0.0
         };
         debug_assert!(deadlocked || self.acc.delivered_bytes == total_bytes);
-        ExchangeStats {
+        let stats = ExchangeStats {
             delivered_bytes: self.acc.delivered_bytes,
             completion_ns: completion_ps / 1_000,
             effective_throughput: effective,
+            avg_delay_ns: self.acc.avg_delay_ns(),
+            p99_delay_ns: self.acc.histogram.quantile_ns(0.99),
             delivered_packets: self.acc.delivered_packets,
             indirect_packets: self.acc.indirect_packets,
             deadlocked: deadlocked || self.acc.delivered_bytes < total_bytes,
-        }
+        };
+        (stats, telemetry)
     }
 }
 
@@ -707,6 +913,41 @@ pub fn run_synthetic(
     engine.finish_synthetic(load, end_ps)
 }
 
+/// [`run_synthetic`] with an observability probe attached: identical
+/// simulated schedule, plus a [`TelemetryReport`] of the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> (SyntheticStats, TelemetryReport) {
+    assert!(warmup_ns < duration_ns);
+    let end_ps = duration_ns * 1_000;
+    let interval = cfg.interval_ps(load);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = (0..net.num_nodes())
+        .map(|_| {
+            NodeSource::synthetic_with(
+                pattern.clone(),
+                interval,
+                cfg.packet_bytes,
+                end_ps,
+                cfg.arrival,
+                &mut rng,
+            )
+        })
+        .collect();
+    let mut engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
+    engine.attach_probe(probe);
+    let (stats, telemetry) = engine.finish_synthetic_probed(load, end_ps);
+    (stats, telemetry.expect("probe was attached"))
+}
+
 /// Runs a fixed-size exchange to completion. `window` is the number of
 /// messages each node keeps in flight simultaneously (1 = fully staged).
 pub fn run_exchange(
@@ -723,4 +964,24 @@ pub fn run_exchange(
         .collect();
     let engine = Engine::new(net, policy, cfg, sources, 0, rng);
     engine.finish_exchange(exchange.total_bytes())
+}
+
+/// [`run_exchange`] with an observability probe attached.
+pub fn run_exchange_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    exchange: &d2net_traffic::Exchange,
+    window: usize,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> (ExchangeStats, TelemetryReport) {
+    assert_eq!(exchange.sends.len(), net.num_nodes() as usize);
+    let rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = (0..net.num_nodes())
+        .map(|n| NodeSource::exchange(exchange, n, window, cfg.packet_bytes))
+        .collect();
+    let mut engine = Engine::new(net, policy, cfg, sources, 0, rng);
+    engine.attach_probe(probe);
+    let (stats, telemetry) = engine.finish_exchange_probed(exchange.total_bytes());
+    (stats, telemetry.expect("probe was attached"))
 }

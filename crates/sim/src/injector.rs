@@ -185,7 +185,11 @@ impl NodeSource {
                 NextPacket::Ready(PacketSpec {
                     dst,
                     bytes: (*packet_bytes as u64).min(remaining) as u32,
-                    birth_ps: 0,
+                    // Exchange packets are "born" when the node gets to
+                    // them, so recorded delay is pure network transit
+                    // (serialization + links + queueing), not the
+                    // position in the node's send list.
+                    birth_ps: now,
                 })
             }
         }

@@ -11,18 +11,31 @@
 //!   warm-up, reporting accepted throughput and mean packet delay;
 //! - [`run_exchange`] — fixed-size collective exchanges (A2A / NN) run to
 //!   completion, reporting effective throughput;
-//! - [`sweep::load_sweep`] — the offered-load axes of Figs. 6–12.
+//! - [`sweep::load_sweep`] — the offered-load axes of Figs. 6–12;
+//! - [`run_synthetic_probed`] / [`run_exchange_probed`] /
+//!   [`sweep::load_sweep_probed`] — the same runs with an observability
+//!   probe attached (see [`telemetry`]): utilization/occupancy series,
+//!   per-router event rings and deadlock forensics.
 
 pub mod config;
 pub mod engine;
 pub mod injector;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 
 pub use config::SimConfig;
-pub use engine::{run_exchange, run_synthetic, Engine};
-pub use stats::{ExchangeStats, SyntheticStats};
-pub use sweep::{load_grid, load_sweep, saturation_throughput, SweepPoint};
+pub use engine::{
+    run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed, Engine,
+};
+pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
+pub use sweep::{
+    load_grid, load_sweep, load_sweep_probed, saturation_throughput, SweepPoint,
+};
+pub use telemetry::{
+    DeadlockReport, ProbeConfig, RingEvent, RingEventKind, TelemetryReport, TelemetrySummary,
+    WaitPoint, WaitSide,
+};
 
 #[cfg(test)]
 mod tests {

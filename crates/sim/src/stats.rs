@@ -30,6 +30,27 @@ pub struct SyntheticStats {
     pub deadlocked: bool,
 }
 
+impl SyntheticStats {
+    /// A placeholder for a load point that was skipped because a lower
+    /// load already wedged the network: all measurements zero,
+    /// `deadlocked` set. Used by [`crate::sweep::load_sweep`]'s
+    /// early-abort path.
+    pub fn deadlocked_stub(load: f64) -> Self {
+        SyntheticStats {
+            offered_load: load,
+            throughput: 0.0,
+            avg_delay_ns: 0.0,
+            max_delay_ns: 0,
+            delivered_packets: 0,
+            indirect_packets: 0,
+            avg_hops: 0.0,
+            p99_delay_ns: 0,
+            max_link_utilization: 0.0,
+            deadlocked: true,
+        }
+    }
+}
+
 /// Results of a fixed-size exchange run (A2A / NN).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExchangeStats {
@@ -40,6 +61,11 @@ pub struct ExchangeStats {
     /// Effective throughput per node as a fraction of link bandwidth
     /// (paper §4.4: total data / completion time, normalized per node).
     pub effective_throughput: f64,
+    /// Mean in-network packet delay (injection → full delivery) in ns.
+    pub avg_delay_ns: f64,
+    /// Approximate 99th-percentile packet delay in ns (log-bucket upper
+    /// bound).
+    pub p99_delay_ns: u64,
     /// Packets delivered in total.
     pub delivered_packets: u64,
     /// Packets routed indirectly.
@@ -69,8 +95,10 @@ impl Default for DelayHistogram {
 
 impl DelayHistogram {
     pub fn record(&mut self, delay_ps: u64) {
-        let ns = delay_ps / 1_000;
-        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(39);
+        // Sub-nanosecond delays (ns = 0) clamp into bucket 0 alongside
+        // exact 1 ns samples rather than indexing on leading_zeros(0).
+        let ns = (delay_ps / 1_000).max(1);
+        let idx = (63 - ns.leading_zeros() as usize).min(39);
         self.buckets[idx] += 1;
         self.total += 1;
     }
@@ -80,7 +108,11 @@ impl DelayHistogram {
         if self.total == 0 {
             return 0;
         }
-        let target = (q * self.total as f64).ceil() as u64;
+        // Clamp the rank into [1, total]: q = 0.0 means the first sample
+        // (not "before any bucket", which would report bucket 0 even when
+        // it is empty), and float round-up at q = 1.0 must not run off
+        // the end.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -164,7 +196,53 @@ mod tests {
     #[test]
     fn empty_histogram() {
         let h = DelayHistogram::default();
+        assert_eq!(h.quantile_ns(0.0), 0);
         assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.quantile_ns(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_agree() {
+        let mut h = DelayHistogram::default();
+        h.record(1_500_000); // 1500 ns → bucket [1024, 2048)
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 2_048, "q={q}");
+        }
+    }
+
+    #[test]
+    fn sub_nanosecond_sample_lands_in_bucket_zero() {
+        let mut h = DelayHistogram::default();
+        h.record(999); // < 1 ns
+        h.record(0);
+        assert_eq!(h.samples(), 2);
+        assert_eq!(h.quantile_ns(1.0), 2); // bucket 0 upper bound
+    }
+
+    #[test]
+    fn quantile_zero_skips_empty_low_buckets() {
+        let mut h = DelayHistogram::default();
+        // Only sample is big; q = 0.0 must find it, not report bucket 0.
+        h.record(1_000_000_000); // 1e6 ns → bucket 19
+        assert_eq!(h.quantile_ns(0.0), 1 << 20);
+    }
+
+    #[test]
+    fn power_of_two_boundaries_split_buckets() {
+        let mut h = DelayHistogram::default();
+        h.record(1_023_000); // 1023 ns → bucket 9, bound 1024
+        h.record(1_024_000); // 1024 ns → bucket 10, bound 2048
+        assert_eq!(h.quantile_ns(0.5), 1_024);
+        assert_eq!(h.quantile_ns(1.0), 2_048);
+    }
+
+    #[test]
+    fn deadlocked_stub_is_inert() {
+        let s = SyntheticStats::deadlocked_stub(0.8);
+        assert!(s.deadlocked);
+        assert_eq!(s.offered_load, 0.8);
+        assert_eq!(s.throughput, 0.0);
+        assert_eq!(s.delivered_packets, 0);
     }
 
     #[test]

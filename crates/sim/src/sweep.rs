@@ -2,8 +2,9 @@
 //! throughput/delay figures (Figs. 6–12).
 
 use crate::config::SimConfig;
-use crate::engine::run_synthetic;
+use crate::engine::{run_synthetic, run_synthetic_probed};
 use crate::stats::SyntheticStats;
+use crate::telemetry::{ProbeConfig, TelemetrySummary};
 use d2net_routing::RoutePolicy;
 use d2net_topo::Network;
 use d2net_traffic::SyntheticPattern;
@@ -13,10 +14,19 @@ use d2net_traffic::SyntheticPattern;
 pub struct SweepPoint {
     pub load: f64,
     pub stats: SyntheticStats,
+    /// Present when the sweep ran with a probe attached
+    /// ([`load_sweep_probed`]); plain [`load_sweep`] leaves it `None`.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Simulates `net` at each offered load in `loads`, returning one curve
 /// point per load.
+///
+/// If a point wedges, the remaining (higher) loads are not simulated: a
+/// deadlocked network stays deadlocked under more pressure, and each
+/// wedged point would otherwise burn a full simulated horizon. Skipped
+/// points carry [`SyntheticStats::deadlocked_stub`] so curves keep one
+/// entry per requested load.
 pub fn load_sweep(
     net: &Network,
     policy: &RoutePolicy,
@@ -26,13 +36,68 @@ pub fn load_sweep(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> Vec<SweepPoint> {
-    loads
-        .iter()
-        .map(|&load| SweepPoint {
+    sweep_impl(loads, |load, first_wedge| match first_wedge {
+        Some(_) => SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        None => SweepPoint {
             load,
             stats: run_synthetic(net, policy, pattern, load, duration_ns, warmup_ns, cfg),
-        })
-        .collect()
+            telemetry: None,
+        },
+    })
+}
+
+/// [`load_sweep`] with an observability probe attached to every simulated
+/// point; each [`SweepPoint`] carries its [`TelemetrySummary`].
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> Vec<SweepPoint> {
+    sweep_impl(loads, |load, first_wedge| match first_wedge {
+        Some(_) => SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        None => {
+            let (stats, report) =
+                run_synthetic_probed(net, policy, pattern, load, duration_ns, warmup_ns, cfg, probe);
+            SweepPoint {
+                load,
+                stats,
+                telemetry: Some(report.summary()),
+            }
+        }
+    })
+}
+
+/// Shared early-abort loop: `point` receives the load and, once any point
+/// has wedged, the load that first wedged.
+fn sweep_impl(loads: &[f64], mut point: impl FnMut(f64, Option<f64>) -> SweepPoint) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(loads.len());
+    let mut first_wedge: Option<f64> = None;
+    for &load in loads {
+        let p = point(load, first_wedge);
+        if p.stats.deadlocked && first_wedge.is_none() {
+            first_wedge = Some(load);
+            eprintln!(
+                "load_sweep: network wedged at offered load {load:.3}; \
+                 marking remaining loads deadlocked without simulating them"
+            );
+        }
+        out.push(p);
+    }
+    out
 }
 
 /// The standard load grid used by the figure harness: 5 % to 100 % in
@@ -67,5 +132,35 @@ mod tests {
         assert_eq!(g.len(), 10);
         assert!((g[0] - 0.1).abs() < 1e-12);
         assert!((g[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abort_stubs_higher_loads() {
+        // Simulate the sweep loop with a synthetic "wedges at 0.5" run.
+        let mut simulated = Vec::new();
+        let points = sweep_impl(&[0.25, 0.5, 0.75, 1.0], |load, first_wedge| {
+            if first_wedge.is_some() {
+                return SweepPoint {
+                    load,
+                    stats: SyntheticStats::deadlocked_stub(load),
+                    telemetry: None,
+                };
+            }
+            simulated.push(load);
+            let mut stats = SyntheticStats::deadlocked_stub(load);
+            stats.deadlocked = load >= 0.5;
+            stats.throughput = load;
+            SweepPoint {
+                load,
+                stats,
+                telemetry: None,
+            }
+        });
+        assert_eq!(simulated, vec![0.25, 0.5]);
+        assert_eq!(points.len(), 4);
+        assert!(!points[0].stats.deadlocked);
+        assert!(points[1].stats.deadlocked);
+        assert!(points[2].stats.deadlocked && points[2].stats.throughput == 0.0);
+        assert!(points[3].stats.deadlocked && points[3].stats.delivered_packets == 0);
     }
 }

@@ -1,0 +1,686 @@
+//! Runtime observability for the simulator.
+//!
+//! A probe is attached to an [`crate::Engine`] before the run and records,
+//! at a fixed sampling interval:
+//!
+//! - per-link utilization (bytes serialized per output port per window);
+//! - per-VC buffer occupancy, input and output side, as a fraction of the
+//!   per-VC capacity;
+//! - aggregate injection/ejection rates and the indirect-route fraction;
+//!
+//! plus a bounded ring buffer of recent noteworthy events per router and,
+//! when the run wedges, a deadlock forensics report: the cycle of blocked
+//! (port, VC) pairs with their occupancies, head-packet routes and missing
+//! credits.
+//!
+//! The probe is **zero-overhead when disabled**: the engine stores an
+//! `Option<Telemetry>` and the event loop pays exactly one branch per
+//! event when it is `None`. When enabled, all series storage is
+//! preallocated at attach time and samples are taken lazily when event
+//! time crosses a window boundary — the event heap never carries probe
+//! events, so the simulated schedule is identical with and without the
+//! probe.
+
+use std::collections::VecDeque;
+
+/// Probe configuration. All knobs have conservative defaults; the
+/// defaults sample every microsecond and bound total series memory via
+/// [`ProbeConfig::max_samples`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeConfig {
+    /// Window length between samples in ns (default 1000 = 1 µs).
+    pub sample_interval_ns: u64,
+    /// Hard cap on recorded samples; once reached, counters keep
+    /// accumulating but no further series rows are stored (default 1024).
+    pub max_samples: usize,
+    /// Events retained per router in the rolling ring (default 32).
+    pub ring_capacity: usize,
+    /// Consecutive samples whose ejection rate must agree for the run to
+    /// count as converged (default 8).
+    pub convergence_window: usize,
+    /// Relative spread (max-min over mean) tolerated inside the
+    /// convergence window (default 0.05).
+    pub convergence_tolerance: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            sample_interval_ns: 1_000,
+            max_samples: 1024,
+            ring_capacity: 32,
+            convergence_window: 8,
+            convergence_tolerance: 0.05,
+        }
+    }
+}
+
+/// One entry of a router's bounded event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingEvent {
+    /// Simulated time of the event in ps.
+    pub t_ps: u64,
+    pub kind: RingEventKind,
+}
+
+/// The event classes retained in router rings: injections, ejections and
+/// transitions into a blocked input (port, VC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingEventKind {
+    /// A node attached to this router injected a packet.
+    Inject { node: u32, dst: u32, indirect: bool },
+    /// A packet was delivered to a node attached to this router.
+    Eject { node: u32, src: u32, delay_ps: u64 },
+    /// An input (port, VC) became blocked on a full output buffer.
+    Blocked {
+        in_port: u32,
+        in_vc: u8,
+        out_port: u32,
+        out_vc: u8,
+    },
+}
+
+/// Which side of a switch a blocked buffer sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitSide {
+    /// Input FIFO waiting for space in an output buffer.
+    Input,
+    /// Output buffer waiting for downstream credits.
+    Output,
+}
+
+/// One (port, VC) buffer participating in a deadlock cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitPoint {
+    pub router: u32,
+    pub port: u32,
+    pub vc: u8,
+    pub side: WaitSide,
+    /// Bytes currently occupying this buffer.
+    pub occupancy_bytes: u64,
+    /// Packets queued in this buffer.
+    pub queue_len: usize,
+    /// Head packet's source and destination nodes.
+    pub head_src: u32,
+    pub head_dst: u32,
+    /// Head packet's position along its route (router-sequence index).
+    pub head_hop: u8,
+    /// The head packet's full planned router sequence.
+    pub head_route: Vec<u32>,
+    /// For output-side points: credit bytes short of the head packet's
+    /// size. Zero for input-side points.
+    pub missing_credits: u64,
+}
+
+/// Forensics for a wedged run: the first wait-for cycle found over
+/// blocked buffers. Each element waits on the next (wrapping around).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockReport {
+    /// The cycle of mutually waiting buffers, in wait-for order.
+    pub cycle: Vec<WaitPoint>,
+    /// Packets stranded in-network at wedge time (created - delivered).
+    pub stranded_packets: u64,
+    /// Wedge time in ps.
+    pub t_ps: u64,
+}
+
+impl DeadlockReport {
+    /// Human-readable rendering of the cycle, one line per wait point.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "DEADLOCK at t={} ns: {} packets stranded; wait-for cycle of {} buffers:\n",
+            self.t_ps / 1_000,
+            self.stranded_packets,
+            self.cycle.len()
+        );
+        for (i, w) in self.cycle.iter().enumerate() {
+            let side = match w.side {
+                WaitSide::Input => "in ",
+                WaitSide::Output => "out",
+            };
+            s.push_str(&format!(
+                "  [{i}] router {:>3} port {:>3} vc {} {side}: occ {:>6} B, {} queued, head {}->{} hop {}/{} route {:?}",
+                w.router,
+                w.port,
+                w.vc,
+                w.occupancy_bytes,
+                w.queue_len,
+                w.head_src,
+                w.head_dst,
+                w.head_hop,
+                w.head_route.len().saturating_sub(1),
+                w.head_route,
+            ));
+            if w.side == WaitSide::Output {
+                s.push_str(&format!(", {} B of credit missing", w.missing_credits));
+            }
+            s.push_str("  -> waits on next\n");
+        }
+        s
+    }
+}
+
+/// Compact per-run digest of a telemetry report — cheap to clone and
+/// attach to sweep points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    pub num_samples: usize,
+    pub sample_interval_ns: u64,
+    /// Mean utilization over all router-to-router links and samples.
+    pub mean_link_utilization: f64,
+    /// Peak single-link single-window utilization.
+    pub peak_link_utilization: f64,
+    /// Peak per-VC buffer occupancy fraction (input or output side).
+    pub peak_occupancy: f64,
+    /// Indirect fraction of all injected packets.
+    pub mean_indirect_fraction: f64,
+    /// First time (ns) the ejection rate stabilized, if it did.
+    pub converged_at_ns: Option<u64>,
+    /// Length of the deadlock cycle (0 when the run did not wedge).
+    pub deadlock_cycle_len: usize,
+}
+
+/// Full probe output of one run.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    pub config: ProbeConfig,
+    /// Samples actually recorded (≤ `config.max_samples`).
+    pub num_samples: usize,
+    pub num_routers: u32,
+    pub num_nodes: u32,
+    /// Total ports (network + node) across all routers.
+    pub num_ports: u32,
+    pub num_vcs: u32,
+    /// Router owning each port.
+    pub port_owner: Vec<u32>,
+    /// True for node (injection/ejection) ports.
+    pub port_is_node: Vec<bool>,
+
+    /// Flattened `[sample * num_ports + port]` link utilization per
+    /// window, as a fraction of link bandwidth.
+    pub link_util: Vec<f32>,
+    /// Flattened `[sample * num_ports * num_vcs + pv]` input-buffer
+    /// occupancy fraction at each window boundary.
+    pub in_occupancy: Vec<f32>,
+    /// Same layout, output-buffer side.
+    pub out_occupancy: Vec<f32>,
+    /// Per-sample aggregate injection rate (fraction of total injection
+    /// bandwidth).
+    pub injection_rate: Vec<f32>,
+    /// Per-sample aggregate ejection rate (same normalization).
+    pub ejection_rate: Vec<f32>,
+    /// Per-sample fraction of injected packets routed indirectly.
+    pub indirect_fraction: Vec<f32>,
+
+    /// Bounded recent-event ring per router, oldest first.
+    pub rings: Vec<Vec<RingEvent>>,
+    /// Packets injected over the whole run (warm-up included).
+    pub total_injected_packets: u64,
+    /// Packets delivered over the whole run (warm-up included).
+    pub total_ejected_packets: u64,
+    /// Deliveries broken down by destination router.
+    pub ejected_per_router: Vec<u64>,
+    /// Indirect injections over the whole run.
+    pub total_indirect: u64,
+
+    /// First time (ns) the ejection rate stayed inside the convergence
+    /// band for a full window, if ever.
+    pub converged_at_ns: Option<u64>,
+    /// Present iff the run wedged.
+    pub deadlock: Option<DeadlockReport>,
+}
+
+impl TelemetryReport {
+    /// Utilization of `port` during sample window `sample`.
+    pub fn link_utilization(&self, sample: usize, port: u32) -> f32 {
+        self.link_util[sample * self.num_ports as usize + port as usize]
+    }
+
+    /// Input-buffer occupancy fraction of (`port`, `vc`) at the end of
+    /// window `sample`.
+    pub fn input_occupancy(&self, sample: usize, port: u32, vc: u8) -> f32 {
+        let pvs = (self.num_ports * self.num_vcs) as usize;
+        self.in_occupancy[sample * pvs + (port * self.num_vcs + vc as u32) as usize]
+    }
+
+    /// Output-buffer occupancy fraction of (`port`, `vc`) at the end of
+    /// window `sample`.
+    pub fn output_occupancy(&self, sample: usize, port: u32, vc: u8) -> f32 {
+        let pvs = (self.num_ports * self.num_vcs) as usize;
+        self.out_occupancy[sample * pvs + (port * self.num_vcs + vc as u32) as usize]
+    }
+
+    /// Condenses the report into a [`TelemetrySummary`].
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut sum = 0.0f64;
+        let mut n = 0u64;
+        let mut peak = 0.0f64;
+        for s in 0..self.num_samples {
+            for port in 0..self.num_ports {
+                if self.port_is_node[port as usize] {
+                    continue;
+                }
+                let u = self.link_utilization(s, port) as f64;
+                sum += u;
+                n += 1;
+                peak = peak.max(u);
+            }
+        }
+        let peak_occupancy = self
+            .in_occupancy
+            .iter()
+            .chain(self.out_occupancy.iter())
+            .fold(0.0f32, |a, &b| a.max(b)) as f64;
+        TelemetrySummary {
+            num_samples: self.num_samples,
+            sample_interval_ns: self.config.sample_interval_ns,
+            mean_link_utilization: if n > 0 { sum / n as f64 } else { 0.0 },
+            peak_link_utilization: peak,
+            peak_occupancy,
+            mean_indirect_fraction: if self.total_injected_packets > 0 {
+                self.total_indirect as f64 / self.total_injected_packets as f64
+            } else {
+                0.0
+            },
+            converged_at_ns: self.converged_at_ns,
+            deadlock_cycle_len: self.deadlock.as_ref().map_or(0, |d| d.cycle.len()),
+        }
+    }
+}
+
+/// Live probe state owned by the engine during a run. Constructed via
+/// [`Telemetry::new`] with the engine's port geometry; all series storage
+/// is preallocated here, so the event loop never allocates on the probe's
+/// behalf.
+#[derive(Debug)]
+pub struct Telemetry {
+    cfg: ProbeConfig,
+    num_routers: u32,
+    num_nodes: u32,
+    num_ports: u32,
+    num_vcs: u32,
+    port_owner: Vec<u32>,
+    port_is_node: Vec<bool>,
+    vc_cap: u64,
+    /// Link capacity of one sample window in bytes.
+    window_bytes: u64,
+    sample_interval_ps: u64,
+
+    // Window accumulators, reset at every sample boundary.
+    win_sent: Vec<u64>,
+    win_injected_pkts: u64,
+    win_injected_bytes: u64,
+    win_ejected_bytes: u64,
+    win_indirect_pkts: u64,
+
+    // Whole-run totals.
+    total_injected: u64,
+    total_ejected: u64,
+    total_indirect: u64,
+    ejected_per_router: Vec<u64>,
+
+    next_sample_ps: u64,
+    samples_taken: usize,
+
+    link_util: Vec<f32>,
+    in_occupancy: Vec<f32>,
+    out_occupancy: Vec<f32>,
+    injection_rate: Vec<f32>,
+    ejection_rate: Vec<f32>,
+    indirect_fraction: Vec<f32>,
+
+    rings: Vec<VecDeque<RingEvent>>,
+    converged_at_ps: Option<u64>,
+}
+
+impl Telemetry {
+    /// Builds a probe for an engine with the given geometry.
+    /// `ps_per_byte` converts window byte counts into utilizations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: ProbeConfig,
+        num_routers: u32,
+        num_nodes: u32,
+        num_vcs: u32,
+        port_owner: Vec<u32>,
+        port_is_node: Vec<bool>,
+        vc_cap: u64,
+        ps_per_byte: u64,
+    ) -> Self {
+        assert!(cfg.sample_interval_ns > 0, "sample interval must be positive");
+        assert!(cfg.convergence_window >= 2, "convergence window must be >= 2");
+        let num_ports = port_owner.len() as u32;
+        let interval_ps = cfg.sample_interval_ns * 1_000;
+        let window_bytes = (interval_ps / ps_per_byte).max(1);
+        let pv_total = (num_ports * num_vcs) as usize;
+        Telemetry {
+            num_routers,
+            num_nodes,
+            num_ports,
+            num_vcs,
+            port_owner,
+            port_is_node,
+            vc_cap,
+            window_bytes,
+            sample_interval_ps: interval_ps,
+            win_sent: vec![0; num_ports as usize],
+            win_injected_pkts: 0,
+            win_injected_bytes: 0,
+            win_ejected_bytes: 0,
+            win_indirect_pkts: 0,
+            total_injected: 0,
+            total_ejected: 0,
+            total_indirect: 0,
+            ejected_per_router: vec![0; num_routers as usize],
+            next_sample_ps: interval_ps,
+            samples_taken: 0,
+            link_util: Vec::with_capacity(cfg.max_samples * num_ports as usize),
+            in_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
+            out_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
+            injection_rate: Vec::with_capacity(cfg.max_samples),
+            ejection_rate: Vec::with_capacity(cfg.max_samples),
+            indirect_fraction: Vec::with_capacity(cfg.max_samples),
+            rings: vec![VecDeque::with_capacity(cfg.ring_capacity); num_routers as usize],
+            converged_at_ps: None,
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn ring_push(&mut self, router: u32, ev: RingEvent) {
+        let ring = &mut self.rings[router as usize];
+        if ring.len() == self.cfg.ring_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// A node attached to `router` injected a packet.
+    #[inline]
+    pub fn on_inject(&mut self, t_ps: u64, router: u32, node: u32, dst: u32, bytes: u32, indirect: bool) {
+        self.win_injected_pkts += 1;
+        self.win_injected_bytes += bytes as u64;
+        self.total_injected += 1;
+        if indirect {
+            self.win_indirect_pkts += 1;
+            self.total_indirect += 1;
+        }
+        self.ring_push(
+            router,
+            RingEvent {
+                t_ps,
+                kind: RingEventKind::Inject { node, dst, indirect },
+            },
+        );
+    }
+
+    /// A packet was delivered to `node` on `router`.
+    #[inline]
+    pub fn on_eject(&mut self, t_ps: u64, router: u32, node: u32, src: u32, bytes: u32, delay_ps: u64) {
+        self.win_ejected_bytes += bytes as u64;
+        self.total_ejected += 1;
+        self.ejected_per_router[router as usize] += 1;
+        self.ring_push(
+            router,
+            RingEvent {
+                t_ps,
+                kind: RingEventKind::Eject { node, src, delay_ps },
+            },
+        );
+    }
+
+    /// An output port started serializing `bytes`.
+    #[inline]
+    pub fn on_send(&mut self, port: u32, bytes: u32) {
+        self.win_sent[port as usize] += bytes as u64;
+    }
+
+    /// An input (port, VC) transitioned into the blocked state.
+    #[inline]
+    pub fn on_blocked(&mut self, t_ps: u64, in_port: u32, in_vc: u8, out_port: u32, out_vc: u8) {
+        let router = self.port_owner[in_port as usize];
+        self.ring_push(
+            router,
+            RingEvent {
+                t_ps,
+                kind: RingEventKind::Blocked {
+                    in_port,
+                    in_vc,
+                    out_port,
+                    out_vc,
+                },
+            },
+        );
+    }
+
+    /// Flushes every sample window up to (and including) simulated time
+    /// `t`. Buffer state is piecewise-constant between events, so reading
+    /// the occupancies once per crossed boundary is exact.
+    pub fn sample_to(&mut self, t: u64, in_occ: &[u64], out_occ: &[u64]) {
+        while self.next_sample_ps <= t && self.samples_taken < self.cfg.max_samples {
+            self.take_sample(in_occ, out_occ);
+        }
+    }
+
+    fn take_sample(&mut self, in_occ: &[u64], out_occ: &[u64]) {
+        let wb = self.window_bytes as f32;
+        for port in 0..self.num_ports as usize {
+            // A send is attributed to its start window, so a window can
+            // nominally exceed capacity by one packet; clamp for reporting.
+            let u = (self.win_sent[port] as f32 / wb).min(1.0);
+            self.link_util.push(u);
+            self.win_sent[port] = 0;
+        }
+        let cap = self.vc_cap as f32;
+        for &occ in in_occ {
+            self.in_occupancy.push(occ as f32 / cap);
+        }
+        for &occ in out_occ {
+            self.out_occupancy.push(occ as f32 / cap);
+        }
+        let node_window = wb * self.num_nodes as f32;
+        self.injection_rate
+            .push(self.win_injected_bytes as f32 / node_window);
+        self.ejection_rate
+            .push(self.win_ejected_bytes as f32 / node_window);
+        self.indirect_fraction.push(if self.win_injected_pkts > 0 {
+            self.win_indirect_pkts as f32 / self.win_injected_pkts as f32
+        } else {
+            0.0
+        });
+        self.win_injected_pkts = 0;
+        self.win_injected_bytes = 0;
+        self.win_ejected_bytes = 0;
+        self.win_indirect_pkts = 0;
+        self.samples_taken += 1;
+        self.check_convergence();
+        self.next_sample_ps += self.sample_interval_ps;
+    }
+
+    /// Marks the run converged at the current sample if the last
+    /// `convergence_window` ejection rates agree within tolerance.
+    fn check_convergence(&mut self) {
+        if self.converged_at_ps.is_some() {
+            return;
+        }
+        let w = self.cfg.convergence_window;
+        if self.samples_taken < w {
+            return;
+        }
+        let tail = &self.ejection_rate[self.samples_taken - w..];
+        let (mut lo, mut hi, mut sum) = (f32::MAX, f32::MIN, 0.0f64);
+        for &r in tail {
+            lo = lo.min(r);
+            hi = hi.max(r);
+            sum += r as f64;
+        }
+        let mean = sum / w as f64;
+        if mean > 0.0 && ((hi - lo) as f64) <= self.cfg.convergence_tolerance * mean {
+            self.converged_at_ps = Some(self.next_sample_ps);
+        }
+    }
+
+    /// Consumes the probe into its report, attaching forensics when the
+    /// run wedged.
+    pub fn into_report(self, deadlock: Option<DeadlockReport>) -> TelemetryReport {
+        TelemetryReport {
+            num_samples: self.samples_taken,
+            num_routers: self.num_routers,
+            num_nodes: self.num_nodes,
+            num_ports: self.num_ports,
+            num_vcs: self.num_vcs,
+            port_owner: self.port_owner,
+            port_is_node: self.port_is_node,
+            link_util: self.link_util,
+            in_occupancy: self.in_occupancy,
+            out_occupancy: self.out_occupancy,
+            injection_rate: self.injection_rate,
+            ejection_rate: self.ejection_rate,
+            indirect_fraction: self.indirect_fraction,
+            rings: self.rings.into_iter().map(Vec::from).collect(),
+            total_injected_packets: self.total_injected,
+            total_ejected_packets: self.total_ejected,
+            total_indirect: self.total_indirect,
+            ejected_per_router: self.ejected_per_router,
+            converged_at_ns: self.converged_at_ps.map(|t| t / 1_000),
+            deadlock,
+            config: self.cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_2ports() -> Telemetry {
+        Telemetry::new(
+            ProbeConfig {
+                sample_interval_ns: 100, // window = 1250 bytes at 80 ps/B
+                max_samples: 4,
+                ring_capacity: 2,
+                convergence_window: 2,
+                convergence_tolerance: 0.5,
+            },
+            1,
+            1,
+            1,
+            vec![0, 0],
+            vec![false, true],
+            1000,
+            80,
+        )
+    }
+
+    #[test]
+    fn sampling_is_lazy_and_bounded() {
+        let mut t = probe_2ports();
+        t.on_send(0, 625);
+        // Jumping far ahead flushes the first window then (max_samples-1)
+        // empty ones, and no more.
+        t.sample_to(10_000_000, &[0, 0], &[500, 0]);
+        assert_eq!(t.samples_taken, 4);
+        let r = t.into_report(None);
+        assert_eq!(r.num_samples, 4);
+        assert!((r.link_utilization(0, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(r.link_utilization(1, 0), 0.0);
+        assert!((r.output_occupancy(0, 0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_clamps_at_unity() {
+        let mut t = probe_2ports();
+        t.on_send(0, 99_999);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert_eq!(r.link_utilization(0, 0), 1.0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let mut t = probe_2ports();
+        for i in 0..5u32 {
+            t.on_inject(i as u64, 0, 0, i, 256, false);
+        }
+        let r = t.into_report(None);
+        assert_eq!(r.rings[0].len(), 2);
+        assert_eq!(r.rings[0][0].t_ps, 3);
+        assert_eq!(r.rings[0][1].t_ps, 4);
+    }
+
+    #[test]
+    fn convergence_detects_stable_ejection() {
+        let mut t = probe_2ports();
+        // Two equal-rate windows inside a window-2 band.
+        t.on_eject(0, 0, 0, 0, 625, 0);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        t.on_eject(0, 0, 0, 0, 625, 0);
+        t.sample_to(200_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert_eq!(r.converged_at_ns, Some(200));
+    }
+
+    #[test]
+    fn idle_run_never_converges() {
+        let mut t = probe_2ports();
+        t.sample_to(400_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert_eq!(r.converged_at_ns, None);
+    }
+
+    #[test]
+    fn summary_aggregates_network_ports_only() {
+        let mut t = probe_2ports();
+        t.on_send(0, 625); // network port
+        t.on_send(1, 1250); // node port: excluded from link stats
+        t.on_inject(0, 0, 0, 0, 256, true);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        let s = r.summary();
+        assert!((s.mean_link_utilization - 0.5).abs() < 1e-6);
+        assert!((s.peak_link_utilization - 0.5).abs() < 1e-6);
+        assert_eq!(s.mean_indirect_fraction, 1.0);
+        assert_eq!(s.deadlock_cycle_len, 0);
+    }
+
+    #[test]
+    fn deadlock_report_renders_cycle() {
+        let rep = DeadlockReport {
+            cycle: vec![
+                WaitPoint {
+                    router: 0,
+                    port: 1,
+                    vc: 0,
+                    side: WaitSide::Input,
+                    occupancy_bytes: 256,
+                    queue_len: 1,
+                    head_src: 0,
+                    head_dst: 2,
+                    head_hop: 1,
+                    head_route: vec![0, 1, 2],
+                    missing_credits: 0,
+                },
+                WaitPoint {
+                    router: 1,
+                    port: 4,
+                    vc: 0,
+                    side: WaitSide::Output,
+                    occupancy_bytes: 256,
+                    queue_len: 1,
+                    head_src: 1,
+                    head_dst: 3,
+                    head_hop: 1,
+                    head_route: vec![1, 2, 3],
+                    missing_credits: 256,
+                },
+            ],
+            stranded_packets: 7,
+            t_ps: 5_000_000,
+        };
+        let s = rep.render();
+        assert!(s.contains("DEADLOCK at t=5000 ns"));
+        assert!(s.contains("7 packets stranded"));
+        assert!(s.contains("cycle of 2 buffers"));
+        assert!(s.contains("credit missing"));
+    }
+}
