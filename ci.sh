@@ -13,6 +13,9 @@ echo "== cargo test =="
 cargo test -q --release --workspace
 
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== static verification gate (paper-standard configs) =="
+cargo run --release --example d2net-verify -- --paper-gate
 
 echo "ci.sh: all green"

@@ -11,6 +11,8 @@
 //!   deadlock avoidance and CDG verification;
 //! - [`traffic`]: uniform, adversarial worst-case, all-to-all and
 //!   nearest-neighbor workloads;
+//! - [`verify`]: the static preflight verifier — CDG acyclicity with
+//!   counterexample extraction, routing-table soundness, topology lints;
 //! - [`sim`]: the flit-level discrete-event simulator (§4.1 parameters);
 //! - [`analysis`]: scalability, bisection-bandwidth and path-diversity
 //!   analytics;
@@ -44,6 +46,7 @@ pub use d2net_routing as routing;
 pub use d2net_sim as sim;
 pub use d2net_topo as topo;
 pub use d2net_traffic as traffic;
+pub use d2net_verify as verify;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
@@ -56,13 +59,14 @@ pub mod prelude {
     pub use crate::report::*;
     pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
     pub use d2net_routing::{
-        build_cdg, Algorithm, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
+        build_cdg, try_build_cdg, Algorithm, ChannelError, IntermediateSet, MinimalTables,
+        RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        load_grid, load_sweep, load_sweep_probed, run_exchange, run_exchange_probed,
-        run_synthetic, run_synthetic_probed, DeadlockReport, ExchangeStats, ProbeConfig,
-        RingEvent, RingEventKind, SimConfig, SweepPoint, SyntheticStats, TelemetryReport,
-        TelemetrySummary, WaitPoint, WaitSide,
+        load_grid, load_sweep, load_sweep_probed, preflight, run_exchange, run_exchange_probed,
+        run_synthetic, run_synthetic_probed, DeadlockReport, ExchangeStats, Preflight,
+        ProbeConfig, RingEvent, RingEventKind, SimConfig, SweepPoint, SyntheticStats,
+        TelemetryReport, TelemetrySummary, WaitPoint, WaitSide,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,
@@ -71,5 +75,9 @@ pub mod prelude {
     pub use d2net_traffic::{
         all_to_all, fit_torus, nearest_neighbor, shift_pattern, torus_dims_for, worst_case,
         worst_case_saturation, SyntheticPattern,
+    };
+    pub use d2net_verify::{
+        verify, Diagnostic, Report as VerifyReport, Severity, Verdict, VerifyParams,
+        VerifySummary,
     };
 }

@@ -6,6 +6,7 @@ use crate::experiment::{Curve, ExchangeRow};
 use d2net_analysis::ScaleRow;
 use d2net_sim::SimConfig;
 use d2net_topo::Network;
+use d2net_verify::VerifySummary;
 
 /// Renders the Fig. 3 scale table.
 pub fn render_fig3(rows: &[ScaleRow]) -> String {
@@ -231,6 +232,9 @@ pub struct RunManifest {
     pub duration_ns: u64,
     pub warmup_ns: u64,
     pub sim: SimConfig,
+    /// Outcome of the static preflight verifier, when one ran for this
+    /// campaign ([`RunManifest::set_preflight`]); `None` otherwise.
+    pub preflight: Option<VerifySummary>,
     pub curves: Vec<Curve>,
 }
 
@@ -254,12 +258,20 @@ impl RunManifest {
             duration_ns,
             warmup_ns,
             sim,
+            preflight: None,
             curves: Vec::new(),
         }
     }
 
     pub fn push_curve(&mut self, curve: Curve) -> &mut Self {
         self.curves.push(curve);
+        self
+    }
+
+    /// Records the static-verification outcome for this campaign (from
+    /// [`d2net_verify::Report::summary`]).
+    pub fn set_preflight(&mut self, summary: VerifySummary) -> &mut Self {
+        self.preflight = Some(summary);
         self
     }
 
@@ -292,6 +304,22 @@ impl RunManifest {
         w.key("duration_ns").u64(self.duration_ns);
         w.key("warmup_ns").u64(self.warmup_ns);
         w.end_object();
+        w.key("preflight");
+        match &self.preflight {
+            None => {
+                w.null();
+            }
+            Some(p) => {
+                w.begin_object();
+                w.key("subject").string(&p.subject);
+                w.key("certified").bool(p.certified);
+                w.key("errors").u64(p.errors as u64);
+                w.key("warnings").u64(p.warnings as u64);
+                w.key("infos").u64(p.infos as u64);
+                w.key("cdg_cycle_len").u64(p.cdg_cycle_len as u64);
+                w.end_object();
+            }
+        }
         w.key("curves").begin_array();
         for c in &self.curves {
             w.begin_object();
@@ -420,8 +448,23 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("\"schema\":\"d2net.run-manifest/v1\""));
         assert!(s.contains("\"units\""));
+        assert!(s.contains("\"preflight\":null"));
         assert!(s.contains("\"converged_at_ns\":12000"));
         assert!(s.contains("\"deadlocked\":true"));
+
+        m.set_preflight(d2net_verify::VerifySummary {
+            subject: "mlfm(4) under MIN".into(),
+            certified: true,
+            errors: 0,
+            warnings: 1,
+            infos: 5,
+            cdg_cycle_len: 0,
+        });
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"preflight\":{\"subject\":\"mlfm(4) under MIN\",\"certified\":true,\
+             \"errors\":0,\"warnings\":1,\"infos\":5,\"cdg_cycle_len\":0}"
+        ));
         // Braces and brackets balance (no string in this manifest
         // contains them, so plain counting is sound).
         assert_eq!(s.matches('{').count(), s.matches('}').count());

@@ -12,6 +12,39 @@ use crate::path::RoutePath;
 use crate::policy::{Algorithm, RouteChoice, RoutePolicy};
 use crate::tables::MinimalTables;
 use d2net_topo::{Network, RouterId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A channel lookup or route registration that does not fit the network
+/// the CDG was built for. Surfaced as a value (not a panic) so static
+/// analysis can report broken adjacency as a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The route claims a link the network does not have.
+    MissingLink { from: RouterId, to: RouterId },
+    /// A VC label at or beyond the provisioned VC count.
+    VcOutOfRange { vc: u8, num_vcs: u8 },
+    /// A route's VC label list does not cover its hops one-to-one.
+    LabelMismatch { hops: usize, labels: usize },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::MissingLink { from, to } => {
+                write!(f, "no link {from} -> {to} in the network adjacency")
+            }
+            ChannelError::VcOutOfRange { vc, num_vcs } => {
+                write!(f, "VC {vc} out of range (provisioned {num_vcs})")
+            }
+            ChannelError::LabelMismatch { hops, labels } => {
+                write!(f, "route has {hops} hops but {labels} VC labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
 
 /// A CDG over `channels = directed links × VCs`.
 pub struct ChannelGraph {
@@ -22,6 +55,10 @@ pub struct ChannelGraph {
     num_vcs: u8,
     /// Dependency adjacency: `deps[c1]` lists channels reachable from `c1`.
     deps: Vec<Vec<u32>>,
+    /// Dedup guard over `(c1, c2)` pairs: exhaustive route enumeration
+    /// registers the same dependency many times; storing it once keeps
+    /// memory proportional to *distinct* dependencies.
+    seen: HashSet<u64>,
 }
 
 impl ChannelGraph {
@@ -43,16 +80,37 @@ impl ChannelGraph {
             neighbors,
             num_vcs,
             deps: vec![Vec::new(); total as usize * num_vcs as usize],
+            seen: HashSet::new(),
         }
     }
 
-    /// Channel id of directed link `(u, v)` on `vc`.
-    pub fn channel(&self, u: RouterId, v: RouterId, vc: u8) -> u32 {
-        debug_assert!(vc < self.num_vcs);
-        let j = self.neighbors[u as usize]
+    /// Channel id of directed link `(u, v)` on `vc`, or a [`ChannelError`]
+    /// if the link or VC does not exist in this network.
+    pub fn channel(&self, u: RouterId, v: RouterId, vc: u8) -> Result<u32, ChannelError> {
+        if vc >= self.num_vcs {
+            return Err(ChannelError::VcOutOfRange {
+                vc,
+                num_vcs: self.num_vcs,
+            });
+        }
+        let nb = self
+            .neighbors
+            .get(u as usize)
+            .ok_or(ChannelError::MissingLink { from: u, to: v })?;
+        let j = nb
             .binary_search(&v)
-            .unwrap_or_else(|_| panic!("no link {u} -> {v}"));
-        (self.edge_offset[u as usize] + j as u32) * self.num_vcs as u32 + vc as u32
+            .map_err(|_| ChannelError::MissingLink { from: u, to: v })?;
+        Ok((self.edge_offset[u as usize] + j as u32) * self.num_vcs as u32 + vc as u32)
+    }
+
+    /// Inverse of [`ChannelGraph::channel`]: channel id back to
+    /// `(from, to, vc)`.
+    pub fn decode(&self, c: u32) -> (RouterId, RouterId, u8) {
+        let vc = (c % self.num_vcs as u32) as u8;
+        let edge = c / self.num_vcs as u32;
+        let u = self.edge_offset.partition_point(|&off| off <= edge) - 1;
+        let v = self.neighbors[u][(edge - self.edge_offset[u]) as usize];
+        (u as RouterId, v, vc)
     }
 
     /// Total channel count.
@@ -60,16 +118,35 @@ impl ChannelGraph {
         self.deps.len()
     }
 
+    /// VC count the graph was provisioned with.
+    pub fn num_vcs(&self) -> u8 {
+        self.num_vcs
+    }
+
+    /// Channels that `c` depends on.
+    pub fn deps_of(&self, c: u32) -> &[u32] {
+        &self.deps[c as usize]
+    }
+
     /// Registers the dependencies induced by one route: consecutive
-    /// `(link, vc)` pairs along the path.
-    pub fn add_route(&mut self, path: &RoutePath, vcs: &[u8]) {
-        assert_eq!(vcs.len(), path.num_hops());
+    /// `(link, vc)` pairs along the path. Duplicate dependencies are
+    /// stored once.
+    pub fn add_route(&mut self, path: &RoutePath, vcs: &[u8]) -> Result<(), ChannelError> {
+        if vcs.len() != path.num_hops() {
+            return Err(ChannelError::LabelMismatch {
+                hops: path.num_hops(),
+                labels: vcs.len(),
+            });
+        }
         let routers = path.routers();
         for i in 0..path.num_hops().saturating_sub(1) {
-            let c1 = self.channel(routers[i], routers[i + 1], vcs[i]);
-            let c2 = self.channel(routers[i + 1], routers[i + 2], vcs[i + 1]);
-            self.deps[c1 as usize].push(c2);
+            let c1 = self.channel(routers[i], routers[i + 1], vcs[i])?;
+            let c2 = self.channel(routers[i + 1], routers[i + 2], vcs[i + 1])?;
+            if self.seen.insert((c1 as u64) << 32 | c2 as u64) {
+                self.deps[c1 as usize].push(c2);
+            }
         }
+        Ok(())
     }
 
     /// True if the dependency graph contains no cycle (iterative
@@ -109,6 +186,136 @@ impl ChannelGraph {
             }
         }
         true
+    }
+
+    /// Extracts a concrete deadlock counterexample: a shortest dependency
+    /// cycle, as channel ids in order (`out[i] → out[i+1]`, last wrapping
+    /// to first). Returns `None` iff the graph is acyclic.
+    ///
+    /// The cycle is found by strongly-connected-component decomposition
+    /// followed by BFS from members of the smallest non-trivial SCC, so
+    /// it is a shortest cycle within that component (on very large cyclic
+    /// components the BFS start set is capped at 512 members, keeping the
+    /// search near-linear while still producing a short witness).
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        let n = self.deps.len();
+        // Self-dependencies cannot arise from real routes (a hop leaves
+        // the router the previous hop entered), but a one-channel cycle is
+        // the shortest possible counterexample, so check anyway.
+        for (c, ds) in self.deps.iter().enumerate() {
+            if ds.contains(&(c as u32)) {
+                return Some(vec![c as u32]);
+            }
+        }
+
+        // Kosaraju: order by reverse finish time on the forward graph,
+        // then peel components off the transposed graph.
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n as u32 {
+            if visited[start as usize] {
+                continue;
+            }
+            visited[start as usize] = true;
+            stack.push((start, 0));
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < self.deps[u as usize].len() {
+                    let v = self.deps[u as usize][*i];
+                    *i += 1;
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        stack.push((v, 0));
+                    }
+                } else {
+                    order.push(u);
+                    stack.pop();
+                }
+            }
+        }
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, ds) in self.deps.iter().enumerate() {
+            for &v in ds {
+                rev[v as usize].push(u as u32);
+            }
+        }
+        const NO_COMP: u32 = u32::MAX;
+        let mut comp = vec![NO_COMP; n];
+        let mut comp_members: Vec<Vec<u32>> = Vec::new();
+        let mut dfs: Vec<u32> = Vec::new();
+        for &start in order.iter().rev() {
+            if comp[start as usize] != NO_COMP {
+                continue;
+            }
+            let id = comp_members.len() as u32;
+            let mut members = Vec::new();
+            comp[start as usize] = id;
+            dfs.push(start);
+            while let Some(u) = dfs.pop() {
+                members.push(u);
+                for &v in &rev[u as usize] {
+                    if comp[v as usize] == NO_COMP {
+                        comp[v as usize] = id;
+                        dfs.push(v);
+                    }
+                }
+            }
+            comp_members.push(members);
+        }
+
+        // Smallest component that can host a cycle.
+        let scc = comp_members
+            .iter()
+            .filter(|m| m.len() > 1)
+            .min_by_key(|m| m.len())?;
+        let scc_id = comp[scc[0] as usize];
+
+        // Shortest cycle through any of (up to 512 of) its members: BFS
+        // restricted to the component, looking for a path back to the
+        // start node.
+        let stride = scc.len().div_ceil(512);
+        let mut best: Option<Vec<u32>> = None;
+        let mut parent: Vec<u32> = vec![NO_COMP; n];
+        let mut queue: std::collections::VecDeque<(u32, u32)> = std::collections::VecDeque::new();
+        for &src in scc.iter().step_by(stride) {
+            if let Some(ref b) = best {
+                if b.len() <= 2 {
+                    break;
+                }
+            }
+            for &m in scc.iter() {
+                parent[m as usize] = NO_COMP;
+            }
+            queue.clear();
+            queue.push_back((src, 0));
+            'bfs: while let Some((u, depth)) = queue.pop_front() {
+                if let Some(ref b) = best {
+                    if depth + 1 >= b.len() as u32 {
+                        break;
+                    }
+                }
+                for &v in &self.deps[u as usize] {
+                    if v == src {
+                        // Closed a cycle: src → … → u → src.
+                        let mut cyc = vec![u];
+                        let mut cur = u;
+                        while cur != src {
+                            cur = parent[cur as usize];
+                            cyc.push(cur);
+                        }
+                        cyc.reverse();
+                        best = Some(cyc);
+                        break 'bfs;
+                    }
+                    if comp[v as usize] == scc_id && parent[v as usize] == NO_COMP {
+                        parent[v as usize] = u;
+                        queue.push_back((v, depth + 1));
+                    }
+                }
+            }
+        }
+        debug_assert!(best.is_some(), "non-trivial SCC must contain a cycle");
+        best
     }
 }
 
@@ -166,18 +373,11 @@ pub fn all_policy_routes(net: &Network, policy: &RoutePolicy) -> Vec<(RoutePath,
     if matches!(policy.algorithm(), Algorithm::Minimal) {
         return out;
     }
-    // Indirect routes. The eligible intermediate set is internal to the
-    // policy; re-derive it the same way the policy does.
-    let mids: Vec<RouterId> = match net.kind() {
-        d2net_topo::TopologyKind::SlimFly(_) => (0..net.num_routers()).collect(),
-        d2net_topo::TopologyKind::Mlfm(_)
-        | d2net_topo::TopologyKind::Oft(_)
-        | d2net_topo::TopologyKind::Sspt(_)
-        | d2net_topo::TopologyKind::FatTree2(_) => endpoint_routers.clone(),
-        _ => (0..net.num_routers()).collect(),
-    };
+    // Indirect routes, through exactly the intermediates the policy may
+    // sample (this respects `with_overrides` ablations too).
+    let mids = policy.intermediates();
     for &s in &endpoint_routers {
-        for &m in &mids {
+        for &m in mids {
             if m == s {
                 continue;
             }
@@ -196,13 +396,20 @@ pub fn all_policy_routes(net: &Network, policy: &RoutePolicy) -> Vec<(RoutePath,
     out
 }
 
-/// Builds the full CDG for `net` under `policy`.
-pub fn build_cdg(net: &Network, policy: &RoutePolicy) -> ChannelGraph {
+/// Builds the full CDG for `net` under `policy`, surfacing any
+/// route/adjacency inconsistency as an error instead of panicking.
+pub fn try_build_cdg(net: &Network, policy: &RoutePolicy) -> Result<ChannelGraph, ChannelError> {
     let mut g = ChannelGraph::new(net, policy.num_vcs());
     for (path, vcs) in all_policy_routes(net, policy) {
-        g.add_route(&path, &vcs);
+        g.add_route(&path, &vcs)?;
     }
-    g
+    Ok(g)
+}
+
+/// Builds the full CDG for `net` under `policy`.
+pub fn build_cdg(net: &Network, policy: &RoutePolicy) -> ChannelGraph {
+    try_build_cdg(net, policy)
+        .unwrap_or_else(|e| panic!("policy produced a route off the network: {e}"))
 }
 
 #[cfg(test)]
@@ -269,7 +476,7 @@ mod tests {
             let mut g = ChannelGraph::new(&net, 1);
             for (path, _) in all_policy_routes(&net, &policy) {
                 let vcs = vec![0u8; path.num_hops()];
-                g.add_route(&path, &vcs);
+                g.add_route(&path, &vcs).unwrap();
             }
             assert!(!g.is_acyclic(), "{}", net.name());
         }
@@ -282,9 +489,64 @@ mod tests {
         let mut g = ChannelGraph::new(&net, 1);
         for (path, _) in all_policy_routes(&net, &policy) {
             let vcs = vec![0u8; path.num_hops()];
-            g.add_route(&path, &vcs);
+            g.add_route(&path, &vcs).unwrap();
         }
         assert!(!g.is_acyclic());
+        // The extracted counterexample must be a genuine cycle: every
+        // consecutive pair is a registered dependency, the last wraps to
+        // the first, and consecutive channels chain head-to-tail.
+        let cyc = g.find_cycle().expect("cyclic CDG must yield a witness");
+        assert!(cyc.len() >= 2);
+        for i in 0..cyc.len() {
+            let c1 = cyc[i];
+            let c2 = cyc[(i + 1) % cyc.len()];
+            assert!(g.deps_of(c1).contains(&c2), "edge {c1}->{c2} not in CDG");
+            let (_, v1, _) = g.decode(c1);
+            let (u2, _, _) = g.decode(c2);
+            assert_eq!(v1, u2, "cycle channels must chain head-to-tail");
+        }
+    }
+
+    #[test]
+    fn acyclic_cdg_has_no_cycle_witness() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let g = build_cdg(&net, &policy);
+        assert!(g.is_acyclic());
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn missing_link_is_an_error_not_a_panic() {
+        let net = mlfm(3);
+        let g = ChannelGraph::new(&net, 2);
+        let (u, v) = (0..net.num_routers())
+            .flat_map(|u| (0..net.num_routers()).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !net.neighbors(u).contains(&v))
+            .expect("a diameter-two network has some non-adjacent pair");
+        assert_eq!(
+            g.channel(u, v, 0),
+            Err(ChannelError::MissingLink { from: u, to: v })
+        );
+        let w = net.neighbors(0)[0];
+        assert_eq!(
+            g.channel(0, w, 2),
+            Err(ChannelError::VcOutOfRange { vc: 2, num_vcs: 2 })
+        );
+    }
+
+    #[test]
+    fn decode_roundtrips_channel_ids() {
+        let net = mlfm(3);
+        let g = ChannelGraph::new(&net, 2);
+        for u in 0..net.num_routers() {
+            for &v in net.neighbors(u) {
+                for vc in 0..2 {
+                    let c = g.channel(u, v, vc).unwrap();
+                    assert_eq!(g.decode(c), (u, v, vc));
+                }
+            }
+        }
     }
 
     #[test]
@@ -321,7 +583,7 @@ mod tests {
         for u in 0..net.num_routers() {
             for &v in net.neighbors(u) {
                 for vc in 0..2 {
-                    let c = g.channel(u, v, vc);
+                    let c = g.channel(u, v, vc).unwrap();
                     assert!((c as usize) < g.num_channels());
                     assert!(seen.insert(c));
                 }

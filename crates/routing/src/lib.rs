@@ -19,7 +19,9 @@ pub mod path;
 pub mod policy;
 pub mod tables;
 
-pub use cdg::{build_cdg, ChannelGraph};
+pub use cdg::{
+    all_policy_routes, build_cdg, enumerate_min_paths, try_build_cdg, ChannelError, ChannelGraph,
+};
 pub use path::RoutePath;
 pub use policy::{
     Algorithm, IntermediateSet, OccupancyView, RouteChoice, RoutePolicy, VcScheme, ZeroOccupancy,

@@ -186,6 +186,17 @@ impl RoutePolicy {
         self.vc_scheme
     }
 
+    /// The routers eligible as Valiant intermediates.
+    pub fn intermediates(&self) -> &[RouterId] {
+        &self.intermediates
+    }
+
+    /// Router-graph diameter of the bound network (bounds minimal path
+    /// length; indirect paths are at most twice this).
+    pub fn diameter(&self) -> u8 {
+        self.diameter
+    }
+
     /// Number of virtual channels the simulator must provision:
     /// SF needs 2 (minimal) / 4 (indirect-capable); MLFM and OFT need
     /// 1 / 2 (§3.4).

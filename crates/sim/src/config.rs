@@ -24,6 +24,22 @@ pub enum Arrival {
     Exponential,
 }
 
+/// Whether (and how strictly) the static preflight verifier runs before
+/// a simulation is constructed. See `d2net_verify` for what is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preflight {
+    /// No static verification (the historical behavior, and the default:
+    /// the exhaustive route-space pass is meant for small instances).
+    #[default]
+    Off,
+    /// Verify; on a rejected config print the diagnostic report to stderr
+    /// and simulate anyway (the wedge will demonstrate the prediction).
+    Warn,
+    /// Verify; on a rejected config refuse to simulate, panicking with
+    /// the rendered diagnostic report.
+    Enforce,
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -41,6 +57,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Synthetic-source inter-arrival process.
     pub arrival: Arrival,
+    /// Static verification before simulating (default [`Preflight::Off`]).
+    pub preflight: Preflight,
 }
 
 impl Default for SimConfig {
@@ -53,6 +71,7 @@ impl Default for SimConfig {
             packet_bytes: 256,
             seed: 0xD2_4E7,
             arrival: Arrival::Deterministic,
+            preflight: Preflight::Off,
         }
     }
 }
@@ -61,13 +80,17 @@ impl SimConfig {
     /// Picoseconds needed to serialize one byte at link rate
     /// (80 ps at 100 Gb/s).
     pub fn ps_per_byte(&self) -> u64 {
-        let ps = 8_000.0 / self.link_bandwidth_gbps;
-        let r = ps.round();
-        assert!(
-            (ps - r).abs() < 1e-9,
-            "link bandwidth must divide 8000 ps/byte exactly (got {ps} ps/byte)"
-        );
-        r as u64
+        d2net_verify::invariant::exact_ps_per_byte(self.link_bandwidth_gbps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The subset of this config the static preflight verifier consults.
+    pub fn verify_params(&self) -> d2net_verify::VerifyParams {
+        d2net_verify::VerifyParams {
+            buffer_bytes: self.buffer_bytes,
+            packet_bytes: self.packet_bytes,
+            link_bandwidth_gbps: self.link_bandwidth_gbps,
+        }
     }
 
     /// Serialization time of `bytes` in ps.

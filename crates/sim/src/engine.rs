@@ -19,7 +19,7 @@
 //! All state lives in flat arrays indexed by dense port ids; the event
 //! queue is a binary heap of `(time_ps, seq, event)`.
 
-use crate::config::SimConfig;
+use crate::config::{Preflight, SimConfig};
 use crate::injector::{NextPacket, NodeSource};
 use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
@@ -27,6 +27,7 @@ use crate::telemetry::{
 };
 use d2net_routing::{OccupancyView, RouteChoice, RoutePath, RoutePolicy};
 use d2net_topo::{Network, NodeId, RouterId};
+use d2net_verify::{debug_invariant, invariant, Verdict};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -220,16 +221,23 @@ impl<'a> Engine<'a> {
         warmup_ps: u64,
         rng: SmallRng,
     ) -> Self {
-        assert_eq!(sources.len(), net.num_nodes() as usize);
+        enforce_preflight(net, policy, &cfg);
+        invariant!(
+            sources.len() == net.num_nodes() as usize,
+            "one traffic source per node required ({} sources, {} nodes)",
+            sources.len(),
+            net.num_nodes()
+        );
         let num_vcs = policy.num_vcs() as u32;
         let ports = Ports::build(net);
         let total = *ports.base.last().unwrap() as usize;
         let pv_total = total * num_vcs as usize;
-        let vc_cap = cfg.buffer_bytes / num_vcs as u64;
-        assert!(
-            vc_cap >= cfg.packet_bytes as u64,
-            "per-VC buffer must hold at least one packet"
-        );
+        let vc_cap = d2net_verify::invariant::vc_buffer_sufficient(
+            cfg.buffer_bytes,
+            policy.num_vcs(),
+            cfg.packet_bytes,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let n = net.num_nodes() as usize;
         let mut engine = Engine {
             net,
@@ -271,6 +279,15 @@ impl<'a> Engine<'a> {
             engine.node_wake[node as usize] = true;
         }
         engine
+    }
+
+    /// Runs the static preflight verifier on exactly the (network,
+    /// policy, config) triple this engine would simulate, regardless of
+    /// the config's [`Preflight`] mode. The verdict mirrors what
+    /// simulation would discover the hard way: a rejected config carries
+    /// a concrete CDG cycle counterexample.
+    pub fn preflight(&self) -> d2net_verify::Report {
+        preflight(self.net, self.policy, &self.cfg)
     }
 
     /// Attaches an observability probe; must be called before the run
@@ -432,7 +449,11 @@ impl<'a> Engine<'a> {
         let in_port = pv as u32 / self.num_vcs;
         let r = self.ports.owner[in_port as usize];
         let routers = choice.path.routers();
-        debug_assert_eq!(routers[hop], r);
+        debug_invariant!(
+            routers[hop] == r,
+            "packet at router {r} but its route places hop {hop} at {}",
+            routers[hop]
+        );
         let at_dst = hop == routers.len() - 1;
         let (out_port, out_vc) = if at_dst {
             (self.ports.node_port(self.net, r, dst), 0u8)
@@ -547,7 +568,10 @@ impl<'a> Engine<'a> {
 
     fn arrive_node(&mut self, pkt: u32) {
         let p = self.packets[pkt as usize];
-        debug_assert_eq!(self.net.node_router(p.dst), p.choice.path.dst());
+        debug_invariant!(
+            self.net.node_router(p.dst) == p.choice.path.dst(),
+            "packet delivered to a router its destination node is not attached to"
+        );
         self.delivered += 1;
         if let Some(tel) = self.telemetry.as_mut() {
             let r = self.net.node_router(p.dst);
@@ -581,7 +605,10 @@ impl<'a> Engine<'a> {
             Ev::ArriveNode(p) => self.arrive_node(p),
             Ev::Credit { pv, bytes } => {
                 self.credits[pv as usize] += bytes as u64;
-                debug_assert!(self.credits[pv as usize] <= self.vc_cap);
+                debug_invariant!(
+                    self.credits[pv as usize] <= self.vc_cap,
+                    "credit return overflows the per-VC buffer capacity"
+                );
                 self.kick_output(pv / self.num_vcs);
             }
             Ev::NodeCredit { node, bytes } => {
@@ -864,7 +891,10 @@ impl<'a> Engine<'a> {
         } else {
             0.0
         };
-        debug_assert!(deadlocked || self.acc.delivered_bytes == total_bytes);
+        debug_invariant!(
+            deadlocked || self.acc.delivered_bytes == total_bytes,
+            "exchange completed without delivering every byte"
+        );
         let stats = ExchangeStats {
             delivered_bytes: self.acc.delivered_bytes,
             completion_ns: completion_ps / 1_000,
@@ -877,6 +907,41 @@ impl<'a> Engine<'a> {
         };
         (stats, telemetry)
     }
+}
+
+/// Statically verifies the (network, policy, config) triple the way the
+/// engine would before simulating it: the full `d2net_verify` pass over
+/// the policy's exhaustive route space plus the config consistency laws.
+pub fn preflight(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) -> d2net_verify::Report {
+    d2net_verify::verify(net, policy, &cfg.verify_params())
+}
+
+/// Applies the config's [`Preflight`] mode at engine construction:
+/// `Warn` prints a rejected config's report to stderr and proceeds,
+/// `Enforce` refuses with the rendered report.
+fn enforce_preflight(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) {
+    if cfg.preflight == Preflight::Off {
+        return;
+    }
+    let report = preflight(net, policy, cfg);
+    if report.verdict() == Verdict::Rejected {
+        match cfg.preflight {
+            Preflight::Off => unreachable!(),
+            Preflight::Warn => eprintln!("preflight: simulating anyway\n{}", report.render()),
+            Preflight::Enforce => {
+                panic!("preflight rejected this configuration:\n{}", report.render())
+            }
+        }
+    }
+}
+
+/// Runs the configured preflight action once and hands back the config
+/// with verification disabled — sweeps simulate the same triple at many
+/// loads, and the static pass is load-independent.
+pub(crate) fn preflight_once(net: &Network, policy: &RoutePolicy, mut cfg: SimConfig) -> SimConfig {
+    enforce_preflight(net, policy, &cfg);
+    cfg.preflight = Preflight::Off;
+    cfg
 }
 
 /// Runs steady-state synthetic traffic on `net` under `policy`.
@@ -893,7 +958,7 @@ pub fn run_synthetic(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> SyntheticStats {
-    assert!(warmup_ns < duration_ns);
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
     let end_ps = duration_ns * 1_000;
     let interval = cfg.interval_ps(load);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -926,7 +991,7 @@ pub fn run_synthetic_probed(
     cfg: SimConfig,
     probe: ProbeConfig,
 ) -> (SyntheticStats, TelemetryReport) {
-    assert!(warmup_ns < duration_ns);
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
     let end_ps = duration_ns * 1_000;
     let interval = cfg.interval_ps(load);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -957,7 +1022,12 @@ pub fn run_exchange(
     window: usize,
     cfg: SimConfig,
 ) -> ExchangeStats {
-    assert_eq!(exchange.sends.len(), net.num_nodes() as usize);
+    invariant!(
+        exchange.sends.len() == net.num_nodes() as usize,
+        "exchange pattern must cover every node ({} send lists, {} nodes)",
+        exchange.sends.len(),
+        net.num_nodes()
+    );
     let rng = SmallRng::seed_from_u64(cfg.seed);
     let sources = (0..net.num_nodes())
         .map(|n| NodeSource::exchange(exchange, n, window, cfg.packet_bytes))
@@ -975,7 +1045,12 @@ pub fn run_exchange_probed(
     cfg: SimConfig,
     probe: ProbeConfig,
 ) -> (ExchangeStats, TelemetryReport) {
-    assert_eq!(exchange.sends.len(), net.num_nodes() as usize);
+    invariant!(
+        exchange.sends.len() == net.num_nodes() as usize,
+        "exchange pattern must cover every node ({} send lists, {} nodes)",
+        exchange.sends.len(),
+        net.num_nodes()
+    );
     let rng = SmallRng::seed_from_u64(cfg.seed);
     let sources = (0..net.num_nodes())
         .map(|n| NodeSource::exchange(exchange, n, window, cfg.packet_bytes))

@@ -24,9 +24,9 @@ pub mod stats;
 pub mod sweep;
 pub mod telemetry;
 
-pub use config::SimConfig;
+pub use config::{Preflight, SimConfig};
 pub use engine::{
-    run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed, Engine,
+    preflight, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed, Engine,
 };
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
 pub use sweep::{

@@ -36,6 +36,9 @@ pub fn load_sweep(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> Vec<SweepPoint> {
+    // One static pass covers every load point: verification is
+    // load-independent, so the per-point configs run with it disabled.
+    let cfg = crate::engine::preflight_once(net, policy, cfg);
     sweep_impl(loads, |load, first_wedge| match first_wedge {
         Some(_) => SweepPoint {
             load,
@@ -63,6 +66,7 @@ pub fn load_sweep_probed(
     cfg: SimConfig,
     probe: ProbeConfig,
 ) -> Vec<SweepPoint> {
+    let cfg = crate::engine::preflight_once(net, policy, cfg);
     sweep_impl(loads, |load, first_wedge| match first_wedge {
         Some(_) => SweepPoint {
             load,

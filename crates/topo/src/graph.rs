@@ -205,6 +205,14 @@ impl Network {
         dist
     }
 
+    /// True if every router can reach every other router.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+
     /// Router-graph diameter (max over all pairs). Panics if disconnected.
     pub fn diameter(&self) -> u32 {
         let mut d = 0;

@@ -32,7 +32,7 @@ pub use mlfm::{mlfm, mlfm_general, MlfmLayout, MlfmParams};
 pub use oft::{ml3b, oft, oft_general, OftParams};
 pub use random::random_connected;
 pub use slimfly::{slim_fly, SlimFlyP, SlimFlyParams};
-pub use spt::{stacked_sspt, SsptParams};
+pub use spt::{stacked_sspt, try_validate_sspt, validate_sspt, SsptParams, SsptReport};
 
 /// The topology family and parameters a [`Network`] was built from.
 /// Routing and traffic generators dispatch on this to apply

@@ -152,15 +152,22 @@ pub struct SsptReport {
 /// Returns the observed path-diversity census, panicking on a structural
 /// violation (these are programming errors in a builder, not data errors).
 pub fn validate_sspt(net: &Network) -> SsptReport {
+    try_validate_sspt(net).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking form of [`validate_sspt`], for static analysis over
+/// networks that may *not* be well-formed: the first violation comes back
+/// as a description instead of aborting the process.
+pub fn try_validate_sspt(net: &Network) -> Result<SsptReport, String> {
     let eps = net.endpoint_routers();
     // (1) bipartiteness between endpoint routers and the rest.
     for &a in &eps {
         for &b in net.neighbors(a) {
-            assert_eq!(
-                net.nodes_at(b),
-                0,
-                "endpoint routers {a} and {b} are directly linked — not an SSPT"
-            );
+            if net.nodes_at(b) != 0 {
+                return Err(format!(
+                    "endpoint routers {a} and {b} are directly linked — not an SSPT"
+                ));
+            }
         }
     }
     // (2) + (3) path census.
@@ -172,22 +179,27 @@ pub fn validate_sspt(net: &Network) -> SsptReport {
     for (i, &a) in eps.iter().enumerate() {
         for &b in eps.iter().skip(i + 1) {
             let paths = net.common_neighbors(a, b).len() as u64;
-            assert!(paths >= 1, "endpoint routers {a}, {b} have no 2-hop path");
+            if paths == 0 {
+                return Err(format!("endpoint routers {a}, {b} have no 2-hop path"));
+            }
             if paths == 1 {
                 report.single_path_pairs += 1;
             } else {
                 report.multi_path_pairs += 1;
                 match report.multi_path_diversity {
                     None => report.multi_path_diversity = Some(paths),
-                    Some(d) => assert_eq!(
-                        d, paths,
-                        "irregular multi-path diversity at pair ({a}, {b})"
-                    ),
+                    Some(d) => {
+                        if d != paths {
+                            return Err(format!(
+                                "irregular multi-path diversity at pair ({a}, {b}): {paths} vs {d}"
+                            ));
+                        }
+                    }
                 }
             }
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

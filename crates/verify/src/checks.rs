@@ -1,0 +1,571 @@
+//! The individual static checks. Each takes the network/policy/params
+//! and appends [`Diagnostic`]s; none of them panics on a malformed
+//! input — that is the whole point.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::VerifyParams;
+use d2net_routing::{enumerate_min_paths, Algorithm, ChannelGraph, RouteChoice, RoutePolicy};
+use d2net_topo::{try_validate_sspt, Network, TopologyKind};
+
+/// How many concrete instances of one violation code are spelled out
+/// before the rest are folded into a count.
+const MAX_SHOWN: usize = 3;
+
+fn push(diags: &mut Vec<Diagnostic>, severity: Severity, code: &'static str, message: String) {
+    diags.push(Diagnostic {
+        severity,
+        code,
+        message,
+    });
+}
+
+/// A route the policy can produce, with everything the checks need.
+pub(crate) struct LabeledRoute {
+    pub choice: RouteChoice,
+    pub vcs: Vec<u8>,
+}
+
+/// Exhaustive policy route space: all minimal paths between endpoint
+/// routers, plus all `minimal ∘ minimal` compositions through the
+/// policy's eligible intermediates for indirect-capable algorithms.
+/// Mirrors `d2net_routing::all_policy_routes`, but keeps the phase
+/// structure each route was built with so the checks can reason about it.
+pub(crate) fn enumerate_labeled_routes(net: &Network, policy: &RoutePolicy) -> Vec<LabeledRoute> {
+    let tables = policy.tables();
+    let mut out = Vec::new();
+    let mut label = |path: d2net_routing::RoutePath, phase_hops: u8, indirect: bool| {
+        let choice = RouteChoice {
+            path,
+            phase_hops,
+            indirect,
+        };
+        let vcs: Vec<u8> = (0..path.num_hops())
+            .map(|h| policy.vc_for_hop(&choice, h))
+            .collect();
+        out.push(LabeledRoute { choice, vcs });
+    };
+    let eps = net.endpoint_routers();
+    for &s in &eps {
+        for &d in &eps {
+            if s == d {
+                continue;
+            }
+            for p in enumerate_min_paths(tables, s, d) {
+                label(p, p.num_hops() as u8, false);
+            }
+        }
+    }
+    if matches!(policy.algorithm(), Algorithm::Minimal) {
+        return out;
+    }
+    for &s in &eps {
+        for &m in policy.intermediates() {
+            if m == s {
+                continue;
+            }
+            for &d in &eps {
+                if d == s || d == m {
+                    continue;
+                }
+                for head in enumerate_min_paths(tables, s, m) {
+                    for tail in enumerate_min_paths(tables, m, d) {
+                        label(head.join(&tail), head.num_hops() as u8, true);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check 3 (topology lints): connectivity, the declared class's own
+/// structural laws, diameter promises, SSPT layering/stacking, Slim Fly
+/// MMS girth, and the radix/port census.
+pub(crate) fn check_topology(net: &Network, diags: &mut Vec<Diagnostic>) {
+    if !net.is_connected() {
+        push(
+            diags,
+            Severity::Error,
+            "topology-disconnected",
+            "router graph is disconnected: no routing policy can serve it".into(),
+        );
+        return;
+    }
+    if let Err(e) = net.validate() {
+        push(diags, Severity::Error, "topology-invariant", e);
+    }
+
+    // Diameter promise of the class (SF/HyperX promise router diameter 2;
+    // the indirect SSPT designs promise endpoint diameter 2).
+    let promises_diameter_two = !matches!(net.kind(), TopologyKind::Custom { .. });
+    let (scope, dia) = match net.kind() {
+        TopologyKind::SlimFly(_) | TopologyKind::HyperX2(_) => ("router", net.diameter()),
+        _ => ("endpoint", net.endpoint_diameter()),
+    };
+    if promises_diameter_two && dia > 2 {
+        push(
+            diags,
+            Severity::Error,
+            "diameter-promise",
+            format!("{} claims diameter 2 but {scope} diameter is {dia}", net.name()),
+        );
+    } else {
+        push(
+            diags,
+            Severity::Info,
+            "diameter",
+            format!("{scope} diameter {dia}"),
+        );
+    }
+
+    match net.kind() {
+        TopologyKind::Mlfm(_) | TopologyKind::Oft(_) | TopologyKind::Sspt(_) => {
+            match try_validate_sspt(net) {
+                Ok(rep) => push(
+                    diags,
+                    Severity::Info,
+                    "sspt-structure",
+                    format!(
+                        "SSPT layering holds: {} single-path pairs, {} counterpart pairs \
+                         (diversity {})",
+                        rep.single_path_pairs,
+                        rep.multi_path_pairs,
+                        rep.multi_path_diversity.unwrap_or(1)
+                    ),
+                ),
+                Err(e) => push(diags, Severity::Error, "sspt-structure", e),
+            }
+        }
+        TopologyKind::SlimFly(p) => check_sf_girth(net, p.delta, diags),
+        _ => {}
+    }
+
+    // Radix/port census: the class builders promise uniform degree on
+    // endpoint routers; wildly uneven radix means a mis-built instance.
+    let eps = net.endpoint_routers();
+    let (mut min_radix, mut max_radix) = (u32::MAX, 0u32);
+    for &r in &eps {
+        min_radix = min_radix.min(net.radix(r));
+        max_radix = max_radix.max(net.radix(r));
+    }
+    if promises_diameter_two && min_radix != max_radix {
+        push(
+            diags,
+            Severity::Warning,
+            "radix-uniformity",
+            format!(
+                "endpoint-router radix varies from {min_radix} to {max_radix} \
+                 in a class that promises regularity"
+            ),
+        );
+    }
+    push(
+        diags,
+        Severity::Info,
+        "port-budget",
+        format!(
+            "{} routers, {} nodes, {} total ports ({:.2} ports/node), max radix {}",
+            net.num_routers(),
+            net.num_nodes(),
+            net.total_ports(),
+            net.total_ports() as f64 / net.num_nodes().max(1) as f64,
+            max_radix,
+        ),
+    );
+}
+
+/// Slim Fly girth census. The original McKay–Miller–Širáň family
+/// (`q ≡ 1 mod 4`, δ = 1) has girth 5 — no triangles (adjacent routers
+/// share no neighbor) and no quadrilaterals (no pair shares two or more
+/// neighbors) — which underpins the paper's path-diversity analysis, so
+/// a violation there is an error. Hafner's δ ∈ {0, −1} extensions that
+/// Slim Fly also uses trade girth for order and legitimately contain
+/// short cycles; for those the census is informational.
+fn check_sf_girth(net: &Network, delta: i64, diags: &mut Vec<Diagnostic>) {
+    let mut triangles = 0u64;
+    let mut quads = 0u64;
+    for a in 0..net.num_routers() {
+        for b in (a + 1)..net.num_routers() {
+            let common = net.common_neighbors(a, b).len();
+            if net.are_adjacent(a, b) {
+                triangles += common as u64;
+            } else if common >= 2 {
+                quads += 1;
+            }
+        }
+    }
+    if triangles == 0 && quads == 0 {
+        push(
+            diags,
+            Severity::Info,
+            "sf-girth",
+            "MMS girth holds: no triangles, no quadrilaterals (girth ≥ 5)".into(),
+        );
+    } else if delta == 1 {
+        push(
+            diags,
+            Severity::Error,
+            "sf-girth",
+            format!(
+                "MMS girth violated: {triangles} adjacent pairs share a neighbor, \
+                 {quads} pairs share ≥ 2 neighbors"
+            ),
+        );
+    } else {
+        push(
+            diags,
+            Severity::Info,
+            "sf-girth",
+            format!(
+                "girth census (δ = {delta} extension, girth 5 not promised): \
+                 {triangles} adjacent pairs share a neighbor, {quads} pairs share ≥ 2 neighbors"
+            ),
+        );
+    }
+}
+
+/// Check 2 (routing-table soundness): every endpoint pair reachable, all
+/// minimal distances within the class promise, and every first-hop entry
+/// actually one hop closer to the destination.
+pub(crate) fn check_tables(net: &Network, policy: &RoutePolicy, diags: &mut Vec<Diagnostic>) {
+    let tables = policy.tables();
+    let eps = net.endpoint_routers();
+    let mut unreachable = 0u64;
+    let mut over_diameter = 0u64;
+    let mut bad_first_hops = 0u64;
+    let mut shown = Vec::new();
+    let dia = policy.diameter();
+    for &s in &eps {
+        for &d in &eps {
+            if s == d {
+                continue;
+            }
+            let hops = tables.first_hops(s, d);
+            if hops.is_empty() {
+                unreachable += 1;
+                if shown.len() < MAX_SHOWN {
+                    shown.push(format!("no route {s} -> {d}"));
+                }
+                continue;
+            }
+            let dist = tables.dist(s, d);
+            if dist > dia {
+                over_diameter += 1;
+                if shown.len() < MAX_SHOWN {
+                    shown.push(format!("dist({s}, {d}) = {dist} exceeds diameter {dia}"));
+                }
+            }
+            for &n in hops {
+                if !net.are_adjacent(s, n) || tables.dist(n, d) != dist - 1 {
+                    bad_first_hops += 1;
+                    if shown.len() < MAX_SHOWN {
+                        shown.push(format!(
+                            "first hop {n} of {s} -> {d} is not one hop closer"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if unreachable + over_diameter + bad_first_hops == 0 {
+        push(
+            diags,
+            Severity::Info,
+            "tables-sound",
+            format!(
+                "routing tables sound over {} endpoint routers (minimal dist ≤ {dia})",
+                eps.len()
+            ),
+        );
+    } else {
+        push(
+            diags,
+            Severity::Error,
+            "table-unsound",
+            format!(
+                "routing tables unsound: {unreachable} unreachable pairs, \
+                 {over_diameter} over-diameter pairs, {bad_first_hops} bad first hops\n{}",
+                shown.join("\n")
+            ),
+        );
+    }
+}
+
+/// Check 2 continued (route well-formedness) and the VC-assignment laws:
+/// every enumerable route is a real walk of the promised length, indirect
+/// routes pivot on an eligible intermediate, and VC labels stay in budget
+/// and never decrease along a path (monotonicity is what turns the VC
+/// layering into an acyclicity argument, §3.4).
+pub(crate) fn check_routes(
+    net: &Network,
+    policy: &RoutePolicy,
+    routes: &[LabeledRoute],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tables = policy.tables();
+    let num_vcs = policy.num_vcs();
+    let mut minimal = 0u64;
+    let mut indirect = 0u64;
+    let mut violations = 0u64;
+    let mut shown = Vec::new();
+    let offend = |shown: &mut Vec<String>, violations: &mut u64, msg: String| {
+        *violations += 1;
+        if shown.len() < MAX_SHOWN {
+            shown.push(msg);
+        }
+    };
+    for r in routes {
+        let path = &r.choice.path;
+        let routers = path.routers();
+        let (s, d) = (path.src(), path.dst());
+        if r.choice.indirect {
+            indirect += 1;
+        } else {
+            minimal += 1;
+        }
+        for (a, b) in path.links() {
+            if !net.are_adjacent(a, b) {
+                offend(
+                    &mut shown,
+                    &mut violations,
+                    format!("route {routers:?} hops a non-existent link {a} -> {b}"),
+                );
+            }
+        }
+        if r.choice.indirect {
+            let ph = r.choice.phase_hops as usize;
+            if ph == 0 || ph >= path.num_hops() {
+                offend(
+                    &mut shown,
+                    &mut violations,
+                    format!("indirect route {routers:?} has degenerate phase split {ph}"),
+                );
+                continue;
+            }
+            let mid = routers[ph];
+            if mid == s || mid == d || !policy.intermediates().contains(&mid) {
+                offend(
+                    &mut shown,
+                    &mut violations,
+                    format!("indirect route {routers:?} pivots on ineligible intermediate {mid}"),
+                );
+            }
+            let expect = tables.dist(s, mid) as usize + tables.dist(mid, d) as usize;
+            if path.num_hops() != expect {
+                offend(
+                    &mut shown,
+                    &mut violations,
+                    format!("indirect route {routers:?} is not minimal∘minimal ({expect} hops expected)"),
+                );
+            }
+        } else if path.num_hops() != tables.dist(s, d) as usize {
+            offend(
+                &mut shown,
+                &mut violations,
+                format!(
+                    "minimal route {routers:?} has {} hops but dist({s}, {d}) = {}",
+                    path.num_hops(),
+                    tables.dist(s, d)
+                ),
+            );
+        }
+        // VC budget and monotonicity.
+        for (h, &vc) in r.vcs.iter().enumerate() {
+            if vc >= num_vcs {
+                offend(
+                    &mut shown,
+                    &mut violations,
+                    format!("route {routers:?} hop {h} uses VC {vc} ≥ budget {num_vcs}"),
+                );
+            }
+        }
+        if r.vcs.windows(2).any(|w| w[1] < w[0]) {
+            offend(
+                &mut shown,
+                &mut violations,
+                format!("route {routers:?} has non-monotone VC labels {:?}", r.vcs),
+            );
+        }
+    }
+    if violations == 0 {
+        push(
+            diags,
+            Severity::Info,
+            "routes-sound",
+            format!(
+                "{minimal} minimal + {indirect} indirect routes well-formed and VC-monotone \
+                 ({num_vcs} VCs, {:?} scheme)",
+                policy.vc_scheme()
+            ),
+        );
+    } else {
+        push(
+            diags,
+            Severity::Error,
+            "route-unsound",
+            format!("{violations} route violations\n{}", shown.join("\n")),
+        );
+    }
+}
+
+/// Check 1 (CDG acyclicity with counterexample) and check 4's escape
+/// coverage: build the CDG over the full route space; if cyclic, extract
+/// the shortest dependency cycle and render it with the offending routes,
+/// in the style of the telemetry deadlock forensics. For adaptive
+/// algorithms, additionally certify the minimal-route escape sub-CDG.
+/// Returns the cycle length (0 if acyclic).
+pub(crate) fn check_cdg(
+    net: &Network,
+    policy: &RoutePolicy,
+    routes: &[LabeledRoute],
+    diags: &mut Vec<Diagnostic>,
+) -> u32 {
+    let mut g = ChannelGraph::new(net, policy.num_vcs());
+    for r in routes {
+        if let Err(e) = g.add_route(&r.choice.path, &r.vcs) {
+            push(
+                diags,
+                Severity::Error,
+                "cdg-build",
+                format!(
+                    "route {:?} does not fit the network: {e}",
+                    r.choice.path.routers()
+                ),
+            );
+            return 0;
+        }
+    }
+    let num_deps: usize = (0..g.num_channels() as u32).map(|c| g.deps_of(c).len()).sum();
+    let cycle_len = match g.find_cycle() {
+        None => {
+            push(
+                diags,
+                Severity::Info,
+                "cdg-acyclic",
+                format!(
+                    "CDG acyclic: {} channels, {num_deps} distinct dependencies, \
+                     {} routes enumerated (deadlock-free, §3.4)",
+                    g.num_channels(),
+                    routes.len()
+                ),
+            );
+            0
+        }
+        Some(cycle) => {
+            push(
+                diags,
+                Severity::Error,
+                "cdg-cycle",
+                render_cycle(&g, &cycle, routes),
+            );
+            cycle.len() as u32
+        }
+    };
+
+    // Escape coverage: an adaptive policy may fall back to a minimal
+    // route at any injection, so the minimal-only sub-CDG must itself be
+    // deadlock-free for the fallback to be an escape.
+    if matches!(
+        policy.algorithm(),
+        Algorithm::Ugal { .. } | Algorithm::UgalG { .. }
+    ) {
+        let mut esc = ChannelGraph::new(net, policy.num_vcs());
+        for r in routes.iter().filter(|r| !r.choice.indirect) {
+            if esc.add_route(&r.choice.path, &r.vcs).is_err() {
+                return cycle_len; // already reported by the full build
+            }
+        }
+        match esc.find_cycle() {
+            None => push(
+                diags,
+                Severity::Info,
+                "escape-acyclic",
+                "adaptive escape (minimal-route) sub-CDG is acyclic".into(),
+            ),
+            Some(cycle) => push(
+                diags,
+                Severity::Error,
+                "escape-cycle",
+                format!(
+                    "adaptive fallback is not an escape — minimal-route sub-CDG is cyclic:\n{}",
+                    render_cycle(&esc, &cycle, routes)
+                ),
+            ),
+        }
+    }
+    cycle_len
+}
+
+/// Renders a CDG cycle the way PR 1's deadlock forensics renders a
+/// wait-for cycle: one line per channel, each showing the concrete
+/// `(link, vc)` and a route that induces the dependency on the next
+/// channel in the cycle.
+fn render_cycle(g: &ChannelGraph, cycle: &[u32], routes: &[LabeledRoute]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "CDG CYCLE: {} channels form a dependency cycle — deadlock reachable (§3.4):",
+        cycle.len()
+    );
+    for (i, &c) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        let (u, v, vc) = g.decode(c);
+        let _ = write!(
+            out,
+            "\n  [{i}] link {u:>3} -> {v:>3} vc {vc}: waits on next",
+        );
+        if let Some(r) = find_witness(g, c, next, routes) {
+            let routers = r.choice.path.routers();
+            let _ = write!(out, " via route {routers:?} vcs {:?}", r.vcs);
+        }
+    }
+    out
+}
+
+/// First enumerated route that induces the dependency `c1 → c2`.
+fn find_witness<'a>(
+    g: &ChannelGraph,
+    c1: u32,
+    c2: u32,
+    routes: &'a [LabeledRoute],
+) -> Option<&'a LabeledRoute> {
+    routes.iter().find(|r| {
+        let routers = r.choice.path.routers();
+        (0..r.choice.path.num_hops().saturating_sub(1)).any(|i| {
+            g.channel(routers[i], routers[i + 1], r.vcs[i]) == Ok(c1)
+                && g.channel(routers[i + 1], routers[i + 2], r.vcs[i + 1]) == Ok(c2)
+        })
+    })
+}
+
+/// Check 4 (config consistency): credit/buffer sufficiency and the
+/// integer-picosecond bandwidth law — the conditions the engine enforces
+/// with panics at construction time, surfaced as diagnostics first.
+pub(crate) fn check_params(
+    policy: &RoutePolicy,
+    params: &VerifyParams,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match crate::invariant::vc_buffer_sufficient(
+        params.buffer_bytes,
+        policy.num_vcs(),
+        params.packet_bytes,
+    ) {
+        Ok(vc_cap) => push(
+            diags,
+            Severity::Info,
+            "buffers-sufficient",
+            format!(
+                "{} B/port over {} VCs = {vc_cap} B per VC (≥ one {} B packet)",
+                params.buffer_bytes,
+                policy.num_vcs(),
+                params.packet_bytes
+            ),
+        ),
+        Err(e) => push(diags, Severity::Error, "buffer-insufficient", e),
+    }
+    if let Err(e) = crate::invariant::exact_ps_per_byte(params.link_bandwidth_gbps) {
+        push(diags, Severity::Error, "bandwidth-quantization", e);
+    }
+}

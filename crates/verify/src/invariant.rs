@@ -1,0 +1,121 @@
+//! Shared invariant helpers: the configuration laws that were previously
+//! scattered as ad-hoc `assert!`s across the workspace, promoted to one
+//! place so the static verifier and the simulation engine enforce the
+//! *same* conditions — the verifier as diagnostics, the engine as panics
+//! (cheap checks) or debug-only assertions (hot path).
+
+/// Per-VC buffer capacity under credit-based flow control, or why the
+/// partitioning is unusable: with `buffer_bytes` split evenly across
+/// `num_vcs`, each VC must still hold at least one maximum-size packet or
+/// the engine can never forward anything on that VC.
+pub fn vc_buffer_sufficient(
+    buffer_bytes: u64,
+    num_vcs: u8,
+    packet_bytes: u32,
+) -> Result<u64, String> {
+    if num_vcs == 0 {
+        return Err("at least one virtual channel is required".into());
+    }
+    if packet_bytes == 0 {
+        return Err("packet size must be positive".into());
+    }
+    let vc_cap = buffer_bytes / num_vcs as u64;
+    if vc_cap < packet_bytes as u64 {
+        return Err(format!(
+            "per-VC buffer must hold at least one packet: \
+             {buffer_bytes} B / {num_vcs} VCs = {vc_cap} B < {packet_bytes} B packet"
+        ));
+    }
+    Ok(vc_cap)
+}
+
+/// Picoseconds per byte at `gbps`, or why the rate breaks the integer
+/// picosecond clock: the serialization time of one byte must be a whole
+/// number of picoseconds or timing drift accumulates.
+pub fn exact_ps_per_byte(gbps: f64) -> Result<u64, String> {
+    // NaN must land here too, hence not `gbps <= 0.0`.
+    if gbps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("link bandwidth must be positive, got {gbps} Gb/s"));
+    }
+    let ps = 8_000.0 / gbps;
+    let r = ps.round();
+    if (ps - r).abs() >= 1e-9 {
+        return Err(format!(
+            "link bandwidth must divide 8000 ps/byte exactly (got {ps} ps/byte)"
+        ));
+    }
+    Ok(r as u64)
+}
+
+/// The measurement window must be non-empty: `warmup < duration`.
+pub fn warmup_within(warmup_ns: u64, duration_ns: u64) -> Result<(), String> {
+    if warmup_ns < duration_ns {
+        Ok(())
+    } else {
+        Err(format!(
+            "warm-up ({warmup_ns} ns) must end before the run ({duration_ns} ns)"
+        ))
+    }
+}
+
+/// Debug-only invariant for engine hot paths: compiled out in release
+/// builds, uniform "invariant violated" prefix in debug builds.
+#[macro_export]
+macro_rules! debug_invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        debug_assert!($cond, "invariant violated: {}", format_args!($($arg)+))
+    };
+}
+
+/// Always-on invariant for cold paths (construction, entry points):
+/// panics with a uniform "invariant violated" prefix.
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        assert!($cond, "invariant violated: {}", format_args!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_buffer_law() {
+        assert_eq!(vc_buffer_sufficient(100_000, 2, 256), Ok(50_000));
+        assert_eq!(vc_buffer_sufficient(256, 1, 256), Ok(256));
+        assert!(vc_buffer_sufficient(256, 2, 256)
+            .unwrap_err()
+            .contains("at least one packet"));
+        assert!(vc_buffer_sufficient(100_000, 0, 256).is_err());
+        assert!(vc_buffer_sufficient(100_000, 2, 0).is_err());
+    }
+
+    #[test]
+    fn bandwidth_quantization_law() {
+        assert_eq!(exact_ps_per_byte(100.0), Ok(80));
+        assert_eq!(exact_ps_per_byte(40.0), Ok(200));
+        assert!(exact_ps_per_byte(3.0).unwrap_err().contains("8000"));
+        assert!(exact_ps_per_byte(0.0).is_err());
+        assert!(exact_ps_per_byte(-1.0).is_err());
+    }
+
+    #[test]
+    fn warmup_law() {
+        assert!(warmup_within(0, 1).is_ok());
+        assert!(warmup_within(5, 5).is_err());
+        assert!(warmup_within(6, 5).is_err());
+    }
+
+    #[test]
+    fn invariant_macros_pass_through() {
+        invariant!(1 + 1 == 2, "math {}", "works");
+        debug_invariant!(true, "fine");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated: boom 7")]
+    fn invariant_macro_panics_with_prefix() {
+        invariant!(false, "boom {}", 7);
+    }
+}

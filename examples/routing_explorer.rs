@@ -87,14 +87,23 @@ fn main() {
     let policy = RoutePolicy::new(&net, Algorithm::Valiant);
     let mut broken = d2net::routing::ChannelGraph::new(&net, 1);
     for (path, _) in d2net::routing::cdg::all_policy_routes(&net, &policy) {
-        broken.add_route(&path, &vec![0u8; path.num_hops()]);
+        broken
+            .add_route(&path, &vec![0u8; path.num_hops()])
+            .expect("policy routes stay on the network");
     }
-    println!(
-        "  INR forced onto a single VC -> CDG is {}",
-        if broken.is_acyclic() {
-            "acyclic"
-        } else {
-            "CYCLIC — this is the deadlock the second VC prevents"
+    match broken.find_cycle() {
+        None => println!("  INR forced onto a single VC -> CDG is acyclic"),
+        Some(cycle) => {
+            println!(
+                "  INR forced onto a single VC -> CYCLIC; shortest dependency \
+                 cycle has {} channels:",
+                cycle.len()
+            );
+            for &c in &cycle {
+                let (u, v, vc) = broken.decode(c);
+                println!("    link {u:>3} -> {v:>3} vc {vc}");
+            }
+            println!("  (this is the deadlock the second VC prevents)");
         }
-    );
+    }
 }

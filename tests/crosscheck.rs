@@ -16,15 +16,20 @@ fn check(net: &Network, perm: &SyntheticPattern, label: &str) {
     };
     let predicted = permutation_link_load(net, p).predicted_mean_throughput;
     let policy = RoutePolicy::new(net, Algorithm::Minimal);
-    let measured = run_synthetic(
-        net,
-        &policy,
-        perm,
-        1.0,
-        100_000,
-        20_000,
-        SimConfig::default(),
+    // Every crosscheck config must also clear the static preflight: a
+    // certified verdict here is what licenses comparing the two stacks.
+    let report = preflight(net, &policy, &SimConfig::default());
+    assert_eq!(
+        report.verdict(),
+        Verdict::Certified,
+        "{label}: preflight rejected a crosscheck config:\n{}",
+        report.render()
     );
+    let cfg = SimConfig {
+        preflight: Preflight::Enforce,
+        ..Default::default()
+    };
+    let measured = run_synthetic(net, &policy, perm, 1.0, 100_000, 20_000, cfg);
     assert!(!measured.deadlocked, "{label}");
     // The static model ignores queueing/HOL second-order effects; demand
     // a 15 % + small-absolute agreement band.
