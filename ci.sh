@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, test, lint. Fully offline — all dependencies are
 # vendored in vendor/ and wired up via [workspace.dependencies].
+#
+# Usage: ci.sh [--bench-smoke]
+#   --bench-smoke  additionally compiles every benchmark and runs a
+#                  smoke-sized bench_sweep, writing BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release =="
 cargo build --release --workspace --all-targets
@@ -12,10 +24,24 @@ cargo build --release --workspace --all-targets
 echo "== cargo test =="
 cargo test -q --release --workspace
 
+echo "== determinism gates, single-threaded test runner =="
+# The suite itself exercises the worker pool; running it under both the
+# default and a single-threaded test runner rules out any dependence on
+# harness-level interleaving.
+cargo test -q --release --test determinism -- --test-threads=1
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== static verification gate (paper-standard configs) =="
 cargo run --release --example d2net-verify -- --paper-gate
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  echo "== bench smoke: compile benches, time a reduced sweep =="
+  cargo bench --no-run --workspace
+  D2NET_BENCH_DURATION_NS=10000 D2NET_BENCH_LOAD_STEPS=4 \
+    cargo run --release -p d2net-bench --bin bench_sweep -- BENCH_sweep.json
+  grep -q '"schema":"d2net.bench-sweep/v1"' BENCH_sweep.json
+fi
 
 echo "ci.sh: all green"

@@ -47,5 +47,51 @@ fn bench_fig14_nn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig13_a2a, bench_fig14_nn);
+/// The Fig. 13 run matrix (3 topologies × 3 routings) fanned through
+/// [`par_curves`] — exchanges have no sweep driver, so the generic
+/// combinator carries them.
+fn bench_exchange_fanout(c: &mut Criterion) {
+    let nets = [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)];
+    let threads = resolve_threads(0);
+
+    let run_matrix = |threads: usize| -> Vec<(String, ExchangeStats)> {
+        let jobs: Vec<_> = nets
+            .iter()
+            .flat_map(|net| {
+                let ex = d2net_core::traffic::all_to_all_shuffled(net.num_nodes(), 512, 7);
+                [
+                    ("MIN", Algorithm::Minimal),
+                    ("INR", Algorithm::Valiant),
+                    ("ADAPT", best_adaptive(net).1),
+                ]
+                .map(move |(tag, algo)| {
+                    let ex = ex.clone();
+                    move || {
+                        let policy = RoutePolicy::new(net, algo);
+                        (
+                            format!("{}/{tag}", net.name()),
+                            run_exchange(net, &policy, &ex, 1, SimConfig::default()),
+                        )
+                    }
+                })
+            })
+            .collect();
+        par_curves(jobs, threads)
+    };
+
+    let mut g = c.benchmark_group("fig13_fanout");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| black_box(run_matrix(1))));
+    g.bench_function(format!("parallel/t={threads}"), |b| {
+        b.iter(|| black_box(run_matrix(threads)))
+    });
+    g.finish();
+
+    // Determinism gate: fan-out keeps job order and per-job results.
+    let serial = run_matrix(1);
+    let par = run_matrix(threads);
+    assert_eq!(serial, par, "exchange fan-out diverged from serial");
+}
+
+criterion_group!(benches, bench_fig13_a2a, bench_fig14_nn, bench_exchange_fanout);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Fig. 6a/6b, and pins the qualitative result (saturation ordering).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use d2net_bench::{bench_topologies, quick_run};
+use d2net_bench::{bench_params, bench_topologies, quick_run};
 use d2net_core::prelude::*;
 use std::hint::black_box;
 
@@ -47,5 +47,37 @@ fn bench_fig6b_worst_case(c: &mut Criterion) {
     assert!(inr_wc > min_wc, "INR WC {inr_wc} vs MIN WC {min_wc}");
 }
 
-criterion_group!(benches, bench_fig6a_uniform, bench_fig6b_worst_case);
+/// The whole Fig. 6 driver, serial vs fanned across the worker pool —
+/// measures the end-to-end speedup of the parallel harness on exactly
+/// the curve set the figure needs.
+fn bench_fig6_driver_parallelism(c: &mut Criterion) {
+    let nets = bench_topologies();
+    let params = bench_params();
+    let threads = resolve_threads(0);
+    let mut g = c.benchmark_group("fig6_driver");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(fig6(&nets, Traffic::Uniform, &params)))
+    });
+    g.bench_function(format!("parallel/t={threads}"), |b| {
+        b.iter(|| black_box(fig6_par(&nets, Traffic::Uniform, &params, threads)))
+    });
+    g.finish();
+
+    // Determinism gate: the fanned driver reproduces the serial curves.
+    let serial = fig6(&nets, Traffic::Uniform, &params);
+    let par = fig6_par(&nets, Traffic::Uniform, &params, threads);
+    assert_eq!(par.curves.len(), serial.len());
+    for (a, b) in par.curves.iter().zip(&serial) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.points, b.points, "curve {} diverged", a.label);
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fig6a_uniform,
+    bench_fig6b_worst_case,
+    bench_fig6_driver_parallelism
+);
 criterion_main!(benches);

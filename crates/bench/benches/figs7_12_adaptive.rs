@@ -71,5 +71,37 @@ fn bench_adaptive_panels(c: &mut Criterion) {
     assert!(u_wc > 1.2 * m_wc, "UGAL WC {u_wc} vs MIN WC {m_wc}");
 }
 
-criterion_group!(benches, bench_adaptive_panels);
+/// One full adaptive panel (UNI + WC × variants), serial vs fanned —
+/// the driver-level parallelism benchmark for Figs. 7–12.
+fn bench_adaptive_driver_parallelism(c: &mut Criterion) {
+    let net = mlfm(4);
+    // Two variants keep the panel representative but quick.
+    let variants: Vec<_> = adaptive_variants(9, 'a').into_iter().take(2).collect();
+    let params = d2net_bench::bench_params();
+    let threads = resolve_threads(0);
+    let mut g = c.benchmark_group("figs7_12_driver");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(adaptive_sweep(&net, &variants, &params)))
+    });
+    g.bench_function(format!("parallel/t={threads}"), |b| {
+        b.iter(|| black_box(adaptive_sweep_par(&net, &variants, &params, threads)))
+    });
+    g.finish();
+
+    // Determinism gate: the fanned driver reproduces the serial curves.
+    let serial = adaptive_sweep(&net, &variants, &params);
+    let par = adaptive_sweep_par(&net, &variants, &params, threads);
+    assert_eq!(par.curves.len(), serial.len());
+    for (a, b) in par.curves.iter().zip(&serial) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.points, b.points, "curve {} diverged", a.label);
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_adaptive_panels,
+    bench_adaptive_driver_parallelism
+);
 criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Times the serial vs parallel sweep harness on the benchmark cases
+//! and writes `BENCH_sweep.json` (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p d2net-bench --release --bin bench_sweep [OUT]`
+//! (default `OUT` is `BENCH_sweep.json` in the working directory).
+//! `D2NET_BENCH_DURATION_NS` / `D2NET_BENCH_LOAD_STEPS` shrink the run
+//! for CI smoke; `D2NET_THREADS` pins the worker count.
+
+use d2net_bench::timing::{bench_sweep_json, default_cases, render_timing_row, time_case};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let cases = default_cases();
+    println!("case                     | serial ms | parallel ms | threads | speedup");
+    println!("-------------------------+-----------+-------------+---------+--------");
+    let mut results = Vec::with_capacity(cases.len());
+    for case in &cases {
+        let timed = time_case(case, 0);
+        println!("{}", render_timing_row(&timed));
+        results.push(timed);
+    }
+    let json = bench_sweep_json(&results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("\nwrote {out} ({} bytes)", json.len());
+}

@@ -9,6 +9,8 @@
 use d2net_core::configs::RunParams;
 use d2net_core::prelude::*;
 
+pub mod timing;
+
 /// The smallest instance of each evaluation family, used by the
 /// simulation benches.
 pub fn bench_topologies() -> Vec<Network> {

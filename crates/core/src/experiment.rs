@@ -5,7 +5,10 @@
 use crate::configs::RunParams;
 use d2net_analysis::{bisection, scale_table, ScaleRow};
 use d2net_routing::{Algorithm, RoutePolicy};
-use d2net_sim::{load_sweep, run_exchange, ExchangeStats, SweepPoint};
+use d2net_sim::{
+    load_sweep, load_sweep_collect, par_curves, run_exchange, ExchangeStats, SweepNotice,
+    SweepPoint,
+};
 use d2net_topo::{mlfm, oft, slim_fly, Network, SlimFlyP, TopologyKind};
 use d2net_traffic::{
     all_to_all_shuffled, nearest_neighbor, torus_dims_for, worst_case, SyntheticPattern,
@@ -41,6 +44,58 @@ impl Traffic {
 pub struct Curve {
     pub label: String,
     pub points: Vec<SweepPoint>,
+}
+
+/// Curves plus the structured notices their sweeps raised — what the
+/// parallel figure drivers return so callers can route notices into a
+/// [`crate::report::RunManifest`] instead of stderr.
+#[derive(Debug, Clone)]
+pub struct CurveSet {
+    pub curves: Vec<Curve>,
+    pub notices: Vec<SweepNotice>,
+}
+
+/// Fans labelled sweep jobs across `threads` workers and reassembles
+/// them in job order. Each job runs one whole curve; per-point seeds
+/// make the result identical to running the jobs serially.
+fn curves_in_parallel(
+    jobs: Vec<(String, RoutePolicy, SyntheticPattern, &Network)>,
+    params: &RunParams,
+    threads: usize,
+) -> CurveSet {
+    let tasks: Vec<_> = jobs
+        .into_iter()
+        .map(|(label, policy, pattern, net)| {
+            move || {
+                let out = load_sweep_collect(
+                    net,
+                    &policy,
+                    &pattern,
+                    &params.loads,
+                    params.duration_ns,
+                    params.warmup_ns,
+                    params.sim,
+                );
+                (
+                    Curve {
+                        label,
+                        points: out.points,
+                    },
+                    out.notices,
+                )
+            }
+        })
+        .collect();
+    let mut curves = Vec::new();
+    let mut notices = Vec::new();
+    for (curve, mut n) in par_curves(tasks, threads) {
+        for notice in &mut n {
+            notice.message = format!("{}: {}", curve.label, notice.message);
+        }
+        notices.append(&mut n);
+        curves.push(curve);
+    }
+    CurveSet { curves, notices }
 }
 
 /// **Table 2**: the 4-ML3B tabular representation.
@@ -112,6 +167,25 @@ pub fn fig6(nets: &[Network], traffic: Traffic, params: &RunParams) -> Vec<Curve
     out
 }
 
+/// [`fig6`] with curves fanned across `threads` workers (`0` = auto).
+/// Point-for-point identical to the serial driver; notices are returned
+/// instead of printed.
+pub fn fig6_par(nets: &[Network], traffic: Traffic, params: &RunParams, threads: usize) -> CurveSet {
+    let mut jobs = Vec::new();
+    for net in nets {
+        let pattern = traffic.pattern(net);
+        for (algo, tag) in [(Algorithm::Minimal, "MIN"), (Algorithm::Valiant, "INR")] {
+            jobs.push((
+                format!("{} {} {}", net.name(), tag, traffic.label()),
+                RoutePolicy::new(net, algo),
+                pattern.clone(),
+                net,
+            ));
+        }
+    }
+    curves_in_parallel(jobs, params, threads)
+}
+
 /// Generic driver behind **Figs. 7–12**: sweeps a UGAL parameter on one
 /// topology under both UNI and WC traffic. `variants` are
 /// `(label, n_i, c, threshold)` tuples.
@@ -148,6 +222,36 @@ pub fn adaptive_sweep(
         }
     }
     out
+}
+
+/// [`adaptive_sweep`] with curves fanned across `threads` workers
+/// (`0` = auto). Point-for-point identical to the serial driver.
+pub fn adaptive_sweep_par(
+    net: &Network,
+    variants: &[(String, usize, f64, Option<f64>)],
+    params: &RunParams,
+    threads: usize,
+) -> CurveSet {
+    let mut jobs = Vec::new();
+    for traffic in [Traffic::Uniform, Traffic::WorstCase] {
+        let pattern = traffic.pattern(net);
+        for (label, n_i, c, threshold) in variants {
+            jobs.push((
+                format!("{} {} {}", net.name(), label, traffic.label()),
+                RoutePolicy::new(
+                    net,
+                    Algorithm::Ugal {
+                        n_i: *n_i,
+                        c: *c,
+                        threshold: *threshold,
+                    },
+                ),
+                pattern.clone(),
+                net,
+            ));
+        }
+    }
+    curves_in_parallel(jobs, params, threads)
 }
 
 /// The `(label, n_i, c, threshold)` variant grids of Figs. 7–12.
@@ -388,6 +492,20 @@ mod tests {
         let t = table2();
         assert_eq!(t[0], vec![9, 10, 11, 12]);
         assert_eq!(t[12], vec![12, 2, 4, 6]);
+    }
+
+    #[test]
+    fn fig6_par_matches_serial_driver() {
+        let nets = vec![mlfm(4)];
+        let params = tiny_params();
+        let serial = fig6(&nets, Traffic::Uniform, &params);
+        let par = fig6_par(&nets, Traffic::Uniform, &params, 2);
+        assert_eq!(par.curves.len(), serial.len());
+        for (a, b) in par.curves.iter().zip(&serial) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points, b.points, "curve {} diverged", a.label);
+        }
+        assert!(par.notices.is_empty(), "no wedge expected on MLFM uniform");
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use d2net_verify as verify;
 pub mod prelude {
     pub use crate::configs::{eval_topologies, RunParams, Scale};
     pub use crate::experiment::{
-        adaptive_sweep, adaptive_variants, best_adaptive, diversity_report, fig13, fig14, fig3,
-        fig4, fig6, table2, Curve, ExchangeRow, Traffic,
+        adaptive_sweep, adaptive_sweep_par, adaptive_variants, best_adaptive, diversity_report,
+        fig13, fig14, fig3, fig4, fig6, fig6_par, table2, Curve, CurveSet, ExchangeRow, Traffic,
     };
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
@@ -63,9 +63,13 @@ pub mod prelude {
         RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        load_grid, load_sweep, load_sweep_probed, preflight, run_exchange, run_exchange_probed,
-        run_synthetic, run_synthetic_probed, DeadlockReport, ExchangeStats, Preflight,
-        ProbeConfig, RingEvent, RingEventKind, SimConfig, SweepPoint, SyntheticStats,
+        load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_probed,
+        load_sweep_probed_collect, par_curves, par_load_sweep, par_load_sweep_collect,
+        par_load_sweep_probed, par_load_sweep_probed_collect, par_load_sweep_with_order,
+        point_seed, preflight,
+        resolve_threads, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed,
+        DeadlockReport, EventQueueKind, ExchangeStats, Preflight, ProbeConfig, RingEvent,
+        RingEventKind, SimConfig, SweepNotice, SweepOutcome, SweepPoint, SyntheticStats,
         TelemetryReport, TelemetrySummary, WaitPoint, WaitSide,
     };
     pub use d2net_topo::{

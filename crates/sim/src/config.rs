@@ -40,6 +40,21 @@ pub enum Preflight {
     Enforce,
 }
 
+/// Which priority-queue structure drives the engine's event loop. Both
+/// produce byte-identical schedules (the `(time, seq)` order is total);
+/// the calendar queue is the fast path, the heap the reference
+/// implementation retained for cross-check tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventQueueKind {
+    /// Hierarchical calendar/bucket queue sized from the config's
+    /// serialization/link/switch delays (see `sim::equeue`).
+    #[default]
+    Calendar,
+    /// Plain `BinaryHeap<Reverse<(time, seq, Ev)>>` — the seed
+    /// implementation.
+    Heap,
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -59,6 +74,9 @@ pub struct SimConfig {
     pub arrival: Arrival,
     /// Static verification before simulating (default [`Preflight::Off`]).
     pub preflight: Preflight,
+    /// Event-queue structure for the engine's hot loop (default
+    /// [`EventQueueKind::Calendar`]; results are identical either way).
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for SimConfig {
@@ -72,6 +90,7 @@ impl Default for SimConfig {
             seed: 0xD2_4E7,
             arrival: Arrival::Deterministic,
             preflight: Preflight::Off,
+            event_queue: EventQueueKind::Calendar,
         }
     }
 }

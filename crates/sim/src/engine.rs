@@ -17,9 +17,14 @@
 //!   packet vacates the input buffer.
 //!
 //! All state lives in flat arrays indexed by dense port ids; the event
-//! queue is a binary heap of `(time_ps, seq, event)`.
+//! queue dequeues in `(time_ps, seq, event)` order — a calendar/bucket
+//! queue by default, a binary heap as the cross-check reference (see
+//! [`crate::equeue`]). Per-queue state (input/output FIFOs, blocked
+//! lists) is held in intrusive linked lists over flat arrays so an
+//! [`Engine::reset`] between sweep points reuses every allocation.
 
-use crate::config::{Preflight, SimConfig};
+use crate::config::{EventQueueKind, Preflight, SimConfig};
+use crate::equeue::{CalendarQueue, EventQ};
 use crate::injector::{NextPacket, NodeSource};
 use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
@@ -30,8 +35,75 @@ use d2net_topo::{Network, NodeId, RouterId};
 use d2net_verify::{debug_invariant, invariant, Verdict};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no element" in the intrusive lists below.
+const NIL: u32 = u32::MAX;
+
+/// A family of FIFO queues threaded through a shared `next` array (one
+/// slot per potential member, each member in at most one queue of the
+/// family at a time). Compared with `Vec<VecDeque<_>>` this is a single
+/// flat allocation that survives [`Engine::reset`], and push/pop are
+/// two or three stores with no capacity checks.
+#[derive(Debug)]
+struct FifoSet {
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl FifoSet {
+    fn new(queues: usize) -> Self {
+        FifoSet {
+            head: vec![NIL; queues],
+            tail: vec![NIL; queues],
+            len: vec![0; queues],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.head.fill(NIL);
+        self.tail.fill(NIL);
+        self.len.fill(0);
+    }
+
+    #[inline]
+    fn push_back(&mut self, q: usize, id: u32, next: &mut [u32]) {
+        next[id as usize] = NIL;
+        if self.tail[q] == NIL {
+            self.head[q] = id;
+        } else {
+            next[self.tail[q] as usize] = id;
+        }
+        self.tail[q] = id;
+        self.len[q] += 1;
+    }
+
+    #[inline]
+    fn front(&self, q: usize) -> Option<u32> {
+        let h = self.head[q];
+        (h != NIL).then_some(h)
+    }
+
+    #[inline]
+    fn pop_front(&mut self, q: usize, next: &[u32]) -> Option<u32> {
+        let h = self.head[q];
+        if h == NIL {
+            return None;
+        }
+        self.head[q] = next[h as usize];
+        if self.head[q] == NIL {
+            self.tail[q] = NIL;
+        }
+        self.len[q] -= 1;
+        Some(h)
+    }
+
+    #[inline]
+    fn len(&self, q: usize) -> usize {
+        self.len[q] as usize
+    }
+}
 
 /// A packet in flight. `hop` is the index (within the route's router
 /// sequence) of the router the packet currently occupies or is arriving
@@ -176,15 +248,21 @@ pub struct Engine<'a> {
     /// `(bytes, pv)` of the packet currently on the wire head.
     sending: Vec<(u32, u32)>,
     rr: Vec<u8>,
-    blocked: Vec<Vec<u32>>,
+    /// Per output port: FIFO of input `pv`s blocked on its buffer space,
+    /// threaded through `blocked_next`.
+    blocked: FifoSet,
 
     // Per (port, VC).
     out_occ: Vec<u64>,
-    out_q: Vec<VecDeque<u32>>,
+    /// Output FIFOs per `pv`, threaded through `pkt_next`.
+    out_q: FifoSet,
     credits: Vec<u64>,
-    in_q: Vec<VecDeque<u32>>,
+    /// Input FIFOs per `pv`, threaded through `pkt_next`.
+    in_q: FifoSet,
     in_occ: Vec<u64>,
     blocked_flag: Vec<bool>,
+    /// Link slot per input `pv` for the `blocked` lists.
+    blocked_next: Vec<u32>,
 
     // Per node.
     sources: Vec<NodeSource>,
@@ -193,13 +271,15 @@ pub struct Engine<'a> {
     node_credits: Vec<u64>,
     node_wake: Vec<bool>,
 
-    // Packet slab.
+    // Packet slab. `pkt_next` is the parallel link slot: a packet sits
+    // in at most one `in_q`/`out_q` FIFO at a time.
     packets: Vec<Packet>,
+    pkt_next: Vec<u32>,
     free: Vec<u32>,
     created: u64,
     delivered: u64,
 
-    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    queue: EventQ<Ev>,
     seq: u64,
     now: u64,
     rng: SmallRng,
@@ -239,6 +319,19 @@ impl<'a> Engine<'a> {
         )
         .unwrap_or_else(|e| panic!("{e}"));
         let n = net.num_nodes() as usize;
+        let queue = match cfg.event_queue {
+            EventQueueKind::Heap => EventQ::Heap(BinaryHeap::new()),
+            EventQueueKind::Calendar => {
+                // Buckets near the packet serialization time; window wide
+                // enough for the largest single-step offset the engine
+                // schedules (switch + serialization + link). Far-future
+                // NodeWakes at low load spill into the overflow heap.
+                let ser = cfg.ser_ps(cfg.packet_bytes);
+                let max_offset = cfg.switch_ps() + ser + cfg.link_ps();
+                let (shift, days) = CalendarQueue::<Ev>::sizing(ser, max_offset);
+                EventQ::Calendar(CalendarQueue::new(shift, days))
+            }
+        };
         let mut engine = Engine {
             net,
             policy,
@@ -250,23 +343,25 @@ impl<'a> Engine<'a> {
             sent_bytes: vec![0; total],
             sending: vec![(0, 0); total],
             rr: vec![0; total],
-            blocked: vec![Vec::new(); total],
+            blocked: FifoSet::new(total),
             out_occ: vec![0; pv_total],
-            out_q: vec![VecDeque::new(); pv_total],
+            out_q: FifoSet::new(pv_total),
             credits: vec![vc_cap; pv_total],
-            in_q: vec![VecDeque::new(); pv_total],
+            in_q: FifoSet::new(pv_total),
             in_occ: vec![0; pv_total],
             blocked_flag: vec![false; pv_total],
+            blocked_next: vec![NIL; pv_total],
             sources,
             node_busy: vec![0; n],
             node_sending: vec![false; n],
             node_credits: vec![cfg.buffer_bytes; n],
             node_wake: vec![false; n],
             packets: Vec::new(),
+            pkt_next: Vec::new(),
             free: Vec::new(),
             created: 0,
             delivered: 0,
-            heap: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: 0,
             rng,
@@ -279,6 +374,53 @@ impl<'a> Engine<'a> {
             engine.node_wake[node as usize] = true;
         }
         engine
+    }
+
+    /// Rewinds the engine to the just-constructed state for a fresh run
+    /// on the same (network, policy, config) triple, reusing every flat
+    /// allocation — sweep points stop paying construction cost. The
+    /// result of a run after `reset` is byte-identical to a run on a
+    /// freshly built engine handed the same `sources` and `rng`.
+    pub fn reset(&mut self, sources: Vec<NodeSource>, warmup_ps: u64, rng: SmallRng) {
+        invariant!(
+            sources.len() == self.net.num_nodes() as usize,
+            "one traffic source per node required ({} sources, {} nodes)",
+            sources.len(),
+            self.net.num_nodes()
+        );
+        self.busy_until.fill(0);
+        self.sent_bytes.fill(0);
+        self.sending.fill((0, 0));
+        self.rr.fill(0);
+        self.blocked.clear();
+        self.out_occ.fill(0);
+        self.out_q.clear();
+        self.credits.fill(self.vc_cap);
+        self.in_q.clear();
+        self.in_occ.fill(0);
+        self.blocked_flag.fill(false);
+        self.blocked_next.fill(NIL);
+        self.sources = sources;
+        self.node_busy.fill(0);
+        self.node_sending.fill(false);
+        self.node_credits.fill(self.cfg.buffer_bytes);
+        self.node_wake.fill(false);
+        self.packets.clear();
+        self.pkt_next.clear();
+        self.free.clear();
+        self.created = 0;
+        self.delivered = 0;
+        self.queue.clear();
+        self.seq = 0;
+        self.now = 0;
+        self.rng = rng;
+        self.acc = Accumulator::default();
+        self.warmup_ps = warmup_ps;
+        self.telemetry = None;
+        for node in 0..self.sources.len() as u32 {
+            self.schedule(0, Ev::NodeWake(node));
+            self.node_wake[node as usize] = true;
+        }
     }
 
     /// Runs the static preflight verifier on exactly the (network,
@@ -319,7 +461,7 @@ impl<'a> Engine<'a> {
     #[inline]
     fn schedule(&mut self, t: u64, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse((t, self.seq, ev)));
+        self.queue.push((t, self.seq, ev));
     }
 
     #[inline]
@@ -334,6 +476,7 @@ impl<'a> Engine<'a> {
             id
         } else {
             self.packets.push(p);
+            self.pkt_next.push(NIL);
             (self.packets.len() - 1) as u32
         }
     }
@@ -428,14 +571,14 @@ impl<'a> Engine<'a> {
         self.in_occ[pv] += bytes as u64;
         let ready = self.now + self.cfg.switch_ps();
         self.packets[pkt as usize].ready_ps = ready;
-        self.in_q[pv].push_back(pkt);
-        if self.in_q[pv].len() == 1 {
+        self.in_q.push_back(pv, pkt, &mut self.pkt_next);
+        if self.in_q.len(pv) == 1 {
             self.schedule(ready, Ev::TrySwitch(pv as u32));
         }
     }
 
     fn try_switch(&mut self, pv: usize) {
-        let Some(&pkt) = self.in_q[pv].front() else {
+        let Some(pkt) = self.in_q.front(pv) else {
             return;
         };
         let (bytes, ready, hop, dst, choice) = {
@@ -468,7 +611,8 @@ impl<'a> Engine<'a> {
         if self.out_occ[out_pv] + bytes as u64 > self.vc_cap {
             if !self.blocked_flag[pv] {
                 self.blocked_flag[pv] = true;
-                self.blocked[out_port as usize].push(pv as u32);
+                self.blocked
+                    .push_back(out_port as usize, pv as u32, &mut self.blocked_next);
                 if let Some(tel) = self.telemetry.as_mut() {
                     let in_vc = (pv as u32 % self.num_vcs) as u8;
                     tel.on_blocked(self.now, in_port, in_vc, out_port, out_vc);
@@ -477,7 +621,7 @@ impl<'a> Engine<'a> {
             return;
         }
         // Transfer input → output.
-        self.in_q[pv].pop_front();
+        self.in_q.pop_front(pv, &self.pkt_next);
         self.blocked_flag[pv] = false;
         self.in_occ[pv] -= bytes as u64;
         // Return the credit upstream after one link latency.
@@ -499,10 +643,10 @@ impl<'a> Engine<'a> {
         }
         self.out_occ[out_pv] += bytes as u64;
         self.packets[pkt as usize].link_vc = out_vc;
-        self.out_q[out_pv].push_back(pkt);
+        self.out_q.push_back(out_pv, pkt, &mut self.pkt_next);
         self.kick_output(out_port);
         // Wake the next packet waiting on this input FIFO.
-        if let Some(&nx) = self.in_q[pv].front() {
+        if let Some(nx) = self.in_q.front(pv) {
             let t = self.packets[nx as usize].ready_ps.max(self.now);
             self.schedule(t, Ev::TrySwitch(pv as u32));
         }
@@ -519,7 +663,7 @@ impl<'a> Engine<'a> {
         for i in 0..self.num_vcs {
             let vc = ((self.rr[out_port as usize] as u32 + i) % self.num_vcs) as u8;
             let out_pv = self.pv(out_port, vc);
-            let Some(&pkt) = self.out_q[out_pv].front() else {
+            let Some(pkt) = self.out_q.front(out_pv) else {
                 continue;
             };
             let bytes = self.packets[pkt as usize].bytes;
@@ -527,7 +671,7 @@ impl<'a> Engine<'a> {
                 continue;
             }
             // Send.
-            self.out_q[out_pv].pop_front();
+            self.out_q.pop_front(out_pv, &self.pkt_next);
             if !is_node {
                 self.credits[out_pv] -= bytes as u64;
             }
@@ -557,9 +701,9 @@ impl<'a> Engine<'a> {
         let (bytes, pv) = self.sending[out_port as usize];
         self.out_occ[pv as usize] -= bytes as u64;
         self.sending[out_port as usize] = (0, 0);
-        // Output space freed: retry every input transfer blocked on it.
-        let waiting = std::mem::take(&mut self.blocked[out_port as usize]);
-        for pv in waiting {
+        // Output space freed: retry every input transfer blocked on it,
+        // in the order they blocked (FIFO drain of the intrusive list).
+        while let Some(pv) = self.blocked.pop_front(out_port as usize, &self.blocked_next) {
             self.blocked_flag[pv as usize] = false;
             self.schedule(self.now, Ev::TrySwitch(pv));
         }
@@ -622,14 +766,14 @@ impl<'a> Engine<'a> {
     /// unprocessed) or the queue drains. Returns `true` if the run wedged
     /// with packets still in flight — a deadlock.
     fn run(&mut self, end_ps: Option<u64>) -> bool {
-        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+        while let Some(t) = self.queue.peek_time() {
             if let Some(end) = end_ps {
                 if t > end {
                     self.now = end;
                     return false;
                 }
             }
-            let Reverse((t, _, ev)) = self.heap.pop().unwrap();
+            let (t, _, ev) = self.queue.pop().unwrap();
             self.now = t;
             if self.telemetry.is_some() {
                 self.flush_probe(t);
@@ -649,25 +793,27 @@ impl<'a> Engine<'a> {
             "WEDGE at t={} ps: created={} delivered={}",
             self.now, self.created, self.delivered
         );
+        let pv_total = self.in_occ.len();
         let mut in_total = 0usize;
         let mut printed = 0;
-        for (pv, q) in self.in_q.iter().enumerate() {
-            if !q.is_empty() {
-                in_total += q.len();
+        for pv in 0..pv_total {
+            let len = self.in_q.len(pv);
+            if len > 0 {
+                in_total += len;
                 let port = pv as u32 / self.num_vcs;
                 let owner = self.ports.owner[port as usize];
                 let is_injection = port - self.ports.base[owner as usize] >= self.net.degree(owner);
                 if !is_injection && printed < 40 {
                     printed += 1;
                     let vc = pv as u32 % self.num_vcs;
-                    let head = &self.packets[*q.front().unwrap() as usize];
+                    let head = &self.packets[self.in_q.front(pv).unwrap() as usize];
                     eprintln!(
                         "  in_q port={} (router {}, idx {}) vc={} len={} head: hop={} path={:?} ready={} blocked_flag={}",
                         port,
                         self.ports.owner[port as usize],
                         port - self.ports.base[self.ports.owner[port as usize] as usize],
                         vc,
-                        q.len(),
+                        len,
                         head.hop,
                         head.choice.path.routers(),
                         head.ready_ps,
@@ -677,9 +823,10 @@ impl<'a> Engine<'a> {
             }
         }
         let mut out_total = 0usize;
-        for (pv, q) in self.out_q.iter().enumerate() {
-            if !q.is_empty() {
-                out_total += q.len();
+        for pv in 0..pv_total {
+            let len = self.out_q.len(pv);
+            if len > 0 {
+                out_total += len;
                 if out_total < 4000 {
                     let port = pv as u32 / self.num_vcs;
                     eprintln!(
@@ -687,7 +834,7 @@ impl<'a> Engine<'a> {
                         port,
                         self.ports.owner[port as usize],
                         pv as u32 % self.num_vcs,
-                        q.len(),
+                        len,
                         self.credits[pv],
                         self.busy_until[port as usize],
                         self.out_occ[pv],
@@ -705,12 +852,12 @@ impl<'a> Engine<'a> {
     /// waits on exactly one downstream input buffer — so the first
     /// revisited node closes the cycle.
     fn deadlock_forensics(&self) -> Option<DeadlockReport> {
-        let pv_total = self.in_q.len();
+        let pv_total = self.in_occ.len();
         const NONE: u32 = u32::MAX;
         // Node ids: In(pv) = pv, Out(pv) = pv_total + pv.
         let mut succ = vec![NONE; 2 * pv_total];
         for pv in 0..pv_total {
-            if let Some(&pkt) = self.in_q[pv].front() {
+            if let Some(pkt) = self.in_q.front(pv) {
                 let p = &self.packets[pkt as usize];
                 let in_port = pv as u32 / self.num_vcs;
                 let r = self.ports.owner[in_port as usize];
@@ -730,7 +877,7 @@ impl<'a> Engine<'a> {
                     succ[pv] = (pv_total + out_pv) as u32;
                 }
             }
-            if let Some(&pkt) = self.out_q[pv].front() {
+            if let Some(pkt) = self.out_q.front(pv) {
                 let port = pv as u32 / self.num_vcs;
                 if !self.ports.is_node_port(self.net, port) {
                     let bytes = self.packets[pkt as usize].bytes as u64;
@@ -786,10 +933,10 @@ impl<'a> Engine<'a> {
         };
         let port = pv as u32 / self.num_vcs;
         let (q, occ) = match side {
-            WaitSide::Input => (&self.in_q[pv], self.in_occ[pv]),
-            WaitSide::Output => (&self.out_q[pv], self.out_occ[pv]),
+            WaitSide::Input => (&self.in_q, self.in_occ[pv]),
+            WaitSide::Output => (&self.out_q, self.out_occ[pv]),
         };
-        let head = &self.packets[*q.front().expect("wait point has a head") as usize];
+        let head = &self.packets[q.front(pv).expect("wait point has a head") as usize];
         let missing_credits = match side {
             WaitSide::Input => 0,
             WaitSide::Output => (head.bytes as u64).saturating_sub(self.credits[pv]),
@@ -800,7 +947,7 @@ impl<'a> Engine<'a> {
             vc: (pv as u32 % self.num_vcs) as u8,
             side,
             occupancy_bytes: occ,
-            queue_len: q.len(),
+            queue_len: q.len(pv),
             head_src: head.src,
             head_dst: head.dst,
             head_hop: head.hop,
@@ -831,6 +978,17 @@ impl<'a> Engine<'a> {
     /// report when a probe was attached.
     pub fn finish_synthetic_probed(
         mut self,
+        load: f64,
+        end_ps: u64,
+    ) -> (SyntheticStats, Option<TelemetryReport>) {
+        self.run_synthetic_to(load, end_ps)
+    }
+
+    /// Runs one synthetic workload to `end_ps` **without consuming the
+    /// engine**: afterwards [`Engine::reset`] rewinds it for the next
+    /// point of a sweep, reusing every allocation.
+    pub fn run_synthetic_to(
+        &mut self,
         load: f64,
         end_ps: u64,
     ) -> (SyntheticStats, Option<TelemetryReport>) {
@@ -944,6 +1102,32 @@ pub(crate) fn preflight_once(net: &Network, policy: &RoutePolicy, mut cfg: SimCo
     cfg
 }
 
+/// Builds one synthetic [`NodeSource`] per node, drawing each source's
+/// random phase from `rng` in node order — the single place that fixes
+/// the RNG consumption sequence serial and parallel sweeps must share.
+pub(crate) fn synthetic_sources(
+    net: &Network,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    end_ps: u64,
+    cfg: &SimConfig,
+    rng: &mut SmallRng,
+) -> Vec<NodeSource> {
+    let interval = cfg.interval_ps(load);
+    (0..net.num_nodes())
+        .map(|_| {
+            NodeSource::synthetic_with(
+                pattern.clone(),
+                interval,
+                cfg.packet_bytes,
+                end_ps,
+                cfg.arrival,
+                rng,
+            )
+        })
+        .collect()
+}
+
 /// Runs steady-state synthetic traffic on `net` under `policy`.
 ///
 /// `load` is the per-node offered load as a fraction of link bandwidth;
@@ -960,20 +1144,8 @@ pub fn run_synthetic(
 ) -> SyntheticStats {
     d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
     let end_ps = duration_ns * 1_000;
-    let interval = cfg.interval_ps(load);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let sources = (0..net.num_nodes())
-        .map(|_| {
-            NodeSource::synthetic_with(
-                pattern.clone(),
-                interval,
-                cfg.packet_bytes,
-                end_ps,
-                cfg.arrival,
-                &mut rng,
-            )
-        })
-        .collect();
+    let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
     let engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
     engine.finish_synthetic(load, end_ps)
 }
@@ -993,20 +1165,8 @@ pub fn run_synthetic_probed(
 ) -> (SyntheticStats, TelemetryReport) {
     d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
     let end_ps = duration_ns * 1_000;
-    let interval = cfg.interval_ps(load);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let sources = (0..net.num_nodes())
-        .map(|_| {
-            NodeSource::synthetic_with(
-                pattern.clone(),
-                interval,
-                cfg.packet_bytes,
-                end_ps,
-                cfg.arrival,
-                &mut rng,
-            )
-        })
-        .collect();
+    let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
     let mut engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
     engine.attach_probe(probe);
     let (stats, telemetry) = engine.finish_synthetic_probed(load, end_ps);

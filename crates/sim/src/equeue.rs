@@ -1,0 +1,332 @@
+//! Event-queue implementations for the engine's hot loop.
+//!
+//! The simulator dequeues strictly in `(time_ps, seq)` order; `seq` is a
+//! global monotonic counter, so the order is a total order and FIFO among
+//! same-time events. Two interchangeable structures provide it:
+//!
+//! - [`EventQ::Heap`] — the classic `BinaryHeap<Reverse<_>>` (the seed
+//!   implementation, kept as the reference for cross-checking);
+//! - [`EventQ::Calendar`] — a hierarchical calendar/bucket queue
+//!   ([`CalendarQueue`]) tuned to the engine's tightly clustered delays.
+//!
+//! Both produce **byte-identical** schedules; `tests/determinism.rs`
+//! asserts it end to end and the unit tests below assert it on random
+//! operation streams.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A timestamped event: `(time_ps, seq, payload)`. Ordering is the tuple
+/// ordering; `seq` is unique, so ties never reach the payload.
+pub type Timed<T> = (u64, u64, T);
+
+/// Hierarchical calendar queue: a ring of day-buckets over a sliding
+/// window of `nb` buckets of width `2^shift` ps, a per-day min-heap the
+/// current day drains through, and an overflow heap for events beyond
+/// the window (rare: only far-future `NodeWake`s at low offered load).
+///
+/// Why it beats one big heap here: almost every event the engine
+/// schedules lands within `switch + serialization + link` of *now*
+/// (§4.1 delays are fixed and tightly clustered), so an insert is an
+/// O(1) `Vec::push` into a ring bucket, and ordering work is deferred
+/// to a heapify over one small bucket at a time instead of `log n` of
+/// the whole backlog on every operation.
+///
+/// Invariants:
+/// - all inserted times are ≥ the last popped time (the engine never
+///   schedules into the past);
+/// - window = `[cur_day, cur_day + nb)` bucket-days; ring slot
+///   `day & (nb-1)` holds only events of exactly one in-window day;
+/// - `drain` holds every not-yet-popped event of `cur_day` once that day
+///   has been collected (`collected == true`); same-day inserts after
+///   collection push into `drain` directly.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    shift: u32,
+    mask: u64,
+    nb: u64,
+    /// Ring slots hold pre-wrapped items so a collected day's `Vec` can
+    /// be heapified in place and its buffer recycled back.
+    buckets: Vec<Vec<Reverse<Timed<T>>>>,
+    /// Events currently stored in ring buckets.
+    ring_len: usize,
+    /// Bucket-day the cursor is on.
+    cur_day: u64,
+    /// Whether `cur_day`'s bucket was already moved into `drain`.
+    collected: bool,
+    /// Min-heap over the current day's events.
+    drain: BinaryHeap<Reverse<Timed<T>>>,
+    /// Events beyond the ring window.
+    overflow: BinaryHeap<Reverse<Timed<T>>>,
+    len: usize,
+}
+
+impl<T: Ord> CalendarQueue<T> {
+    /// Builds a queue with bucket width `2^shift` ps and a window of
+    /// `num_buckets` (rounded up to a power of two, min 8) buckets.
+    pub fn new(shift: u32, num_buckets: u64) -> Self {
+        let nb = num_buckets.next_power_of_two().max(8);
+        CalendarQueue {
+            shift,
+            mask: nb - 1,
+            nb,
+            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            cur_day: 0,
+            collected: false,
+            drain: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Picks `(shift, num_buckets)` so the window comfortably covers the
+    /// largest single-step delay the engine schedules (`max_offset_ps`),
+    /// with buckets near the typical event spacing (`typical_step_ps`).
+    pub fn sizing(typical_step_ps: u64, max_offset_ps: u64) -> (u32, u64) {
+        // Floor log2, clamped: ≥ 2^10 ps keeps the ring shorter than the
+        // event population; ≤ 2^20 ps keeps days meaningfully small.
+        let shift = (63 - typical_step_ps.max(1).leading_zeros() as u64).clamp(10, 20) as u32;
+        let days = (max_offset_ps >> shift) + 2;
+        (shift, days)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.ring_len = 0;
+        self.cur_day = 0;
+        self.collected = false;
+        self.drain.clear();
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    #[inline]
+    pub fn push(&mut self, item: Timed<T>) {
+        let day = item.0 >> self.shift;
+        debug_assert!(
+            day >= self.cur_day || !self.collected,
+            "event scheduled into an already-drained bucket day"
+        );
+        self.len += 1;
+        if day == self.cur_day && self.collected {
+            self.drain.push(Reverse(item));
+        } else if day < self.cur_day + self.nb {
+            self.buckets[(day & self.mask) as usize].push(Reverse(item));
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(item));
+        }
+    }
+
+    /// Moves the cursor until `drain` holds the earliest pending day
+    /// (no-op when the queue is empty).
+    fn settle(&mut self) {
+        while self.drain.is_empty() && self.len > 0 {
+            if self.collected {
+                self.cur_day += 1;
+                self.collected = false;
+            }
+            if self.ring_len == 0 {
+                // Everything pending lives in overflow: jump the window
+                // straight to the earliest overflow day.
+                if let Some(Reverse((t, _, _))) = self.overflow.peek() {
+                    self.cur_day = self.cur_day.max(t >> self.shift);
+                }
+            }
+            // Pull overflow events that now fall inside the window.
+            while let Some(Reverse((t, _, _))) = self.overflow.peek() {
+                if (t >> self.shift) >= self.cur_day + self.nb {
+                    break;
+                }
+                let item = self.overflow.pop().unwrap();
+                self.buckets[((item.0 .0 >> self.shift) & self.mask) as usize].push(item);
+                self.ring_len += 1;
+            }
+            // Collect the current day: heapify its bucket, recycling the
+            // drained heap's buffer back into the ring slot.
+            let slot = (self.cur_day & self.mask) as usize;
+            let bucket = std::mem::take(&mut self.buckets[slot]);
+            self.ring_len -= bucket.len();
+            let old = std::mem::replace(&mut self.drain, BinaryHeap::from(bucket));
+            self.buckets[slot] = old.into_vec();
+            self.collected = true;
+        }
+    }
+
+    /// Time of the next event without removing it.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.settle();
+        self.drain.peek().map(|r| r.0 .0)
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<Timed<T>> {
+        self.settle();
+        let Reverse(item) = self.drain.pop()?;
+        self.len -= 1;
+        Some(item)
+    }
+}
+
+/// The engine's event queue: calendar by default, binary heap as the
+/// cross-check reference ([`crate::config::EventQueueKind`]).
+#[derive(Debug)]
+pub enum EventQ<T> {
+    Heap(BinaryHeap<Reverse<Timed<T>>>),
+    Calendar(CalendarQueue<T>),
+}
+
+impl<T: Ord> EventQ<T> {
+    #[inline]
+    pub fn push(&mut self, item: Timed<T>) {
+        match self {
+            EventQ::Heap(h) => h.push(Reverse(item)),
+            EventQ::Calendar(c) => c.push(item),
+        }
+    }
+
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            EventQ::Heap(h) => h.peek().map(|r| r.0 .0),
+            EventQ::Calendar(c) => c.peek_time(),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<Timed<T>> {
+        match self {
+            EventQ::Heap(h) => h.pop().map(|Reverse(item)| item),
+            EventQ::Calendar(c) => c.pop(),
+        }
+    }
+
+    pub fn clear(&mut self) {
+        match self {
+            EventQ::Heap(h) => h.clear(),
+            EventQ::Calendar(c) => c.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives a calendar queue and a reference heap with the same
+    /// engine-shaped operation stream and asserts identical pop order.
+    fn crosscheck(seed: u64, shift: u32, nb: u64) {
+        let mut cal = CalendarQueue::<u32>::new(shift, nb);
+        let mut heap = BinaryHeap::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut pending = 0usize;
+        for step in 0..20_000 {
+            let push = pending == 0 || rng.gen_range(0u32..100) < 55;
+            if push {
+                // Engine-like offsets: mostly clustered small delays with
+                // an occasional far-future wake and plenty of t == now.
+                let off = match rng.gen_range(0u32..10) {
+                    0 => 0,
+                    1..=4 => rng.gen_range(0u64..30_000),
+                    5..=8 => rng.gen_range(30_000u64..120_000),
+                    _ => rng.gen_range(120_000u64..4_000_000),
+                };
+                seq += 1;
+                let item = (now + off, seq, rng.gen_range(0u32..1000));
+                cal.push(item);
+                heap.push(Reverse(item));
+                pending += 1;
+            } else {
+                assert_eq!(cal.peek_time(), heap.peek().map(|r: &Reverse<Timed<u32>>| r.0 .0));
+                let a = cal.pop().unwrap();
+                let Reverse(b) = heap.pop().unwrap();
+                assert_eq!(a, b, "divergence at step {step}");
+                now = a.0;
+                pending -= 1;
+            }
+        }
+        while let Some(a) = cal.pop() {
+            let Reverse(b) = heap.pop().unwrap();
+            assert_eq!(a, b);
+        }
+        assert!(heap.pop().is_none());
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn matches_heap_on_random_streams() {
+        for seed in 0..6 {
+            crosscheck(seed, 14, 8);
+        }
+        // Degenerate windows stress the overflow and jump paths.
+        crosscheck(100, 10, 8);
+        crosscheck(101, 18, 8);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = CalendarQueue::<u32>::new(12, 8);
+        for seq in 1..=5u64 {
+            q.push((1_000, seq, 42));
+        }
+        // Interleave: drain one, then add more same-time events.
+        assert_eq!(q.pop(), Some((1_000, 1, 42)));
+        q.push((1_000, 6, 7));
+        for seq in [2u64, 3, 4, 5, 6] {
+            assert_eq!(q.pop().map(|(_, s, _)| s), Some(seq));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_jump_and_refill() {
+        let mut q = CalendarQueue::<u32>::new(10, 8); // window = 8 KiPs
+        q.push((5, 1, 0));
+        q.push((90_000_000, 2, 0)); // deep overflow
+        q.push((90_000_500, 3, 0));
+        assert_eq!(q.pop(), Some((5, 1, 0)));
+        assert_eq!(q.peek_time(), Some(90_000_000));
+        assert_eq!(q.pop(), Some((90_000_000, 2, 0)));
+        assert_eq!(q.pop(), Some((90_000_500, 3, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = CalendarQueue::<u32>::new(12, 16);
+        for seq in 1..100u64 {
+            q.push((seq * 777, seq, 0));
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        q.push((3, 1, 9));
+        assert_eq!(q.pop(), Some((3, 1, 9)));
+    }
+
+    #[test]
+    fn sizing_tracks_parameters() {
+        let (shift, days) = CalendarQueue::<u32>::sizing(20_480, 170_480);
+        assert_eq!(shift, 14);
+        assert!(days >= (170_480 >> 14) + 2);
+        // Clamps hold at the extremes.
+        assert_eq!(CalendarQueue::<u32>::sizing(1, 100).0, 10);
+        assert_eq!(CalendarQueue::<u32>::sizing(u64::MAX, 100).0, 20);
+    }
+}

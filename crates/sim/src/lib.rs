@@ -15,22 +15,33 @@
 //! - [`run_synthetic_probed`] / [`run_exchange_probed`] /
 //!   [`sweep::load_sweep_probed`] — the same runs with an observability
 //!   probe attached (see [`telemetry`]): utilization/occupancy series,
-//!   per-router event rings and deadlock forensics.
+//!   per-router event rings and deadlock forensics;
+//! - [`par::par_load_sweep`] / [`par::par_curves`] — the same sweeps fanned
+//!   out across a scoped worker pool, byte-identical to the serial runs
+//!   (per-point seeds are index-derived; see [`par`]).
 
 pub mod config;
 pub mod engine;
+pub mod equeue;
 pub mod injector;
+pub mod par;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
 
-pub use config::{Preflight, SimConfig};
+pub use config::{EventQueueKind, Preflight, SimConfig};
 pub use engine::{
     preflight, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed, Engine,
 };
+pub use par::{
+    par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
+    par_load_sweep_probed_collect, par_load_sweep_with_order, resolve_threads,
+};
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
 pub use sweep::{
-    load_grid, load_sweep, load_sweep_probed, saturation_throughput, SweepPoint,
+    load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_probed,
+    load_sweep_probed_collect, point_seed, saturation_throughput, SweepNotice, SweepOutcome,
+    SweepPoint,
 };
 pub use telemetry::{
     DeadlockReport, ProbeConfig, RingEvent, RingEventKind, TelemetryReport, TelemetrySummary,

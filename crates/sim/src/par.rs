@@ -1,0 +1,307 @@
+//! Parallel sweep harness: fan independent simulation points (and whole
+//! curves) across a std-only scoped worker pool.
+//!
+//! # Determinism
+//!
+//! Every sweep point is seeded by [`crate::sweep::point_seed`] from
+//! `(cfg.seed, index)` alone, so a point's simulated schedule is a pure
+//! function of the request — not of thread interleaving. The early-abort
+//! optimization is made order-independent too: workers publish wedged
+//! indices into an atomic low-watermark and skip indices strictly above
+//! it, and a final pass stubs **every** index above the *minimum*
+//! simulated wedged index. Any index below that minimum was necessarily
+//! simulated (it could never have been above the watermark), so the
+//! minimum equals the serial sweep's first-wedge index and the output is
+//! `==` to [`crate::sweep::load_sweep`]'s, point for point, regardless
+//! of completion order. `tests/determinism.rs` asserts this end to end,
+//! including under random permutations of the work order.
+//!
+//! # Pool
+//!
+//! `std::thread::scope` + an atomic cursor over the job list: no
+//! channels, no new crates, workers borrow the network/policy directly.
+//! Each sweep worker keeps one reusable [`crate::Engine`] (via
+//! `PointRunner`), so per-point allocation cost is paid once per worker.
+
+use crate::config::SimConfig;
+use crate::stats::SyntheticStats;
+use crate::sweep::{PointRunner, SweepNotice, SweepOutcome, SweepPoint};
+use crate::telemetry::{ProbeConfig, TelemetrySummary};
+use d2net_routing::RoutePolicy;
+use d2net_topo::Network;
+use d2net_traffic::SyntheticPattern;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a thread-count request: `0` means "auto" — the
+/// `D2NET_THREADS` environment variable if set, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        return threads;
+    }
+    if let Some(n) = std::env::var("D2NET_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` on a scoped pool of `threads` workers (`0` = auto) and
+/// returns their results in job order. The combinator the bench harness
+/// uses to fan out whole curves (each job simulating one
+/// topology × policy × pattern curve).
+pub fn par_curves<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job taken once");
+                let result = job();
+                *results[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed this job"))
+        .collect()
+}
+
+/// [`crate::load_sweep`] fanned across `threads` workers (`0` = auto).
+/// Output is `==` to the serial sweep's, point for point.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    threads: usize,
+) -> Vec<SweepPoint> {
+    par_load_sweep_collect(net, policy, pattern, loads, duration_ns, warmup_ns, cfg, threads).points
+}
+
+/// [`par_load_sweep`] also returning the structured notices (parallel
+/// sweeps never print; callers route notices into the report layer).
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    threads: usize,
+) -> SweepOutcome {
+    let order: Vec<usize> = (0..loads.len()).collect();
+    par_sweep_core(
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, threads, &order,
+    )
+}
+
+/// [`crate::load_sweep_probed`] fanned across `threads` workers
+/// (`0` = auto); every simulated point carries its telemetry summary.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+    threads: usize,
+) -> Vec<SweepPoint> {
+    par_load_sweep_probed_collect(
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, probe, threads,
+    )
+    .points
+}
+
+/// [`par_load_sweep_probed`] also returning the structured notices.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_probed_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+    threads: usize,
+) -> SweepOutcome {
+    let order: Vec<usize> = (0..loads.len()).collect();
+    par_sweep_core(
+        net,
+        policy,
+        pattern,
+        loads,
+        duration_ns,
+        warmup_ns,
+        cfg,
+        Some(probe),
+        threads,
+        &order,
+    )
+}
+
+/// [`par_load_sweep_collect`] with an explicit work order — the audit
+/// hook for the scheduling-independence property test: `order` is the
+/// sequence in which the pool hands out point indices, and the result
+/// must be identical for every permutation.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_with_order(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    threads: usize,
+    order: &[usize],
+) -> SweepOutcome {
+    par_sweep_core(
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, threads, order,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn par_sweep_core(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: Option<ProbeConfig>,
+    threads: usize,
+    order: &[usize],
+) -> SweepOutcome {
+    let n = loads.len();
+    assert_eq!(order.len(), n, "work order must cover every point once");
+    debug_assert!({
+        let mut seen = vec![false; n];
+        order.iter().all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+    });
+    // One static pass covers every load point (verification is
+    // load-independent), exactly as the serial sweep does.
+    let cfg = crate::engine::preflight_once(net, policy, cfg);
+    let threads = resolve_threads(threads).min(n.max(1));
+    type Slot = Option<(SyntheticStats, Option<TelemetrySummary>)>;
+    let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Low-watermark of wedged point indices: workers skip indices
+    // strictly above it instead of burning a full simulated horizon on a
+    // point the serial sweep would have stubbed.
+    let watermark = AtomicUsize::new(usize::MAX);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut runner =
+                    PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let idx = order[k];
+                    if idx > watermark.load(Ordering::Relaxed) {
+                        continue; // will be stubbed by the final pass
+                    }
+                    let (stats, report) = runner.run_point(idx, loads[idx], probe);
+                    if stats.deadlocked {
+                        watermark.fetch_min(idx, Ordering::Relaxed);
+                    }
+                    *results[idx].lock().unwrap() =
+                        Some((stats, report.map(|r| r.summary())));
+                }
+            });
+        }
+    });
+    // The minimum simulated wedged index: every lower index was
+    // simulated (a skip requires idx > watermark ≥ this minimum), so it
+    // is exactly the serial sweep's first-wedge index.
+    let mut first_wedge: Option<usize> = None;
+    for (idx, slot) in results.iter().enumerate() {
+        if let Some((stats, _)) = slot.lock().unwrap().as_ref() {
+            if stats.deadlocked {
+                first_wedge = Some(idx);
+                break;
+            }
+        }
+    }
+    let mut points = Vec::with_capacity(n);
+    for (idx, slot) in results.into_iter().enumerate() {
+        let load = loads[idx];
+        let stubbed = first_wedge.is_some_and(|w| idx > w);
+        let point = match (stubbed, slot.into_inner().unwrap()) {
+            (false, Some((stats, telemetry))) => SweepPoint {
+                load,
+                stats,
+                telemetry,
+            },
+            _ => SweepPoint {
+                load,
+                stats: SyntheticStats::deadlocked_stub(load),
+                telemetry: None,
+            },
+        };
+        points.push(point);
+    }
+    let notices = first_wedge
+        .map(|w| vec![SweepNotice::wedged(w, loads[w])])
+        .unwrap_or_default();
+    SweepOutcome { points, notices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_curves_preserves_job_order() {
+        let jobs: Vec<_> = (0..37)
+            .map(|i| move || i * i)
+            .collect();
+        let out = par_curves(jobs, 4);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_curves_runs_with_single_thread_and_empty_input() {
+        assert_eq!(par_curves(Vec::<fn() -> u8>::new(), 3), Vec::<u8>::new());
+        let jobs = vec![|| "a", || "b"];
+        assert_eq!(par_curves(jobs, 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -1,13 +1,22 @@
 //! Load sweeps and saturation search — the X axes of the paper's
 //! throughput/delay figures (Figs. 6–12).
+//!
+//! Every sweep point runs from an **index-derived seed**
+//! ([`point_seed`]), so a point's simulated schedule depends only on
+//! `(base seed, index)` — never on which points ran before it or on
+//! which thread. That is what lets [`crate::par::par_load_sweep`] return
+//! byte-identical results to the serial functions here.
 
 use crate::config::SimConfig;
-use crate::engine::{run_synthetic, run_synthetic_probed};
+use crate::engine::{synthetic_sources, Engine};
 use crate::stats::SyntheticStats;
-use crate::telemetry::{ProbeConfig, TelemetrySummary};
+use crate::telemetry::{ProbeConfig, TelemetryReport, TelemetrySummary};
 use d2net_routing::RoutePolicy;
 use d2net_topo::Network;
 use d2net_traffic::SyntheticPattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::Write;
 
 /// One point of a throughput/delay curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,14 +28,178 @@ pub struct SweepPoint {
     pub telemetry: Option<TelemetrySummary>,
 }
 
+/// A structured event a sweep wants the caller to know about — today
+/// only the early-abort on a wedged point. Routed through the report
+/// layer (it lands in `RunManifest`) instead of being `eprintln!`ed from
+/// inside the sweep, so parallel workers never interleave on stderr.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepNotice {
+    /// Index of the point that triggered the notice.
+    pub index: usize,
+    /// Offered load of that point.
+    pub load: f64,
+    pub message: String,
+}
+
+impl SweepNotice {
+    pub(crate) fn wedged(index: usize, load: f64) -> Self {
+        SweepNotice {
+            index,
+            load,
+            message: format!(
+                "network wedged at offered load {load:.3}; \
+                 marking remaining loads deadlocked without simulating them"
+            ),
+        }
+    }
+
+    /// One-line rendering, as the legacy stderr message.
+    pub fn render(&self) -> String {
+        format!("load_sweep: {}", self.message)
+    }
+}
+
+/// A sweep's points plus any notices it raised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    pub points: Vec<SweepPoint>,
+    pub notices: Vec<SweepNotice>,
+}
+
+impl SweepOutcome {
+    /// Renders all notices to stderr in a single locked write (safe to
+    /// call from concurrent sweeps without interleaving garbage).
+    pub fn print_notices(&self) {
+        if self.notices.is_empty() {
+            return;
+        }
+        let mut text = String::new();
+        for n in &self.notices {
+            text.push_str(&n.render());
+            text.push('\n');
+        }
+        let _ = std::io::stderr().lock().write_all(text.as_bytes());
+    }
+}
+
+/// Derives the RNG seed for sweep point `idx` from the config's base
+/// seed: a SplitMix64-style finalizer over `base ⊕ golden·(idx+1)`.
+/// Deterministic, order-free, and well-spread even for adjacent indices
+/// — serial and parallel sweeps both seed every point through here.
+/// (Single runs via [`crate::run_synthetic`] keep the raw `cfg.seed`.)
+pub fn point_seed(base: u64, idx: usize) -> u64 {
+    let mut z = base ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Simulates successive points of one sweep on a single reusable
+/// [`Engine`]: the first point builds it, later points [`Engine::reset`]
+/// it, so the flat per-port state is allocated once per curve (serial)
+/// or once per worker (parallel) instead of once per point.
+pub(crate) struct PointRunner<'a> {
+    net: &'a Network,
+    policy: &'a RoutePolicy,
+    pattern: &'a SyntheticPattern,
+    cfg: SimConfig,
+    end_ps: u64,
+    warmup_ps: u64,
+    engine: Option<Engine<'a>>,
+}
+
+impl<'a> PointRunner<'a> {
+    /// `cfg` must already have preflight resolved (see
+    /// [`crate::engine::preflight_once`]); the runner never re-verifies.
+    pub(crate) fn new(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        pattern: &'a SyntheticPattern,
+        cfg: SimConfig,
+        duration_ns: u64,
+        warmup_ns: u64,
+    ) -> Self {
+        d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)
+            .unwrap_or_else(|e| panic!("{e}"));
+        PointRunner {
+            net,
+            policy,
+            pattern,
+            cfg,
+            end_ps: duration_ns * 1_000,
+            warmup_ps: warmup_ns * 1_000,
+            engine: None,
+        }
+    }
+
+    /// Runs point `idx` at `load`; the result depends only on
+    /// `(cfg, idx, load)`, never on previously run points.
+    pub(crate) fn run_point(
+        &mut self,
+        idx: usize,
+        load: f64,
+        probe: Option<ProbeConfig>,
+    ) -> (SyntheticStats, Option<TelemetryReport>) {
+        let mut rng = SmallRng::seed_from_u64(point_seed(self.cfg.seed, idx));
+        let sources = synthetic_sources(self.net, self.pattern, load, self.end_ps, &self.cfg, &mut rng);
+        let engine = match &mut self.engine {
+            Some(e) => {
+                e.reset(sources, self.warmup_ps, rng);
+                e
+            }
+            None => self.engine.insert(Engine::new(
+                self.net,
+                self.policy,
+                self.cfg,
+                sources,
+                self.warmup_ps,
+                rng,
+            )),
+        };
+        if let Some(p) = probe {
+            engine.attach_probe(p);
+        }
+        engine.run_synthetic_to(load, self.end_ps)
+    }
+}
+
 /// Simulates `net` at each offered load in `loads`, returning one curve
-/// point per load.
+/// point per load plus any [`SweepNotice`]s raised.
 ///
 /// If a point wedges, the remaining (higher) loads are not simulated: a
 /// deadlocked network stays deadlocked under more pressure, and each
 /// wedged point would otherwise burn a full simulated horizon. Skipped
 /// points carry [`SyntheticStats::deadlocked_stub`] so curves keep one
 /// entry per requested load.
+pub fn load_sweep_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> SweepOutcome {
+    // One static pass covers every load point: verification is
+    // load-independent, so the per-point configs run with it disabled.
+    let cfg = crate::engine::preflight_once(net, policy, cfg);
+    let mut runner = PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+    sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
+        Some(_) => SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        None => SweepPoint {
+            load,
+            stats: runner.run_point(idx, load, None).0,
+            telemetry: None,
+        },
+    })
+}
+
+/// [`load_sweep_collect`], printing notices to stderr and returning the
+/// bare points — the convenient form for interactive callers.
 pub fn load_sweep(
     net: &Network,
     policy: &RoutePolicy,
@@ -36,20 +209,40 @@ pub fn load_sweep(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> Vec<SweepPoint> {
-    // One static pass covers every load point: verification is
-    // load-independent, so the per-point configs run with it disabled.
+    let out = load_sweep_collect(net, policy, pattern, loads, duration_ns, warmup_ns, cfg);
+    out.print_notices();
+    out.points
+}
+
+/// [`load_sweep_collect`] with an observability probe attached to every
+/// simulated point; each [`SweepPoint`] carries its [`TelemetrySummary`].
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_probed_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> SweepOutcome {
     let cfg = crate::engine::preflight_once(net, policy, cfg);
-    sweep_impl(loads, |load, first_wedge| match first_wedge {
+    let mut runner = PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+    sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
         Some(_) => SweepPoint {
             load,
             stats: SyntheticStats::deadlocked_stub(load),
             telemetry: None,
         },
-        None => SweepPoint {
-            load,
-            stats: run_synthetic(net, policy, pattern, load, duration_ns, warmup_ns, cfg),
-            telemetry: None,
-        },
+        None => {
+            let (stats, report) = runner.run_point(idx, load, Some(probe));
+            SweepPoint {
+                load,
+                stats,
+                telemetry: Some(report.expect("probe was attached").summary()),
+            }
+        }
     })
 }
 
@@ -66,50 +259,54 @@ pub fn load_sweep_probed(
     cfg: SimConfig,
     probe: ProbeConfig,
 ) -> Vec<SweepPoint> {
-    let cfg = crate::engine::preflight_once(net, policy, cfg);
-    sweep_impl(loads, |load, first_wedge| match first_wedge {
-        Some(_) => SweepPoint {
-            load,
-            stats: SyntheticStats::deadlocked_stub(load),
-            telemetry: None,
-        },
-        None => {
-            let (stats, report) =
-                run_synthetic_probed(net, policy, pattern, load, duration_ns, warmup_ns, cfg, probe);
-            SweepPoint {
-                load,
-                stats,
-                telemetry: Some(report.summary()),
-            }
-        }
-    })
+    let out =
+        load_sweep_probed_collect(net, policy, pattern, loads, duration_ns, warmup_ns, cfg, probe);
+    out.print_notices();
+    out.points
 }
 
-/// Shared early-abort loop: `point` receives the load and, once any point
-/// has wedged, the load that first wedged.
-fn sweep_impl(loads: &[f64], mut point: impl FnMut(f64, Option<f64>) -> SweepPoint) -> Vec<SweepPoint> {
-    let mut out = Vec::with_capacity(loads.len());
+/// Shared early-abort loop: `point` receives the index, the load and,
+/// once any point has wedged, the load that first wedged.
+fn sweep_impl(
+    loads: &[f64],
+    mut point: impl FnMut(usize, f64, Option<f64>) -> SweepPoint,
+) -> SweepOutcome {
+    let mut points = Vec::with_capacity(loads.len());
+    let mut notices = Vec::new();
     let mut first_wedge: Option<f64> = None;
-    for &load in loads {
-        let p = point(load, first_wedge);
+    for (idx, &load) in loads.iter().enumerate() {
+        let p = point(idx, load, first_wedge);
         if p.stats.deadlocked && first_wedge.is_none() {
             first_wedge = Some(load);
-            eprintln!(
-                "load_sweep: network wedged at offered load {load:.3}; \
-                 marking remaining loads deadlocked without simulating them"
-            );
+            notices.push(SweepNotice::wedged(idx, load));
         }
-        out.push(p);
+        points.push(p);
     }
-    out
+    SweepOutcome { points, notices }
 }
 
-/// The standard load grid used by the figure harness: 5 % to 100 % in
-/// settable steps.
+/// The standard load grid used by the figure harness: `steps` evenly
+/// spaced points from `1/steps` to 100 % of link bandwidth (so
+/// `load_grid(20)` is the paper's 5 %–100 % axis, while `load_grid(10)`
+/// starts at 10 %). For a grid whose floor is decoupled from its
+/// resolution, use [`load_grid_from`].
 pub fn load_grid(steps: usize) -> Vec<f64> {
     assert!(steps >= 2);
     (1..=steps)
         .map(|i| i as f64 / steps as f64)
+        .collect()
+}
+
+/// `steps` evenly spaced offered loads from `start` to 100 % inclusive —
+/// a sweep axis whose floor does not move when the resolution changes.
+pub fn load_grid_from(start: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2);
+    assert!(
+        start > 0.0 && start < 1.0,
+        "start must be in (0, 1), got {start}"
+    );
+    (0..steps)
+        .map(|i| start + (1.0 - start) * i as f64 / (steps - 1) as f64)
         .collect()
 }
 
@@ -123,7 +320,7 @@ pub fn saturation_throughput(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> f64 {
-    run_synthetic(net, policy, pattern, 1.0, duration_ns, warmup_ns, cfg).throughput
+    crate::engine::run_synthetic(net, policy, pattern, 1.0, duration_ns, warmup_ns, cfg).throughput
 }
 
 #[cfg(test)]
@@ -139,10 +336,35 @@ mod tests {
     }
 
     #[test]
-    fn early_abort_stubs_higher_loads() {
+    fn grid_from_pins_both_ends() {
+        let g = load_grid_from(0.05, 20);
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[19] - 1.0).abs() < 1e-12);
+        // Doubling the resolution keeps the floor (unlike load_grid).
+        let fine = load_grid_from(0.05, 39);
+        assert!((fine[0] - 0.05).abs() < 1e-12);
+        assert!((fine[38] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_seeds_spread_and_are_index_pure() {
+        let base = SimConfig::default().seed;
+        let seeds: Vec<u64> = (0..64).map(|i| point_seed(base, i)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_eq!(a, point_seed(base, i), "pure function of (base, idx)");
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b, "adjacent indices must not collide");
+            }
+        }
+        assert_ne!(point_seed(1, 0), point_seed(2, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn early_abort_stubs_higher_loads_and_raises_one_notice() {
         // Simulate the sweep loop with a synthetic "wedges at 0.5" run.
         let mut simulated = Vec::new();
-        let points = sweep_impl(&[0.25, 0.5, 0.75, 1.0], |load, first_wedge| {
+        let out = sweep_impl(&[0.25, 0.5, 0.75, 1.0], |_, load, first_wedge| {
             if first_wedge.is_some() {
                 return SweepPoint {
                     load,
@@ -161,10 +383,15 @@ mod tests {
             }
         });
         assert_eq!(simulated, vec![0.25, 0.5]);
+        let points = &out.points;
         assert_eq!(points.len(), 4);
         assert!(!points[0].stats.deadlocked);
         assert!(points[1].stats.deadlocked);
         assert!(points[2].stats.deadlocked && points[2].stats.throughput == 0.0);
         assert!(points[3].stats.deadlocked && points[3].stats.delivered_packets == 0);
+        assert_eq!(out.notices.len(), 1);
+        assert_eq!(out.notices[0].index, 1);
+        assert!((out.notices[0].load - 0.5).abs() < 1e-12);
+        assert!(out.notices[0].render().contains("wedged at offered load 0.500"));
     }
 }

@@ -11,6 +11,9 @@
 //! `--full` switches from the reduced configurations to the paper's
 //! CORAL-Summit-scale configs (§4.1) — expect long runtimes.
 //! `--svg <dir>` additionally renders each simulated figure to SVG.
+//! `--par` fans each figure's curves across the worker pool
+//! (`D2NET_THREADS` pins the count); output is identical to the serial
+//! drivers, with sweep notices printed once per figure.
 
 use d2net::prelude::*;
 use std::path::PathBuf;
@@ -44,8 +47,36 @@ fn main() {
     };
     let params = RunParams::for_scale(scale);
     let svg = svg_dir(&args);
+    let par = args.iter().any(|a| a == "--par");
+    let threads = resolve_threads(0);
 
     let run = |name: &str| artifact == name || artifact == "all";
+
+    // `--par` routes through the fanned drivers; they return notices
+    // instead of printing, so surface them here.
+    let fig6_curves = |nets: &[Network], traffic: Traffic| -> Vec<Curve> {
+        if par {
+            let set = fig6_par(nets, traffic, &params, threads);
+            for n in &set.notices {
+                eprintln!("{}", n.render());
+            }
+            set.curves
+        } else {
+            fig6(nets, traffic, &params)
+        }
+    };
+    let adaptive_curves =
+        |net: &Network, variants: &[(String, usize, f64, Option<f64>)]| -> Vec<Curve> {
+            if par {
+                let set = adaptive_sweep_par(net, variants, &params, threads);
+                for n in &set.notices {
+                    eprintln!("{}", n.render());
+                }
+                set.curves
+            } else {
+                adaptive_sweep(net, variants, &params)
+            }
+        };
 
     if run("table2") {
         println!("== Table 2: 4-ML3B ==");
@@ -66,7 +97,7 @@ fn main() {
     if run("fig6a") {
         println!("== Fig. 6a: oblivious routing, uniform traffic ({scale:?}) ==");
         let nets = eval_topologies(scale);
-        let curves = fig6(&nets, Traffic::Uniform, &params);
+        let curves = fig6_curves(&nets, Traffic::Uniform);
         print!("{}", render_curves(&curves));
         save_svg(&svg, "fig6a_throughput", throughput_chart("Fig 6a: MIN/INR, uniform", &curves).render());
         save_svg(&svg, "fig6a_delay", delay_chart("Fig 6a: delay, uniform", &curves).render());
@@ -74,7 +105,7 @@ fn main() {
     if run("fig6b") {
         println!("== Fig. 6b: oblivious routing, worst-case traffic ({scale:?}) ==");
         let nets = eval_topologies(scale);
-        let curves = fig6(&nets, Traffic::WorstCase, &params);
+        let curves = fig6_curves(&nets, Traffic::WorstCase);
         print!("{}", render_curves(&curves));
         save_svg(&svg, "fig6b_throughput", throughput_chart("Fig 6b: MIN/INR, worst case", &curves).render());
         save_svg(&svg, "fig6b_delay", delay_chart("Fig 6b: delay, worst case", &curves).render());
@@ -98,7 +129,7 @@ fn main() {
             };
             println!("== Fig. {fig}{panel}: {kind} on {} ({scale:?}) ==", net.name());
             let variants = adaptive_variants(fig, panel);
-            let curves = adaptive_sweep(net, &variants, &params);
+            let curves = adaptive_curves(net, &variants);
             print!("{}", render_curves(&curves));
             let base = format!("fig{fig}{panel}");
             save_svg(&svg, &format!("{base}_throughput"),

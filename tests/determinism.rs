@@ -1,0 +1,234 @@
+//! The PR's determinism gates, end to end:
+//!
+//! 1. the parallel sweep harness (`par_load_sweep*`) must reproduce the
+//!    serial sweep **exactly** — full `SweepPoint` equality, notices
+//!    included — on every evaluation family, pattern, and probe mode;
+//! 2. the result must be invariant under the order in which the worker
+//!    pool completes points (property-tested over random permutations),
+//!    including through the early-abort watermark on a wedging config;
+//! 3. the calendar event queue must schedule byte-identically to the
+//!    reference binary heap on full simulations, not just unit streams;
+//! 4. sweep points must equal standalone runs with the derived per-point
+//!    seeds — the guard that engine reuse (`Engine::reset`) leaks no
+//!    state between points.
+
+use d2net::prelude::*;
+use d2net::routing::{IntermediateSet, VcScheme};
+use d2net::topo::TopologyKind;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn families() -> Vec<Network> {
+    vec![slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)]
+}
+
+fn assert_outcomes_equal(serial: &SweepOutcome, par: &SweepOutcome, label: &str) {
+    assert_eq!(par.points, serial.points, "{label}: points diverged");
+    assert_eq!(par.notices, serial.notices, "{label}: notices diverged");
+}
+
+#[test]
+fn par_sweep_matches_serial_for_all_families_and_patterns() {
+    let loads = load_grid(4);
+    let cfg = SimConfig::default();
+    for net in families() {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        for (pattern, tag) in [
+            (SyntheticPattern::Uniform, "UNI"),
+            (worst_case(&net), "WC"),
+        ] {
+            let serial =
+                load_sweep_collect(&net, &policy, &pattern, &loads, 20_000, 4_000, cfg);
+            let par = par_load_sweep_collect(
+                &net, &policy, &pattern, &loads, 20_000, 4_000, cfg, 3,
+            );
+            assert_outcomes_equal(&serial, &par, &format!("{} {tag}", net.name()));
+            // These configs are certified: nothing may wedge, so the
+            // parity above covers fully simulated sweeps.
+            assert!(serial.notices.is_empty(), "{} {tag}", net.name());
+        }
+    }
+}
+
+#[test]
+fn par_probed_sweep_matches_serial_with_telemetry() {
+    let loads = load_grid(3);
+    let cfg = SimConfig::default();
+    let probe = ProbeConfig::default();
+    for (net, pattern) in [
+        (mlfm(4), SyntheticPattern::Uniform),
+        (slim_fly(5, SlimFlyP::Floor), worst_case(&slim_fly(5, SlimFlyP::Floor))),
+    ] {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let serial = load_sweep_probed_collect(
+            &net, &policy, &pattern, &loads, 20_000, 4_000, cfg, probe,
+        );
+        let par = par_load_sweep_probed_collect(
+            &net, &policy, &pattern, &loads, 20_000, 4_000, cfg, probe, 3,
+        );
+        assert_outcomes_equal(&serial, &par, &net.name());
+        // Probed points must actually carry telemetry on both sides.
+        assert!(serial.points.iter().all(|p| p.telemetry.is_some()));
+    }
+}
+
+#[test]
+fn calendar_queue_matches_heap_on_synthetic_runs() {
+    for net in families() {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        for (pattern, load, tag) in [
+            (SyntheticPattern::Uniform, 0.9, "UNI"),
+            (worst_case(&net), 1.0, "WC"),
+        ] {
+            let run = |queue: EventQueueKind| {
+                let cfg = SimConfig {
+                    event_queue: queue,
+                    ..Default::default()
+                };
+                run_synthetic(&net, &policy, &pattern, load, 30_000, 6_000, cfg)
+            };
+            let cal = run(EventQueueKind::Calendar);
+            let heap = run(EventQueueKind::Heap);
+            assert_eq!(cal, heap, "{} {tag}: queues disagree", net.name());
+            assert!(cal.delivered_packets > 0, "{} {tag}", net.name());
+        }
+    }
+}
+
+#[test]
+fn calendar_queue_matches_heap_on_exchanges() {
+    let net = mlfm(4);
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let ex = d2net::traffic::all_to_all_shuffled(net.num_nodes(), 512, 7);
+    let run = |queue: EventQueueKind| {
+        let cfg = SimConfig {
+            event_queue: queue,
+            ..Default::default()
+        };
+        run_exchange(&net, &policy, &ex, 1, cfg)
+    };
+    let cal = run(EventQueueKind::Calendar);
+    let heap = run(EventQueueKind::Heap);
+    assert_eq!(cal, heap, "queues disagree on an exchange");
+    assert!(!cal.deadlocked);
+}
+
+/// The canonical wedging config (single-VC 5-ring, tiny buffers): the
+/// early-abort path must agree between serial and parallel, notice and
+/// stubbed tail included, for any completion order.
+fn wedging_ring() -> (Network, RoutePolicy, SyntheticPattern, SimConfig) {
+    let net = Network::from_parts(
+        TopologyKind::Custom {
+            label: "ring5".into(),
+        },
+        vec![vec![1, 4], vec![0, 2], vec![1, 3], vec![2, 4], vec![0, 3]],
+        vec![1; 5],
+    );
+    let policy = RoutePolicy::with_overrides(
+        &net,
+        Algorithm::Minimal,
+        VcScheme::SingleVc,
+        IntermediateSet::EndpointRouters,
+        false,
+    );
+    let cfg = SimConfig {
+        buffer_bytes: 256,
+        preflight: Preflight::Off, // the wedge is the point here
+        ..Default::default()
+    };
+    (net, policy, SyntheticPattern::Permutation(vec![2, 3, 4, 0, 1]), cfg)
+}
+
+#[test]
+fn early_abort_parity_on_wedging_ring() {
+    let (net, policy, pattern, cfg) = wedging_ring();
+    let loads = [0.25, 0.5, 0.75, 1.0];
+    let serial = load_sweep_collect(&net, &policy, &pattern, &loads, 50_000, 0, cfg);
+    assert_eq!(serial.notices.len(), 1, "the ring must wedge exactly once");
+    let w = serial.notices[0].index;
+    assert!(serial.points[w].stats.deadlocked);
+    assert!(serial.points[w..].iter().all(|p| p.stats.deadlocked));
+
+    let par = par_load_sweep_collect(&net, &policy, &pattern, &loads, 50_000, 0, cfg, 3);
+    assert_outcomes_equal(&serial, &par, "wedging ring");
+
+    // Adversarial completion orders around the watermark: highest-first
+    // (workers hit wedged points before the low ones), and interleaved.
+    for order in [vec![3usize, 2, 1, 0], vec![1, 3, 0, 2]] {
+        let out = par_load_sweep_with_order(
+            &net, &policy, &pattern, &loads, 50_000, 0, cfg, 2, &order,
+        );
+        assert_outcomes_equal(&serial, &out, &format!("order {order:?}"));
+    }
+}
+
+#[test]
+fn sweep_points_equal_standalone_runs_with_derived_seeds() {
+    let net = mlfm(4);
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let loads = [0.3, 0.7, 1.0];
+    let base = SimConfig::default();
+    let swept = load_sweep(
+        &net, &policy, &SyntheticPattern::Uniform, &loads, 20_000, 4_000, base,
+    );
+    for (i, (point, &load)) in swept.iter().zip(&loads).enumerate() {
+        let cfg = SimConfig {
+            seed: point_seed(base.seed, i),
+            ..base
+        };
+        let standalone = run_synthetic(
+            &net, &policy, &SyntheticPattern::Uniform, load, 20_000, 4_000, cfg,
+        );
+        assert_eq!(
+            point.stats, standalone,
+            "point {i}: engine reuse leaked state between sweep points"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scheduling independence: for a random permutation of the work
+    /// order and a random worker count, the parallel sweep returns the
+    /// same outcome as the serial sweep — on both a clean config and the
+    /// early-aborting wedged ring.
+    #[test]
+    fn completion_order_never_changes_the_outcome(
+        shuffle_seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(shuffle_seed);
+
+        // Clean config: everything simulates.
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let loads = load_grid(4);
+        let cfg = SimConfig::default();
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        order.shuffle(&mut rng);
+        let serial = load_sweep_collect(
+            &net, &policy, &SyntheticPattern::Uniform, &loads, 10_000, 2_000, cfg,
+        );
+        let shuffled = par_load_sweep_with_order(
+            &net, &policy, &SyntheticPattern::Uniform, &loads, 10_000, 2_000, cfg,
+            threads, &order,
+        );
+        prop_assert_eq!(&serial.points, &shuffled.points);
+        prop_assert_eq!(&serial.notices, &shuffled.notices);
+
+        // Wedging config: the watermark path must be order-blind too.
+        let (net, policy, pattern, cfg) = wedging_ring();
+        let loads = [0.25, 0.5, 0.75, 1.0];
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        order.shuffle(&mut rng);
+        let serial = load_sweep_collect(&net, &policy, &pattern, &loads, 50_000, 0, cfg);
+        let shuffled = par_load_sweep_with_order(
+            &net, &policy, &pattern, &loads, 50_000, 0, cfg, threads, &order,
+        );
+        prop_assert_eq!(&serial.points, &shuffled.points);
+        prop_assert_eq!(&serial.notices, &shuffled.notices);
+    }
+}
