@@ -2,18 +2,22 @@
 # Tier-1 gate: build, test, lint. Fully offline — all dependencies are
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
-# Usage: ci.sh [--bench-smoke]
+# Usage: ci.sh [--bench-smoke] [--fault-smoke]
 #   --bench-smoke  additionally compiles every benchmark and runs a
 #                  smoke-sized bench_sweep, writing BENCH_sweep.json.
+#   --fault-smoke  additionally runs the tiny resilience sweep and
+#                  checks its manifest carries a "faults" section.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
 BENCH_SMOKE=0
+FAULT_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --fault-smoke) FAULT_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -42,6 +46,13 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
   D2NET_BENCH_DURATION_NS=10000 D2NET_BENCH_LOAD_STEPS=4 \
     cargo run --release -p d2net-bench --bin bench_sweep -- BENCH_sweep.json
   grep -q '"schema":"d2net.bench-sweep/v1"' BENCH_sweep.json
+fi
+
+if [[ "$FAULT_SMOKE" == "1" ]]; then
+  echo "== fault smoke: resilience sweep over SF/MLFM/OFT, manifest gate =="
+  cargo run --release --example d2net-resilience -- --out FAULT_smoke.json
+  grep -q '"faults"' FAULT_smoke.json
+  grep -q '"unreachable_pairs"' FAULT_smoke.json
 fi
 
 echo "ci.sh: all green"

@@ -39,6 +39,7 @@ pub mod configs;
 pub mod experiment;
 pub mod plot;
 pub mod report;
+pub mod resilience;
 
 pub use d2net_analysis as analysis;
 pub use d2net_galois as galois;
@@ -57,6 +58,10 @@ pub mod prelude {
     };
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
+    pub use crate::resilience::{
+        failure_fractions, resilience_sweep, resilience_sweep_par, ResilienceCurve,
+        ResiliencePoint,
+    };
     pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
     pub use d2net_routing::{
         build_cdg, try_build_cdg, Algorithm, ChannelError, IntermediateSet, MinimalTables,
@@ -67,14 +72,15 @@ pub mod prelude {
         load_sweep_probed_collect, par_curves, par_load_sweep, par_load_sweep_collect,
         par_load_sweep_probed, par_load_sweep_probed_collect, par_load_sweep_with_order,
         point_seed, preflight,
-        resolve_threads, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed,
-        DeadlockReport, EventQueueKind, ExchangeStats, Preflight, ProbeConfig, RingEvent,
-        RingEventKind, SimConfig, SweepNotice, SweepOutcome, SweepPoint, SyntheticStats,
-        TelemetryReport, TelemetrySummary, WaitPoint, WaitSide,
+        resolve_threads, run_exchange, run_exchange_probed, run_synthetic,
+        run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_probed,
+        DeadlockReport, EngineFault, EventQueueKind, ExchangeStats, FaultEvent, FaultSchedule,
+        Preflight, ProbeConfig, RingEvent, RingEventKind, SimConfig, SweepNotice, SweepOutcome,
+        SweepPoint, SyntheticStats, TelemetryReport, TelemetrySummary, WaitPoint, WaitSide,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,
-        Network, SlimFlyP, TopologyKind,
+        FaultSet, Network, SlimFlyP, TopologyKind,
     };
     pub use d2net_traffic::{
         all_to_all, fit_torus, nearest_neighbor, shift_pattern, torus_dims_for, worst_case,

@@ -371,6 +371,8 @@ mod tests {
                         avg_hops: 2.0,
                         p99_delay_ns: 2048,
                         max_link_utilization: thr,
+                        dropped_packets: 0,
+                        retried_packets: 0,
                         deadlocked: false,
                     },
                 })

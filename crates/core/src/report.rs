@@ -52,6 +52,32 @@ impl SweepTiming {
     }
 }
 
+/// One point of a resilience sweep in the manifest's `"faults"` section:
+/// the degradation level and what it did to routing and traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPointRecord {
+    /// Failed fraction of the network's links.
+    pub fraction: f64,
+    pub failed_links: u32,
+    pub failed_routers: u32,
+    /// Ordered endpoint-router pairs the repaired tables cannot connect.
+    pub unreachable_pairs: u64,
+    /// Whether the verifier certified the repaired configuration.
+    pub certified: bool,
+    pub dropped_packets: u64,
+    pub retried_packets: u64,
+}
+
+/// The `"faults"` section of a [`RunManifest`]: one record per simulated
+/// failure fraction of a resilience sweep (see
+/// [`crate::resilience::resilience_sweep`]). Only emitted when the
+/// campaign actually injected faults — pristine manifests carry no
+/// `"faults"` key at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultsManifest {
+    pub points: Vec<FaultPointRecord>,
+}
+
 /// Renders the Fig. 3 scale table.
 pub fn render_fig3(rows: &[ScaleRow]) -> String {
     let mut s = String::new();
@@ -295,6 +321,10 @@ pub struct RunManifest {
     /// Structured notices the sweeps raised (early-abort on wedge, …),
     /// captured here instead of interleaving on stderr.
     pub notices: Vec<SweepNotice>,
+    /// Fault-injection record of a resilience campaign
+    /// ([`RunManifest::set_faults`]); `None` for pristine runs, which
+    /// then emit no `"faults"` key.
+    pub faults: Option<FaultsManifest>,
     pub curves: Vec<Curve>,
 }
 
@@ -321,6 +351,7 @@ impl RunManifest {
             preflight: None,
             timing: None,
             notices: Vec::new(),
+            faults: None,
             curves: Vec::new(),
         }
     }
@@ -346,6 +377,12 @@ impl RunManifest {
     /// Appends sweep notices (e.g. from `SweepOutcome::notices`).
     pub fn push_notices(&mut self, notices: &[SweepNotice]) -> &mut Self {
         self.notices.extend_from_slice(notices);
+        self
+    }
+
+    /// Records the fault-injection section of a resilience campaign.
+    pub fn set_faults(&mut self, faults: FaultsManifest) -> &mut Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -420,6 +457,25 @@ impl RunManifest {
             w.end_object();
         }
         w.end_array();
+        // Emitted only for resilience campaigns so downstream tooling
+        // (and the CI fault-smoke gate) can key on the section's presence.
+        if let Some(f) = &self.faults {
+            w.key("faults").begin_object();
+            w.key("points").begin_array();
+            for p in &f.points {
+                w.begin_object();
+                w.key("fraction").f64(p.fraction);
+                w.key("failed_links").u64(p.failed_links as u64);
+                w.key("failed_routers").u64(p.failed_routers as u64);
+                w.key("unreachable_pairs").u64(p.unreachable_pairs);
+                w.key("certified").bool(p.certified);
+                w.key("dropped_packets").u64(p.dropped_packets);
+                w.key("retried_packets").u64(p.retried_packets);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
         w.key("curves").begin_array();
         for c in &self.curves {
             w.begin_object();
@@ -436,6 +492,8 @@ impl RunManifest {
                 w.key("delivered_packets").u64(p.stats.delivered_packets);
                 w.key("indirect_packets").u64(p.stats.indirect_packets);
                 w.key("max_link_utilization").f64(p.stats.max_link_utilization);
+                w.key("dropped_packets").u64(p.stats.dropped_packets);
+                w.key("retried_packets").u64(p.stats.retried_packets);
                 w.key("deadlocked").bool(p.stats.deadlocked);
                 w.key("telemetry");
                 match &p.telemetry {
@@ -601,6 +659,53 @@ mod tests {
         assert!(s.contains("\"serial_points_per_sec\":10.000000"));
         assert!(s.contains("\"notices\":[{\"index\":5,\"load\":0.750000"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn faults_section_absent_until_set_then_serializes() {
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "faulted", &net, "MIN", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        // The `"faults"` key is the CI smoke gate's grep target: it must
+        // not appear on fault-free manifests.
+        assert!(!m.to_json().contains("\"faults\""));
+
+        m.set_faults(FaultsManifest {
+            points: vec![
+                FaultPointRecord {
+                    fraction: 0.0,
+                    failed_links: 0,
+                    failed_routers: 0,
+                    unreachable_pairs: 0,
+                    certified: true,
+                    dropped_packets: 0,
+                    retried_packets: 0,
+                },
+                FaultPointRecord {
+                    fraction: 0.05,
+                    failed_links: 3,
+                    failed_routers: 0,
+                    unreachable_pairs: 2,
+                    certified: true,
+                    dropped_packets: 17,
+                    retried_packets: 4,
+                },
+            ],
+        });
+        let s = m.to_json();
+        assert!(s.contains("\"faults\":{\"points\":["));
+        assert!(s.contains("\"fraction\":0.050000"));
+        assert!(s.contains("\"failed_links\":3"));
+        assert!(s.contains("\"unreachable_pairs\":2"));
+        assert!(s.contains("\"certified\":true"));
+        assert!(s.contains("\"dropped_packets\":17"));
+        assert!(s.contains("\"retried_packets\":4"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 
     #[test]

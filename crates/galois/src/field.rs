@@ -34,7 +34,14 @@ pub struct Gf {
 impl Gf {
     /// Constructs GF(q). Panics if `q` is not a prime power `>= 2`.
     pub fn new(q: u64) -> Self {
-        let (p, n) = as_prime_power(q).unwrap_or_else(|| panic!("{q} is not a prime power"));
+        Self::try_new(q).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Gf::new`]: returns an error instead of
+    /// panicking when `q` is not a prime power, so sweeps over parameter
+    /// grids can skip invalid fields gracefully.
+    pub fn try_new(q: u64) -> Result<Self, String> {
+        let (p, n) = as_prime_power(q).ok_or_else(|| format!("{q} is not a prime power"))?;
         let modulus = if n == 1 {
             // Unused for n = 1, but keep a canonical degree-1 modulus (x).
             Poly::new(vec![0, 1])
@@ -51,7 +58,7 @@ impl Gf {
         };
         let xi = gf.find_primitive_element();
         gf.build_tables(xi);
-        gf
+        Ok(gf)
     }
 
     /// Field order `q`.

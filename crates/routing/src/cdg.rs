@@ -385,6 +385,16 @@ pub fn all_policy_routes(net: &Network, policy: &RoutePolicy) -> Vec<(RoutePath,
                 if d == s || d == m {
                     continue;
                 }
+                // Mirror `sample_intermediate`'s eligibility rule: both
+                // segments must survive and the composition must fit a
+                // RoutePath (relevant on degraded networks only).
+                if !tables.is_reachable(s, m)
+                    || !tables.is_reachable(m, d)
+                    || tables.dist(s, m) as usize + tables.dist(m, d) as usize
+                        >= crate::path::MAX_PATH_ROUTERS
+                {
+                    continue;
+                }
                 for head in enumerate_min_paths(tables, s, m) {
                     for tail in enumerate_min_paths(tables, m, d) {
                         out.push(label(head.join(&tail), head.num_hops() as u8, true));

@@ -22,11 +22,12 @@ pub mod tables;
 pub use cdg::{
     all_policy_routes, build_cdg, enumerate_min_paths, try_build_cdg, ChannelError, ChannelGraph,
 };
-pub use path::RoutePath;
+pub use path::{RoutePath, MAX_PATH_ROUTERS};
 pub use policy::{
-    Algorithm, IntermediateSet, OccupancyView, RouteChoice, RoutePolicy, VcScheme, ZeroOccupancy,
+    vc_for_hop, Algorithm, IntermediateSet, OccupancyView, RouteChoice, RoutePolicy, VcScheme,
+    ZeroOccupancy,
 };
-pub use tables::MinimalTables;
+pub use tables::{MinimalTables, UNREACHABLE};
 
 #[cfg(test)]
 mod proptests {

@@ -3,13 +3,16 @@
 //! All routes in this crate are source-determined at injection time
 //! (matching the paper's per-packet UGAL decision) and are at most
 //! `2 + 2` router-to-router hops for the restricted indirect schemes, or
-//! `2 + 2 + 2` for the unrestricted-intermediate ablation. A small inline
-//! array avoids any allocation on the packet hot path.
+//! `2 + 2 + 2` for the unrestricted-intermediate ablation; repaired
+//! routes on degraded networks stretch further (two phases of up to the
+//! repaired diameter each). A small inline array avoids any allocation
+//! on the packet hot path.
 
 use d2net_topo::RouterId;
 
-/// Maximum number of routers on a route (supports up to 7 hops).
-pub const MAX_PATH_ROUTERS: usize = 8;
+/// Maximum number of routers on a route (supports up to 11 hops — two
+/// indirect phases of a repaired diameter up to 5 each, plus headroom).
+pub const MAX_PATH_ROUTERS: usize = 12;
 
 /// A router-level route: the sequence of routers a packet traverses,
 /// including source and destination routers.

@@ -7,7 +7,7 @@
 //! local to the source router (the occupancies of its own output ports) —
 //! the paper's "local variant of UGAL".
 
-use crate::path::RoutePath;
+use crate::path::{RoutePath, MAX_PATH_ROUTERS};
 use crate::tables::MinimalTables;
 use d2net_topo::{Network, RouterId, TopologyKind};
 use rand::Rng;
@@ -63,6 +63,27 @@ pub enum VcScheme {
     /// (§3.4 shows the resulting CDG cycles; the simulator shows the
     /// wedge).
     SingleVc,
+}
+
+/// VC for the `hop`-th link (0-based) of `choice` under `scheme` — the
+/// free-function form of [`RoutePolicy::vc_for_hop`]. Simulators stamp
+/// each packet with the scheme of the policy that routed it, so packets
+/// routed before and after a mid-run table repair (which may switch a
+/// phase-based family to hop-indexed VCs) coexist in flight with
+/// consistent labels.
+#[inline]
+pub fn vc_for_hop(scheme: VcScheme, choice: &RouteChoice, hop: usize) -> u8 {
+    match scheme {
+        VcScheme::HopIndex => hop as u8,
+        VcScheme::PhaseBased => {
+            if choice.indirect && hop >= choice.phase_hops as usize {
+                1
+            } else {
+                0
+            }
+        }
+        VcScheme::SingleVc => 0,
+    }
 }
 
 /// Which routers may serve as Valiant intermediates.
@@ -142,6 +163,31 @@ impl RoutePolicy {
         Self::with_overrides(net, algorithm, vc_scheme, intermediate_set, scaled)
     }
 
+    /// Builds a fault-aware policy for a possibly degraded network: the
+    /// tables are recomputed around the failures (so minimal routes are
+    /// repaired wherever a path survives), and the VC scheme falls back
+    /// to hop-indexed VCs over the *repaired* diameter — the VC label
+    /// strictly increases along every route, so the repaired CDG stays
+    /// acyclic regardless of how the failures warped the structure the
+    /// family's phase-based scheme relied on. Unreachable pairs are data
+    /// (see [`MinimalTables::unreachable_pairs`]), not panics.
+    ///
+    /// On a pristine network this is identical to [`RoutePolicy::new`].
+    pub fn repair(net: &Network, algorithm: Algorithm) -> Self {
+        if !net.is_degraded() {
+            return Self::new(net, algorithm);
+        }
+        let (intermediate_set, scaled) = match net.kind() {
+            TopologyKind::SlimFly(_) => (IntermediateSet::AllRouters, true),
+            TopologyKind::Mlfm(_)
+            | TopologyKind::Oft(_)
+            | TopologyKind::Sspt(_)
+            | TopologyKind::FatTree2(_) => (IntermediateSet::EndpointRouters, false),
+            _ => (IntermediateSet::AllRouters, false),
+        };
+        Self::with_overrides(net, algorithm, VcScheme::HopIndex, intermediate_set, scaled)
+    }
+
     /// Builds a policy with explicit scheme choices (ablations and tests).
     pub fn with_overrides(
         net: &Network,
@@ -150,17 +196,12 @@ impl RoutePolicy {
         intermediate_set: IntermediateSet,
         scaled_penalty: bool,
     ) -> Self {
-        let tables = MinimalTables::build(net);
+        let tables = MinimalTables::build_partial(net);
         let intermediates = match intermediate_set {
             IntermediateSet::AllRouters => (0..net.num_routers()).collect(),
             IntermediateSet::EndpointRouters => net.endpoint_routers(),
         };
-        let mut diameter = 0u8;
-        for s in 0..net.num_routers() {
-            for d in 0..net.num_routers() {
-                diameter = diameter.max(tables.dist(s, d));
-            }
-        }
+        let diameter = tables.max_finite_dist();
         RoutePolicy {
             tables,
             algorithm,
@@ -192,9 +233,20 @@ impl RoutePolicy {
     }
 
     /// Router-graph diameter of the bound network (bounds minimal path
-    /// length; indirect paths are at most twice this).
+    /// length; indirect paths are at most twice this). On a degraded
+    /// network this is the repaired diameter — the maximum over the
+    /// *surviving* pairs.
     pub fn diameter(&self) -> u8 {
         self.diameter
+    }
+
+    /// True if the policy can deliver a packet from router `s` to router
+    /// `d`: some minimal route survives (indirect routes compose two
+    /// minimal segments, so they cannot rescue a pair with no minimal
+    /// path). Always true on a connected network.
+    #[inline]
+    pub fn is_routable(&self, s: RouterId, d: RouterId) -> bool {
+        s == d || self.tables.is_reachable(s, d)
     }
 
     /// Number of virtual channels the simulator must provision:
@@ -204,10 +256,12 @@ impl RoutePolicy {
         let indirect_capable = !matches!(self.algorithm, Algorithm::Minimal);
         match self.vc_scheme {
             VcScheme::HopIndex => {
+                // `max(1)` guards the fully partitioned degenerate case
+                // (repaired diameter 0), which preflight rejects anyway.
                 if indirect_capable {
-                    2 * self.diameter
+                    2 * self.diameter.max(1)
                 } else {
-                    self.diameter
+                    self.diameter.max(1)
                 }
             }
             VcScheme::PhaseBased => {
@@ -224,21 +278,13 @@ impl RoutePolicy {
     /// VC for the `hop`-th link (0-based) of `choice`.
     #[inline]
     pub fn vc_for_hop(&self, choice: &RouteChoice, hop: usize) -> u8 {
-        match self.vc_scheme {
-            VcScheme::HopIndex => hop as u8,
-            VcScheme::PhaseBased => {
-                if choice.indirect && hop >= choice.phase_hops as usize {
-                    1
-                } else {
-                    0
-                }
-            }
-            VcScheme::SingleVc => 0,
-        }
+        vc_for_hop(self.vc_scheme, choice, hop)
     }
 
     /// Chooses the route for a packet from router `src` to router `dst`
-    /// (`src != dst`), consulting `occ` for adaptive decisions.
+    /// (`src != dst`), consulting `occ` for adaptive decisions. Panics if
+    /// no surviving route exists — use [`RoutePolicy::try_choose`] on
+    /// degraded networks.
     pub fn choose<R: Rng>(
         &self,
         src: RouterId,
@@ -246,15 +292,34 @@ impl RoutePolicy {
         occ: &impl OccupancyView,
         rng: &mut R,
     ) -> RouteChoice {
+        self.try_choose(src, dst, occ, rng)
+            .unwrap_or_else(|| panic!("no surviving route from router {src} to router {dst}"))
+    }
+
+    /// Fault-tolerant route selection: `None` when no route from `src` to
+    /// `dst` survives the failures the tables were built around (the
+    /// caller accounts the packet as unroutable instead of panicking).
+    /// Indirect algorithms fall back to the repaired minimal route when
+    /// no eligible intermediate survives.
+    pub fn try_choose<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+    ) -> Option<RouteChoice> {
         assert_ne!(src, dst, "intra-router traffic never enters the network");
-        match self.algorithm {
+        if !self.tables.is_reachable(src, dst) {
+            return None;
+        }
+        Some(match self.algorithm {
             Algorithm::Minimal => self.minimal_choice(src, dst, rng),
             Algorithm::Valiant => self.valiant_choice(src, dst, rng),
             Algorithm::Ugal { n_i, c, threshold } => {
                 self.ugal_choice(src, dst, n_i, c, threshold, occ, rng)
             }
             Algorithm::UgalG { n_i, c } => self.ugal_g_choice(src, dst, n_i, c, occ, rng),
-        }
+        })
     }
 
     /// Sum of output-port occupancies along every link of `path`.
@@ -276,7 +341,9 @@ impl RoutePolicy {
         let c_m = self.path_cost(&min_path, occ) as f64;
         let mut best: Option<(f64, RouteChoice)> = None;
         for _ in 0..n_i {
-            let mid = self.sample_intermediate(src, dst, rng);
+            let Some(mid) = self.sample_intermediate(src, dst, rng) else {
+                break;
+            };
             let cand = self.indirect_path(src, mid, dst, rng);
             let cost = c * self.path_cost(&cand.path, occ) as f64;
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
@@ -302,14 +369,36 @@ impl RoutePolicy {
         }
     }
 
-    /// Samples an intermediate router distinct from both endpoints.
-    fn sample_intermediate<R: Rng>(&self, src: RouterId, dst: RouterId, rng: &mut R) -> RouterId {
-        loop {
+    /// Samples an intermediate router distinct from both endpoints that
+    /// can actually carry an indirect route: both minimal segments must
+    /// survive and the composed path must fit a [`RoutePath`]. On a
+    /// pristine network the validity filter accepts every `m != src, dst`,
+    /// so the rejection-sampling draw sequence — and with it every seeded
+    /// simulation — is identical to the pre-fault behavior. `None` when no
+    /// eligible intermediate exists (degraded networks only).
+    fn sample_intermediate<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        rng: &mut R,
+    ) -> Option<RouterId> {
+        let valid = |m: RouterId| {
+            m != src
+                && m != dst
+                && self.tables.is_reachable(src, m)
+                && self.tables.is_reachable(m, dst)
+                && (self.tables.dist(src, m) as usize + self.tables.dist(m, dst) as usize)
+                    < MAX_PATH_ROUTERS
+        };
+        for _ in 0..4 * self.intermediates.len() {
             let i = self.intermediates[rng.gen_range(0..self.intermediates.len())];
-            if i != src && i != dst {
-                return i;
+            if valid(i) {
+                return Some(i);
             }
         }
+        // Heavily degraded networks can leave few (or no) valid
+        // intermediates; fall back to a deterministic scan in id order.
+        self.intermediates.iter().copied().find(|&m| valid(m))
     }
 
     fn indirect_path<R: Rng>(
@@ -329,8 +418,12 @@ impl RoutePolicy {
     }
 
     fn valiant_choice<R: Rng>(&self, src: RouterId, dst: RouterId, rng: &mut R) -> RouteChoice {
-        let mid = self.sample_intermediate(src, dst, rng);
-        self.indirect_path(src, mid, dst, rng)
+        match self.sample_intermediate(src, dst, rng) {
+            Some(mid) => self.indirect_path(src, mid, dst, rng),
+            // No surviving intermediate (degraded network): the repaired
+            // minimal route is the only way through.
+            None => self.minimal_choice(src, dst, rng),
+        }
     }
 
     /// The UGAL-L decision (§3.3): cost the minimal path as `CM = qM`, and
@@ -356,7 +449,7 @@ impl RoutePolicy {
             .iter()
             .map(|n| (n, occ.occupancy_bytes(src, *n)))
             .min_by_key(|&(_, q)| q)
-            .expect("src != dst implies at least one first hop");
+            .expect("reachable pair implies at least one first hop");
 
         let min_choice = |rng: &mut R| {
             let mut path = RoutePath::new(src);
@@ -382,7 +475,9 @@ impl RoutePolicy {
         let c_m = q_m as f64;
         let mut best: Option<(f64, RouterId)> = None;
         for _ in 0..n_i {
-            let mid = self.sample_intermediate(src, dst, rng);
+            let Some(mid) = self.sample_intermediate(src, dst, rng) else {
+                break;
+            };
             let l_i = (self.tables.dist(src, mid) + self.tables.dist(mid, dst)) as f64;
             let penalty = if self.scaled_penalty { l_i / l_m * c } else { c };
             let first = {
@@ -714,5 +809,124 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repair_on_pristine_network_matches_new() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        for algo in [
+            Algorithm::Minimal,
+            Algorithm::Valiant,
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: None,
+            },
+        ] {
+            let a = RoutePolicy::new(&net, algo);
+            let b = RoutePolicy::repair(&net, algo);
+            assert_eq!(a.vc_scheme(), b.vc_scheme());
+            assert_eq!(a.num_vcs(), b.num_vcs());
+            assert_eq!(a.diameter(), b.diameter());
+            let mut ra = SmallRng::seed_from_u64(33);
+            let mut rb = SmallRng::seed_from_u64(33);
+            for _ in 0..100 {
+                let s = ra.gen_range(0..net.num_routers());
+                let d = ra.gen_range(0..net.num_routers());
+                let _ = rb.gen_range(0..net.num_routers());
+                let _ = rb.gen_range(0..net.num_routers());
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    a.choose(s, d, &ZeroOccupancy, &mut ra),
+                    b.choose(s, d, &ZeroOccupancy, &mut rb),
+                    "pristine repair must not perturb seeded routing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_routes_avoid_failed_links() {
+        for (net, algo) in [
+            (slim_fly(5, SlimFlyP::Floor), Algorithm::Valiant),
+            (mlfm(4), Algorithm::Valiant),
+            (
+                oft(4),
+                Algorithm::Ugal {
+                    n_i: 4,
+                    c: 2.0,
+                    threshold: None,
+                },
+            ),
+        ] {
+            let faults = d2net_topo::FaultSet::sample_links(&net, 0.08, 9);
+            let deg = net.degrade(&faults);
+            let policy = RoutePolicy::repair(&deg, algo);
+            assert_eq!(policy.vc_scheme(), VcScheme::HopIndex);
+            let mut rng = SmallRng::seed_from_u64(10);
+            let mut routed = 0u32;
+            for _ in 0..300 {
+                let s = rng.gen_range(0..deg.num_routers());
+                let d = rng.gen_range(0..deg.num_routers());
+                if s == d {
+                    continue;
+                }
+                match policy.try_choose(s, d, &ZeroOccupancy, &mut rng) {
+                    Some(c) => {
+                        routed += 1;
+                        assert_eq!(c.path.src(), s);
+                        assert_eq!(c.path.dst(), d);
+                        for (a, b) in c.path.links() {
+                            assert!(deg.are_adjacent(a, b), "route crosses a failed link");
+                        }
+                        for h in 0..c.path.num_hops() {
+                            assert!(policy.vc_for_hop(&c, h) < policy.num_vcs());
+                        }
+                    }
+                    None => assert!(!policy.is_routable(s, d)),
+                }
+            }
+            assert!(routed > 200, "{}: most pairs must survive 8% faults", net.name());
+        }
+    }
+
+    #[test]
+    fn router_failure_makes_pairs_unroutable_not_panic() {
+        let net = mlfm(3);
+        let mut faults = d2net_topo::FaultSet::new();
+        faults.fail_router(0);
+        let deg = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&deg, Algorithm::Minimal);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Router 0 is isolated: nothing in, nothing out.
+        for d in 1..deg.num_routers() {
+            assert!(!policy.is_routable(0, d));
+            assert!(policy.try_choose(0, d, &ZeroOccupancy, &mut rng).is_none());
+            assert!(policy.try_choose(d, 0, &ZeroOccupancy, &mut rng).is_none());
+        }
+        // Everyone else still reaches everyone else (MLFM survives one
+        // router loss).
+        for s in 1..deg.num_routers() {
+            for d in 1..deg.num_routers() {
+                if s != d {
+                    assert!(policy.is_routable(s, d));
+                }
+            }
+        }
+        assert_eq!(policy.tables().unreachable_pairs(), 2 * (net.num_routers() as u64 - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving route")]
+    fn choose_panics_only_when_unroutable() {
+        let net = mlfm(3);
+        let mut faults = d2net_topo::FaultSet::new();
+        faults.fail_router(0);
+        let deg = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&deg, Algorithm::Minimal);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = policy.choose(0, 1, &ZeroOccupancy, &mut rng);
     }
 }

@@ -20,17 +20,36 @@ pub struct MinimalTables {
     first_hops: Vec<RouterId>,
 }
 
+/// Distance sentinel for an unreachable router pair in a
+/// [`MinimalTables`] built with [`MinimalTables::build_partial`].
+pub const UNREACHABLE: u8 = u8::MAX;
+
 impl MinimalTables {
     /// Builds tables for `net`. Cost: one BFS per router plus an
-    /// O(R² · degree) first-hop scan.
+    /// O(R² · degree) first-hop scan. Panics if the router graph is
+    /// disconnected; see [`MinimalTables::build_partial`] for the
+    /// fault-tolerant variant.
     pub fn build(net: &Network) -> Self {
+        let t = Self::build_partial(net);
+        assert!(t.unreachable_pairs() == 0, "network is disconnected");
+        t
+    }
+
+    /// Builds tables for a possibly disconnected (e.g. degraded) network:
+    /// unreachable pairs get distance [`UNREACHABLE`] and an empty
+    /// first-hop list, reported as data via
+    /// [`MinimalTables::unreachable_pairs`] instead of a panic.
+    pub fn build_partial(net: &Network) -> Self {
         let r = net.num_routers() as usize;
         let mut dist = vec![0u8; r * r];
         for s in 0..r as u32 {
             let d = net.bfs_distances(s);
             for (t, &x) in d.iter().enumerate() {
-                assert!(x < 255, "network is disconnected");
-                dist[s as usize * r + t] = x as u8;
+                dist[s as usize * r + t] = if x >= UNREACHABLE as u32 {
+                    UNREACHABLE
+                } else {
+                    x as u8
+                };
             }
         }
         let mut offsets = Vec::with_capacity(r * r + 1);
@@ -38,7 +57,7 @@ impl MinimalTables {
         offsets.push(0u32);
         for s in 0..r {
             for d in 0..r {
-                if s != d {
+                if s != d && dist[s * r + d] != UNREACHABLE {
                     let target = dist[s * r + d] - 1;
                     for &n in net.neighbors(s as u32) {
                         if dist[n as usize * r + d] == target {
@@ -55,6 +74,29 @@ impl MinimalTables {
             offsets,
             first_hops,
         }
+    }
+
+    /// True if a minimal route from `s` to `d` exists.
+    #[inline]
+    pub fn is_reachable(&self, s: RouterId, d: RouterId) -> bool {
+        self.dist(s, d) != UNREACHABLE
+    }
+
+    /// Number of ordered router pairs (`s != d`) with no surviving route.
+    pub fn unreachable_pairs(&self) -> u64 {
+        self.dist.iter().filter(|&&d| d == UNREACHABLE).count() as u64
+    }
+
+    /// The largest finite distance in the table — the repaired diameter
+    /// of a degraded network (0 for a single router or a fully
+    /// partitioned table).
+    pub fn max_finite_dist(&self) -> u8 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of routers.

@@ -25,13 +25,14 @@
 
 use crate::config::{EventQueueKind, Preflight, SimConfig};
 use crate::equeue::{CalendarQueue, EventQ};
-use crate::injector::{NextPacket, NodeSource};
+use crate::fault::FaultSchedule;
+use crate::injector::{NextPacket, NodeSource, PacketSpec};
 use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
     DeadlockReport, ProbeConfig, Telemetry, TelemetryReport, WaitPoint, WaitSide,
 };
-use d2net_routing::{OccupancyView, RouteChoice, RoutePath, RoutePolicy};
-use d2net_topo::{Network, NodeId, RouterId};
+use d2net_routing::{vc_for_hop, OccupancyView, RouteChoice, RoutePath, RoutePolicy, VcScheme};
+use d2net_topo::{FaultSet, Network, NodeId, RouterId};
 use d2net_verify::{debug_invariant, invariant, Verdict};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -39,6 +40,14 @@ use std::collections::BinaryHeap;
 
 /// Sentinel for "no element" in the intrusive lists below.
 const NIL: u32 = u32::MAX;
+
+/// First retry delay for a packet whose destination is unroutable at
+/// injection time (typically: just orphaned by a mid-run failure, with
+/// the repaired policy not able to reach it). Doubles per attempt.
+const RETRY_BASE_PS: u64 = 2_000_000;
+
+/// Retry attempts before an unroutable packet is dropped at the source.
+const MAX_INJECT_RETRIES: u32 = 4;
 
 /// A family of FIFO queues threaded through a shared `next` array (one
 /// slot per potential member, each member in at most one queue of the
@@ -118,6 +127,10 @@ struct Packet {
     choice: RouteChoice,
     hop: u8,
     link_vc: u8,
+    /// VC scheme of the policy that routed this packet: after a mid-run
+    /// repair switches the injection policy, packets routed before and
+    /// after coexist and each must keep its own VC ladder.
+    scheme: VcScheme,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -138,6 +151,9 @@ enum Ev {
     Credit { pv: u32, bytes: u32 },
     /// Credit arrives back at an injecting node.
     NodeCredit { node: u32, bytes: u32 },
+    /// Fault event (index into `Engine::fault_events`) fires: links go
+    /// dead, queued packets on them drop, injection policy switches.
+    LinkFail(u32),
 }
 
 /// Dense port numbering: router `r` owns ports `base[r] .. base[r+1]`;
@@ -226,6 +242,21 @@ impl OccupancyView for OccView<'_> {
     }
 }
 
+/// One pre-resolved entry of a mid-run fault schedule, as the engine
+/// consumes it: the caller ([`crate::run_synthetic_faulted`]) has already
+/// built the cumulatively degraded network and a policy repaired around
+/// it for each event.
+pub struct EngineFault<'a> {
+    /// Simulated time the failures occur, in ps.
+    pub t_ps: u64,
+    /// The links/routers newly failing at this instant (already filtered
+    /// against the pristine network's ids).
+    pub faults: FaultSet,
+    /// Policy repaired around every failure up to and including this
+    /// event; injections from `t_ps` on route with it.
+    pub policy: &'a RoutePolicy,
+}
+
 /// The simulator engine for one run. Construct via [`crate::run_synthetic`]
 /// or [`crate::run_exchange`].
 pub struct Engine<'a> {
@@ -289,10 +320,36 @@ pub struct Engine<'a> {
     /// costs the event loop a single branch per event and leaves the
     /// simulated schedule byte-identical to an unprobed run.
     telemetry: Option<Telemetry>,
+
+    // ----- fault machinery (all inert when `fault_events` is empty) --
+    /// Mid-run fault schedule, sorted by time; re-armed by `reset`.
+    fault_events: Vec<EngineFault<'a>>,
+    /// Policy routing *new* injections: starts at `policy`, switches to
+    /// each fault event's repaired policy as the event fires.
+    cur_policy: &'a RoutePolicy,
+    /// Dead output ports — both directions of every failed link. Node
+    /// (injection/ejection) ports never die.
+    dead: Vec<bool>,
+    /// Per-node parked unroutable packet: (spec, attempts, retry time).
+    /// A parked packet holds the head of the node's injection queue.
+    retry: Vec<Option<(PacketSpec, u32, u64)>>,
+    /// Index of the first fault event that has not fired yet — the tail
+    /// `fault_events[next_fault..]` is what retry parking can wait for.
+    next_fault: usize,
+    /// Packets dropped in-network: flushed from a dying link's output
+    /// buffers, or arriving at a switch whose chosen route crosses one.
+    dropped_flight: u64,
+    /// Packets dropped at the source: destination permanently severed,
+    /// or the injector's retries ran out waiting for a recovery event.
+    dropped_injection: u64,
+    /// Packets injected after at least one unroutable-destination retry.
+    retried: u64,
 }
 
 impl<'a> Engine<'a> {
     /// Builds an engine; `sources` must hold one [`NodeSource`] per node.
+    /// Panics where [`Engine::try_new`] returns an error — kept for the
+    /// single-run entry points whose configs are caller-validated.
     pub fn new(
         net: &'a Network,
         policy: &'a RoutePolicy,
@@ -301,23 +358,75 @@ impl<'a> Engine<'a> {
         warmup_ps: u64,
         rng: SmallRng,
     ) -> Self {
-        enforce_preflight(net, policy, &cfg);
+        Self::try_new(net, policy, cfg, sources, warmup_ps, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: a config the preflight verifier rejects
+    /// (under [`Preflight::Enforce`]) or a buffer too small to partition
+    /// across the policy's VCs comes back as a coded `Err` instead of
+    /// aborting the process, so sweep harnesses can surface it as a
+    /// [`crate::SweepNotice`].
+    pub fn try_new(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        cfg: SimConfig,
+        sources: Vec<NodeSource>,
+        warmup_ps: u64,
+        rng: SmallRng,
+    ) -> Result<Self, String> {
+        Self::build(net, policy, cfg, sources, warmup_ps, rng, Vec::new())
+    }
+
+    /// [`Engine::try_new`] plus a mid-run fault schedule, pre-resolved by
+    /// [`crate::run_synthetic_faulted`]: each [`EngineFault`] fires as an
+    /// ordinary event at its time. VC buffers are provisioned for the
+    /// maximum VC count across the initial policy and every repaired
+    /// policy, so packets routed before and after a failure coexist.
+    pub fn try_new_faulted(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        cfg: SimConfig,
+        sources: Vec<NodeSource>,
+        warmup_ps: u64,
+        rng: SmallRng,
+        faults: Vec<EngineFault<'a>>,
+    ) -> Result<Self, String> {
+        Self::build(net, policy, cfg, sources, warmup_ps, rng, faults)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        cfg: SimConfig,
+        sources: Vec<NodeSource>,
+        warmup_ps: u64,
+        rng: SmallRng,
+        fault_events: Vec<EngineFault<'a>>,
+    ) -> Result<Self, String> {
+        preflight_gate(net, policy, &cfg)?;
         invariant!(
             sources.len() == net.num_nodes() as usize,
             "one traffic source per node required ({} sources, {} nodes)",
             sources.len(),
             net.num_nodes()
         );
-        let num_vcs = policy.num_vcs() as u32;
+        if fault_events.windows(2).any(|w| w[1].t_ps < w[0].t_ps) {
+            return Err("fault schedule must be sorted by time".into());
+        }
+        let max_vcs = fault_events
+            .iter()
+            .map(|f| f.policy.num_vcs())
+            .fold(policy.num_vcs(), u8::max);
+        let num_vcs = max_vcs as u32;
         let ports = Ports::build(net);
         let total = *ports.base.last().unwrap() as usize;
         let pv_total = total * num_vcs as usize;
         let vc_cap = d2net_verify::invariant::vc_buffer_sufficient(
             cfg.buffer_bytes,
-            policy.num_vcs(),
+            max_vcs,
             cfg.packet_bytes,
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        )?;
         let n = net.num_nodes() as usize;
         let queue = match cfg.event_queue {
             EventQueueKind::Heap => EventQ::Heap(BinaryHeap::new()),
@@ -368,12 +477,24 @@ impl<'a> Engine<'a> {
             acc: Accumulator::default(),
             warmup_ps,
             telemetry: None,
+            fault_events,
+            cur_policy: policy,
+            dead: vec![false; total],
+            retry: vec![None; n],
+            next_fault: 0,
+            dropped_flight: 0,
+            dropped_injection: 0,
+            retried: 0,
         };
         for node in 0..n as u32 {
             engine.schedule(0, Ev::NodeWake(node));
             engine.node_wake[node as usize] = true;
         }
-        engine
+        for i in 0..engine.fault_events.len() {
+            let t = engine.fault_events[i].t_ps;
+            engine.schedule(t, Ev::LinkFail(i as u32));
+        }
+        Ok(engine)
     }
 
     /// Rewinds the engine to the just-constructed state for a fresh run
@@ -417,9 +538,20 @@ impl<'a> Engine<'a> {
         self.acc = Accumulator::default();
         self.warmup_ps = warmup_ps;
         self.telemetry = None;
+        self.cur_policy = self.policy;
+        self.dead.fill(false);
+        self.retry.fill(None);
+        self.next_fault = 0;
+        self.dropped_flight = 0;
+        self.dropped_injection = 0;
+        self.retried = 0;
         for node in 0..self.sources.len() as u32 {
             self.schedule(0, Ev::NodeWake(node));
             self.node_wake[node as usize] = true;
+        }
+        for i in 0..self.fault_events.len() {
+            let t = self.fault_events[i].t_ps;
+            self.schedule(t, Ev::LinkFail(i as u32));
         }
     }
 
@@ -487,43 +619,130 @@ impl<'a> Engine<'a> {
         if self.node_sending[node as usize] {
             return; // NodeSendDone re-kicks
         }
-        let n_nodes = self.net.num_nodes();
-        let next = self.sources[node as usize].next(self.now, n_nodes, node, &mut self.rng);
-        match next {
-            NextPacket::Exhausted => {}
-            NextPacket::WakeAt(t) => {
+        // A parked unroutable packet holds the head of the injection
+        // queue until it is injected or given up on.
+        if let Some((spec, attempts, at)) = self.retry[node as usize] {
+            if self.now < at {
                 if !self.node_wake[node as usize] {
                     self.node_wake[node as usize] = true;
-                    self.schedule(t, Ev::NodeWake(node));
+                    self.schedule(at, Ev::NodeWake(node));
                 }
+                return;
             }
-            NextPacket::Ready(spec) => {
+            if self.routable(node, spec.dst) {
                 if self.node_credits[node as usize] < spec.bytes as u64 {
                     return; // NodeCredit re-kicks
                 }
-                self.sources[node as usize].consume(&mut self.rng);
-                self.node_credits[node as usize] -= spec.bytes as u64;
-                self.node_sending[node as usize] = true;
-                let pkt = self.alloc(Packet {
-                    src: node,
-                    dst: spec.dst,
-                    bytes: spec.bytes,
-                    birth_ps: spec.birth_ps,
-                    ready_ps: 0,
-                    choice: RouteChoice {
-                        path: RoutePath::new(0),
-                        phase_hops: 0,
-                        indirect: false,
-                    },
-                    hop: 0,
-                    link_vc: 0,
-                });
-                let done = self.now + self.cfg.ser_ps(spec.bytes);
-                self.node_busy[node as usize] = done;
-                self.schedule(done, Ev::NodeSendDone(node));
-                self.schedule(done + self.cfg.link_ps(), Ev::ArriveRouter(pkt));
+                self.retry[node as usize] = None;
+                self.retried += 1;
+                self.inject_spec(node, spec);
+                return;
+            }
+            if attempts + 1 >= MAX_INJECT_RETRIES || !self.recovery_possible(node, spec.dst) {
+                // Give up — retries exhausted, or no pending fault event
+                // can restore the route. Drop at the source; the node
+                // moves on to its next generation below.
+                self.retry[node as usize] = None;
+                self.dropped_injection += 1;
+            } else {
+                let at = self.now + (RETRY_BASE_PS << (attempts + 1));
+                self.retry[node as usize] = Some((spec, attempts + 1, at));
+                if !self.node_wake[node as usize] {
+                    self.node_wake[node as usize] = true;
+                    self.schedule(at, Ev::NodeWake(node));
+                }
+                return;
             }
         }
+        let n_nodes = self.net.num_nodes();
+        loop {
+            let next = self.sources[node as usize].next(self.now, n_nodes, node, &mut self.rng);
+            match next {
+                NextPacket::Exhausted => return,
+                NextPacket::WakeAt(t) => {
+                    if !self.node_wake[node as usize] {
+                        self.node_wake[node as usize] = true;
+                        self.schedule(t, Ev::NodeWake(node));
+                    }
+                    return;
+                }
+                NextPacket::Ready(spec) => {
+                    if self.node_credits[node as usize] < spec.bytes as u64 {
+                        return; // NodeCredit re-kicks
+                    }
+                    self.sources[node as usize].consume(&mut self.rng);
+                    if !self.routable(node, spec.dst) {
+                        if self.recovery_possible(node, spec.dst) {
+                            // A pending fault event's policy can still
+                            // reach this destination: park for
+                            // retry/backoff instead of committing the
+                            // packet to the wire.
+                            let at = self.now + RETRY_BASE_PS;
+                            self.retry[node as usize] = Some((spec, 0, at));
+                            if !self.node_wake[node as usize] {
+                                self.node_wake[node as usize] = true;
+                                self.schedule(at, Ev::NodeWake(node));
+                            }
+                            return;
+                        }
+                        // Permanently severed destination: drop at the
+                        // source and keep generating — parking would
+                        // head-of-line-block the node forever.
+                        self.dropped_injection += 1;
+                        continue;
+                    }
+                    self.inject_spec(node, spec);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Whether the current injection policy can reach `dst_node`.
+    #[inline]
+    fn routable(&self, src_node: u32, dst_node: u32) -> bool {
+        self.cur_policy
+            .is_routable(self.net.node_router(src_node), self.net.node_router(dst_node))
+    }
+
+    /// Whether any *pending* fault event installs a policy that can
+    /// still reach `dst_node` — the condition under which parking an
+    /// unroutable packet for retry can ever pay off. Monotone
+    /// degradation schedules never satisfy it; engine-level recovery
+    /// events (a new policy with no new dead ports) do.
+    #[inline]
+    fn recovery_possible(&self, src_node: u32, dst_node: u32) -> bool {
+        let src_r = self.net.node_router(src_node);
+        let dst_r = self.net.node_router(dst_node);
+        self.fault_events[self.next_fault..]
+            .iter()
+            .any(|f| f.policy.is_routable(src_r, dst_r))
+    }
+
+    /// Commits an already-consumed `spec` to the injection link (credits
+    /// must have been checked by the caller).
+    fn inject_spec(&mut self, node: u32, spec: PacketSpec) {
+        self.node_credits[node as usize] -= spec.bytes as u64;
+        self.node_sending[node as usize] = true;
+        let pkt = self.alloc(Packet {
+            src: node,
+            dst: spec.dst,
+            bytes: spec.bytes,
+            birth_ps: spec.birth_ps,
+            ready_ps: 0,
+            choice: RouteChoice {
+                path: RoutePath::new(0),
+                phase_hops: 0,
+                indirect: false,
+            },
+            hop: 0,
+            link_vc: 0,
+            scheme: self.cur_policy.vc_scheme(),
+        });
+        let done = self.now + self.cfg.ser_ps(spec.bytes);
+        self.node_busy[node as usize] = done;
+        self.schedule(done, Ev::NodeSendDone(node));
+        self.schedule(done + self.cfg.link_ps(), Ev::ArriveRouter(pkt));
     }
 
     // ----- router side ----------------------------------------------
@@ -552,9 +771,22 @@ impl<'a> Engine<'a> {
                     num_vcs: self.num_vcs,
                     cap: self.cfg.buffer_bytes,
                 };
-                self.policy.choose(src_r, dst_r, &view, &mut self.rng)
+                match self.cur_policy.try_choose(src_r, dst_r, &view, &mut self.rng) {
+                    Some(c) => c,
+                    None => {
+                        // A failure fired while the packet serialized and
+                        // took its last route away: it vanishes at the
+                        // router's door, returning the node-buffer space
+                        // it held like an ordinary ejection credit.
+                        self.dropped_flight += 1;
+                        self.schedule(self.now, Ev::NodeCredit { node: src, bytes });
+                        self.free.push(pkt);
+                        return;
+                    }
+                }
             };
             self.packets[pkt as usize].choice = choice;
+            self.packets[pkt as usize].scheme = self.cur_policy.vc_scheme();
             if let Some(tel) = self.telemetry.as_mut() {
                 tel.on_inject(self.now, src_r, src, dst, bytes, choice.indirect);
             }
@@ -581,9 +813,9 @@ impl<'a> Engine<'a> {
         let Some(pkt) = self.in_q.front(pv) else {
             return;
         };
-        let (bytes, ready, hop, dst, choice) = {
+        let (bytes, ready, hop, dst, choice, scheme) = {
             let p = &self.packets[pkt as usize];
-            (p.bytes, p.ready_ps, p.hop as usize, p.dst, p.choice)
+            (p.bytes, p.ready_ps, p.hop as usize, p.dst, p.choice, p.scheme)
         };
         if ready > self.now {
             self.schedule(ready, Ev::TrySwitch(pv as u32));
@@ -604,9 +836,23 @@ impl<'a> Engine<'a> {
             let next = routers[hop + 1];
             (
                 self.ports.network_port(self.net, r, next),
-                self.policy.vc_for_hop(&choice, hop),
+                vc_for_hop(scheme, &choice, hop),
             )
         };
+        if self.dead[out_port as usize] {
+            // The route was computed before this link failed: drop the
+            // packet here, with the same upstream credit bookkeeping as a
+            // forward transfer so the drop can never wedge the sender
+            // (drain-or-drop, DESIGN.md §10).
+            self.release_input_head(pv, bytes);
+            self.dropped_flight += 1;
+            self.free.push(pkt);
+            if let Some(nx) = self.in_q.front(pv) {
+                let t = self.packets[nx as usize].ready_ps.max(self.now);
+                self.schedule(t, Ev::TrySwitch(pv as u32));
+            }
+            return;
+        }
         let out_pv = self.pv(out_port, out_vc);
         if self.out_occ[out_pv] + bytes as u64 > self.vc_cap {
             if !self.blocked_flag[pv] {
@@ -621,26 +867,7 @@ impl<'a> Engine<'a> {
             return;
         }
         // Transfer input → output.
-        self.in_q.pop_front(pv, &self.pkt_next);
-        self.blocked_flag[pv] = false;
-        self.in_occ[pv] -= bytes as u64;
-        // Return the credit upstream after one link latency.
-        let in_idx = in_port - self.ports.base[r as usize];
-        let credit_at = self.now + self.cfg.link_ps();
-        if in_idx >= self.net.degree(r) {
-            let node = self.net.router_nodes(r).start + (in_idx - self.net.degree(r));
-            self.schedule(credit_at, Ev::NodeCredit { node, bytes });
-        } else {
-            let up_out = self.ports.peer[in_port as usize];
-            let vc = (pv as u32 % self.num_vcs) as u8;
-            self.schedule(
-                credit_at,
-                Ev::Credit {
-                    pv: up_out * self.num_vcs + vc as u32,
-                    bytes,
-                },
-            );
-        }
+        self.release_input_head(pv, bytes);
         self.out_occ[out_pv] += bytes as u64;
         self.packets[pkt as usize].link_vc = out_vc;
         self.out_q.push_back(out_pv, pkt, &mut self.pkt_next);
@@ -652,7 +879,93 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Pops the head of input `pv`, releasing its buffer space and
+    /// scheduling the upstream credit — shared by the forward transfer
+    /// and the dead-link drop so both sides see identical bookkeeping.
+    fn release_input_head(&mut self, pv: usize, bytes: u32) {
+        self.in_q.pop_front(pv, &self.pkt_next);
+        self.blocked_flag[pv] = false;
+        self.in_occ[pv] -= bytes as u64;
+        let in_port = pv as u32 / self.num_vcs;
+        let r = self.ports.owner[in_port as usize];
+        let in_idx = in_port - self.ports.base[r as usize];
+        let credit_at = self.now + self.cfg.link_ps();
+        if in_idx >= self.net.degree(r) {
+            let node = self.net.router_nodes(r).start + (in_idx - self.net.degree(r));
+            self.schedule(credit_at, Ev::NodeCredit { node, bytes });
+        } else {
+            let up_out = self.ports.peer[in_port as usize];
+            let vc = pv as u32 % self.num_vcs;
+            self.schedule(
+                credit_at,
+                Ev::Credit {
+                    pv: up_out * self.num_vcs + vc,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Applies fault event `i`: marks both directed ports of every newly
+    /// failed link dead, flushes their queued output packets (the packet
+    /// already serializing finishes its traversal — drain-or-drop),
+    /// re-examines inputs blocked on them, and switches injection routing
+    /// to the event's repaired policy.
+    fn link_fail(&mut self, i: usize) {
+        let faults = self.fault_events[i].faults.clone();
+        let mut newly_dead: Vec<u32> = Vec::new();
+        let r_count = self.net.num_routers();
+        for &(a, b) in faults.failed_links() {
+            if a < r_count && b < r_count && self.net.are_adjacent(a, b) {
+                newly_dead.push(self.ports.network_port(self.net, a, b));
+                newly_dead.push(self.ports.network_port(self.net, b, a));
+            }
+        }
+        for &r in faults.failed_routers() {
+            if r < r_count {
+                for &v in self.net.neighbors(r) {
+                    newly_dead.push(self.ports.network_port(self.net, r, v));
+                    newly_dead.push(self.ports.network_port(self.net, v, r));
+                }
+            }
+        }
+        for port in newly_dead {
+            if std::mem::replace(&mut self.dead[port as usize], true) {
+                continue; // already dead from an earlier event
+            }
+            let mut flushed = 0u32;
+            for vc in 0..self.num_vcs {
+                let pv = (port * self.num_vcs + vc) as usize;
+                while let Some(pkt) = self.out_q.pop_front(pv, &self.pkt_next) {
+                    let bytes = self.packets[pkt as usize].bytes;
+                    self.out_occ[pv] -= bytes as u64;
+                    self.dropped_flight += 1;
+                    self.free.push(pkt);
+                    flushed += 1;
+                }
+            }
+            // Inputs blocked on this output re-evaluate (and drop their
+            // heads through the dead-port path of try_switch).
+            while let Some(bpv) = self.blocked.pop_front(port as usize, &self.blocked_next) {
+                self.blocked_flag[bpv as usize] = false;
+                self.schedule(self.now, Ev::TrySwitch(bpv));
+            }
+            let router = self.ports.owner[port as usize];
+            let peer = self.ports.owner[self.ports.peer[port as usize] as usize];
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_link_down(self.now, router, peer, flushed);
+            }
+        }
+        self.cur_policy = self.fault_events[i].policy;
+        self.next_fault = self.next_fault.max(i + 1);
+    }
+
     fn kick_output(&mut self, out_port: u32) {
+        // Dead ports never serialize again; whatever is mid-wire drains
+        // via its pending SendDone.
+        if self.dead[out_port as usize] {
+            return;
+        }
         // Gate on the explicit in-progress marker, not the clock: a Credit
         // event with the same timestamp as the pending SendDone must not
         // start a second transmission before the first one is retired.
@@ -759,6 +1072,7 @@ impl<'a> Engine<'a> {
                 self.node_credits[node as usize] += bytes as u64;
                 self.node_kick(node);
             }
+            Ev::LinkFail(i) => self.link_fail(i as usize),
         }
     }
 
@@ -780,7 +1094,7 @@ impl<'a> Engine<'a> {
             }
             self.handle(ev);
         }
-        let wedged = self.created > self.delivered;
+        let wedged = self.created > self.delivered + self.dropped_flight;
         if wedged && std::env::var_os("D2NET_DEBUG_WEDGE").is_some() {
             self.dump_wedge();
         }
@@ -790,8 +1104,8 @@ impl<'a> Engine<'a> {
     /// Diagnostic dump of stuck state (enabled via D2NET_DEBUG_WEDGE).
     fn dump_wedge(&self) {
         eprintln!(
-            "WEDGE at t={} ps: created={} delivered={}",
-            self.now, self.created, self.delivered
+            "WEDGE at t={} ps: created={} delivered={} dropped={}",
+            self.now, self.created, self.delivered, self.dropped_flight
         );
         let pv_total = self.in_occ.len();
         let mut in_total = 0usize;
@@ -869,7 +1183,7 @@ impl<'a> Engine<'a> {
                     let next = routers[hop + 1];
                     (
                         self.ports.network_port(self.net, r, next),
-                        self.policy.vc_for_hop(&p.choice, hop),
+                        vc_for_hop(p.scheme, &p.choice, hop),
                     )
                 };
                 let out_pv = self.pv(out_port, out_vc);
@@ -905,7 +1219,7 @@ impl<'a> Engine<'a> {
                         .collect();
                     return Some(DeadlockReport {
                         cycle,
-                        stranded_packets: self.created - self.delivered,
+                        stranded_packets: self.created - self.delivered - self.dropped_flight,
                         t_ps: self.now,
                     });
                 }
@@ -961,7 +1275,15 @@ impl<'a> Engine<'a> {
     fn take_probe_report(&mut self, wedged: bool) -> Option<TelemetryReport> {
         self.telemetry.take().map(|tel| {
             let forensics = if wedged {
-                self.deadlock_forensics()
+                // A wedged run with no wait-for cycle is a partition (or
+                // otherwise unreachable traffic), not a credit deadlock:
+                // synthesize a cycle-less report so the two render
+                // distinctly (see DeadlockReport::is_partition).
+                self.deadlock_forensics().or(Some(DeadlockReport {
+                    cycle: Vec::new(),
+                    stranded_packets: self.created - self.delivered - self.dropped_flight,
+                    t_ps: self.now,
+                }))
             } else {
                 None
             };
@@ -1020,6 +1342,8 @@ impl<'a> Engine<'a> {
             avg_hops: self.acc.avg_hops(),
             p99_delay_ns: self.acc.histogram.quantile_ns(0.99),
             max_link_utilization,
+            dropped_packets: self.dropped_flight + self.dropped_injection,
+            retried_packets: self.retried,
             deadlocked,
         };
         (stats, telemetry)
@@ -1076,10 +1400,10 @@ pub fn preflight(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) -> d2net_
 
 /// Applies the config's [`Preflight`] mode at engine construction:
 /// `Warn` prints a rejected config's report to stderr and proceeds,
-/// `Enforce` refuses with the rendered report.
-fn enforce_preflight(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) {
+/// `Enforce` refuses with the rendered report as the error.
+fn preflight_gate(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) -> Result<(), String> {
     if cfg.preflight == Preflight::Off {
-        return;
+        return Ok(());
     }
     let report = preflight(net, policy, cfg);
     if report.verdict() == Verdict::Rejected {
@@ -1087,19 +1411,28 @@ fn enforce_preflight(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) {
             Preflight::Off => unreachable!(),
             Preflight::Warn => eprintln!("preflight: simulating anyway\n{}", report.render()),
             Preflight::Enforce => {
-                panic!("preflight rejected this configuration:\n{}", report.render())
+                return Err(format!(
+                    "preflight rejected this configuration:\n{}",
+                    report.render()
+                ));
             }
         }
     }
+    Ok(())
 }
 
 /// Runs the configured preflight action once and hands back the config
 /// with verification disabled — sweeps simulate the same triple at many
-/// loads, and the static pass is load-independent.
-pub(crate) fn preflight_once(net: &Network, policy: &RoutePolicy, mut cfg: SimConfig) -> SimConfig {
-    enforce_preflight(net, policy, &cfg);
+/// loads, and the static pass is load-independent. An Enforce-rejected
+/// config comes back as `Err` for the sweep to surface as a notice.
+pub(crate) fn try_preflight_once(
+    net: &Network,
+    policy: &RoutePolicy,
+    mut cfg: SimConfig,
+) -> Result<SimConfig, String> {
+    preflight_gate(net, policy, &cfg)?;
     cfg.preflight = Preflight::Off;
-    cfg
+    Ok(cfg)
 }
 
 /// Builds one synthetic [`NodeSource`] per node, drawing each source's
@@ -1171,6 +1504,108 @@ pub fn run_synthetic_probed(
     engine.attach_probe(probe);
     let (stats, telemetry) = engine.finish_synthetic_probed(load, end_ps);
     (stats, telemetry.expect("probe was attached"))
+}
+
+/// [`run_synthetic`] under a mid-run [`FaultSchedule`]: each event's
+/// failures fire at their simulated time with drain-or-drop semantics,
+/// and injections from then on route with a policy repaired around the
+/// cumulative degradation ([`d2net_routing::RoutePolicy::repair`]).
+/// Unroutable traffic retries at the source with exponential backoff
+/// before being dropped; see [`SyntheticStats::dropped_packets`] and
+/// [`SyntheticStats::retried_packets`]. Configuration problems (rejected
+/// preflight, undersized buffers, warm-up ≥ duration, unsorted schedule)
+/// come back as a coded `Err`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_faulted(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: &FaultSchedule,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> Result<SyntheticStats, String> {
+    run_synthetic_faulted_inner(
+        net, policy, pattern, schedule, load, duration_ns, warmup_ns, cfg, None,
+    )
+    .map(|(stats, _)| stats)
+}
+
+/// [`run_synthetic_faulted`] with an observability probe attached: the
+/// telemetry rings record the fault events and the forensics distinguish
+/// a partition wedge from a credit deadlock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_faulted_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: &FaultSchedule,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> Result<(SyntheticStats, TelemetryReport), String> {
+    run_synthetic_faulted_inner(
+        net,
+        policy,
+        pattern,
+        schedule,
+        load,
+        duration_ns,
+        warmup_ns,
+        cfg,
+        Some(probe),
+    )
+    .map(|(stats, tel)| (stats, tel.expect("probe was attached")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_synthetic_faulted_inner(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: &FaultSchedule,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: Option<ProbeConfig>,
+) -> Result<(SyntheticStats, Option<TelemetryReport>), String> {
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)?;
+    let end_ps = duration_ns * 1_000;
+    // Pre-resolve the schedule: each event's cumulatively degraded
+    // network and a policy repaired around it. Out-of-range or
+    // non-adjacent ids are filtered here; re-failing an already-failed
+    // link is a no-op in the engine.
+    let mut nets: Vec<Network> = Vec::with_capacity(schedule.events().len());
+    for ev in schedule.events() {
+        let base = nets.last().unwrap_or(net);
+        nets.push(base.degrade(&ev.faults));
+    }
+    let policies: Vec<RoutePolicy> = nets
+        .iter()
+        .map(|n| RoutePolicy::repair(n, policy.algorithm()))
+        .collect();
+    let faults: Vec<EngineFault> = schedule
+        .events()
+        .iter()
+        .zip(&policies)
+        .map(|(ev, p)| EngineFault {
+            t_ps: ev.t_ns * 1_000,
+            faults: ev.faults.applied_to(net),
+            policy: p,
+        })
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+    let mut engine =
+        Engine::try_new_faulted(net, policy, cfg, sources, warmup_ns * 1_000, rng, faults)?;
+    if let Some(p) = probe {
+        engine.attach_probe(p);
+    }
+    Ok(engine.run_synthetic_to(load, end_ps))
 }
 
 /// Runs a fixed-size exchange to completion. `window` is the number of

@@ -1,0 +1,103 @@
+//! Mid-run fault schedules: link/router failures that fire at simulated
+//! times during a run (the dynamic counterpart of statically degrading a
+//! network with [`d2net_topo::Network::degrade`] before the run).
+//!
+//! Semantics in the engine (drain-or-drop, see DESIGN.md §10):
+//!
+//! - at each event time the named links (and every link of the named
+//!   routers) go **dead** in both directions;
+//! - the packet currently serializing onto a dying link finishes its
+//!   traversal (it is already on the wire — *drain*), packets queued in
+//!   the dead output buffers are *dropped* and accounted;
+//! - packets elsewhere in flight whose precomputed route crosses a dead
+//!   link are dropped at the switch that would have used it, with normal
+//!   credit bookkeeping so the drop never wedges the upstream;
+//! - injections at/after the event route with a repaired policy
+//!   ([`d2net_routing::RoutePolicy::repair`] over the cumulatively
+//!   degraded network); newly unroutable destinations go through the
+//!   injector's retry/backoff before being dropped at the source.
+//!
+//! Schedules are plain data; all determinism guarantees (serial ≡
+//! parallel, calendar ≡ heap) extend to faulted runs because fault
+//! events are ordinary entries of the event queue.
+
+use d2net_topo::FaultSet;
+
+/// One timed entry of a [`FaultSchedule`]: `faults` fire at `t_ns`.
+/// Effects are cumulative across events — an event adds failures, it
+/// never revives earlier ones.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Simulated time the failures occur, in ns.
+    pub t_ns: u64,
+    /// The links/routers that fail at this instant.
+    pub faults: FaultSet,
+}
+
+/// A (possibly empty) schedule of mid-run failures, kept sorted by time.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a faulted run with it is an unfaulted run).
+    pub fn new() -> Self {
+        FaultSchedule { events: Vec::new() }
+    }
+
+    /// Adds `faults` at `t_ns` (builder style). Events are kept in
+    /// time order regardless of insertion order; equal-time events are
+    /// preserved in insertion order.
+    pub fn at(mut self, t_ns: u64, faults: FaultSet) -> Self {
+        let pos = self.events.partition_point(|e| e.t_ns <= t_ns);
+        self.events.insert(pos, FaultEvent { t_ns, faults });
+        self
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Union of every fault in the schedule — the terminal degradation a
+    /// run under this schedule ends in.
+    pub fn cumulative(&self) -> FaultSet {
+        let mut acc = FaultSet::new();
+        for ev in &self.events {
+            acc = acc.merged(&ev.faults);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let mut a = FaultSet::new();
+        a.fail_link(0, 1);
+        let mut b = FaultSet::new();
+        b.fail_router(2);
+        let s = FaultSchedule::new().at(50_000, a).at(10_000, b);
+        assert_eq!(s.events()[0].t_ns, 10_000);
+        assert_eq!(s.events()[1].t_ns, 50_000);
+        assert!(!s.is_empty());
+        let cum = s.cumulative();
+        assert_eq!(cum.failed_links(), &[(0, 1)]);
+        assert_eq!(cum.failed_routers(), &[2]);
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert!(s.cumulative().is_empty());
+    }
+}

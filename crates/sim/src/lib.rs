@@ -23,6 +23,7 @@
 pub mod config;
 pub mod engine;
 pub mod equeue;
+pub mod fault;
 pub mod injector;
 pub mod par;
 pub mod stats;
@@ -31,8 +32,10 @@ pub mod telemetry;
 
 pub use config::{EventQueueKind, Preflight, SimConfig};
 pub use engine::{
-    preflight, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_probed, Engine,
+    preflight, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_faulted,
+    run_synthetic_faulted_probed, run_synthetic_probed, Engine, EngineFault,
 };
+pub use fault::{FaultEvent, FaultSchedule};
 pub use par::{
     par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
     par_load_sweep_probed_collect, par_load_sweep_with_order, resolve_threads,
@@ -563,5 +566,291 @@ mod tests {
             assert!(s.throughput <= 1.0 + 1e-9);
             assert!(s.throughput > 0.0);
         }
+    }
+
+    // ----- mid-run faults (drain-or-drop, DESIGN.md §10) -------------
+
+    #[test]
+    fn empty_fault_schedule_matches_unfaulted_run() {
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let plain = run_synthetic(&net, &policy, &SyntheticPattern::Uniform, 0.4, 60_000, 10_000, cfg);
+        let faulted = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &FaultSchedule::new(),
+            0.4,
+            60_000,
+            10_000,
+            cfg,
+        )
+        .expect("empty schedule is a valid run");
+        assert_eq!(plain, faulted, "no faults must mean a byte-identical run");
+        assert_eq!(faulted.dropped_packets, 0);
+        assert_eq!(faulted.retried_packets, 0);
+    }
+
+    #[test]
+    fn midrun_link_failure_degrades_gracefully() {
+        // Fail one link of a Slim Fly a third of the way into the run:
+        // the repaired (hop-indexed) policy takes over for new traffic
+        // and the run finishes without wedging.
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_link(0, net.neighbors(0)[0]);
+        let schedule = FaultSchedule::new().at(20_000, fs);
+        let stats = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &schedule,
+            0.4,
+            60_000,
+            10_000,
+            cfg,
+        )
+        .expect("degraded slim fly remains simulable");
+        assert!(!stats.deadlocked, "one failed link must not wedge the run");
+        assert!(stats.delivered_packets > 100);
+    }
+
+    #[test]
+    fn partitioning_the_only_link_drops_traffic_without_wedging() {
+        // The pair network has exactly one link; killing it mid-run
+        // strands cross traffic. Drops (in-flight drain-or-drop plus
+        // source-side retry exhaustion) must account for every stranded
+        // packet, so the run ends cleanly instead of wedging.
+        let net = two_routers();
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_link(0, 1);
+        let schedule = FaultSchedule::new().at(40_000, fs);
+        let stats = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Permutation(vec![1, 0]),
+            &schedule,
+            0.5,
+            160_000,
+            8_000,
+            cfg,
+        )
+        .expect("a partitioned pair still simulates");
+        assert!(
+            !stats.deadlocked,
+            "accounted drops must keep a partition from reading as deadlock"
+        );
+        assert!(stats.delivered_packets > 0, "pre-fault traffic delivered");
+        assert!(
+            stats.dropped_packets > 0,
+            "post-fault traffic must be dropped, not lost silently"
+        );
+    }
+
+    #[test]
+    fn faulted_probe_records_link_down_events() {
+        let net = two_routers();
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_link(0, 1);
+        let schedule = FaultSchedule::new().at(30_000, fs);
+        let (stats, report) = run_synthetic_faulted_probed(
+            &net,
+            &policy,
+            &SyntheticPattern::Permutation(vec![1, 0]),
+            &schedule,
+            0.5,
+            120_000,
+            8_000,
+            cfg,
+            ProbeConfig::default(),
+        )
+        .expect("probed faulted run");
+        assert!(stats.dropped_packets > 0);
+        let downs: usize = report
+            .rings
+            .iter()
+            .flat_map(|ring| ring.iter())
+            .filter(|e| matches!(e.kind, RingEventKind::LinkDown { .. }))
+            .count();
+        assert_eq!(downs, 2, "one LinkDown per endpoint router");
+    }
+
+    #[test]
+    fn router_failure_orphans_its_destinations() {
+        // Killing a router mid-run makes every destination behind it
+        // unroutable: sources park, back off, and eventually drop those
+        // packets at the source.
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let victim = net.endpoint_routers()[0];
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_router(victim);
+        let schedule = FaultSchedule::new().at(20_000, fs);
+        let stats = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &schedule,
+            0.3,
+            120_000,
+            10_000,
+            cfg,
+        )
+        .expect("degraded mlfm remains simulable");
+        assert!(!stats.deadlocked);
+        assert!(stats.dropped_packets > 0, "orphaned traffic must be dropped");
+    }
+
+    #[test]
+    fn fault_schedule_with_nonsense_ids_is_harmless() {
+        let net = mlfm(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig::default();
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_link(10_000, 10_001); // out of range
+        fs.fail_link(0, 1); // not necessarily adjacent
+        let schedule = FaultSchedule::new().at(20_000, fs);
+        let stats = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &schedule,
+            0.3,
+            60_000,
+            10_000,
+            cfg,
+        )
+        .expect("invalid fault ids are filtered, not fatal");
+        assert!(!stats.deadlocked);
+    }
+
+    #[test]
+    fn retry_injects_after_policy_recovery_event() {
+        use crate::engine::synthetic_sources;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let net = mlfm(3);
+        let full = RoutePolicy::new(&net, Algorithm::Minimal);
+        // A policy repaired around a *virtually* failed router: valid on
+        // the real network, but blind to the victim's destinations.
+        let victim = net.endpoint_routers()[0];
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_router(victim);
+        let blind = RoutePolicy::repair(&net.degrade(&fs), Algorithm::Minimal);
+        assert!(blind.tables().unreachable_pairs() > 0);
+
+        let cfg = SimConfig::default();
+        let end_ps = 120_000 * 1_000u64;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let sources =
+            synthetic_sources(&net, &SyntheticPattern::Uniform, 0.3, end_ps, &cfg, &mut rng);
+        // No ports die. At 20µs injections go blind — traffic toward the
+        // victim parks for retry, because the 40µs event can still route
+        // it. After 40µs the parked packets inject on retry.
+        let events = vec![
+            EngineFault {
+                t_ps: 20_000_000,
+                faults: d2net_topo::FaultSet::new(),
+                policy: &blind,
+            },
+            EngineFault {
+                t_ps: 40_000_000,
+                faults: d2net_topo::FaultSet::new(),
+                policy: &full,
+            },
+        ];
+        let mut engine =
+            Engine::try_new_faulted(&net, &full, cfg, sources, 10_000_000, rng, events)
+                .expect("recovery schedule builds");
+        let (stats, _) = engine.run_synthetic_to(0.3, end_ps);
+        assert!(!stats.deadlocked);
+        assert!(
+            stats.retried_packets > 0,
+            "packets parked during the blind window must inject after recovery"
+        );
+        assert!(stats.delivered_packets > 0);
+    }
+
+    #[test]
+    fn statically_severed_destinations_drop_without_stalling_sources() {
+        // A permanently orphaned router (no recovery pending) must not
+        // head-of-line-block healthy traffic: drops are immediate and
+        // the rest of the network keeps its throughput.
+        let net = mlfm(3);
+        let victim = net.endpoint_routers()[0];
+        let mut fs = d2net_topo::FaultSet::new();
+        fs.fail_router(victim);
+        let degraded = net.degrade(&fs);
+        let policy = RoutePolicy::repair(&degraded, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &degraded,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.4,
+            60_000,
+            10_000,
+            SimConfig::default(),
+        );
+        assert!(!stats.deadlocked);
+        assert!(stats.dropped_packets > 0, "severed traffic is dropped, counted");
+        assert_eq!(stats.retried_packets, 0, "no pending recovery, no parking");
+        assert!(
+            stats.throughput > 0.2,
+            "healthy pairs must keep most of the offered load, got {}",
+            stats.throughput
+        );
+    }
+
+    #[test]
+    fn rejected_config_sweep_returns_stubs_and_notice_serial_and_parallel() {
+        // An undersized buffer cannot hold a single packet per VC; both
+        // sweep harnesses must surface that as a notice plus stub points
+        // (identical shape), not a process abort.
+        let net = two_routers();
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let cfg = SimConfig {
+            buffer_bytes: 10,
+            ..SimConfig::default()
+        };
+        let loads = [0.2, 0.4];
+        let serial = load_sweep_collect(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &loads,
+            30_000,
+            6_000,
+            cfg,
+        );
+        assert_eq!(serial.notices.len(), 1);
+        assert!(
+            serial.notices[0].message.contains("rejected"),
+            "{}",
+            serial.notices[0].message
+        );
+        assert!(serial
+            .points
+            .iter()
+            .all(|p| p.stats.deadlocked && p.stats.delivered_packets == 0));
+        let parallel = par_load_sweep_collect(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &loads,
+            30_000,
+            6_000,
+            cfg,
+            2,
+        );
+        assert_eq!(serial, parallel, "rejection shape must match serial");
     }
 }

@@ -209,8 +209,15 @@ fn par_sweep_core(
         order.iter().all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
     });
     // One static pass covers every load point (verification is
-    // load-independent), exactly as the serial sweep does.
-    let cfg = crate::engine::preflight_once(net, policy, cfg);
+    // load-independent), exactly as the serial sweep does — including
+    // the shape of a rejected configuration's outcome.
+    let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
+        Ok(cfg) => cfg,
+        Err(e) => return crate::sweep::rejected_outcome(loads, e),
+    };
+    if let Err(e) = PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
+        return crate::sweep::rejected_outcome(loads, e);
+    }
     let threads = resolve_threads(threads).min(n.max(1));
     type Slot = Option<(SyntheticStats, Option<TelemetrySummary>)>;
     let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -223,7 +230,8 @@ fn par_sweep_core(
         for _ in 0..threads {
             s.spawn(|| {
                 let mut runner =
-                    PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+                    PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns)
+                        .expect("validated before spawning workers");
                 loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     if k >= n {

@@ -25,6 +25,14 @@ pub struct SyntheticStats {
     /// Utilization of the busiest router-to-router link (fraction of
     /// link bandwidth over the measurement window).
     pub max_link_utilization: f64,
+    /// Packets lost to failures: unroutable at the source after the
+    /// injector's retries ran out, or dropped in-network because their
+    /// route crossed a link that failed mid-run. Always 0 on a pristine
+    /// network with no fault schedule.
+    pub dropped_packets: u64,
+    /// Packets that were eventually injected after at least one
+    /// unroutable-destination retry at the source.
+    pub retried_packets: u64,
     /// True if the network wedged (no event progress with packets
     /// in flight) — a routing deadlock.
     pub deadlocked: bool,
@@ -46,8 +54,19 @@ impl SyntheticStats {
             avg_hops: 0.0,
             p99_delay_ns: 0,
             max_link_utilization: 0.0,
+            dropped_packets: 0,
+            retried_packets: 0,
             deadlocked: true,
         }
+    }
+
+    /// A placeholder for a sweep point that could not be simulated at
+    /// all because its configuration was rejected (preflight failure,
+    /// inconsistent parameters): all measurements zero, `deadlocked`
+    /// set so downstream consumers treat the point as unusable. The
+    /// accompanying [`crate::SweepNotice`] carries the reason.
+    pub fn rejected_stub(load: f64) -> Self {
+        Self::deadlocked_stub(load)
     }
 }
 

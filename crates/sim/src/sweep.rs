@@ -53,9 +53,39 @@ impl SweepNotice {
         }
     }
 
+    /// A sweep whose configuration was rejected before any point could
+    /// run (failed preflight, undersized buffers, warm-up ≥ duration).
+    pub(crate) fn rejected(load: f64, reason: String) -> Self {
+        SweepNotice {
+            index: 0,
+            load,
+            message: format!("configuration rejected before simulating any point: {reason}"),
+        }
+    }
+
     /// One-line rendering, as the legacy stderr message.
     pub fn render(&self) -> String {
         format!("load_sweep: {}", self.message)
+    }
+}
+
+/// The outcome of a sweep whose configuration was rejected up front:
+/// every load carries a [`SyntheticStats::rejected_stub`] and a single
+/// notice carries the reason — the same shape serial and parallel.
+pub(crate) fn rejected_outcome(loads: &[f64], reason: String) -> SweepOutcome {
+    SweepOutcome {
+        points: loads
+            .iter()
+            .map(|&load| SweepPoint {
+                load,
+                stats: SyntheticStats::rejected_stub(load),
+                telemetry: None,
+            })
+            .collect(),
+        notices: vec![SweepNotice::rejected(
+            loads.first().copied().unwrap_or(0.0),
+            reason,
+        )],
     }
 }
 
@@ -110,18 +140,26 @@ pub(crate) struct PointRunner<'a> {
 
 impl<'a> PointRunner<'a> {
     /// `cfg` must already have preflight resolved (see
-    /// [`crate::engine::preflight_once`]); the runner never re-verifies.
-    pub(crate) fn new(
+    /// [`crate::engine::try_preflight_once`]); the runner never
+    /// re-verifies. Inconsistent parameters (warm-up ≥ duration, buffers
+    /// too small for the policy's VCs) come back as a coded `Err` for the
+    /// sweep to surface as a [`SweepNotice`] — after this succeeds,
+    /// building the engine per point cannot fail.
+    pub(crate) fn try_new(
         net: &'a Network,
         policy: &'a RoutePolicy,
         pattern: &'a SyntheticPattern,
         cfg: SimConfig,
         duration_ns: u64,
         warmup_ns: u64,
-    ) -> Self {
-        d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)
-            .unwrap_or_else(|e| panic!("{e}"));
-        PointRunner {
+    ) -> Result<Self, String> {
+        d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)?;
+        d2net_verify::invariant::vc_buffer_sufficient(
+            cfg.buffer_bytes,
+            policy.num_vcs(),
+            cfg.packet_bytes,
+        )?;
+        Ok(PointRunner {
             net,
             policy,
             pattern,
@@ -129,7 +167,7 @@ impl<'a> PointRunner<'a> {
             end_ps: duration_ns * 1_000,
             warmup_ps: warmup_ns * 1_000,
             engine: None,
-        }
+        })
     }
 
     /// Runs point `idx` at `load`; the result depends only on
@@ -182,8 +220,14 @@ pub fn load_sweep_collect(
 ) -> SweepOutcome {
     // One static pass covers every load point: verification is
     // load-independent, so the per-point configs run with it disabled.
-    let cfg = crate::engine::preflight_once(net, policy, cfg);
-    let mut runner = PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+    let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
+        Ok(cfg) => cfg,
+        Err(e) => return rejected_outcome(loads, e),
+    };
+    let mut runner = match PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
+        Ok(r) => r,
+        Err(e) => return rejected_outcome(loads, e),
+    };
     sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
         Some(_) => SweepPoint {
             load,
@@ -227,8 +271,14 @@ pub fn load_sweep_probed_collect(
     cfg: SimConfig,
     probe: ProbeConfig,
 ) -> SweepOutcome {
-    let cfg = crate::engine::preflight_once(net, policy, cfg);
-    let mut runner = PointRunner::new(net, policy, pattern, cfg, duration_ns, warmup_ns);
+    let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
+        Ok(cfg) => cfg,
+        Err(e) => return rejected_outcome(loads, e),
+    };
+    let mut runner = match PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
+        Ok(r) => r,
+        Err(e) => return rejected_outcome(loads, e),
+    };
     sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
         Some(_) => SweepPoint {
             load,

@@ -78,6 +78,9 @@ pub enum RingEventKind {
         out_port: u32,
         out_vc: u8,
     },
+    /// A scheduled fault took this router's link to `peer_router` down;
+    /// `dropped` packets were flushed from the dead output's buffers.
+    LinkDown { peer_router: u32, dropped: u32 },
 }
 
 /// Which side of a switch a blocked buffer sits on.
@@ -125,8 +128,28 @@ pub struct DeadlockReport {
 }
 
 impl DeadlockReport {
+    /// True when the wedge shows **no** wait-for cycle: packets are
+    /// stranded but nothing is circularly blocked. With faults in play
+    /// this is the signature of a partition (traffic committed to
+    /// destinations that became unreachable), not of a VC credit
+    /// deadlock — the two need different fixes, so forensics keeps them
+    /// apart. The cycle is empty exactly in this case.
+    pub fn is_partition(&self) -> bool {
+        self.cycle.is_empty()
+    }
+
     /// Human-readable rendering of the cycle, one line per wait point.
     pub fn render(&self) -> String {
+        if self.is_partition() {
+            return format!(
+                "WEDGED WITHOUT A WAIT-FOR CYCLE at t={} ns: {} packets stranded \
+                 but no buffer waits on another — consistent with a network \
+                 partition (in-flight traffic toward unreachable destinations), \
+                 not a VC credit deadlock\n",
+                self.t_ps / 1_000,
+                self.stranded_packets,
+            );
+        }
         let mut s = format!(
             "DEADLOCK at t={} ns: {} packets stranded; wait-for cycle of {} buffers:\n",
             self.t_ps / 1_000,
@@ -435,6 +458,22 @@ impl Telemetry {
         self.win_sent[port as usize] += bytes as u64;
     }
 
+    /// A scheduled fault killed one of `router`'s links; `dropped`
+    /// queued packets were flushed from the dead output buffers.
+    #[inline]
+    pub fn on_link_down(&mut self, t_ps: u64, router: u32, peer_router: u32, dropped: u32) {
+        self.ring_push(
+            router,
+            RingEvent {
+                t_ps,
+                kind: RingEventKind::LinkDown {
+                    peer_router,
+                    dropped,
+                },
+            },
+        );
+    }
+
     /// An input (port, VC) transitioned into the blocked state.
     #[inline]
     pub fn on_blocked(&mut self, t_ps: u64, in_port: u32, in_vc: u8, out_port: u32, out_vc: u8) {
@@ -682,5 +721,36 @@ mod tests {
         assert!(s.contains("7 packets stranded"));
         assert!(s.contains("cycle of 2 buffers"));
         assert!(s.contains("credit missing"));
+        assert!(!rep.is_partition());
+    }
+
+    #[test]
+    fn partition_report_renders_distinctly_from_deadlock() {
+        let rep = DeadlockReport {
+            cycle: Vec::new(),
+            stranded_packets: 3,
+            t_ps: 2_000_000,
+        };
+        assert!(rep.is_partition());
+        let s = rep.render();
+        assert!(s.contains("WEDGED WITHOUT A WAIT-FOR CYCLE at t=2000 ns"));
+        assert!(s.contains("3 packets stranded"));
+        assert!(s.contains("partition"));
+        assert!(!s.contains("DEADLOCK at"));
+    }
+
+    #[test]
+    fn link_down_events_land_in_the_ring() {
+        let mut t = probe_2ports();
+        t.on_link_down(5, 0, 7, 2);
+        let r = t.into_report(None);
+        assert_eq!(r.rings[0].len(), 1);
+        assert!(matches!(
+            r.rings[0][0].kind,
+            RingEventKind::LinkDown {
+                peer_router: 7,
+                dropped: 2
+            }
+        ));
     }
 }

@@ -1,0 +1,262 @@
+//! Fault injection: failed links and routers, and graceful degradation.
+//!
+//! The paper's cost argument for diameter-two topologies assumes the
+//! network survives component failures; the related Slim Fly work (Besta
+//! & Hoefler §resilience; Blach et al., arXiv 2310.03742) evaluates
+//! exactly this by removing random links and measuring what routing can
+//! still deliver. A [`FaultSet`] names the failed components — either
+//! hand-picked or deterministically sampled from a seed at a given
+//! failure fraction — and [`Network::degrade`](crate::Network::degrade)
+//! produces the faulted network with **stable router and node ids**:
+//! only adjacency shrinks, so routing tables, traffic patterns and
+//! telemetry indices stay comparable across failure fractions.
+
+use crate::graph::{Network, RouterId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set of failed components: undirected router-router links (stored as
+/// normalized `(low, high)` pairs) and whole routers (a failed router
+/// loses every incident link, but keeps its id and attached node ids).
+///
+/// Ids that do not exist in the network a set is applied to are ignored —
+/// fault schedules may legitimately outlive the config they were written
+/// for, and fuzzers feed arbitrary ids on purpose.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    links: Vec<(RouterId, RouterId)>,
+    routers: Vec<RouterId>,
+}
+
+impl FaultSet {
+    /// The empty fault set (a pristine network).
+    pub fn new() -> Self {
+        FaultSet::default()
+    }
+
+    /// Marks the undirected link `{a, b}` failed. Self-loops are ignored.
+    pub fn fail_link(&mut self, a: RouterId, b: RouterId) -> &mut Self {
+        if a != b {
+            let pair = (a.min(b), a.max(b));
+            if let Err(at) = self.links.binary_search(&pair) {
+                self.links.insert(at, pair);
+            }
+        }
+        self
+    }
+
+    /// Marks router `r` failed (all its incident links die with it).
+    pub fn fail_router(&mut self, r: RouterId) -> &mut Self {
+        if let Err(at) = self.routers.binary_search(&r) {
+            self.routers.insert(at, r);
+        }
+        self
+    }
+
+    /// Deterministically samples `ceil(fraction · L)` of the network's
+    /// router-router links to fail, where `L` is the live link count: a
+    /// seeded shuffle of [`Network::links`], so the same `(net, fraction,
+    /// seed)` always fails the same links and growing the fraction only
+    /// extends the failed prefix.
+    pub fn sample_links(net: &Network, fraction: f64, seed: u64) -> Self {
+        let mut links = net.links();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        links.shuffle(&mut rng);
+        let take = ((fraction.clamp(0.0, 1.0) * links.len() as f64).ceil() as usize)
+            .min(links.len());
+        links.truncate(take);
+        links.sort_unstable();
+        FaultSet {
+            links,
+            routers: Vec::new(),
+        }
+    }
+
+    /// Deterministically samples `ceil(fraction · R)` routers to fail,
+    /// by the same seeded-shuffle scheme as [`FaultSet::sample_links`].
+    pub fn sample_routers(net: &Network, fraction: f64, seed: u64) -> Self {
+        let mut routers: Vec<RouterId> = (0..net.num_routers()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        routers.shuffle(&mut rng);
+        let take = ((fraction.clamp(0.0, 1.0) * routers.len() as f64).ceil() as usize)
+            .min(routers.len());
+        routers.truncate(take);
+        routers.sort_unstable();
+        FaultSet {
+            links: Vec::new(),
+            routers,
+        }
+    }
+
+    /// The explicitly failed links, normalized and sorted.
+    pub fn failed_links(&self) -> &[(RouterId, RouterId)] {
+        &self.links
+    }
+
+    /// The failed routers, sorted.
+    pub fn failed_routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+
+    /// True if nothing is failed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.routers.is_empty()
+    }
+
+    /// True if the undirected link `{a, b}` is failed — either explicitly
+    /// or because one of its endpoints is a failed router.
+    pub fn link_is_failed(&self, a: RouterId, b: RouterId) -> bool {
+        let pair = (a.min(b), a.max(b));
+        self.links.binary_search(&pair).is_ok()
+            || self.router_is_failed(a)
+            || self.router_is_failed(b)
+    }
+
+    /// True if router `r` is failed.
+    pub fn router_is_failed(&self, r: RouterId) -> bool {
+        self.routers.binary_search(&r).is_ok()
+    }
+
+    /// Restricts the set to components that exist in `net`: routers in
+    /// range and links present in the adjacency. This is what
+    /// [`Network::degrade`] records on the degraded network, so the
+    /// reported failure counts reflect what was actually removed.
+    pub fn applied_to(&self, net: &Network) -> FaultSet {
+        FaultSet {
+            links: self
+                .links
+                .iter()
+                .copied()
+                .filter(|&(a, b)| {
+                    a < net.num_routers() && b < net.num_routers() && net.are_adjacent(a, b)
+                })
+                .collect(),
+            routers: self
+                .routers
+                .iter()
+                .copied()
+                .filter(|&r| r < net.num_routers())
+                .collect(),
+        }
+    }
+
+    /// Union of two fault sets.
+    pub fn merged(&self, other: &FaultSet) -> FaultSet {
+        let mut out = self.clone();
+        for &(a, b) in &other.links {
+            out.fail_link(a, b);
+        }
+        for &r in &other.routers {
+            out.fail_router(r);
+        }
+        out
+    }
+
+    /// One-line human-readable summary, e.g. `3 links + 1 router failed`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} link{} + {} router{} failed",
+            self.links.len(),
+            if self.links.len() == 1 { "" } else { "s" },
+            self.routers.len(),
+            if self.routers.len() == 1 { "" } else { "s" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mlfm, slim_fly, SlimFlyP};
+
+    #[test]
+    fn hand_picked_sets_normalize() {
+        let mut fs = FaultSet::new();
+        fs.fail_link(7, 3).fail_link(3, 7).fail_link(5, 5).fail_router(2);
+        assert_eq!(fs.failed_links(), &[(3, 7)]);
+        assert_eq!(fs.failed_routers(), &[2]);
+        assert!(fs.link_is_failed(7, 3));
+        assert!(fs.link_is_failed(2, 9), "failed router kills its links");
+        assert!(!fs.link_is_failed(4, 9));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let total = net.links().len();
+        let a = FaultSet::sample_links(&net, 0.05, 42);
+        let b = FaultSet::sample_links(&net, 0.05, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.failed_links().len(), (0.05f64 * total as f64).ceil() as usize);
+        let c = FaultSet::sample_links(&net, 0.05, 43);
+        assert_ne!(a, c, "different seeds fail different links");
+        // All sampled links exist.
+        for &(x, y) in a.failed_links() {
+            assert!(net.are_adjacent(x, y));
+        }
+        // Fraction 0 fails nothing; fraction 1 fails everything.
+        assert!(FaultSet::sample_links(&net, 0.0, 1).is_empty());
+        assert_eq!(FaultSet::sample_links(&net, 1.0, 1).failed_links().len(), total);
+    }
+
+    #[test]
+    fn degrade_removes_links_but_keeps_ids() {
+        let net = mlfm(4);
+        let fs = FaultSet::sample_links(&net, 0.1, 7);
+        let deg = net.degrade(&fs);
+        assert_eq!(deg.num_routers(), net.num_routers());
+        assert_eq!(deg.num_nodes(), net.num_nodes());
+        assert_eq!(deg.name(), net.name());
+        assert!(deg.is_degraded() && !net.is_degraded());
+        assert_eq!(
+            deg.links().len(),
+            net.links().len() - fs.failed_links().len()
+        );
+        for &(a, b) in fs.failed_links() {
+            assert!(!deg.are_adjacent(a, b));
+        }
+        // Node attachment is untouched.
+        for n in 0..net.num_nodes() {
+            assert_eq!(deg.node_router(n), net.node_router(n));
+        }
+    }
+
+    #[test]
+    fn degrade_router_failure_isolates_it() {
+        let net = mlfm(3);
+        let mut fs = FaultSet::new();
+        fs.fail_router(0);
+        let deg = net.degrade(&fs);
+        assert_eq!(deg.degree(0), 0);
+        for r in 1..deg.num_routers() {
+            assert!(!deg.are_adjacent(r, 0));
+        }
+    }
+
+    #[test]
+    fn degrade_ignores_nonexistent_ids() {
+        let net = mlfm(3);
+        let mut fs = FaultSet::new();
+        fs.fail_link(0, 9999).fail_link(100_000, 100_001).fail_router(77_777);
+        // Link (0, 9999): router 9999 does not exist — nothing to remove.
+        let deg = net.degrade(&fs);
+        assert_eq!(deg.links().len(), net.links().len());
+        let applied = deg.faults().unwrap();
+        assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn degrading_a_degraded_network_accumulates() {
+        let net = mlfm(4);
+        let first = FaultSet::sample_links(&net, 0.05, 1);
+        let deg1 = net.degrade(&first);
+        let second = FaultSet::sample_links(&deg1, 0.05, 2);
+        let deg2 = deg1.degrade(&second);
+        let recorded = deg2.faults().unwrap();
+        assert_eq!(
+            recorded.failed_links().len(),
+            first.failed_links().len() + second.failed_links().len()
+        );
+    }
+}

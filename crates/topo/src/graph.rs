@@ -4,6 +4,7 @@
 //! sorted `Vec`s; the hot queries used by routing (`are_adjacent`,
 //! `common_neighbors`) are O(degree) merges with no hashing or allocation.
 
+use crate::fault::FaultSet;
 use crate::TopologyKind;
 
 /// Router id.
@@ -25,6 +26,9 @@ pub struct Network {
     node_base: Vec<u32>,
     /// Number of end-nodes attached to each router.
     nodes_at: Vec<u32>,
+    /// The accumulated fault set this network was degraded with, if any
+    /// (see [`Network::degrade`]). `None` means a pristine network.
+    faults: Option<FaultSet>,
 }
 
 impl Network {
@@ -68,7 +72,54 @@ impl Network {
             node_router,
             node_base,
             nodes_at,
+            faults: None,
         }
+    }
+
+    /// Produces the degraded network obtained by removing the failed
+    /// components of `faults`: explicitly failed links disappear from the
+    /// adjacency and failed routers lose every incident link (becoming
+    /// isolated vertices). Router and node ids are **stable** — nothing
+    /// is renumbered, endpoint attachment is untouched — so routing
+    /// tables, traffic patterns and telemetry remain index-compatible
+    /// with the pristine network. Fault ids that don't exist here are
+    /// ignored. Degrading an already-degraded network accumulates the
+    /// fault sets.
+    pub fn degrade(&self, faults: &FaultSet) -> Network {
+        let applied = faults.applied_to(self);
+        let adj = self
+            .adj
+            .iter()
+            .enumerate()
+            .map(|(i, list)| {
+                list.iter()
+                    .copied()
+                    .filter(|&n| !applied.link_is_failed(i as u32, n))
+                    .collect()
+            })
+            .collect();
+        let recorded = match &self.faults {
+            Some(prior) => prior.merged(&applied),
+            None => applied,
+        };
+        Network {
+            kind: self.kind.clone(),
+            adj,
+            node_router: self.node_router.clone(),
+            node_base: self.node_base.clone(),
+            nodes_at: self.nodes_at.clone(),
+            faults: Some(recorded),
+        }
+    }
+
+    /// True if this network was produced by [`Network::degrade`].
+    pub fn is_degraded(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The accumulated fault set of a degraded network.
+    pub fn faults(&self) -> Option<&FaultSet> {
+        self.faults.as_ref()
     }
 
     /// The topology family and parameters this network was built from.

@@ -15,6 +15,7 @@
 //! routing, traffic and simulation crates.
 
 pub mod fattree;
+pub mod fault;
 pub mod graph;
 pub mod hyperx;
 pub mod io;
@@ -25,14 +26,17 @@ pub mod slimfly;
 pub mod spt;
 
 pub use fattree::{fat_tree2, FatTree2Params};
+pub use fault::FaultSet;
 pub use graph::{Network, NodeId, RouterId};
 pub use io::{from_edge_list, to_dot, to_edge_list};
 pub use hyperx::{hyperx2, hyperx2_balanced, HyperX2Params};
 pub use mlfm::{mlfm, mlfm_general, MlfmLayout, MlfmParams};
-pub use oft::{ml3b, oft, oft_general, OftParams};
+pub use oft::{ml3b, oft, oft_general, try_oft, try_oft_general, OftParams};
 pub use random::random_connected;
-pub use slimfly::{slim_fly, SlimFlyP, SlimFlyParams};
-pub use spt::{stacked_sspt, try_validate_sspt, validate_sspt, SsptParams, SsptReport};
+pub use slimfly::{slim_fly, try_slim_fly, SlimFlyP, SlimFlyParams};
+pub use spt::{
+    stacked_sspt, try_stacked_sspt, try_validate_sspt, validate_sspt, SsptParams, SsptReport,
+};
 
 /// The topology family and parameters a [`Network`] was built from.
 /// Routing and traffic generators dispatch on this to apply

@@ -80,6 +80,18 @@ pub fn ml3b(k: u64) -> Vec<Vec<u64>> {
 /// L2 = `2RL..3RL`; nodes attach contiguously to L0 then L2, matching the
 /// paper's intra-layer → inter-layer contiguous mapping.
 pub fn oft_general(k: u64, p: u32) -> Network {
+    try_oft_general(k, p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`oft_general`]: returns an error instead of
+/// panicking when `k − 1` is not prime (no ML3B construction), so
+/// parameter sweeps can skip invalid instances.
+pub fn try_oft_general(k: u64, p: u32) -> Result<Network, String> {
+    if k < 2 || !is_prime(k - 1) {
+        return Err(format!(
+            "k-ML3B construction requires k - 1 prime, got k = {k}"
+        ));
+    }
     let rl = routers_per_level(k);
     let table = ml3b(k);
     let total = (3 * rl) as usize;
@@ -100,7 +112,16 @@ pub fn oft_general(k: u64, p: u32) -> Network {
     let mut nodes_at = vec![p; rl as usize]; // L0
     nodes_at.extend(std::iter::repeat_n(0, rl as usize)); // L1
     nodes_at.extend(std::iter::repeat_n(p, rl as usize)); // L2
-    Network::from_parts(TopologyKind::Oft(OftParams { k, p }), adj, nodes_at)
+    Ok(Network::from_parts(
+        TopologyKind::Oft(OftParams { k, p }),
+        adj,
+        nodes_at,
+    ))
+}
+
+/// Fallible variant of [`oft`] (`p = k`).
+pub fn try_oft(k: u64) -> Result<Network, String> {
+    try_oft_general(k, k as u32)
 }
 
 /// Builds the paper's `k`-OFT (`p = k`).

@@ -136,9 +136,16 @@ pub fn generator_sets(gf: &Gf, delta: i64, w: u64) -> (Vec<u64>, Vec<u64>) {
 /// column first (rows `y`), then columns `x`, then subgraphs `s`, i.e.
 /// router id = `s·q² + x·q + y`.
 pub fn slim_fly(q: u64, p: SlimFlyP) -> Network {
-    let (delta, w) =
-        slim_fly_form(q).unwrap_or_else(|| panic!("q = {q} is not a valid Slim Fly prime power"));
-    let gf = Gf::new(q);
+    try_slim_fly(q, p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`slim_fly`]: returns an error instead of panicking
+/// when `q` is not a valid Slim Fly prime power, so parameter sweeps can
+/// skip invalid instances instead of aborting.
+pub fn try_slim_fly(q: u64, p: SlimFlyP) -> Result<Network, String> {
+    let (delta, w) = slim_fly_form(q)
+        .ok_or_else(|| format!("q = {q} is not a valid Slim Fly prime power"))?;
+    let gf = Gf::try_new(q)?;
     let (xs, xps) = generator_sets(&gf, delta, w);
 
     let network_radix = (3 * q as i64 - delta) as u64 / 2;
@@ -186,11 +193,11 @@ pub fn slim_fly(q: u64, p: SlimFlyP) -> Network {
         p,
         network_radix: network_radix as u32,
     };
-    Network::from_parts(
+    Ok(Network::from_parts(
         TopologyKind::SlimFly(params),
         adj,
         vec![p; 2 * qq],
-    )
+    ))
 }
 
 #[cfg(test)]

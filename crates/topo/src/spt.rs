@@ -91,12 +91,23 @@ pub fn spt_incidence(r1: u64, r2: u64) -> Option<Vec<Vec<u64>>> {
 /// Panics if `r2` does not divide `2·r1` or no SPT(r1, r2) construction
 /// is known.
 pub fn stacked_sspt(r1: u64, r2: u64, p: u32) -> crate::graph::Network {
-    assert!(
-        (2 * r1).is_multiple_of(r2),
-        "stacking requires r2 | 2·r1 (got r1 = {r1}, r2 = {r2})"
-    );
+    try_stacked_sspt(r1, r2, p).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`stacked_sspt`]: returns an error instead of
+/// panicking when the stacking divisibility fails or no SPT construction
+/// is known, so parameter sweeps can skip invalid instances.
+pub fn try_stacked_sspt(r1: u64, r2: u64, p: u32) -> Result<crate::graph::Network, String> {
+    if r1 == 0 || r2 == 0 {
+        return Err(format!("SPT radices must be positive (got r1 = {r1}, r2 = {r2})"));
+    }
+    if !(2 * r1).is_multiple_of(r2) {
+        return Err(format!(
+            "stacking requires r2 | 2·r1 (got r1 = {r1}, r2 = {r2})"
+        ));
+    }
     let incidence = spt_incidence(r1, r2)
-        .unwrap_or_else(|| panic!("no known SPT(r1 = {r1}, r2 = {r2}) interconnection pattern"));
+        .ok_or_else(|| format!("no known SPT(r1 = {r1}, r2 = {r2}) interconnection pattern"))?;
     let copies = 2 * r1 / r2;
     let n1 = incidence.len() as u64; // level-1 routers per copy
     let n2 = spt_level2_routers(r1, r2).expect("incidence exists implies divisibility");
@@ -121,11 +132,11 @@ pub fn stacked_sspt(r1: u64, r2: u64, p: u32) -> crate::graph::Network {
     }
     let mut nodes_at = vec![p; (copies * n1) as usize];
     nodes_at.extend(std::iter::repeat_n(0, n2 as usize));
-    crate::graph::Network::from_parts(
+    Ok(crate::graph::Network::from_parts(
         crate::TopologyKind::Sspt(SsptParams { r1, r2, p, copies }),
         adj,
         nodes_at,
-    )
+    ))
 }
 
 /// Report from [`validate_sspt`].

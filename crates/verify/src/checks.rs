@@ -67,6 +67,16 @@ pub(crate) fn enumerate_labeled_routes(net: &Network, policy: &RoutePolicy) -> V
                 if d == s || d == m {
                     continue;
                 }
+                // Mirror the policy's intermediate eligibility rule: both
+                // segments must survive and the composition must fit a
+                // RoutePath (relevant on degraded networks only).
+                if !tables.is_reachable(s, m)
+                    || !tables.is_reachable(m, d)
+                    || tables.dist(s, m) as usize + tables.dist(m, d) as usize
+                        >= d2net_routing::MAX_PATH_ROUTERS
+                {
+                    continue;
+                }
                 for head in enumerate_min_paths(tables, s, m) {
                     for tail in enumerate_min_paths(tables, m, d) {
                         label(head.join(&tail), head.num_hops() as u8, true);
@@ -82,6 +92,16 @@ pub(crate) fn enumerate_labeled_routes(net: &Network, policy: &RoutePolicy) -> V
 /// structural laws, diameter promises, SSPT layering/stacking, Slim Fly
 /// MMS girth, and the radix/port census.
 pub(crate) fn check_topology(net: &Network, diags: &mut Vec<Diagnostic>) {
+    if net.is_degraded() {
+        // A degraded network deliberately breaks the class's structural
+        // laws (regularity, girth, layering, the diameter promise): those
+        // lints would only re-report the injected faults. What matters now
+        // is what routing can still deliver: partition among surviving
+        // endpoint routers is fatal, a stretched diameter is degradation
+        // to quantify, endpoints on failed routers are expected casualties.
+        check_degraded_topology(net, diags);
+        return;
+    }
     if !net.is_connected() {
         push(
             diags,
@@ -170,6 +190,108 @@ pub(crate) fn check_topology(net: &Network, diags: &mut Vec<Diagnostic>) {
             net.total_ports(),
             net.total_ports() as f64 / net.num_nodes().max(1) as f64,
             max_radix,
+        ),
+    );
+}
+
+/// Degraded-config diagnostics: fault inventory, endpoints lost to failed
+/// routers (WARN — expected casualties), partition among the *surviving*
+/// endpoint routers ("degraded-partition", ERROR — repaired routing
+/// cannot serve such a config), and the repaired endpoint-router diameter
+/// against the class's pristine promise of 2 ("degraded-diameter", WARN
+/// with the affected pair count — the config still works, slower).
+fn check_degraded_topology(net: &Network, diags: &mut Vec<Diagnostic>) {
+    let faults = net.faults().expect("degraded network records its faults");
+    push(
+        diags,
+        Severity::Info,
+        "degraded",
+        format!("degraded config: {}", faults.describe()),
+    );
+
+    let eps = net.endpoint_routers();
+    let (live, lost): (Vec<_>, Vec<_>) = eps
+        .iter()
+        .copied()
+        .partition(|&r| !faults.router_is_failed(r));
+    if !lost.is_empty() {
+        let lost_nodes: u64 = lost.iter().map(|&r| net.nodes_at(r) as u64).sum();
+        push(
+            diags,
+            Severity::Warning,
+            "degraded-endpoints-lost",
+            format!(
+                "{} endpoint router(s) failed outright, taking {lost_nodes} node(s) offline",
+                lost.len()
+            ),
+        );
+    }
+
+    // Reachability census over the surviving endpoint routers. One BFS
+    // per live endpoint router — same budget as the pristine diameter
+    // lint, and it must not use `Network::diameter` (panics when faults
+    // disconnect the graph).
+    let mut unreachable_pairs = 0u64;
+    let mut over_promise_pairs = 0u64;
+    let mut max_dia = 0u32;
+    for &s in &live {
+        let dist = net.bfs_distances(s);
+        for &d in &live {
+            if s == d {
+                continue;
+            }
+            let x = dist[d as usize];
+            if x == u32::MAX {
+                unreachable_pairs += 1;
+            } else {
+                max_dia = max_dia.max(x);
+                if x > 2 {
+                    over_promise_pairs += 1;
+                }
+            }
+        }
+    }
+    if unreachable_pairs > 0 {
+        push(
+            diags,
+            Severity::Error,
+            "degraded-partition",
+            format!(
+                "failures partition the network: {unreachable_pairs} ordered pairs of \
+                 surviving endpoint routers are mutually unreachable"
+            ),
+        );
+    }
+    let promises_diameter_two = !matches!(net.kind(), TopologyKind::Custom { .. });
+    if promises_diameter_two && over_promise_pairs > 0 {
+        push(
+            diags,
+            Severity::Warning,
+            "degraded-diameter",
+            format!(
+                "{} promises diameter 2 pristine; failures stretch {over_promise_pairs} \
+                 ordered endpoint-router pairs (repaired diameter {max_dia})",
+                net.name()
+            ),
+        );
+    } else {
+        push(
+            diags,
+            Severity::Info,
+            "diameter",
+            format!("repaired endpoint-router diameter {max_dia}"),
+        );
+    }
+    push(
+        diags,
+        Severity::Info,
+        "port-budget",
+        format!(
+            "{} routers ({} live endpoint routers), {} nodes, {} surviving links",
+            net.num_routers(),
+            live.len(),
+            net.num_nodes(),
+            net.links().len(),
         ),
     );
 }
@@ -275,6 +397,20 @@ pub(crate) fn check_tables(net: &Network, policy: &RoutePolicy, diags: &mut Vec<
             format!(
                 "routing tables sound over {} endpoint routers (minimal dist ≤ {dia})",
                 eps.len()
+            ),
+        );
+    } else if net.is_degraded() && over_diameter + bad_first_hops == 0 {
+        // On a degraded network, unreachable pairs are the accounted cost
+        // of the injected faults (whether that is fatal is decided by the
+        // degraded-partition lint); the finite entries are still required
+        // to be sound, which the two error counters above guarantee here.
+        push(
+            diags,
+            Severity::Warning,
+            "degraded-unreachable",
+            format!(
+                "{unreachable} ordered endpoint-router pairs have no surviving route; \
+                 traffic between them is unroutable and will be dropped at injection"
             ),
         );
     } else {

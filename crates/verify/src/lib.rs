@@ -256,6 +256,68 @@ mod tests {
     }
 
     #[test]
+    fn certifies_repaired_degraded_configs() {
+        use d2net_topo::FaultSet;
+        // Moderate link failures on each family: repair reroutes, the
+        // degraded lints replace the structural ones, and the repaired
+        // CDG is still provably acyclic — so the verdict is Certified
+        // (possibly with degraded-diameter warnings).
+        for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)] {
+            let deg = net.degrade(&FaultSet::sample_links(&net, 0.05, 11));
+            for algo in [Algorithm::Minimal, Algorithm::Valiant] {
+                let policy = RoutePolicy::repair(&deg, algo);
+                let report = verify(&deg, &policy, &VerifyParams::default());
+                assert_eq!(
+                    report.verdict(),
+                    Verdict::Certified,
+                    "{}\n{}",
+                    report.subject,
+                    report.render()
+                );
+                assert!(report.find("degraded").is_some());
+                assert!(report.find("topology-invariant").is_none());
+                assert!(report.find("diameter-promise").is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_partitioned_degraded_config() {
+        use d2net_topo::FaultSet;
+        // Sever every link of endpoint router 0 on the MLFM: the surviving
+        // endpoint routers can no longer reach it — partition, ERROR.
+        let net = mlfm(3);
+        let mut faults = FaultSet::new();
+        for &n in net.neighbors(0) {
+            faults.fail_link(0, n);
+        }
+        let deg = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&deg, Algorithm::Minimal);
+        let report = verify(&deg, &policy, &VerifyParams::default());
+        assert_eq!(report.verdict(), Verdict::Rejected, "{}", report.render());
+        let part = report.find("degraded-partition").expect("partition lint");
+        assert_eq!(part.severity, Severity::Error);
+        assert!(report.find("degraded-unreachable").is_some());
+    }
+
+    #[test]
+    fn failed_router_is_a_casualty_not_a_partition() {
+        use d2net_topo::FaultSet;
+        // A failed endpoint router takes its nodes offline (WARN), but the
+        // surviving endpoint routers still form one component → Certified.
+        let net = mlfm(4);
+        let mut faults = FaultSet::new();
+        faults.fail_router(0);
+        let deg = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&deg, Algorithm::Valiant);
+        let report = verify(&deg, &policy, &VerifyParams::default());
+        assert_eq!(report.verdict(), Verdict::Certified, "{}", report.render());
+        assert!(report.find("degraded-endpoints-lost").is_some());
+        assert!(report.find("degraded-partition").is_none());
+        assert!(report.find("degraded-unreachable").is_some());
+    }
+
+    #[test]
     fn mislabeled_network_fails_structural_lints() {
         use d2net_topo::slimfly::SlimFlyParams;
         // A square ring masquerading as a Slim Fly: class invariants and

@@ -188,6 +188,60 @@ fn sweep_points_equal_standalone_runs_with_derived_seeds() {
     }
 }
 
+/// The resilience sweep (fault sampling + table repair + degraded
+/// simulation per point) must be byte-identical between the serial and
+/// parallel harness on every evaluation family.
+#[test]
+fn resilience_sweep_serial_matches_parallel_across_families() {
+    let fractions = failure_fractions(0.10, 3);
+    let cfg = SimConfig::default();
+    for net in families() {
+        let serial = resilience_sweep(
+            &net, Algorithm::Minimal, &SyntheticPattern::Uniform, 0.3, &fractions,
+            20_000, 4_000, cfg,
+        );
+        let par = resilience_sweep_par(
+            &net, Algorithm::Minimal, &SyntheticPattern::Uniform, 0.3, &fractions,
+            20_000, 4_000, cfg, 3,
+        );
+        assert_eq!(serial, par, "{}: resilience sweeps diverged", net.name());
+        assert!(
+            serial.points.iter().all(|p| !p.stats.deadlocked),
+            "{}: a repaired point wedged",
+            net.name()
+        );
+    }
+}
+
+/// Mid-run fault injection must not break queue-implementation parity:
+/// a faulted run schedules byte-identically on the calendar queue and
+/// the reference binary heap.
+#[test]
+fn calendar_queue_matches_heap_on_faulted_runs() {
+    for net in families() {
+        let victim = net.neighbors(0)[0];
+        let schedule = FaultSchedule::new()
+            .at(8_000, FaultSet::new().fail_link(0, victim).clone())
+            .at(16_000, FaultSet::new().fail_router(net.endpoint_routers()[0]).clone());
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let run = |queue: EventQueueKind| {
+            let cfg = SimConfig {
+                event_queue: queue,
+                ..Default::default()
+            };
+            run_synthetic_faulted(
+                &net, &policy, &SyntheticPattern::Uniform, &schedule, 0.5, 40_000, 8_000, cfg,
+            )
+            .expect("faulted run constructs")
+        };
+        let cal = run(EventQueueKind::Calendar);
+        let heap = run(EventQueueKind::Heap);
+        assert_eq!(cal, heap, "{}: queues disagree under faults", net.name());
+        assert!(!cal.deadlocked, "{}: faulted run wedged", net.name());
+        assert!(cal.delivered_packets > 0, "{}", net.name());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -65,6 +65,76 @@ proptest! {
         prop_assert!(cdg.is_acyclic(), "hop-indexed VCs must be acyclic");
     }
 
+    /// Arbitrary fault sets — sampled links, sampled routers, and pure
+    /// nonsense ids far outside the network — degrade/repair/simulate
+    /// without panicking, and the repaired config stays live.
+    #[test]
+    fn random_fault_sets_degrade_without_panics(
+        seed in 0u64..400,
+        routers in 8u32..16,
+        link_pct in 0u32..=15,
+        router_pct in 0u32..=10,
+    ) {
+        let net = random_connected(routers, 4, 2, 3, seed);
+        let faults = FaultSet::sample_links(&net, link_pct as f64 / 100.0, seed ^ 0xa5a5)
+            .merged(&FaultSet::sample_routers(&net, router_pct as f64 / 100.0, seed ^ 0x5a5a))
+            .merged(
+                FaultSet::new()
+                    .fail_link(routers + 100, routers + 101)
+                    .fail_router(u32::MAX - seed as u32 % 7)
+                    .fail_link(0, 0),
+            );
+        let degraded = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&degraded, Algorithm::Minimal);
+        let stats = run_synthetic(
+            &degraded,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.6,
+            20_000,
+            4_000,
+            SimConfig::default(),
+        );
+        prop_assert!(!stats.deadlocked, "repaired random degradation wedged");
+        // Whatever the damage, the books balance: something is delivered
+        // unless the sample orphaned every live source's destinations.
+        prop_assert!(stats.delivered_packets > 0 || stats.dropped_packets > 0);
+    }
+
+    /// Arbitrary *mid-run* fault schedules — random times, random link
+    /// and router victims, nonsense ids included — never panic and never
+    /// wedge: dying links drain or drop, they don't strand.
+    #[test]
+    fn random_midrun_fault_schedules_never_wedge(
+        seed in 0u64..300,
+        routers in 8u32..14,
+        t1 in 2_000u64..20_000,
+        t2 in 20_000u64..45_000,
+    ) {
+        let net = random_connected(routers, 4, 2, 3, seed);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let schedule = FaultSchedule::new()
+            .at(t1, FaultSet::sample_links(&net, 0.08, seed ^ 0xfeed))
+            .at(
+                t2,
+                FaultSet::sample_routers(&net, 0.05, seed ^ 0xbeef)
+                    .merged(FaultSet::new().fail_link(routers + 7, routers + 8)),
+            );
+        let stats = run_synthetic_faulted(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &schedule,
+            0.5,
+            50_000,
+            8_000,
+            SimConfig::default(),
+        )
+        .expect("faulted run constructs");
+        prop_assert!(!stats.deadlocked, "mid-run faults wedged the network");
+        prop_assert!(stats.delivered_packets > 0);
+    }
+
     /// Exchange conservation on random graphs.
     #[test]
     fn random_graph_exchange_conserves(seed in 0u64..200) {

@@ -81,6 +81,48 @@ proptest! {
         prop_assert!(stats.delivered_packets > 0);
     }
 
+    /// Certified ⇒ live holds on *degraded* networks too: sample a
+    /// random link-failure set, repair the routing tables around it,
+    /// and whenever the verifier certifies the degraded configuration
+    /// the simulation never wedges — traffic toward severed pairs is
+    /// dropped and accounted, never left to strand the network.
+    #[test]
+    fn certified_degraded_configs_never_wedge(
+        seed in 0u64..400,
+        routers in 8u32..16,
+        fail_pct in 1u32..=10,
+    ) {
+        let net = random_connected(routers, 4, 2, 3, seed);
+        let faults = FaultSet::sample_links(&net, fail_pct as f64 / 100.0, seed ^ 0x5eed);
+        let degraded = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&degraded, Algorithm::Minimal);
+        let report = verify(&degraded, &policy, &VerifyParams::default());
+        prop_assert_eq!(
+            report.verdict(),
+            Verdict::Certified,
+            "hop-indexed repair must certify any degradation:\n{}",
+            report.render()
+        );
+        let cfg = SimConfig {
+            preflight: Preflight::Enforce, // would panic on disagreement
+            ..Default::default()
+        };
+        let stats = run_synthetic(
+            &degraded,
+            &policy,
+            &SyntheticPattern::Uniform,
+            0.8,
+            20_000,
+            4_000,
+            cfg,
+        );
+        prop_assert!(!stats.deadlocked, "certified degraded config wedged");
+        prop_assert!(stats.delivered_packets > 0);
+        if policy.tables().unreachable_pairs() == 0 {
+            prop_assert_eq!(stats.dropped_packets, 0, "no severed pairs, nothing to drop");
+        }
+    }
+
     /// The verdict on the unsafe single-VC ablation agrees with CDG
     /// structure either way: a rejection carries a genuine dependency
     /// cycle, a certification means the CDG really is acyclic.
