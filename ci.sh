@@ -2,11 +2,15 @@
 # Tier-1 gate: build, test, lint. Fully offline — all dependencies are
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
-# Usage: ci.sh [--bench-smoke] [--fault-smoke]
+# Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke]
 #   --bench-smoke  additionally compiles every benchmark and runs a
 #                  smoke-sized bench_sweep, writing BENCH_sweep.json.
 #   --fault-smoke  additionally runs the tiny resilience sweep and
 #                  checks its manifest carries a "faults" section.
+#   --trace-smoke  additionally runs the traced demo sweep (which
+#                  asserts serial == parallel trace bytes itself) and
+#                  checks the Perfetto file and the manifest's "trace"
+#                  section landed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,10 +18,12 @@ export CARGO_NET_OFFLINE=true
 
 BENCH_SMOKE=0
 FAULT_SMOKE=0
+TRACE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --fault-smoke) FAULT_SMOKE=1 ;;
+    --trace-smoke) TRACE_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +59,16 @@ if [[ "$FAULT_SMOKE" == "1" ]]; then
   cargo run --release --example d2net-resilience -- --out FAULT_smoke.json
   grep -q '"faults"' FAULT_smoke.json
   grep -q '"unreachable_pairs"' FAULT_smoke.json
+fi
+
+if [[ "$TRACE_SMOKE" == "1" ]]; then
+  echo "== trace smoke: traced sweep, Perfetto export + manifest gate =="
+  cargo run --release --example d2net-trace -- \
+    --rate 16 --out TRACE_smoke.json --manifest TRACE_manifest.json
+  grep -q '"traceEvents"' TRACE_smoke.json
+  grep -q '"schema":"d2net.chrome-trace/v1"' TRACE_smoke.json
+  grep -q '"trace"' TRACE_manifest.json
+  grep -q '"events_popped"' TRACE_manifest.json
 fi
 
 echo "ci.sh: all green"

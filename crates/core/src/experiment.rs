@@ -6,8 +6,9 @@ use crate::configs::RunParams;
 use d2net_analysis::{bisection, scale_table, ScaleRow};
 use d2net_routing::{Algorithm, RoutePolicy};
 use d2net_sim::{
-    load_sweep, load_sweep_collect, par_curves, run_exchange, ExchangeStats, SweepNotice,
-    SweepPoint,
+    load_sweep, load_sweep_collect, load_sweep_traced_collect, par_curves,
+    par_load_sweep_traced_collect, run_exchange, ExchangeStats, PointTrace, SweepNotice,
+    SweepPoint, TraceConfig,
 };
 use d2net_topo::{mlfm, oft, slim_fly, Network, SlimFlyP, TopologyKind};
 use d2net_traffic::{
@@ -96,6 +97,65 @@ fn curves_in_parallel(
         curves.push(curve);
     }
     CurveSet { curves, notices }
+}
+
+/// A traced sweep's curve, per-point engine traces, and notices — what
+/// the `d2net-trace` CLI (and any traced campaign) hands to
+/// [`crate::trace_export::chrome_trace_json`] and
+/// [`crate::report::TraceManifest`].
+#[derive(Debug, Clone)]
+pub struct TracedCurve {
+    pub curve: Curve,
+    pub traces: Vec<PointTrace>,
+    pub notices: Vec<SweepNotice>,
+}
+
+/// Runs one traced load sweep — serial when `threads == 1`, fanned
+/// across the worker pool otherwise. Both paths return byte-identical
+/// traces (the parallel merge is by point index), which
+/// `tests/trace.rs` pins down.
+#[allow(clippy::too_many_arguments)]
+pub fn traced_curve(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    label: impl Into<String>,
+    params: &RunParams,
+    trace: TraceConfig,
+    threads: usize,
+) -> TracedCurve {
+    let (out, traces) = if threads == 1 {
+        load_sweep_traced_collect(
+            net,
+            policy,
+            pattern,
+            &params.loads,
+            params.duration_ns,
+            params.warmup_ns,
+            params.sim,
+            trace,
+        )
+    } else {
+        par_load_sweep_traced_collect(
+            net,
+            policy,
+            pattern,
+            &params.loads,
+            params.duration_ns,
+            params.warmup_ns,
+            params.sim,
+            trace,
+            threads,
+        )
+    };
+    TracedCurve {
+        curve: Curve {
+            label: label.into(),
+            points: out.points,
+        },
+        traces,
+        notices: out.notices,
+    }
 }
 
 /// **Table 2**: the 4-ML3B tabular representation.

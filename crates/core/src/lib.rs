@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod plot;
 pub mod report;
 pub mod resilience;
+pub mod trace_export;
 
 pub use d2net_analysis as analysis;
 pub use d2net_galois as galois;
@@ -54,29 +55,35 @@ pub mod prelude {
     pub use crate::configs::{eval_topologies, RunParams, Scale};
     pub use crate::experiment::{
         adaptive_sweep, adaptive_sweep_par, adaptive_variants, best_adaptive, diversity_report,
-        fig13, fig14, fig3, fig4, fig6, fig6_par, table2, Curve, CurveSet, ExchangeRow, Traffic,
+        fig13, fig14, fig3, fig4, fig6, fig6_par, table2, traced_curve, Curve, CurveSet,
+        ExchangeRow, TracedCurve, Traffic,
     };
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
     pub use crate::resilience::{
-        failure_fractions, resilience_sweep, resilience_sweep_par, ResilienceCurve,
-        ResiliencePoint,
+        failure_fractions, resilience_sweep, resilience_sweep_par, resilience_sweep_traced,
+        resilience_sweep_traced_par, ResilienceCurve, ResiliencePoint,
     };
+    pub use crate::trace_export::chrome_trace_json;
     pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
     pub use d2net_routing::{
         build_cdg, try_build_cdg, Algorithm, ChannelError, IntermediateSet, MinimalTables,
         RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_probed,
-        load_sweep_probed_collect, par_curves, par_load_sweep, par_load_sweep_collect,
-        par_load_sweep_probed, par_load_sweep_probed_collect, par_load_sweep_with_order,
+        flight_sampled, load_grid, load_grid_from, load_sweep, load_sweep_collect,
+        load_sweep_probed, load_sweep_probed_collect, load_sweep_traced_collect, par_curves,
+        par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
+        par_load_sweep_probed_collect, par_load_sweep_traced_collect, par_load_sweep_with_order,
         point_seed, preflight,
-        resolve_threads, run_exchange, run_exchange_probed, run_synthetic,
+        resolve_threads, run_exchange, run_exchange_probed, run_exchange_traced, run_synthetic,
         run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_probed,
-        DeadlockReport, EngineFault, EventQueueKind, ExchangeStats, FaultEvent, FaultSchedule,
-        Preflight, ProbeConfig, RingEvent, RingEventKind, SimConfig, SweepNotice, SweepOutcome,
-        SweepPoint, SyntheticStats, TelemetryReport, TelemetrySummary, WaitPoint, WaitSide,
+        run_synthetic_traced, sweep_metrics, CalendarStats, DeadlockReport, EngineFault,
+        EngineTrace, EventQueueKind, ExchangeStats, FaultEvent, FaultSchedule, FlightEvent,
+        FlightEventKind, HarnessSpan, HotCounters, Metric, MetricValue, MetricsRegistry,
+        PacketFlight, PhaseSpan, PointTrace, Preflight, ProbeConfig, RingEvent, RingEventKind,
+        SimConfig, SimPhase, SpanProfiler, SweepNotice, SweepOutcome, SweepPoint, SyntheticStats,
+        TelemetryReport, TelemetrySummary, TraceConfig, WaitPoint, WaitSide,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,

@@ -4,7 +4,9 @@
 
 use crate::experiment::{Curve, ExchangeRow};
 use d2net_analysis::ScaleRow;
-use d2net_sim::{SimConfig, SweepNotice};
+use d2net_sim::{
+    sweep_metrics, MetricValue, MetricsRegistry, PointTrace, SimConfig, SweepNotice, TraceConfig,
+};
 use d2net_topo::Network;
 use d2net_verify::VerifySummary;
 
@@ -76,6 +78,30 @@ pub struct FaultPointRecord {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultsManifest {
     pub points: Vec<FaultPointRecord>,
+}
+
+/// The `"trace"` section of a [`RunManifest`]: the metrics-registry
+/// snapshot of a traced campaign (see [`d2net_sim::sweep_metrics`]).
+/// Like `"faults"`, the key is only emitted when the campaign actually
+/// traced — the CI trace-smoke gate greps for its presence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceManifest {
+    /// Flight sampling rate the campaign traced with (1-in-N, 0 = off).
+    pub sample_rate: u32,
+    /// Whether flight recording was suppressed (`--phase-only`).
+    pub phase_only: bool,
+    pub metrics: MetricsRegistry,
+}
+
+impl TraceManifest {
+    /// Snapshots the aggregate metrics of a traced sweep's points.
+    pub fn from_points(cfg: TraceConfig, points: &[PointTrace]) -> Self {
+        TraceManifest {
+            sample_rate: cfg.sample_rate,
+            phase_only: cfg.phase_only,
+            metrics: sweep_metrics(points),
+        }
+    }
 }
 
 /// Renders the Fig. 3 scale table.
@@ -325,6 +351,10 @@ pub struct RunManifest {
     /// ([`RunManifest::set_faults`]); `None` for pristine runs, which
     /// then emit no `"faults"` key.
     pub faults: Option<FaultsManifest>,
+    /// Metrics snapshot of a traced campaign
+    /// ([`RunManifest::set_trace`]); `None` for untraced runs, which
+    /// then emit no `"trace"` key.
+    pub trace: Option<TraceManifest>,
     pub curves: Vec<Curve>,
 }
 
@@ -352,6 +382,7 @@ impl RunManifest {
             timing: None,
             notices: Vec::new(),
             faults: None,
+            trace: None,
             curves: Vec::new(),
         }
     }
@@ -383,6 +414,12 @@ impl RunManifest {
     /// Records the fault-injection section of a resilience campaign.
     pub fn set_faults(&mut self, faults: FaultsManifest) -> &mut Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Records the metrics snapshot of a traced campaign.
+    pub fn set_trace(&mut self, trace: TraceManifest) -> &mut Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -476,6 +513,48 @@ impl RunManifest {
             w.end_array();
             w.end_object();
         }
+        // Emitted only for traced campaigns, mirroring `"faults"`.
+        if let Some(t) = &self.trace {
+            w.key("trace").begin_object();
+            w.key("sample_rate").u64(t.sample_rate as u64);
+            w.key("phase_only").bool(t.phase_only);
+            w.key("metrics").begin_array();
+            for m in &t.metrics.metrics {
+                w.begin_object();
+                w.key("name").string(&m.name);
+                w.key("labels").begin_object();
+                for (k, v) in &m.labels {
+                    w.key(k).string(v);
+                }
+                w.end_object();
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        w.key("kind").string("counter");
+                        w.key("value").u64(*v);
+                    }
+                    MetricValue::Gauge(v) => {
+                        w.key("kind").string("gauge");
+                        w.key("value").f64(*v);
+                    }
+                    MetricValue::Histogram { bounds_ns, counts } => {
+                        w.key("kind").string("histogram");
+                        w.key("bounds_ns").begin_array();
+                        for &b in bounds_ns {
+                            w.u64(b);
+                        }
+                        w.end_array();
+                        w.key("counts").begin_array();
+                        for &c in counts {
+                            w.u64(c);
+                        }
+                        w.end_array();
+                    }
+                }
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
         w.key("curves").begin_array();
         for c in &self.curves {
             w.begin_object();
@@ -518,6 +597,10 @@ impl RunManifest {
                             }
                         }
                         w.key("deadlock_cycle_len").u64(t.deadlock_cycle_len as u64);
+                        w.key("dropped_packets").u64(t.dropped_packets);
+                        w.key("retried_packets").u64(t.retried_packets);
+                        w.key("link_down_events").u64(t.link_down_events);
+                        w.key("link_down_flushed").u64(t.link_down_flushed);
                         w.end_object();
                     }
                 }
@@ -599,6 +682,10 @@ mod tests {
                     mean_indirect_fraction: 0.0,
                     converged_at_ns: Some(12_000),
                     deadlock_cycle_len: 0,
+                    dropped_packets: 11,
+                    retried_packets: 5,
+                    link_down_events: 2,
+                    link_down_flushed: 7,
                 }),
             }],
         });
@@ -609,6 +696,9 @@ mod tests {
         assert!(s.contains("\"preflight\":null"));
         assert!(s.contains("\"converged_at_ns\":12000"));
         assert!(s.contains("\"deadlocked\":true"));
+        // PR-4 loss counters must reach the serialized telemetry object.
+        assert!(s.contains("\"link_down_events\":2"));
+        assert!(s.contains("\"link_down_flushed\":7"));
 
         m.set_preflight(d2net_verify::VerifySummary {
             subject: "mlfm(4) under MIN".into(),
@@ -704,6 +794,39 @@ mod tests {
         assert!(s.contains("\"certified\":true"));
         assert!(s.contains("\"dropped_packets\":17"));
         assert!(s.contains("\"retried_packets\":4"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn trace_section_absent_until_set_then_serializes() {
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "traced", &net, "MIN", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        // The `"trace"` key is the trace-smoke gate's grep target: it
+        // must not appear on untraced manifests.
+        assert!(!m.to_json().contains("\"trace\""));
+
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter("events_popped", &[], 42);
+        metrics.counter("fifo_pushes", &[("queue", "input")], 17);
+        metrics.gauge("sim_phase_ns", &[("phase", "measure")], 24_000.0);
+        metrics.histogram("flight_latency_ns", &[], vec![250, 500], vec![1, 2, 0]);
+        m.set_trace(TraceManifest {
+            sample_rate: 64,
+            phase_only: false,
+            metrics,
+        });
+        let s = m.to_json();
+        assert!(s.contains("\"trace\":{\"sample_rate\":64,\"phase_only\":false,\"metrics\":["));
+        assert!(s.contains("{\"name\":\"events_popped\",\"labels\":{},\"kind\":\"counter\",\"value\":42}"));
+        assert!(s.contains("\"labels\":{\"queue\":\"input\"}"));
+        assert!(s.contains("\"kind\":\"gauge\",\"value\":24000.000000"));
+        assert!(s.contains("\"kind\":\"histogram\",\"bounds_ns\":[250,500],\"counts\":[1,2,0]"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
     }

@@ -19,7 +19,8 @@ use crate::report::{FaultPointRecord, FaultsManifest};
 use d2net_routing::{Algorithm, RoutePolicy};
 use d2net_sim::sweep::SweepNotice;
 use d2net_sim::{
-    par_curves, point_seed, run_synthetic, Preflight, SimConfig, SweepPoint, SyntheticStats,
+    par_curves, point_seed, run_synthetic, run_synthetic_traced, EngineTrace, PointTrace,
+    Preflight, SimConfig, SweepPoint, SyntheticStats, TraceConfig,
 };
 use d2net_topo::{FaultSet, Network};
 use d2net_traffic::SyntheticPattern;
@@ -109,7 +110,8 @@ fn resilience_point(
     duration_ns: u64,
     warmup_ns: u64,
     cfg: SimConfig,
-) -> (ResiliencePoint, Option<SweepNotice>) {
+    trace: Option<TraceConfig>,
+) -> (ResiliencePoint, Option<SweepNotice>, Option<EngineTrace>) {
     let seed = point_seed(cfg.seed, idx);
     // Verification runs explicitly below (so the verdict can be
     // recorded); the simulation itself must not re-verify or panic.
@@ -132,7 +134,7 @@ fn resilience_point(
     };
     let report = verify(subject, &policy, &point_cfg.verify_params());
     let certified = report.verdict() == Verdict::Certified;
-    let (stats, notice) = if report.verdict() == Verdict::Rejected {
+    let (stats, notice, engine_trace) = if report.verdict() == Verdict::Rejected {
         let notice = SweepNotice {
             index: idx,
             load,
@@ -142,7 +144,21 @@ fn resilience_point(
                 report.render()
             ),
         };
-        (SyntheticStats::rejected_stub(load), Some(notice))
+        // Rejected points carry no trace — rejection is pure per point,
+        // so serial and parallel traced sweeps skip the same points.
+        (SyntheticStats::rejected_stub(load), Some(notice), None)
+    } else if let Some(tc) = trace {
+        let (stats, tr) = run_synthetic_traced(
+            subject,
+            &policy,
+            pattern,
+            load,
+            duration_ns,
+            warmup_ns,
+            point_cfg,
+            tc,
+        );
+        (stats, None, Some(tr))
     } else {
         let stats = run_synthetic(
             subject,
@@ -153,7 +169,7 @@ fn resilience_point(
             warmup_ns,
             point_cfg,
         );
-        (stats, None)
+        (stats, None, None)
     };
     let point = ResiliencePoint {
         fraction,
@@ -163,7 +179,7 @@ fn resilience_point(
         certified,
         stats,
     };
-    (point, notice)
+    (point, notice, engine_trace)
 }
 
 /// Sweeps `net` under `algorithm` across `fractions` of failed links at
@@ -180,20 +196,54 @@ pub fn resilience_sweep(
     warmup_ns: u64,
     cfg: SimConfig,
 ) -> ResilienceCurve {
+    resilience_sweep_traced(
+        net, algorithm, pattern, load, fractions, duration_ns, warmup_ns, cfg, None,
+    )
+    .0
+}
+
+/// [`resilience_sweep`] with an optional [`TraceConfig`] attached to
+/// every simulated point; traced points come back as [`PointTrace`]s
+/// whose `load` field carries the **failure fraction** (the sweep's
+/// x-axis). Rejected points are skipped, identically serial and
+/// parallel.
+#[allow(clippy::too_many_arguments)]
+pub fn resilience_sweep_traced(
+    net: &Network,
+    algorithm: Algorithm,
+    pattern: &SyntheticPattern,
+    load: f64,
+    fractions: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    trace: Option<TraceConfig>,
+) -> (ResilienceCurve, Vec<PointTrace>) {
     let mut points = Vec::with_capacity(fractions.len());
     let mut notices = Vec::new();
+    let mut traces = Vec::new();
     for (idx, &fraction) in fractions.iter().enumerate() {
-        let (point, notice) = resilience_point(
-            net, algorithm, pattern, load, fraction, idx, duration_ns, warmup_ns, cfg,
+        let (point, notice, tr) = resilience_point(
+            net, algorithm, pattern, load, fraction, idx, duration_ns, warmup_ns, cfg, trace,
         );
         points.push(point);
         notices.extend(notice);
+        if let Some(tr) = tr {
+            traces.push(PointTrace {
+                index: idx,
+                load: fraction,
+                trace: tr,
+            });
+        }
     }
-    ResilienceCurve {
-        label: curve_label(net, algorithm, load),
-        points,
-        notices,
-    }
+    (
+        ResilienceCurve {
+            label: curve_label(net, algorithm, load),
+            points,
+            notices,
+        },
+        traces,
+    )
 }
 
 /// [`resilience_sweep`] fanned across `threads` workers (`0` = auto).
@@ -210,6 +260,28 @@ pub fn resilience_sweep_par(
     cfg: SimConfig,
     threads: usize,
 ) -> ResilienceCurve {
+    resilience_sweep_traced_par(
+        net, algorithm, pattern, load, fractions, duration_ns, warmup_ns, cfg, None, threads,
+    )
+    .0
+}
+
+/// [`resilience_sweep_traced`] fanned across `threads` workers
+/// (`0` = auto). Worker trace buffers are merged by point index, so the
+/// returned traces are byte-identical to the serial sweep's.
+#[allow(clippy::too_many_arguments)]
+pub fn resilience_sweep_traced_par(
+    net: &Network,
+    algorithm: Algorithm,
+    pattern: &SyntheticPattern,
+    load: f64,
+    fractions: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    trace: Option<TraceConfig>,
+    threads: usize,
+) -> (ResilienceCurve, Vec<PointTrace>) {
     let jobs: Vec<_> = fractions
         .iter()
         .enumerate()
@@ -217,6 +289,7 @@ pub fn resilience_sweep_par(
             move || {
                 resilience_point(
                     net, algorithm, pattern, load, fraction, idx, duration_ns, warmup_ns, cfg,
+                    trace,
                 )
             }
         })
@@ -224,15 +297,26 @@ pub fn resilience_sweep_par(
     let results = par_curves(jobs, threads);
     let mut points = Vec::with_capacity(results.len());
     let mut notices = Vec::new();
-    for (point, notice) in results {
+    let mut traces = Vec::new();
+    for (idx, (point, notice, tr)) in results.into_iter().enumerate() {
         points.push(point);
         notices.extend(notice);
+        if let Some(tr) = tr {
+            traces.push(PointTrace {
+                index: idx,
+                load: fractions[idx],
+                trace: tr,
+            });
+        }
     }
-    ResilienceCurve {
-        label: curve_label(net, algorithm, load),
-        points,
-        notices,
-    }
+    (
+        ResilienceCurve {
+            label: curve_label(net, algorithm, load),
+            points,
+            notices,
+        },
+        traces,
+    )
 }
 
 fn curve_label(net: &Network, algorithm: Algorithm, load: f64) -> String {

@@ -1,0 +1,276 @@
+//! Chrome `trace_event` export of the sim's structured traces — the
+//! bridge from [`d2net_sim::trace`] to Perfetto / `chrome://tracing`.
+//!
+//! Layout: process 0 is the harness (wall-clock [`HarnessSpan`]s);
+//! process `index + 1` is sweep point `index`, with thread 1 carrying
+//! the warmup/measure/drain phase slices and one thread per sampled
+//! packet flight carrying its hop timeline plus a flow (`ph:"s"` /
+//! `ph:"f"`) from injection to ejection/drop.
+//!
+//! Everything derived from [`PointTrace`]s is a pure function of the
+//! sweep request, so serial and parallel sweeps export byte-identical
+//! files (`tests/trace.rs` asserts this). Harness spans are wall-clock
+//! and therefore nondeterministic; callers that need reproducible bytes
+//! pass an empty slice.
+
+use crate::report::JsonWriter;
+use d2net_sim::{FlightEventKind, HarnessSpan, PacketFlight, PointTrace};
+
+/// Timestamps in `trace_event` JSON are microseconds; printing
+/// picoseconds through [`JsonWriter::f64`]'s six decimals keeps them
+/// exact.
+fn ps_to_us(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// `process_name` metadata event.
+fn meta_process(w: &mut JsonWriter, pid: u64, name: &str) {
+    w.begin_object();
+    w.key("name").string("process_name");
+    w.key("ph").string("M");
+    w.key("pid").u64(pid);
+    w.key("tid").u64(0);
+    w.key("args").begin_object();
+    w.key("name").string(name);
+    w.end_object();
+    w.end_object();
+}
+
+/// `thread_name` metadata event.
+fn meta_thread(w: &mut JsonWriter, pid: u64, tid: u64, name: &str) {
+    w.begin_object();
+    w.key("name").string("thread_name");
+    w.key("ph").string("M");
+    w.key("pid").u64(pid);
+    w.key("tid").u64(tid);
+    w.key("args").begin_object();
+    w.key("name").string(name);
+    w.end_object();
+    w.end_object();
+}
+
+/// Opens a complete (`ph:"X"`) event up to its `args`; the caller closes
+/// both the args object and the event.
+fn begin_complete(w: &mut JsonWriter, name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64) {
+    w.begin_object();
+    w.key("name").string(name);
+    w.key("cat").string(cat);
+    w.key("ph").string("X");
+    w.key("pid").u64(pid);
+    w.key("tid").u64(tid);
+    w.key("ts").f64(ts_us);
+    w.key("dur").f64(dur_us);
+    w.key("args").begin_object();
+}
+
+fn kind_label(kind: &FlightEventKind) -> String {
+    match kind {
+        FlightEventKind::Inject { router } => format!("inject@r{router}"),
+        FlightEventKind::ArriveRouter { router, hop } => format!("arrive@r{router} hop{hop}"),
+        FlightEventKind::Blocked { router, out_port, out_vc } => {
+            format!("blocked@r{router} p{out_port} vc{out_vc}")
+        }
+        FlightEventKind::SwitchAlloc { router, out_port, out_vc } => {
+            format!("switch@r{router} p{out_port} vc{out_vc}")
+        }
+        FlightEventKind::SerializeStart { port } => format!("serialize p{port}"),
+        FlightEventKind::Eject { router } => format!("eject@r{router}"),
+        FlightEventKind::Drop { router } => format!("drop@r{router}"),
+    }
+}
+
+/// Sim-time end of a flight: delivery if it happened, else the last
+/// recorded event, else birth (zero-width slice).
+fn flight_end_ps(f: &PacketFlight) -> u64 {
+    f.delivered_ps
+        .or_else(|| f.events.last().map(|e| e.t_ps))
+        .unwrap_or(f.birth_ps)
+}
+
+/// Serializes harness spans plus per-point engine traces into one
+/// Perfetto-loadable `trace_event` JSON document.
+pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTrace]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("displayTimeUnit").string("ns");
+    w.key("otherData").begin_object();
+    w.key("schema").string("d2net.chrome-trace/v1");
+    w.key("title").string(title);
+    w.end_object();
+    w.key("traceEvents").begin_array();
+
+    meta_process(&mut w, 0, "harness");
+    for s in harness {
+        begin_complete(
+            &mut w,
+            &s.name,
+            "harness",
+            0,
+            0,
+            ns_to_us(s.start_ns),
+            ns_to_us(s.dur_ns),
+        );
+        w.key("depth").u64(s.depth as u64);
+        w.end_object(); // args
+        w.end_object(); // event
+    }
+
+    for p in points {
+        let pid = p.index as u64 + 1;
+        meta_process(&mut w, pid, &format!("point {} @ {:.3}", p.index, p.load));
+        meta_thread(&mut w, pid, 1, "engine phases");
+        for span in &p.trace.phases {
+            begin_complete(
+                &mut w,
+                span.phase.name(),
+                "phase",
+                pid,
+                1,
+                ps_to_us(span.start_ps),
+                ps_to_us(span.end_ps - span.start_ps),
+            );
+            w.end_object(); // args
+            w.end_object(); // event
+        }
+        for (k, f) in p.trace.flights.iter().enumerate() {
+            let tid = 100 + k as u64;
+            meta_thread(&mut w, pid, tid, &format!("flight {}", f.flight_id));
+            begin_complete(
+                &mut w,
+                &format!("{} -> {}", f.src, f.dst),
+                "flight",
+                pid,
+                tid,
+                ps_to_us(f.birth_ps),
+                ps_to_us(flight_end_ps(f) - f.birth_ps),
+            );
+            w.key("flight_id").u64(f.flight_id);
+            w.key("bytes").u64(f.bytes as u64);
+            w.key("indirect").bool(f.indirect);
+            w.key("dropped").bool(f.dropped);
+            w.key("truncated").bool(f.truncated);
+            w.end_object(); // args
+            w.end_object(); // event
+            for e in &f.events {
+                w.begin_object();
+                w.key("name").string(&kind_label(&e.kind));
+                w.key("cat").string("hop");
+                w.key("ph").string("i");
+                w.key("s").string("t");
+                w.key("pid").u64(pid);
+                w.key("tid").u64(tid);
+                w.key("ts").f64(ps_to_us(e.t_ps));
+                w.end_object();
+            }
+            // One flow per sampled packet, injection to final event —
+            // Perfetto draws the arrow across the flight's thread.
+            if let (Some(first), Some(last)) = (f.events.first(), f.events.last()) {
+                for (ph, ev) in [("s", first), ("f", last)] {
+                    w.begin_object();
+                    w.key("name").string("flight");
+                    w.key("cat").string("flow");
+                    w.key("ph").string(ph);
+                    w.key("id").u64(f.flight_id);
+                    w.key("pid").u64(pid);
+                    w.key("tid").u64(tid);
+                    w.key("ts").f64(ps_to_us(ev.t_ps));
+                    if ph == "f" {
+                        // Bind to the enclosing slice, not the next one.
+                        w.key("bp").string("e");
+                    }
+                    w.end_object();
+                }
+            }
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_sim::{
+        EngineTrace, FlightEvent, HotCounters, PacketFlight, PhaseSpan, SimPhase, TraceConfig,
+    };
+
+    fn one_point() -> PointTrace {
+        PointTrace {
+            index: 0,
+            load: 0.5,
+            trace: EngineTrace {
+                cfg: TraceConfig::default(),
+                phases: vec![
+                    PhaseSpan { phase: SimPhase::Warmup, start_ps: 0, end_ps: 1_000_000 },
+                    PhaseSpan { phase: SimPhase::Measure, start_ps: 1_000_000, end_ps: 5_000_000 },
+                    PhaseSpan { phase: SimPhase::Drain, start_ps: 5_000_000, end_ps: 5_500_000 },
+                ],
+                flights: vec![PacketFlight {
+                    flight_id: 42,
+                    src: 3,
+                    dst: 17,
+                    bytes: 256,
+                    birth_ps: 1_200_000,
+                    indirect: false,
+                    events: vec![
+                        FlightEvent { t_ps: 1_200_000, kind: FlightEventKind::Inject { router: 1 } },
+                        FlightEvent { t_ps: 1_300_000, kind: FlightEventKind::Eject { router: 6 } },
+                    ],
+                    delivered_ps: Some(1_300_000),
+                    dropped: false,
+                    truncated: false,
+                }],
+                counters: HotCounters::default(),
+                eligible_flights: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn export_has_phases_flows_and_exact_timestamps() {
+        let s = chrome_trace_json("unit", &[], &[one_point()]);
+        assert!(s.contains("\"traceEvents\":["));
+        for phase in ["warmup", "measure", "drain"] {
+            assert!(s.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+        }
+        // 1.2 µs birth prints exactly (ps resolution via six decimals).
+        assert!(s.contains("\"ts\":1.200000"));
+        assert!(s.contains("\"ph\":\"s\""));
+        assert!(s.contains("\"ph\":\"f\""));
+        assert!(s.contains("\"id\":42"));
+        assert!(s.contains("\"name\":\"3 -> 17\""));
+        assert!(s.contains("\"name\":\"inject@r1\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn harness_spans_land_on_pid_zero() {
+        let spans = vec![HarnessSpan {
+            name: "topo build".into(),
+            depth: 0,
+            start_ns: 5_000,
+            dur_ns: 2_000,
+        }];
+        let s = chrome_trace_json("unit", &spans, &[]);
+        assert!(s.contains("\"name\":\"topo build\""));
+        assert!(s.contains("\"cat\":\"harness\""));
+        // 5 µs start, 2 µs duration.
+        assert!(s.contains("\"ts\":5.000000"));
+        assert!(s.contains("\"dur\":2.000000"));
+    }
+
+    #[test]
+    fn empty_export_is_still_valid_shape() {
+        let s = chrome_trace_json("empty", &[], &[]);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"traceEvents\":[{\"name\":\"process_name\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

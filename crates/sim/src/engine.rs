@@ -31,6 +31,7 @@ use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
     DeadlockReport, ProbeConfig, Telemetry, TelemetryReport, WaitPoint, WaitSide,
 };
+use crate::trace::{EngineTrace, TraceConfig, TraceRecorder};
 use d2net_routing::{vc_for_hop, OccupancyView, RouteChoice, RoutePath, RoutePolicy, VcScheme};
 use d2net_topo::{FaultSet, Network, NodeId, RouterId};
 use d2net_verify::{debug_invariant, invariant, Verdict};
@@ -320,6 +321,13 @@ pub struct Engine<'a> {
     /// costs the event loop a single branch per event and leaves the
     /// simulated schedule byte-identical to an unprobed run.
     telemetry: Option<Telemetry>,
+    /// Optional structured trace recorder (see [`crate::trace`]); same
+    /// zero-overhead contract as the probe — one branch per hook site
+    /// when `None`, and recorded state never feeds the simulation.
+    trace: Option<TraceRecorder>,
+    /// Finalized trace of the last run, parked here by the run methods
+    /// (which only borrow the engine) for [`Engine::take_trace`].
+    finished_trace: Option<EngineTrace>,
 
     // ----- fault machinery (all inert when `fault_events` is empty) --
     /// Mid-run fault schedule, sorted by time; re-armed by `reset`.
@@ -477,6 +485,8 @@ impl<'a> Engine<'a> {
             acc: Accumulator::default(),
             warmup_ps,
             telemetry: None,
+            trace: None,
+            finished_trace: None,
             fault_events,
             cur_policy: policy,
             dead: vec![false; total],
@@ -538,6 +548,8 @@ impl<'a> Engine<'a> {
         self.acc = Accumulator::default();
         self.warmup_ps = warmup_ps;
         self.telemetry = None;
+        self.trace = None;
+        self.finished_trace = None;
         self.cur_policy = self.policy;
         self.dead.fill(false);
         self.retry.fill(None);
@@ -587,6 +599,28 @@ impl<'a> Engine<'a> {
     fn flush_probe(&mut self, t: u64) {
         if let Some(tel) = self.telemetry.as_mut() {
             tel.sample_to(t, &self.in_occ, &self.out_occ);
+        }
+    }
+
+    /// Attaches a structured trace recorder; must be called before the
+    /// run starts. See [`crate::trace`] for what gets recorded.
+    pub fn attach_trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(TraceRecorder::new(cfg));
+    }
+
+    /// The finalized trace of the last run, when one was attached. The
+    /// run methods finalize it; calling this again returns `None`.
+    pub fn take_trace(&mut self) -> Option<EngineTrace> {
+        self.finished_trace.take()
+    }
+
+    /// Detaches the recorder into [`Engine::take_trace`]'s slot, closing
+    /// the phase spans with the run's statistics horizon.
+    fn finalize_trace(&mut self, measure_end_ps: u64) {
+        if let Some(tr) = self.trace.take() {
+            let cal = self.queue.calendar_stats();
+            self.finished_trace =
+                Some(tr.finish(self.warmup_ps, measure_end_ps, self.now, self.seq, cal));
         }
     }
 
@@ -739,6 +773,20 @@ impl<'a> Engine<'a> {
             link_vc: 0,
             scheme: self.cur_policy.vc_scheme(),
         });
+        if let Some(tr) = self.trace.as_mut() {
+            // The flight id is the injection ordinal (`created`), not the
+            // slab id `pkt` — slab ids recycle through the free list.
+            tr.on_alloc(
+                pkt,
+                self.created,
+                self.now,
+                self.net.node_router(node),
+                node,
+                spec.dst,
+                spec.bytes,
+                spec.birth_ps,
+            );
+        }
         let done = self.now + self.cfg.ser_ps(spec.bytes);
         self.node_busy[node as usize] = done;
         self.schedule(done, Ev::NodeSendDone(node));
@@ -779,6 +827,9 @@ impl<'a> Engine<'a> {
                         // router's door, returning the node-buffer space
                         // it held like an ordinary ejection credit.
                         self.dropped_flight += 1;
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.on_drop(pkt, self.now, src_r);
+                        }
                         self.schedule(self.now, Ev::NodeCredit { node: src, bytes });
                         self.free.push(pkt);
                         return;
@@ -790,6 +841,9 @@ impl<'a> Engine<'a> {
             if let Some(tel) = self.telemetry.as_mut() {
                 tel.on_inject(self.now, src_r, src, dst, bytes, choice.indirect);
             }
+            if let Some(tr) = self.trace.as_mut() {
+                tr.on_route(pkt, choice.indirect);
+            }
             (src_r, self.ports.node_port(self.net, src_r, src), 0u8)
         } else {
             let p = &self.packets[pkt as usize];
@@ -798,7 +852,10 @@ impl<'a> Engine<'a> {
             let prev = routers[hop as usize - 1];
             (r, self.ports.network_port(self.net, r, prev), link_vc)
         };
-        let _ = r;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.counters.in_q_pushes += 1;
+            tr.on_arrive_router(pkt, self.now, r, hop);
+        }
         let pv = self.pv(in_port, in_vc);
         self.in_occ[pv] += bytes as u64;
         let ready = self.now + self.cfg.switch_ps();
@@ -846,6 +903,9 @@ impl<'a> Engine<'a> {
             // (drain-or-drop, DESIGN.md §10).
             self.release_input_head(pv, bytes);
             self.dropped_flight += 1;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.on_drop(pkt, self.now, r);
+            }
             self.free.push(pkt);
             if let Some(nx) = self.in_q.front(pv) {
                 let t = self.packets[nx as usize].ready_ps.max(self.now);
@@ -863,6 +923,10 @@ impl<'a> Engine<'a> {
                     let in_vc = (pv as u32 % self.num_vcs) as u8;
                     tel.on_blocked(self.now, in_port, in_vc, out_port, out_vc);
                 }
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.counters.blocked_entries += 1;
+                    tr.on_blocked(pkt, self.now, r, out_port, out_vc);
+                }
             }
             return;
         }
@@ -870,6 +934,10 @@ impl<'a> Engine<'a> {
         self.release_input_head(pv, bytes);
         self.out_occ[out_pv] += bytes as u64;
         self.packets[pkt as usize].link_vc = out_vc;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.counters.out_q_pushes += 1;
+            tr.on_switch_alloc(pkt, self.now, r, out_port, out_vc);
+        }
         self.out_q.push_back(out_pv, pkt, &mut self.pkt_next);
         self.kick_output(out_port);
         // Wake the next packet waiting on this input FIFO.
@@ -940,6 +1008,10 @@ impl<'a> Engine<'a> {
                     let bytes = self.packets[pkt as usize].bytes;
                     self.out_occ[pv] -= bytes as u64;
                     self.dropped_flight += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        let r = self.ports.owner[port as usize];
+                        tr.on_drop(pkt, self.now, r);
+                    }
                     self.free.push(pkt);
                     flushed += 1;
                 }
@@ -991,7 +1063,10 @@ impl<'a> Engine<'a> {
             self.rr[out_port as usize] = ((vc as u32 + 1) % self.num_vcs) as u8;
             self.sending[out_port as usize] = (bytes, out_pv as u32);
             if let Some(tel) = self.telemetry.as_mut() {
-                tel.on_send(out_port, bytes);
+                tel.on_send(self.now, out_port, bytes);
+            }
+            if let Some(tr) = self.trace.as_mut() {
+                tr.on_serialize(pkt, self.now, out_port);
             }
             if self.now >= self.warmup_ps {
                 self.sent_bytes[out_port as usize] += bytes as u64;
@@ -1033,6 +1108,9 @@ impl<'a> Engine<'a> {
         if let Some(tel) = self.telemetry.as_mut() {
             let r = self.net.node_router(p.dst);
             tel.on_eject(self.now, r, p.dst, p.src, p.bytes, self.now - p.birth_ps);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.on_eject(pkt, self.now, self.net.node_router(p.dst));
         }
         if self.now >= self.warmup_ps {
             self.acc.record(
@@ -1091,6 +1169,9 @@ impl<'a> Engine<'a> {
             self.now = t;
             if self.telemetry.is_some() {
                 self.flush_probe(t);
+            }
+            if let Some(tr) = self.trace.as_mut() {
+                tr.counters.events_popped += 1;
             }
             self.handle(ev);
         }
@@ -1287,7 +1368,13 @@ impl<'a> Engine<'a> {
             } else {
                 None
             };
-            tel.into_report(forensics)
+            let mut report = tel.into_report(forensics);
+            // The probe never sees drops or retries directly (they have
+            // no hook of their own); fold the engine counters in so the
+            // summary and manifest surface them.
+            report.total_dropped_packets = self.dropped_flight + self.dropped_injection;
+            report.total_retried_packets = self.retried;
+            report
         })
     }
 
@@ -1319,6 +1406,7 @@ impl<'a> Engine<'a> {
             self.flush_probe(end_ps);
         }
         let telemetry = self.take_probe_report(deadlocked);
+        self.finalize_trace(end_ps);
         let window = (end_ps - self.warmup_ps) as f64;
         let n = self.net.num_nodes() as f64;
         let throughput =
@@ -1357,14 +1445,35 @@ impl<'a> Engine<'a> {
     /// Like [`Engine::finish_exchange`], also returning the telemetry
     /// report when a probe was attached.
     pub fn finish_exchange_probed(
-        mut self,
+        self,
         total_bytes: u64,
     ) -> (ExchangeStats, Option<TelemetryReport>) {
+        let (stats, telemetry, _) = self.finish_exchange_traced(total_bytes);
+        (stats, telemetry)
+    }
+
+    /// Like [`Engine::finish_exchange_probed`], also returning the
+    /// structured trace when a recorder was attached. The measure phase
+    /// spans the injection period (up to the last packet committed into
+    /// the network); the drain phase covers the deliveries, credits and
+    /// wake events that settle afterwards.
+    pub fn finish_exchange_traced(
+        mut self,
+        total_bytes: u64,
+    ) -> (ExchangeStats, Option<TelemetryReport>, Option<EngineTrace>) {
         let deadlocked = self.run(None);
         if self.telemetry.is_some() {
             self.flush_probe(self.now);
         }
         let telemetry = self.take_probe_report(deadlocked);
+        let measure_end = self
+            .trace
+            .as_ref()
+            .map_or(self.acc.last_delivery_ps, |tr| {
+                tr.last_alloc_ps.min(self.acc.last_delivery_ps)
+            });
+        self.finalize_trace(measure_end);
+        let trace = self.take_trace();
         let completion_ps = self.acc.last_delivery_ps;
         let n = self.net.num_nodes() as f64;
         let effective = if completion_ps > 0 {
@@ -1387,7 +1496,7 @@ impl<'a> Engine<'a> {
             indirect_packets: self.acc.indirect_packets,
             deadlocked: deadlocked || self.acc.delivered_bytes < total_bytes,
         };
-        (stats, telemetry)
+        (stats, telemetry, trace)
     }
 }
 
@@ -1504,6 +1613,31 @@ pub fn run_synthetic_probed(
     engine.attach_probe(probe);
     let (stats, telemetry) = engine.finish_synthetic_probed(load, end_ps);
     (stats, telemetry.expect("probe was attached"))
+}
+
+/// [`run_synthetic`] with a structured trace recorder attached:
+/// identical simulated schedule and byte-identical stats, plus the
+/// deterministic [`EngineTrace`] of the run (see [`crate::trace`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_traced(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    trace: TraceConfig,
+) -> (SyntheticStats, EngineTrace) {
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
+    let end_ps = duration_ns * 1_000;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+    let mut engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
+    engine.attach_trace(trace);
+    let (stats, _) = engine.run_synthetic_to(load, end_ps);
+    let trace = engine.take_trace().expect("trace was attached");
+    (stats, trace)
 }
 
 /// [`run_synthetic`] under a mid-run [`FaultSchedule`]: each event's
@@ -1654,4 +1788,31 @@ pub fn run_exchange_probed(
     engine.attach_probe(probe);
     let (stats, telemetry) = engine.finish_exchange_probed(exchange.total_bytes());
     (stats, telemetry.expect("probe was attached"))
+}
+
+/// [`run_exchange`] with a structured trace recorder attached. Exchanges
+/// have no warmup; the measure phase ends at the last delivery and the
+/// drain phase covers the settling credits afterwards.
+pub fn run_exchange_traced(
+    net: &Network,
+    policy: &RoutePolicy,
+    exchange: &d2net_traffic::Exchange,
+    window: usize,
+    cfg: SimConfig,
+    trace: TraceConfig,
+) -> (ExchangeStats, EngineTrace) {
+    invariant!(
+        exchange.sends.len() == net.num_nodes() as usize,
+        "exchange pattern must cover every node ({} send lists, {} nodes)",
+        exchange.sends.len(),
+        net.num_nodes()
+    );
+    let rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = (0..net.num_nodes())
+        .map(|n| NodeSource::exchange(exchange, n, window, cfg.packet_bytes))
+        .collect();
+    let mut engine = Engine::new(net, policy, cfg, sources, 0, rng);
+    engine.attach_trace(trace);
+    let (stats, _, tr) = engine.finish_exchange_traced(exchange.total_bytes());
+    (stats, tr.expect("trace was attached"))
 }

@@ -20,6 +20,36 @@ use std::collections::BinaryHeap;
 /// ordering; `seq` is unique, so ties never reach the payload.
 pub type Timed<T> = (u64, u64, T);
 
+/// Read-only operation counters of a [`CalendarQueue`], exposed so the
+/// trace layer (and tests) can observe scheduling behaviour without
+/// reaching into private fields. Counts are cumulative since the last
+/// [`CalendarQueue::clear`]; every push lands in exactly one of the
+/// three push counters, so their sum equals the total pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CalendarStats {
+    /// Pushes that landed in an in-window ring bucket (the O(1) path).
+    pub ring_pushes: u64,
+    /// Pushes into the already-collected current day's drain heap.
+    pub drain_pushes: u64,
+    /// Pushes beyond the ring window into the overflow heap.
+    pub overflow_pushes: u64,
+    /// High-water mark of events resident in ring buckets at once.
+    pub ring_highwater: u64,
+    /// High-water mark of the overflow heap's population.
+    pub overflow_highwater: u64,
+    /// Times `settle` jumped the window to a far-future overflow day.
+    pub day_jumps: u64,
+    /// Bucket-days collected (heapified) into the drain heap.
+    pub days_collected: u64,
+}
+
+impl CalendarStats {
+    /// Total pushes the queue has absorbed (all three paths).
+    pub fn total_pushes(&self) -> u64 {
+        self.ring_pushes + self.drain_pushes + self.overflow_pushes
+    }
+}
+
 /// Hierarchical calendar queue: a ring of day-buckets over a sliding
 /// window of `nb` buckets of width `2^shift` ps, a per-day min-heap the
 /// current day drains through, and an overflow heap for events beyond
@@ -59,6 +89,7 @@ pub struct CalendarQueue<T> {
     /// Events beyond the ring window.
     overflow: BinaryHeap<Reverse<Timed<T>>>,
     len: usize,
+    stats: CalendarStats,
 }
 
 impl<T: Ord> CalendarQueue<T> {
@@ -77,7 +108,15 @@ impl<T: Ord> CalendarQueue<T> {
             drain: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
+            stats: CalendarStats::default(),
         }
+    }
+
+    /// Cumulative operation counters since construction or [`clear`].
+    ///
+    /// [`clear`]: CalendarQueue::clear
+    pub fn stats(&self) -> CalendarStats {
+        self.stats
     }
 
     /// Picks `(shift, num_buckets)` so the window comfortably covers the
@@ -109,6 +148,7 @@ impl<T: Ord> CalendarQueue<T> {
         self.drain.clear();
         self.overflow.clear();
         self.len = 0;
+        self.stats = CalendarStats::default();
     }
 
     #[inline]
@@ -120,12 +160,18 @@ impl<T: Ord> CalendarQueue<T> {
         );
         self.len += 1;
         if day == self.cur_day && self.collected {
+            self.stats.drain_pushes += 1;
             self.drain.push(Reverse(item));
         } else if day < self.cur_day + self.nb {
             self.buckets[(day & self.mask) as usize].push(Reverse(item));
             self.ring_len += 1;
+            self.stats.ring_pushes += 1;
+            self.stats.ring_highwater = self.stats.ring_highwater.max(self.ring_len as u64);
         } else {
             self.overflow.push(Reverse(item));
+            self.stats.overflow_pushes += 1;
+            self.stats.overflow_highwater =
+                self.stats.overflow_highwater.max(self.overflow.len() as u64);
         }
     }
 
@@ -141,7 +187,11 @@ impl<T: Ord> CalendarQueue<T> {
                 // Everything pending lives in overflow: jump the window
                 // straight to the earliest overflow day.
                 if let Some(Reverse((t, _, _))) = self.overflow.peek() {
-                    self.cur_day = self.cur_day.max(t >> self.shift);
+                    let target = t >> self.shift;
+                    if target > self.cur_day {
+                        self.cur_day = target;
+                        self.stats.day_jumps += 1;
+                    }
                 }
             }
             // Pull overflow events that now fall inside the window.
@@ -152,6 +202,7 @@ impl<T: Ord> CalendarQueue<T> {
                 let item = self.overflow.pop().unwrap();
                 self.buckets[((item.0 .0 >> self.shift) & self.mask) as usize].push(item);
                 self.ring_len += 1;
+                self.stats.ring_highwater = self.stats.ring_highwater.max(self.ring_len as u64);
             }
             // Collect the current day: heapify its bucket, recycling the
             // drained heap's buffer back into the ring slot.
@@ -161,6 +212,7 @@ impl<T: Ord> CalendarQueue<T> {
             let old = std::mem::replace(&mut self.drain, BinaryHeap::from(bucket));
             self.buckets[slot] = old.into_vec();
             self.collected = true;
+            self.stats.days_collected += 1;
         }
     }
 
@@ -217,6 +269,14 @@ impl<T: Ord> EventQ<T> {
         match self {
             EventQ::Heap(h) => h.clear(),
             EventQ::Calendar(c) => c.clear(),
+        }
+    }
+
+    /// Calendar scheduling counters, `None` for the reference heap.
+    pub fn calendar_stats(&self) -> Option<CalendarStats> {
+        match self {
+            EventQ::Heap(_) => None,
+            EventQ::Calendar(c) => Some(c.stats()),
         }
     }
 }
@@ -318,6 +378,49 @@ mod tests {
         assert!(q.is_empty());
         q.push((3, 1, 9));
         assert_eq!(q.pop(), Some((3, 1, 9)));
+    }
+
+    #[test]
+    fn stats_partition_pushes_and_track_highwater() {
+        let mut q = CalendarQueue::<u32>::new(10, 8); // window = 8 KiPs
+        q.push((5, 1, 0)); // ring
+        q.push((6, 2, 0)); // ring
+        q.push((90_000_000, 3, 0)); // overflow
+        assert_eq!(q.pop(), Some((5, 1, 0)));
+        q.push((7, 4, 0)); // same collected day -> drain
+        assert_eq!(q.pop(), Some((6, 2, 0)));
+        assert_eq!(q.pop(), Some((7, 4, 0)));
+        assert_eq!(q.pop(), Some((90_000_000, 3, 0)));
+        let s = q.stats();
+        assert_eq!(s.ring_pushes, 2);
+        assert_eq!(s.drain_pushes, 1);
+        assert_eq!(s.overflow_pushes, 1);
+        assert_eq!(s.total_pushes(), 4);
+        // The overflow event re-enters the ring after the day jump.
+        assert_eq!(s.ring_highwater, 2);
+        assert_eq!(s.overflow_highwater, 1);
+        assert_eq!(s.day_jumps, 1);
+        assert!(s.days_collected >= 2);
+        q.clear();
+        assert_eq!(q.stats(), CalendarStats::default());
+    }
+
+    #[test]
+    fn stats_total_matches_heap_reference_on_random_streams() {
+        let mut cal = CalendarQueue::<u32>::new(12, 8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..5_000 {
+            if cal.is_empty() || rng.gen_range(0u32..100) < 55 {
+                seq += 1;
+                cal.push((now + rng.gen_range(0u64..200_000), seq, 0));
+            } else {
+                now = cal.pop().unwrap().0;
+            }
+        }
+        assert_eq!(cal.stats().total_pushes(), seq);
+        assert!(cal.stats().ring_highwater as usize <= seq as usize);
     }
 
     #[test]

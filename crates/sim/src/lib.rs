@@ -29,26 +29,35 @@ pub mod par;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
+pub mod trace;
 
 pub use config::{EventQueueKind, Preflight, SimConfig};
 pub use engine::{
-    preflight, run_exchange, run_exchange_probed, run_synthetic, run_synthetic_faulted,
-    run_synthetic_faulted_probed, run_synthetic_probed, Engine, EngineFault,
+    preflight, run_exchange, run_exchange_probed, run_exchange_traced, run_synthetic,
+    run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_probed,
+    run_synthetic_traced, Engine, EngineFault,
 };
+pub use equeue::CalendarStats;
 pub use fault::{FaultEvent, FaultSchedule};
 pub use par::{
     par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
-    par_load_sweep_probed_collect, par_load_sweep_with_order, resolve_threads,
+    par_load_sweep_probed_collect, par_load_sweep_traced_collect, par_load_sweep_with_order,
+    resolve_threads,
 };
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
 pub use sweep::{
     load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_probed,
-    load_sweep_probed_collect, point_seed, saturation_throughput, SweepNotice, SweepOutcome,
-    SweepPoint,
+    load_sweep_probed_collect, load_sweep_traced_collect, point_seed, saturation_throughput,
+    SweepNotice, SweepOutcome, SweepPoint,
 };
 pub use telemetry::{
     DeadlockReport, ProbeConfig, RingEvent, RingEventKind, TelemetryReport, TelemetrySummary,
     WaitPoint, WaitSide,
+};
+pub use trace::{
+    flight_sampled, sweep_metrics, EngineTrace, FlightEvent, FlightEventKind, HarnessSpan,
+    HotCounters, Metric, MetricValue, MetricsRegistry, PacketFlight, PhaseSpan, PointTrace,
+    SimPhase, SpanProfiler, TraceConfig,
 };
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use crate::config::SimConfig;
 use crate::stats::SyntheticStats;
 use crate::sweep::{PointRunner, SweepNotice, SweepOutcome, SweepPoint};
 use crate::telemetry::{ProbeConfig, TelemetrySummary};
+use crate::trace::{EngineTrace, PointTrace, TraceConfig};
 use d2net_routing::RoutePolicy;
 use d2net_topo::Network;
 use d2net_traffic::SyntheticPattern;
@@ -116,8 +117,9 @@ pub fn par_load_sweep_collect(
 ) -> SweepOutcome {
     let order: Vec<usize> = (0..loads.len()).collect();
     par_sweep_core(
-        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, threads, &order,
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, threads, &order,
     )
+    .0
 }
 
 /// [`crate::load_sweep_probed`] fanned across `threads` workers
@@ -163,6 +165,41 @@ pub fn par_load_sweep_probed_collect(
         warmup_ns,
         cfg,
         Some(probe),
+        None,
+        threads,
+        &order,
+    )
+    .0
+}
+
+/// [`crate::load_sweep_traced_collect`] fanned across `threads` workers
+/// (`0` = auto). Per-worker trace buffers are merged by point index, so
+/// the returned traces — and any file exported from them — are
+/// byte-identical to the serial sweep's regardless of thread count or
+/// completion order.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_traced_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    trace: TraceConfig,
+    threads: usize,
+) -> (SweepOutcome, Vec<PointTrace>) {
+    let order: Vec<usize> = (0..loads.len()).collect();
+    par_sweep_core(
+        net,
+        policy,
+        pattern,
+        loads,
+        duration_ns,
+        warmup_ns,
+        cfg,
+        None,
+        Some(trace),
         threads,
         &order,
     )
@@ -185,8 +222,9 @@ pub fn par_load_sweep_with_order(
     order: &[usize],
 ) -> SweepOutcome {
     par_sweep_core(
-        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, threads, order,
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, threads, order,
     )
+    .0
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -199,9 +237,10 @@ fn par_sweep_core(
     warmup_ns: u64,
     cfg: SimConfig,
     probe: Option<ProbeConfig>,
+    trace: Option<TraceConfig>,
     threads: usize,
     order: &[usize],
-) -> SweepOutcome {
+) -> (SweepOutcome, Vec<PointTrace>) {
     let n = loads.len();
     assert_eq!(order.len(), n, "work order must cover every point once");
     debug_assert!({
@@ -213,13 +252,13 @@ fn par_sweep_core(
     // the shape of a rejected configuration's outcome.
     let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
         Ok(cfg) => cfg,
-        Err(e) => return crate::sweep::rejected_outcome(loads, e),
+        Err(e) => return (crate::sweep::rejected_outcome(loads, e), Vec::new()),
     };
     if let Err(e) = PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
-        return crate::sweep::rejected_outcome(loads, e);
+        return (crate::sweep::rejected_outcome(loads, e), Vec::new());
     }
     let threads = resolve_threads(threads).min(n.max(1));
-    type Slot = Option<(SyntheticStats, Option<TelemetrySummary>)>;
+    type Slot = Option<(SyntheticStats, Option<TelemetrySummary>, Option<EngineTrace>)>;
     let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Low-watermark of wedged point indices: workers skip indices
     // strictly above it instead of burning a full simulated horizon on a
@@ -241,12 +280,12 @@ fn par_sweep_core(
                     if idx > watermark.load(Ordering::Relaxed) {
                         continue; // will be stubbed by the final pass
                     }
-                    let (stats, report) = runner.run_point(idx, loads[idx], probe);
+                    let (stats, report, tr) = runner.run_point(idx, loads[idx], probe, trace);
                     if stats.deadlocked {
                         watermark.fetch_min(idx, Ordering::Relaxed);
                     }
                     *results[idx].lock().unwrap() =
-                        Some((stats, report.map(|r| r.summary())));
+                        Some((stats, report.map(|r| r.summary()), tr));
                 }
             });
         }
@@ -256,7 +295,7 @@ fn par_sweep_core(
     // is exactly the serial sweep's first-wedge index.
     let mut first_wedge: Option<usize> = None;
     for (idx, slot) in results.iter().enumerate() {
-        if let Some((stats, _)) = slot.lock().unwrap().as_ref() {
+        if let Some((stats, ..)) = slot.lock().unwrap().as_ref() {
             if stats.deadlocked {
                 first_wedge = Some(idx);
                 break;
@@ -264,15 +303,30 @@ fn par_sweep_core(
         }
     }
     let mut points = Vec::with_capacity(n);
+    let mut traces = Vec::new();
     for (idx, slot) in results.into_iter().enumerate() {
         let load = loads[idx];
         let stubbed = first_wedge.is_some_and(|w| idx > w);
         let point = match (stubbed, slot.into_inner().unwrap()) {
-            (false, Some((stats, telemetry))) => SweepPoint {
-                load,
-                stats,
-                telemetry,
-            },
+            (false, Some((stats, telemetry, tr))) => {
+                // Traces from points the serial sweep would have stubbed
+                // (simulated here only by racing ahead of the watermark)
+                // are dropped with their stats; the survivors are pushed
+                // in index order, so the merged file matches the serial
+                // sweep's byte for byte.
+                if let Some(tr) = tr {
+                    traces.push(PointTrace {
+                        index: idx,
+                        load,
+                        trace: tr,
+                    });
+                }
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry,
+                }
+            }
             _ => SweepPoint {
                 load,
                 stats: SyntheticStats::deadlocked_stub(load),
@@ -284,7 +338,7 @@ fn par_sweep_core(
     let notices = first_wedge
         .map(|w| vec![SweepNotice::wedged(w, loads[w])])
         .unwrap_or_default();
-    SweepOutcome { points, notices }
+    (SweepOutcome { points, notices }, traces)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::config::SimConfig;
 use crate::engine::{synthetic_sources, Engine};
 use crate::stats::SyntheticStats;
 use crate::telemetry::{ProbeConfig, TelemetryReport, TelemetrySummary};
+use crate::trace::{EngineTrace, PointTrace, TraceConfig};
 use d2net_routing::RoutePolicy;
 use d2net_topo::Network;
 use d2net_traffic::SyntheticPattern;
@@ -177,7 +178,8 @@ impl<'a> PointRunner<'a> {
         idx: usize,
         load: f64,
         probe: Option<ProbeConfig>,
-    ) -> (SyntheticStats, Option<TelemetryReport>) {
+        trace: Option<TraceConfig>,
+    ) -> (SyntheticStats, Option<TelemetryReport>, Option<EngineTrace>) {
         let mut rng = SmallRng::seed_from_u64(point_seed(self.cfg.seed, idx));
         let sources = synthetic_sources(self.net, self.pattern, load, self.end_ps, &self.cfg, &mut rng);
         let engine = match &mut self.engine {
@@ -197,7 +199,12 @@ impl<'a> PointRunner<'a> {
         if let Some(p) = probe {
             engine.attach_probe(p);
         }
-        engine.run_synthetic_to(load, self.end_ps)
+        if let Some(t) = trace {
+            engine.attach_trace(t);
+        }
+        let (stats, report) = engine.run_synthetic_to(load, self.end_ps);
+        let tr = engine.take_trace();
+        (stats, report, tr)
     }
 }
 
@@ -236,7 +243,7 @@ pub fn load_sweep_collect(
         },
         None => SweepPoint {
             load,
-            stats: runner.run_point(idx, load, None).0,
+            stats: runner.run_point(idx, load, None, None).0,
             telemetry: None,
         },
     })
@@ -286,7 +293,7 @@ pub fn load_sweep_probed_collect(
             telemetry: None,
         },
         None => {
-            let (stats, report) = runner.run_point(idx, load, Some(probe));
+            let (stats, report, _) = runner.run_point(idx, load, Some(probe), None);
             SweepPoint {
                 load,
                 stats,
@@ -313,6 +320,54 @@ pub fn load_sweep_probed(
         load_sweep_probed_collect(net, policy, pattern, loads, duration_ns, warmup_ns, cfg, probe);
     out.print_notices();
     out.points
+}
+
+/// [`load_sweep_collect`] with a [`TraceConfig`] attached to every
+/// simulated point. Returns the outcome plus one [`PointTrace`] per
+/// *simulated* point, in index order — wedge-stubbed points have no
+/// trace, exactly like the parallel variant, so serial and parallel
+/// trace files stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_traced_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    trace: TraceConfig,
+) -> (SweepOutcome, Vec<PointTrace>) {
+    let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
+        Ok(cfg) => cfg,
+        Err(e) => return (rejected_outcome(loads, e), Vec::new()),
+    };
+    let mut runner = match PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
+        Ok(r) => r,
+        Err(e) => return (rejected_outcome(loads, e), Vec::new()),
+    };
+    let mut traces = Vec::new();
+    let out = sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
+        Some(_) => SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        None => {
+            let (stats, _, tr) = runner.run_point(idx, load, None, Some(trace));
+            traces.push(PointTrace {
+                index: idx,
+                load,
+                trace: tr.expect("trace was attached"),
+            });
+            SweepPoint {
+                load,
+                stats,
+                telemetry: None,
+            }
+        }
+    });
+    (out, traces)
 }
 
 /// Shared early-abort loop: `point` receives the index, the load and,

@@ -201,6 +201,15 @@ pub struct TelemetrySummary {
     pub converged_at_ns: Option<u64>,
     /// Length of the deadlock cycle (0 when the run did not wedge).
     pub deadlock_cycle_len: usize,
+    /// Packets dropped over the whole run (in-flight + injection-side),
+    /// mirroring the engine's fault counters.
+    pub dropped_packets: u64,
+    /// Injection retries the run performed after transient faults.
+    pub retried_packets: u64,
+    /// Scheduled link-failure events the run observed.
+    pub link_down_events: u64,
+    /// Packets flushed from dead output buffers across all link failures.
+    pub link_down_flushed: u64,
 }
 
 /// Full probe output of one run.
@@ -245,6 +254,16 @@ pub struct TelemetryReport {
     pub ejected_per_router: Vec<u64>,
     /// Indirect injections over the whole run.
     pub total_indirect: u64,
+    /// Packets dropped over the whole run (in-flight + injection-side).
+    /// Filled in by the engine when the probe detaches; the probe itself
+    /// only observes deliveries and link failures.
+    pub total_dropped_packets: u64,
+    /// Injection retries performed after transient faults (engine-filled).
+    pub total_retried_packets: u64,
+    /// Scheduled link-failure events observed via `on_link_down`.
+    pub total_link_down_events: u64,
+    /// Packets flushed from dead output buffers, summed over failures.
+    pub total_link_down_flushed: u64,
 
     /// First time (ns) the ejection rate stayed inside the convergence
     /// band for a full window, if ever.
@@ -307,6 +326,10 @@ impl TelemetryReport {
             },
             converged_at_ns: self.converged_at_ns,
             deadlock_cycle_len: self.deadlock.as_ref().map_or(0, |d| d.cycle.len()),
+            dropped_packets: self.total_dropped_packets,
+            retried_packets: self.total_retried_packets,
+            link_down_events: self.total_link_down_events,
+            link_down_flushed: self.total_link_down_flushed,
         }
     }
 }
@@ -341,9 +364,19 @@ pub struct Telemetry {
     total_ejected: u64,
     total_indirect: u64,
     ejected_per_router: Vec<u64>,
+    total_link_down: u64,
+    total_flushed: u64,
 
     next_sample_ps: u64,
     samples_taken: usize,
+    /// Window contributions recorded at `t >= next_sample_ps` before the
+    /// enclosing window was flushed. Windows are half-open `[start, end)`:
+    /// an event at exactly the boundary belongs to the *later* window, so
+    /// it must not be absorbed into the accumulators until the earlier
+    /// window has been sampled. The engine flushes before it handles each
+    /// event, so this stays empty on the hot path; it only fills when a
+    /// caller records ahead of `sample_to` (API use, run-end paths).
+    pending: Vec<(u64, PendingSample)>,
 
     link_util: Vec<f32>,
     in_occupancy: Vec<f32>,
@@ -354,6 +387,14 @@ pub struct Telemetry {
 
     rings: Vec<VecDeque<RingEvent>>,
     converged_at_ps: Option<u64>,
+}
+
+/// A deferred window contribution (see [`Telemetry::pending`]-field docs).
+#[derive(Debug, Clone, Copy)]
+enum PendingSample {
+    Inject { bytes: u32, indirect: bool },
+    Eject { bytes: u32 },
+    Send { port: u32, bytes: u32 },
 }
 
 impl Telemetry {
@@ -395,8 +436,11 @@ impl Telemetry {
             total_ejected: 0,
             total_indirect: 0,
             ejected_per_router: vec![0; num_routers as usize],
+            total_link_down: 0,
+            total_flushed: 0,
             next_sample_ps: interval_ps,
             samples_taken: 0,
+            pending: Vec::new(),
             link_util: Vec::with_capacity(cfg.max_samples * num_ports as usize),
             in_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
             out_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
@@ -418,14 +462,31 @@ impl Telemetry {
         ring.push_back(ev);
     }
 
+    /// True when a contribution at `t_ps` falls past the next window
+    /// boundary and must wait for that window to be flushed first
+    /// (half-open windows: a boundary event belongs to the later one).
+    /// Once the sample cap is hit no further rows are stored, so late
+    /// contributions can be absorbed directly instead of queueing.
+    #[inline]
+    fn defer(&self, t_ps: u64) -> bool {
+        t_ps >= self.next_sample_ps && self.samples_taken < self.cfg.max_samples
+    }
+
     /// A node attached to `router` injected a packet.
     #[inline]
     pub fn on_inject(&mut self, t_ps: u64, router: u32, node: u32, dst: u32, bytes: u32, indirect: bool) {
-        self.win_injected_pkts += 1;
-        self.win_injected_bytes += bytes as u64;
+        if self.defer(t_ps) {
+            self.pending
+                .push((t_ps, PendingSample::Inject { bytes, indirect }));
+        } else {
+            self.win_injected_pkts += 1;
+            self.win_injected_bytes += bytes as u64;
+            if indirect {
+                self.win_indirect_pkts += 1;
+            }
+        }
         self.total_injected += 1;
         if indirect {
-            self.win_indirect_pkts += 1;
             self.total_indirect += 1;
         }
         self.ring_push(
@@ -440,7 +501,11 @@ impl Telemetry {
     /// A packet was delivered to `node` on `router`.
     #[inline]
     pub fn on_eject(&mut self, t_ps: u64, router: u32, node: u32, src: u32, bytes: u32, delay_ps: u64) {
-        self.win_ejected_bytes += bytes as u64;
+        if self.defer(t_ps) {
+            self.pending.push((t_ps, PendingSample::Eject { bytes }));
+        } else {
+            self.win_ejected_bytes += bytes as u64;
+        }
         self.total_ejected += 1;
         self.ejected_per_router[router as usize] += 1;
         self.ring_push(
@@ -452,16 +517,22 @@ impl Telemetry {
         );
     }
 
-    /// An output port started serializing `bytes`.
+    /// An output port started serializing `bytes` at `t_ps`.
     #[inline]
-    pub fn on_send(&mut self, port: u32, bytes: u32) {
-        self.win_sent[port as usize] += bytes as u64;
+    pub fn on_send(&mut self, t_ps: u64, port: u32, bytes: u32) {
+        if self.defer(t_ps) {
+            self.pending.push((t_ps, PendingSample::Send { port, bytes }));
+        } else {
+            self.win_sent[port as usize] += bytes as u64;
+        }
     }
 
     /// A scheduled fault killed one of `router`'s links; `dropped`
     /// queued packets were flushed from the dead output buffers.
     #[inline]
     pub fn on_link_down(&mut self, t_ps: u64, router: u32, peer_router: u32, dropped: u32) {
+        self.total_link_down += 1;
+        self.total_flushed += dropped as u64;
         self.ring_push(
             router,
             RingEvent {
@@ -492,12 +563,44 @@ impl Telemetry {
         );
     }
 
-    /// Flushes every sample window up to (and including) simulated time
-    /// `t`. Buffer state is piecewise-constant between events, so reading
-    /// the occupancies once per crossed boundary is exact.
+    /// Flushes every sample window whose half-open span `[start, end)`
+    /// ends at or before simulated time `t`. Buffer state is
+    /// piecewise-constant between events, so reading the occupancies once
+    /// per crossed boundary is exact. An event recorded at exactly a
+    /// window boundary counts toward the *later* window.
     pub fn sample_to(&mut self, t: u64, in_occ: &[u64], out_occ: &[u64]) {
         while self.next_sample_ps <= t && self.samples_taken < self.cfg.max_samples {
+            self.absorb_pending();
             self.take_sample(in_occ, out_occ);
+        }
+        self.absorb_pending();
+    }
+
+    /// Merges deferred contributions that now fall strictly inside the
+    /// open window (`t < next_sample_ps`) into the accumulators. Window
+    /// counters are commutative, so removal order doesn't matter.
+    fn absorb_pending(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (t, p) = self.pending[i];
+            if t < self.next_sample_ps {
+                match p {
+                    PendingSample::Inject { bytes, indirect } => {
+                        self.win_injected_pkts += 1;
+                        self.win_injected_bytes += bytes as u64;
+                        if indirect {
+                            self.win_indirect_pkts += 1;
+                        }
+                    }
+                    PendingSample::Eject { bytes } => self.win_ejected_bytes += bytes as u64,
+                    PendingSample::Send { port, bytes } => {
+                        self.win_sent[port as usize] += bytes as u64
+                    }
+                }
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -580,6 +683,10 @@ impl Telemetry {
             total_injected_packets: self.total_injected,
             total_ejected_packets: self.total_ejected,
             total_indirect: self.total_indirect,
+            total_dropped_packets: 0,
+            total_retried_packets: 0,
+            total_link_down_events: self.total_link_down,
+            total_link_down_flushed: self.total_flushed,
             ejected_per_router: self.ejected_per_router,
             converged_at_ns: self.converged_at_ps.map(|t| t / 1_000),
             deadlock,
@@ -614,7 +721,7 @@ mod tests {
     #[test]
     fn sampling_is_lazy_and_bounded() {
         let mut t = probe_2ports();
-        t.on_send(0, 625);
+        t.on_send(0, 0, 625);
         // Jumping far ahead flushes the first window then (max_samples-1)
         // empty ones, and no more.
         t.sample_to(10_000_000, &[0, 0], &[500, 0]);
@@ -629,7 +736,7 @@ mod tests {
     #[test]
     fn utilization_clamps_at_unity() {
         let mut t = probe_2ports();
-        t.on_send(0, 99_999);
+        t.on_send(0, 0, 99_999);
         t.sample_to(100_000, &[0, 0], &[0, 0]);
         let r = t.into_report(None);
         assert_eq!(r.link_utilization(0, 0), 1.0);
@@ -670,8 +777,8 @@ mod tests {
     #[test]
     fn summary_aggregates_network_ports_only() {
         let mut t = probe_2ports();
-        t.on_send(0, 625); // network port
-        t.on_send(1, 1250); // node port: excluded from link stats
+        t.on_send(0, 0, 625); // network port
+        t.on_send(0, 1, 1250); // node port: excluded from link stats
         t.on_inject(0, 0, 0, 0, 256, true);
         t.sample_to(100_000, &[0, 0], &[0, 0]);
         let r = t.into_report(None);
@@ -752,5 +859,62 @@ mod tests {
                 dropped: 2
             }
         ));
+    }
+
+    #[test]
+    fn link_down_totals_reach_the_summary() {
+        let mut t = probe_2ports();
+        t.on_link_down(5, 0, 7, 2);
+        t.on_link_down(9, 0, 3, 4);
+        let mut r = t.into_report(None);
+        assert_eq!(r.total_link_down_events, 2);
+        assert_eq!(r.total_link_down_flushed, 6);
+        // The engine folds its drop/retry counters in when detaching.
+        r.total_dropped_packets = 11;
+        r.total_retried_packets = 5;
+        let s = r.summary();
+        assert_eq!(s.link_down_events, 2);
+        assert_eq!(s.link_down_flushed, 6);
+        assert_eq!(s.dropped_packets, 11);
+        assert_eq!(s.retried_packets, 5);
+    }
+
+    #[test]
+    fn boundary_event_belongs_to_the_later_window() {
+        // An ejection at exactly the first window's end (t == 100 µs·ps
+        // boundary) must land in window [100k, 200k), not [0, 100k) —
+        // windows are half-open. Recording before flushing is the order
+        // that used to double-count into the earlier window.
+        let mut t = probe_2ports();
+        t.on_eject(100_000, 0, 0, 0, 625, 0);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        t.sample_to(200_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert_eq!(r.ejection_rate[0], 0.0, "boundary event leaked into the earlier window");
+        assert!((r.ejection_rate[1] - 0.5).abs() < 1e-6);
+        // Totals are unaffected by the deferral.
+        assert_eq!(r.total_ejected_packets, 1);
+    }
+
+    #[test]
+    fn strictly_interior_events_stay_in_their_window() {
+        let mut t = probe_2ports();
+        t.on_eject(99_999, 0, 0, 0, 625, 0);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        t.sample_to(200_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert!((r.ejection_rate[0] - 0.5).abs() < 1e-6);
+        assert_eq!(r.ejection_rate[1], 0.0);
+    }
+
+    #[test]
+    fn boundary_send_defers_like_ejections() {
+        let mut t = probe_2ports();
+        t.on_send(100_000, 0, 625);
+        t.sample_to(100_000, &[0, 0], &[0, 0]);
+        t.sample_to(200_000, &[0, 0], &[0, 0]);
+        let r = t.into_report(None);
+        assert_eq!(r.link_utilization(0, 0), 0.0);
+        assert!((r.link_utilization(1, 0) - 0.5).abs() < 1e-6);
     }
 }

@@ -1,0 +1,188 @@
+//! Structured-tracing demo: span profiler, packet flight recorder and
+//! Perfetto-loadable trace export.
+//!
+//! ```text
+//! cargo run --release --example d2net-trace \
+//!     [-- --rate N] [--out FILE] [--manifest FILE] [--phase-only]
+//! ```
+//!
+//! Runs a traced load sweep on a Slim Fly under Valiant routing, twice —
+//! serial and fanned across the worker pool — and asserts the two trace
+//! files are byte-identical before writing one of them. The exported
+//! `trace_event` JSON (default `TRACE_run.json`) loads directly in
+//! Perfetto / `chrome://tracing`: process 0 carries the harness
+//! wall-clock spans (topo build, route tables, preflight, the sweeps),
+//! process `i + 1` carries sweep point `i`'s warmup/measure/drain phase
+//! track plus one thread per sampled packet flight with its hop timeline
+//! and an injection→ejection flow arrow.
+//!
+//! `--rate N` samples one packet flight in N (hash-based, deterministic;
+//! default 32). `--phase-only` suppresses flight recording, keeping only
+//! phase spans and hot-loop counters. `--manifest FILE` additionally
+//! writes a run manifest whose `"trace"` section snapshots the metrics
+//! registry — the target of ci.sh's `--trace-smoke` gate.
+
+use d2net::prelude::*;
+
+fn main() {
+    let args = parse_args();
+    let trace_cfg = TraceConfig {
+        sample_rate: args.rate,
+        phase_only: args.phase_only,
+        ..TraceConfig::default()
+    };
+
+    let mut prof = SpanProfiler::new();
+    prof.enter("traced campaign");
+    let net = prof.scope("topo build", || slim_fly(5, SlimFlyP::Floor));
+    let policy = prof.scope("route tables", || {
+        RoutePolicy::new(&net, Algorithm::Valiant)
+    });
+    let params = RunParams {
+        duration_ns: 30_000,
+        warmup_ns: 6_000,
+        loads: vec![0.2, 0.5, 0.8],
+        sim: SimConfig::default(),
+    };
+    let report = prof.scope("preflight", || {
+        verify(&net, &policy, &params.sim.verify_params())
+    });
+    assert_ne!(report.verdict(), Verdict::Rejected, "{}", report.render());
+
+    let label = format!("{} INR uniform", net.name());
+    let serial = prof.scope("serial sweep", || {
+        traced_curve(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &label,
+            &params,
+            trace_cfg,
+            1,
+        )
+    });
+    let parallel = prof.scope("parallel sweep", || {
+        traced_curve(
+            &net,
+            &policy,
+            &SyntheticPattern::Uniform,
+            &label,
+            &params,
+            trace_cfg,
+            0,
+        )
+    });
+    prof.exit();
+
+    // The determinism contract, asserted on every run: per-point traces
+    // are pure functions of (config, index), so the deterministic
+    // by-index merge makes the parallel export byte-identical.
+    let ser_json = chrome_trace_json(&label, &[], &serial.traces);
+    let par_json = chrome_trace_json(&label, &[], &parallel.traces);
+    assert_eq!(
+        ser_json, par_json,
+        "serial and parallel sweeps must export byte-identical traces"
+    );
+    if !args.phase_only {
+        assert!(
+            serial
+                .traces
+                .iter()
+                .any(|p| p.trace.flights.iter().any(|f| !f.events.is_empty())),
+            "sampling rate {} recorded no packet flight",
+            args.rate
+        );
+    }
+
+    print!("{}", prof.render());
+    println!();
+    let metrics = sweep_metrics(&serial.traces);
+    println!("metrics registry ({} metrics):", metrics.metrics.len());
+    for m in &metrics.metrics {
+        let labels: Vec<String> = m
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let value = match &m.value {
+            MetricValue::Counter(v) => format!("{v}"),
+            MetricValue::Gauge(v) => format!("{v:.1}"),
+            MetricValue::Histogram { counts, .. } => format!("{counts:?}"),
+        };
+        println!("  {:<24} {:<18} {}", m.name, labels.join(","), value);
+    }
+    let flights: usize = serial.traces.iter().map(|p| p.trace.flights.len()).sum();
+    println!(
+        "\n{} points traced, {} sampled flights (rate 1-in-{})",
+        serial.traces.len(),
+        flights,
+        args.rate
+    );
+
+    // The written file includes the wall-clock harness spans on pid 0;
+    // those are nondeterministic by nature, which is why the byte
+    // comparison above ran on the engine-only export.
+    let full = chrome_trace_json(&label, prof.spans(), &serial.traces);
+    std::fs::write(&args.out, &full).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {} ({} bytes) — load it in https://ui.perfetto.dev", args.out, full.len());
+
+    if let Some(path) = &args.manifest {
+        let mut m = RunManifest::new(
+            format!("traced sweep: {label}"),
+            &net,
+            "INR",
+            "uniform",
+            params.duration_ns,
+            params.warmup_ns,
+            params.sim,
+        );
+        m.set_preflight(report.summary());
+        m.push_notices(&serial.notices);
+        m.set_trace(TraceManifest::from_points(trace_cfg, &serial.traces));
+        m.push_curve(serial.curve.clone());
+        let json = m.to_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+struct Args {
+    rate: u32,
+    out: String,
+    manifest: Option<String>,
+    phase_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        rate: 32,
+        out: "TRACE_run.json".to_string(),
+        manifest: None,
+        phase_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--rate" => {
+                out.rate = value("--rate").parse().unwrap_or_else(|e| {
+                    eprintln!("--rate: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out.out = value("--out"),
+            "--manifest" => out.manifest = Some(value("--manifest")),
+            "--phase-only" => out.phase_only = true,
+            other => {
+                eprintln!("unknown flag {other}; see the module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}

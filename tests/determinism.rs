@@ -213,6 +213,58 @@ fn resilience_sweep_serial_matches_parallel_across_families() {
     }
 }
 
+/// The traced engine exposes the calendar queue's internals read-only,
+/// which lets the cross-check go one level deeper than stats equality:
+/// under both queue implementations the *hot-loop counters* must agree
+/// (same events popped and scheduled, same FIFO traffic, same blocking),
+/// and the calendar's own push accounting must tie out exactly against
+/// the engine's monotonic event counter.
+#[test]
+fn calendar_queue_counters_cross_check_against_heap() {
+    for net in families() {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let run = |queue: EventQueueKind| {
+            let cfg = SimConfig {
+                event_queue: queue,
+                ..Default::default()
+            };
+            run_synthetic_traced(
+                &net,
+                &policy,
+                &SyntheticPattern::Uniform,
+                0.7,
+                30_000,
+                6_000,
+                cfg,
+                TraceConfig::default(),
+            )
+        };
+        let (cal_stats, cal_trace) = run(EventQueueKind::Calendar);
+        let (heap_stats, heap_trace) = run(EventQueueKind::Heap);
+        assert_eq!(cal_stats, heap_stats, "{}: stats diverged", net.name());
+
+        let cal = cal_trace.counters;
+        let heap = heap_trace.counters;
+        assert_eq!(cal.events_popped, heap.events_popped, "{}", net.name());
+        assert_eq!(cal.events_scheduled, heap.events_scheduled, "{}", net.name());
+        assert_eq!(cal.in_q_pushes, heap.in_q_pushes, "{}", net.name());
+        assert_eq!(cal.out_q_pushes, heap.out_q_pushes, "{}", net.name());
+        assert_eq!(cal.blocked_entries, heap.blocked_entries, "{}", net.name());
+
+        // The queue-internal stats are implementation-specific: present
+        // and self-consistent on the calendar, absent on the heap.
+        assert!(heap.calendar.is_none(), "{}", net.name());
+        let cq = cal.calendar.expect("calendar stats present");
+        assert_eq!(
+            cq.total_pushes(),
+            cal.events_scheduled,
+            "{}: calendar lost or double-counted a push",
+            net.name()
+        );
+        assert!(cq.ring_highwater > 0, "{}", net.name());
+    }
+}
+
 /// Mid-run fault injection must not break queue-implementation parity:
 /// a faulted run schedules byte-identically on the calendar queue and
 /// the reference binary heap.

@@ -134,6 +134,80 @@ fn forced_deadlock_produces_forensics_cycle() {
     assert!(report.summary().deadlock_cycle_len >= 2);
 }
 
+/// Regression for the fault-era counters: the engine has always counted
+/// drops, retries and LinkDown flushes, but the probe's summary dropped
+/// them on the floor and the manifest never serialized them. A faulted
+/// probed run must now carry all four totals end to end — summary fields
+/// tying out against the engine's own stats and the telemetry rings, and
+/// the JSON manifest exposing them under the point's `telemetry` object.
+#[test]
+fn faulted_run_summary_carries_drop_retry_and_link_down_totals() {
+    let net = slim_fly(5, SlimFlyP::Floor);
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let victim = net.neighbors(0)[0];
+    let schedule = FaultSchedule::new()
+        .at(8_000, FaultSet::new().fail_link(0, victim).clone())
+        .at(
+            16_000,
+            FaultSet::new()
+                .fail_router(net.endpoint_routers()[0])
+                .clone(),
+        );
+    let cfg = SimConfig::default();
+    let (stats, report) = run_synthetic_faulted_probed(
+        &net,
+        &policy,
+        &SyntheticPattern::Uniform,
+        &schedule,
+        0.5,
+        40_000,
+        8_000,
+        cfg,
+        ProbeConfig::default(),
+    )
+    .expect("faulted run constructs");
+
+    let summary = report.summary();
+    assert_eq!(summary.dropped_packets, stats.dropped_packets);
+    assert_eq!(summary.retried_packets, stats.retried_packets);
+    assert_eq!(summary.link_down_events, report.total_link_down_events);
+    assert!(
+        summary.link_down_events > 0,
+        "two fault events must take links down"
+    );
+    assert!(
+        stats.dropped_packets > 0,
+        "a dead endpoint router must shed traffic"
+    );
+
+    let mut m = RunManifest::new(
+        "fault telemetry regression",
+        &net,
+        "MIN",
+        "uniform",
+        40_000,
+        8_000,
+        cfg,
+    );
+    m.push_curve(Curve {
+        label: "faulted".into(),
+        points: vec![SweepPoint {
+            load: 0.5,
+            stats,
+            telemetry: Some(summary.clone()),
+        }],
+    });
+    let json = m.to_json();
+    for needle in [
+        format!("\"link_down_events\":{}", summary.link_down_events),
+        format!("\"link_down_flushed\":{}", summary.link_down_flushed),
+        format!("\"retried_packets\":{}", summary.retried_packets),
+        format!("\"dropped_packets\":{}", summary.dropped_packets),
+    ] {
+        assert!(json.contains(&needle), "manifest lacks {needle}");
+    }
+}
+
 #[test]
 fn probed_sweep_attaches_summaries_and_aborts_after_wedge() {
     let net = ring5();
