@@ -2,15 +2,21 @@
 # Tier-1 gate: build, test, lint. Fully offline — all dependencies are
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
-# Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke]
-#   --bench-smoke  additionally compiles every benchmark and runs a
-#                  smoke-sized bench_sweep, writing BENCH_sweep.json.
-#   --fault-smoke  additionally runs the tiny resilience sweep and
-#                  checks its manifest carries a "faults" section.
-#   --trace-smoke  additionally runs the traced demo sweep (which
-#                  asserts serial == parallel trace bytes itself) and
-#                  checks the Perfetto file and the manifest's "trace"
-#                  section landed.
+# Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke] [--decision-smoke]
+#   --bench-smoke     additionally compiles every benchmark and runs a
+#                     smoke-sized bench_sweep, writing BENCH_sweep.json.
+#   --fault-smoke     additionally runs the tiny resilience sweep and
+#                     checks its manifest carries a "faults" section.
+#   --trace-smoke     additionally runs the traced demo sweep (which
+#                     asserts serial == parallel trace bytes itself) and
+#                     checks the Perfetto file and the manifest's "trace"
+#                     section landed.
+#   --decision-smoke  additionally runs the ledgered UGAL-L/UGAL-G sweeps
+#                     (which assert serial == parallel manifest bytes
+#                     themselves), checks both manifests carry
+#                     "algorithm" and "decisions" sections, and runs
+#                     d2net-compare over them expecting the hop-2
+#                     blindness attribution.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,11 +25,13 @@ export CARGO_NET_OFFLINE=true
 BENCH_SMOKE=0
 FAULT_SMOKE=0
 TRACE_SMOKE=0
+DECISION_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --fault-smoke) FAULT_SMOKE=1 ;;
     --trace-smoke) TRACE_SMOKE=1 ;;
+    --decision-smoke) DECISION_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -69,6 +77,21 @@ if [[ "$TRACE_SMOKE" == "1" ]]; then
   grep -q '"schema":"d2net.chrome-trace/v1"' TRACE_smoke.json
   grep -q '"trace"' TRACE_manifest.json
   grep -q '"events_popped"' TRACE_manifest.json
+fi
+
+if [[ "$DECISION_SMOKE" == "1" ]]; then
+  echo "== decision smoke: ledgered UGAL-L/UGAL-G sweeps, manifest + compare gate =="
+  cargo run --release --example d2net-decisions -- \
+    --manifest-l DECISIONS_ugal_l.json --manifest-g DECISIONS_ugal_g.json
+  grep -q '"decisions"' DECISIONS_ugal_l.json
+  grep -q '"decisions"' DECISIONS_ugal_g.json
+  grep -q '"algorithm":{"kind":"ugal"' DECISIONS_ugal_l.json
+  grep -q '"algorithm":{"kind":"ugal_g"' DECISIONS_ugal_g.json
+  grep -q '"misroute_rate"' DECISIONS_ugal_l.json
+  cargo run --release --example d2net-compare -- \
+    DECISIONS_ugal_l.json DECISIONS_ugal_g.json | tee COMPARE_decisions.txt
+  grep -q 'first divergence at load' COMPARE_decisions.txt
+  grep -q 'first-hop-only cost visibility' COMPARE_decisions.txt
 fi
 
 echo "ci.sh: all green"

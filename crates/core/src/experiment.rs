@@ -6,9 +6,9 @@ use crate::configs::RunParams;
 use d2net_analysis::{bisection, scale_table, ScaleRow};
 use d2net_routing::{Algorithm, RoutePolicy};
 use d2net_sim::{
-    load_sweep, load_sweep_collect, load_sweep_traced_collect, par_curves,
-    par_load_sweep_traced_collect, run_exchange, ExchangeStats, PointTrace, SweepNotice,
-    SweepPoint, TraceConfig,
+    load_sweep, load_sweep_collect, load_sweep_ledgered_collect, load_sweep_traced_collect,
+    par_curves, par_load_sweep_ledgered_collect, par_load_sweep_traced_collect, run_exchange,
+    ExchangeStats, LedgerConfig, PointLedger, PointTrace, SweepNotice, SweepPoint, TraceConfig,
 };
 use d2net_topo::{mlfm, oft, slim_fly, Network, SlimFlyP, TopologyKind};
 use d2net_traffic::{
@@ -154,6 +154,65 @@ pub fn traced_curve(
             points: out.points,
         },
         traces,
+        notices: out.notices,
+    }
+}
+
+/// A ledgered sweep's curve, per-point decision ledgers, and notices —
+/// what the `d2net-decisions` CLI (and any forensic campaign) hands to
+/// [`crate::report::DecisionsManifest`] and
+/// [`crate::trace_export::chrome_trace_json_ledgered`].
+#[derive(Debug, Clone)]
+pub struct LedgeredCurve {
+    pub curve: Curve,
+    pub ledgers: Vec<PointLedger>,
+    pub notices: Vec<SweepNotice>,
+}
+
+/// Runs one decision-ledgered load sweep — serial when `threads == 1`,
+/// fanned across the worker pool otherwise. Both paths return
+/// byte-identical ledgers (the parallel merge is by point index), which
+/// `tests/decisions.rs` pins down.
+#[allow(clippy::too_many_arguments)]
+pub fn ledgered_curve(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    label: impl Into<String>,
+    params: &RunParams,
+    ledger: LedgerConfig,
+    threads: usize,
+) -> LedgeredCurve {
+    let (out, ledgers) = if threads == 1 {
+        load_sweep_ledgered_collect(
+            net,
+            policy,
+            pattern,
+            &params.loads,
+            params.duration_ns,
+            params.warmup_ns,
+            params.sim,
+            ledger,
+        )
+    } else {
+        par_load_sweep_ledgered_collect(
+            net,
+            policy,
+            pattern,
+            &params.loads,
+            params.duration_ns,
+            params.warmup_ns,
+            params.sim,
+            ledger,
+            threads,
+        )
+    };
+    LedgeredCurve {
+        curve: Curve {
+            label: label.into(),
+            points: out.points,
+        },
+        ledgers,
         notices: out.notices,
     }
 }

@@ -35,6 +35,7 @@
 //! assert!((stats.throughput - 0.5).abs() < 0.05);
 //! ```
 
+pub mod compare;
 pub mod configs;
 pub mod experiment;
 pub mod plot;
@@ -52,11 +53,15 @@ pub use d2net_verify as verify;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use crate::compare::{
+        compare_manifests, digest_manifest, CompareReport, Divergence, Json, PointDigest,
+        RunDigest, SampleDigest, DIVERGENCE_EPS,
+    };
     pub use crate::configs::{eval_topologies, RunParams, Scale};
     pub use crate::experiment::{
         adaptive_sweep, adaptive_sweep_par, adaptive_variants, best_adaptive, diversity_report,
-        fig13, fig14, fig3, fig4, fig6, fig6_par, table2, traced_curve, Curve, CurveSet,
-        ExchangeRow, TracedCurve, Traffic,
+        fig13, fig14, fig3, fig4, fig6, fig6_par, ledgered_curve, table2, traced_curve, Curve,
+        CurveSet, ExchangeRow, LedgeredCurve, TracedCurve, Traffic,
     };
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
@@ -64,26 +69,28 @@ pub mod prelude {
         failure_fractions, resilience_sweep, resilience_sweep_par, resilience_sweep_traced,
         resilience_sweep_traced_par, ResilienceCurve, ResiliencePoint,
     };
-    pub use crate::trace_export::chrome_trace_json;
+    pub use crate::trace_export::{chrome_trace_json, chrome_trace_json_ledgered};
     pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
     pub use d2net_routing::{
-        build_cdg, try_build_cdg, Algorithm, ChannelError, IntermediateSet, MinimalTables,
-        RoutePolicy, VcScheme,
+        build_cdg, try_build_cdg, Algorithm, ChannelError, DecisionCandidate, DecisionRecord,
+        DecisionVerdict, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        flight_sampled, load_grid, load_grid_from, load_sweep, load_sweep_collect,
-        load_sweep_probed, load_sweep_probed_collect, load_sweep_traced_collect, par_curves,
-        par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
-        par_load_sweep_probed_collect, par_load_sweep_traced_collect, par_load_sweep_with_order,
-        point_seed, preflight,
+        flight_sampled, ledger_metrics, load_grid, load_grid_from, load_sweep, load_sweep_collect,
+        load_sweep_ledgered_collect, load_sweep_probed, load_sweep_probed_collect,
+        load_sweep_traced_collect, par_curves, par_load_sweep, par_load_sweep_collect,
+        par_load_sweep_ledgered_collect, par_load_sweep_probed, par_load_sweep_probed_collect,
+        par_load_sweep_traced_collect, par_load_sweep_with_order, point_seed, preflight,
         resolve_threads, run_exchange, run_exchange_probed, run_exchange_traced, run_synthetic,
-        run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_probed,
-        run_synthetic_traced, sweep_metrics, CalendarStats, DeadlockReport, EngineFault,
-        EngineTrace, EventQueueKind, ExchangeStats, FaultEvent, FaultSchedule, FlightEvent,
-        FlightEventKind, HarnessSpan, HotCounters, Metric, MetricValue, MetricsRegistry,
-        PacketFlight, PhaseSpan, PointTrace, Preflight, ProbeConfig, RingEvent, RingEventKind,
-        SimConfig, SimPhase, SpanProfiler, SweepNotice, SweepOutcome, SweepPoint, SyntheticStats,
-        TelemetryReport, TelemetrySummary, TraceConfig, WaitPoint, WaitSide,
+        run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_ledgered,
+        run_synthetic_probed, run_synthetic_traced, sweep_metrics, CalendarStats, DeadlockReport,
+        DecisionLedger, DecisionSample, EngineFault, EngineLedger, EngineTrace, EventQueueKind,
+        ExchangeStats, FaultEvent, FaultSchedule, FlightEvent, FlightEventKind, HarnessSpan,
+        HotCounters, LedgerConfig, Metric, MetricValue, MetricsRegistry, PacketFlight, PhaseSpan,
+        PointLedger, PointTrace, PortHeat, Preflight, ProbeConfig, RingEvent, RingEventKind,
+        RouterDecisionStats, SimConfig, SimPhase, SpanProfiler, SweepNotice, SweepOutcome,
+        SweepPoint, SyntheticStats, TelemetryReport, TelemetrySummary, TraceConfig, WaitPoint,
+        WaitSide, LEDGER_TOP_N, MARGIN_BOUNDS_BYTES,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,

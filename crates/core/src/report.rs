@@ -4,11 +4,15 @@
 
 use crate::experiment::{Curve, ExchangeRow};
 use d2net_analysis::ScaleRow;
+use d2net_routing::Algorithm;
 use d2net_sim::{
-    sweep_metrics, MetricValue, MetricsRegistry, PointTrace, SimConfig, SweepNotice, TraceConfig,
+    ledger_metrics, sweep_metrics, DecisionSample, LedgerConfig, MetricValue, MetricsRegistry,
+    PointLedger, PointTrace, PortHeat, SimConfig, SweepNotice, TraceConfig, LEDGER_TOP_N,
+    MARGIN_BOUNDS_BYTES,
 };
 use d2net_topo::Network;
 use d2net_verify::VerifySummary;
+use std::cmp::Ordering;
 
 /// Wall-clock timing of one sweep, serial vs parallel — the manifest's
 /// perf-trajectory record (see also the standalone `BENCH_sweep.json`
@@ -100,6 +104,37 @@ impl TraceManifest {
             sample_rate: cfg.sample_rate,
             phase_only: cfg.phase_only,
             metrics: sweep_metrics(points),
+        }
+    }
+}
+
+/// The `"decisions"` section of a [`RunManifest`]: the routing-decision
+/// forensics of a ledgered adaptive campaign. Carries the summary
+/// metrics registry (see [`d2net_sim::ledger_metrics`]) plus the full
+/// per-point ledgers: exact per-router misroute tables, divergence
+/// margin histograms, the hottest ports at decision time, and the
+/// highest-|margin| sampled [`DecisionRecord`](d2net_routing::DecisionRecord)s
+/// with every candidate they costed. Like `"faults"` and `"trace"`, the
+/// key only appears when the campaign actually ran with a ledger — the
+/// CI decision-smoke gate greps for its presence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionsManifest {
+    /// Flight sampling rate the ledger ran with (1-in-N, 0 = off).
+    pub sample_rate: u32,
+    /// Hard cap on retained full records per point.
+    pub max_samples: usize,
+    pub metrics: MetricsRegistry,
+    pub points: Vec<PointLedger>,
+}
+
+impl DecisionsManifest {
+    /// Snapshots the ledgers of a ledgered sweep's points.
+    pub fn from_points(cfg: LedgerConfig, points: &[PointLedger]) -> Self {
+        DecisionsManifest {
+            sample_rate: cfg.sample_rate,
+            max_samples: cfg.max_samples,
+            metrics: ledger_metrics(points),
+            points: points.to_vec(),
         }
     }
 }
@@ -321,6 +356,47 @@ impl JsonWriter {
     }
 }
 
+/// Serializes a [`MetricsRegistry`] as a JSON array of metric objects —
+/// the shared encoding of the manifest's `"trace"` and `"decisions"`
+/// sections (`{"name","labels",kind-specific value}` per metric).
+fn write_metrics(w: &mut JsonWriter, metrics: &MetricsRegistry) {
+    w.begin_array();
+    for m in &metrics.metrics {
+        w.begin_object();
+        w.key("name").string(&m.name);
+        w.key("labels").begin_object();
+        for (k, v) in &m.labels {
+            w.key(k).string(v);
+        }
+        w.end_object();
+        match &m.value {
+            MetricValue::Counter(v) => {
+                w.key("kind").string("counter");
+                w.key("value").u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.key("kind").string("gauge");
+                w.key("value").f64(*v);
+            }
+            MetricValue::Histogram { bounds_ns, counts } => {
+                w.key("kind").string("histogram");
+                w.key("bounds_ns").begin_array();
+                for &b in bounds_ns {
+                    w.u64(b);
+                }
+                w.end_array();
+                w.key("counts").begin_array();
+                for &c in counts {
+                    w.u64(c);
+                }
+                w.end_array();
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+}
+
 /// A self-describing record of one simulation campaign: what was run
 /// (topology, routing, traffic, simulator parameters) and what came out
 /// (curves with per-point stats and optional telemetry summaries).
@@ -334,6 +410,11 @@ pub struct RunManifest {
     pub num_routers: u32,
     pub num_nodes: u32,
     pub routing: String,
+    /// The exact [`Algorithm`] variant and parameters the campaign ran
+    /// with ([`RunManifest::set_algorithm`]), beyond the display string
+    /// in `routing`; `None` emits no `"algorithm"` key (e.g. exchange
+    /// comparisons that mix several).
+    pub algorithm: Option<Algorithm>,
     pub pattern: String,
     pub duration_ns: u64,
     pub warmup_ns: u64,
@@ -355,6 +436,10 @@ pub struct RunManifest {
     /// ([`RunManifest::set_trace`]); `None` for untraced runs, which
     /// then emit no `"trace"` key.
     pub trace: Option<TraceManifest>,
+    /// Routing-decision forensics of a ledgered campaign
+    /// ([`RunManifest::set_decisions`]); `None` for unledgered runs,
+    /// which then emit no `"decisions"` key.
+    pub decisions: Option<DecisionsManifest>,
     pub curves: Vec<Curve>,
 }
 
@@ -374,6 +459,7 @@ impl RunManifest {
             num_routers: net.num_routers(),
             num_nodes: net.num_nodes(),
             routing: routing.into(),
+            algorithm: None,
             pattern: pattern.into(),
             duration_ns,
             warmup_ns,
@@ -383,6 +469,7 @@ impl RunManifest {
             notices: Vec::new(),
             faults: None,
             trace: None,
+            decisions: None,
             curves: Vec::new(),
         }
     }
@@ -423,6 +510,20 @@ impl RunManifest {
         self
     }
 
+    /// Records the exact routing algorithm the campaign ran with, so
+    /// downstream tooling (and [`crate::compare`]) can key on the
+    /// variant and its parameters rather than parse the display string.
+    pub fn set_algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Records the routing-decision forensics of a ledgered campaign.
+    pub fn set_decisions(&mut self, decisions: DecisionsManifest) -> &mut Self {
+        self.decisions = Some(decisions);
+        self
+    }
+
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -440,6 +541,46 @@ impl RunManifest {
         w.key("nodes").u64(self.num_nodes as u64);
         w.end_object();
         w.key("routing").string(&self.routing);
+        // Emitted only when the campaign pinned a single algorithm, so
+        // cross-run diffing can compare parameters structurally.
+        if let Some(a) = &self.algorithm {
+            let (kind, n_i, c, threshold) = match a {
+                Algorithm::Minimal => ("minimal", None, None, None),
+                Algorithm::Valiant => ("valiant", None, None, None),
+                Algorithm::UgalG { n_i, c } => ("ugal_g", Some(*n_i), Some(*c), None),
+                Algorithm::Ugal { n_i, c, threshold } => ("ugal", Some(*n_i), Some(*c), *threshold),
+            };
+            w.key("algorithm").begin_object();
+            w.key("kind").string(kind);
+            w.key("n_i");
+            match n_i {
+                Some(v) => {
+                    w.u64(v as u64);
+                }
+                None => {
+                    w.null();
+                }
+            }
+            w.key("c");
+            match c {
+                Some(v) => {
+                    w.f64(v);
+                }
+                None => {
+                    w.null();
+                }
+            }
+            w.key("threshold");
+            match threshold {
+                Some(v) => {
+                    w.f64(v);
+                }
+                None => {
+                    w.null();
+                }
+            }
+            w.end_object();
+        }
         w.key("pattern").string(&self.pattern);
         w.key("sim").begin_object();
         w.key("link_bandwidth_gbps").f64(self.sim.link_bandwidth_gbps);
@@ -518,38 +659,139 @@ impl RunManifest {
             w.key("trace").begin_object();
             w.key("sample_rate").u64(t.sample_rate as u64);
             w.key("phase_only").bool(t.phase_only);
-            w.key("metrics").begin_array();
-            for m in &t.metrics.metrics {
+            w.key("metrics");
+            write_metrics(&mut w, &t.metrics);
+            w.end_object();
+        }
+        // Emitted only for ledgered campaigns — the decision-smoke
+        // gate's and `d2net-compare`'s grep/parse target.
+        if let Some(d) = &self.decisions {
+            w.key("decisions").begin_object();
+            w.key("sample_rate").u64(d.sample_rate as u64);
+            w.key("max_samples").u64(d.max_samples as u64);
+            w.key("margin_bounds_bytes").begin_array();
+            for &b in MARGIN_BOUNDS_BYTES.iter() {
+                w.u64(b);
+            }
+            w.end_array();
+            w.key("metrics");
+            write_metrics(&mut w, &d.metrics);
+            w.key("points").begin_array();
+            for p in &d.points {
+                let l = &p.ledger;
                 w.begin_object();
-                w.key("name").string(&m.name);
-                w.key("labels").begin_object();
-                for (k, v) in &m.labels {
-                    w.key(k).string(v);
+                w.key("index").u64(p.index as u64);
+                w.key("load").f64(p.load);
+                w.key("decisions").u64(l.decisions);
+                w.key("misroutes").u64(l.indirect);
+                w.key("forced_minimal").u64(l.forced_minimal);
+                w.key("fallback_minimal").u64(l.fallback_minimal);
+                w.key("misroute_rate").f64(l.misroute_rate());
+                w.key("margin_diverted").begin_array();
+                for &c in &l.margin_diverted {
+                    w.u64(c);
                 }
-                w.end_object();
-                match &m.value {
-                    MetricValue::Counter(v) => {
-                        w.key("kind").string("counter");
-                        w.key("value").u64(*v);
-                    }
-                    MetricValue::Gauge(v) => {
-                        w.key("kind").string("gauge");
-                        w.key("value").f64(*v);
-                    }
-                    MetricValue::Histogram { bounds_ns, counts } => {
-                        w.key("kind").string("histogram");
-                        w.key("bounds_ns").begin_array();
-                        for &b in bounds_ns {
-                            w.u64(b);
-                        }
-                        w.end_array();
-                        w.key("counts").begin_array();
-                        for &c in counts {
-                            w.u64(c);
-                        }
-                        w.end_array();
-                    }
+                w.end_array();
+                w.key("margin_held").begin_array();
+                for &c in &l.margin_held {
+                    w.u64(c);
                 }
+                w.end_array();
+                // Exact per-source-router table — the substrate of
+                // `d2net-compare`'s per-router misroute deltas.
+                w.key("routers").begin_array();
+                for &(r, s) in &l.routers {
+                    w.begin_object();
+                    w.key("router").u64(r as u64);
+                    w.key("decisions").u64(s.decisions);
+                    w.key("misroutes").u64(s.indirect);
+                    w.key("forced_minimal").u64(s.forced_minimal);
+                    w.key("fallback_minimal").u64(s.fallback_minimal);
+                    w.key("mean_margin").f64(if s.decisions == 0 {
+                        0.0
+                    } else {
+                        s.margin_sum / s.decisions as f64
+                    });
+                    w.key("mean_q_m").f64(if s.decisions == 0 {
+                        0.0
+                    } else {
+                        s.q_m_sum as f64 / s.decisions as f64
+                    });
+                    w.end_object();
+                }
+                w.end_array();
+                // Hottest ports at decision time (by cumulative observed
+                // bytes; deterministic tie-break on port id).
+                let mut hot: Vec<&PortHeat> = l.heat.iter().collect();
+                hot.sort_by(|a, b| {
+                    b.sum_bytes
+                        .cmp(&a.sum_bytes)
+                        .then((a.router, a.next).cmp(&(b.router, b.next)))
+                });
+                w.key("hot_ports").begin_array();
+                for h in hot.iter().take(LEDGER_TOP_N) {
+                    w.begin_object();
+                    w.key("router").u64(h.router as u64);
+                    w.key("next").u64(h.next as u64);
+                    w.key("observations").u64(h.observations);
+                    w.key("mean_bytes").f64(if h.observations == 0 {
+                        0.0
+                    } else {
+                        h.sum_bytes as f64 / h.observations as f64
+                    });
+                    w.key("max_bytes").u64(h.max_bytes);
+                    w.end_object();
+                }
+                w.end_array();
+                // The sampled records behind the largest divergence
+                // gaps, full candidate sets included.
+                let mut picked: Vec<&DecisionSample> = l.samples.iter().collect();
+                picked.sort_by(|a, b| {
+                    b.record
+                        .margin
+                        .abs()
+                        .partial_cmp(&a.record.margin.abs())
+                        .unwrap_or(Ordering::Equal)
+                        .then(a.flight_id.cmp(&b.flight_id))
+                });
+                w.key("samples").begin_array();
+                for s in picked.iter().take(LEDGER_TOP_N) {
+                    let rec = &s.record;
+                    w.begin_object();
+                    w.key("flight_id").u64(s.flight_id);
+                    w.key("t_ps").u64(s.t_ps);
+                    w.key("src").u64(rec.src as u64);
+                    w.key("dst").u64(rec.dst as u64);
+                    w.key("verdict").string(rec.verdict.name());
+                    w.key("min_first_hop").u64(rec.min_first_hop as u64);
+                    w.key("q_m").u64(rec.q_m);
+                    w.key("c_m").f64(rec.c_m);
+                    w.key("threshold_margin");
+                    match rec.threshold_margin {
+                        Some(m) => {
+                            w.f64(m);
+                        }
+                        None => {
+                            w.null();
+                        }
+                    }
+                    w.key("chosen_cost").f64(rec.chosen_cost);
+                    w.key("margin").f64(rec.margin);
+                    w.key("candidates").begin_array();
+                    for cand in &rec.candidates {
+                        w.begin_object();
+                        w.key("intermediate").u64(cand.intermediate as u64);
+                        w.key("first_hop").u64(cand.first_hop as u64);
+                        w.key("occupancy_bytes").u64(cand.occupancy_bytes);
+                        w.key("penalty").f64(cand.penalty);
+                        w.key("cost").f64(cand.cost);
+                        w.end_object();
+                    }
+                    w.end_array();
+                    w.end_object();
+                }
+                w.end_array();
+                w.key("samples_truncated").bool(l.samples_truncated);
                 w.end_object();
             }
             w.end_array();
@@ -827,6 +1069,114 @@ mod tests {
         assert!(s.contains("\"labels\":{\"queue\":\"input\"}"));
         assert!(s.contains("\"kind\":\"gauge\",\"value\":24000.000000"));
         assert!(s.contains("\"kind\":\"histogram\",\"bounds_ns\":[250,500],\"counts\":[1,2,0]"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn algorithm_section_absent_until_set_then_serializes() {
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "adaptive", &net, "UGAL-L", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        assert!(!m.to_json().contains("\"algorithm\""));
+
+        m.set_algorithm(Algorithm::Ugal {
+            n_i: 2,
+            c: 2.0,
+            threshold: Some(0.25),
+        });
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"algorithm\":{\"kind\":\"ugal\",\"n_i\":2,\"c\":2.000000,\"threshold\":0.250000}"
+        ));
+
+        m.set_algorithm(Algorithm::Valiant);
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"algorithm\":{\"kind\":\"valiant\",\"n_i\":null,\"c\":null,\"threshold\":null}"
+        ));
+
+        m.set_algorithm(Algorithm::UgalG { n_i: 4, c: 1.0 });
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"algorithm\":{\"kind\":\"ugal_g\",\"n_i\":4,\"c\":1.000000,\"threshold\":null}"
+        ));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn decisions_section_absent_until_set_then_serializes() {
+        use d2net_routing::{DecisionCandidate, DecisionRecord, DecisionVerdict};
+        use d2net_sim::{DecisionLedger, SimConfig};
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "ledgered", &net, "UGAL-G", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        // The `"decisions"` key is the decision-smoke gate's grep
+        // target: it must not appear on unledgered manifests.
+        assert!(!m.to_json().contains("\"decisions\""));
+
+        let cfg = LedgerConfig {
+            sample_rate: 1,
+            max_samples: 8,
+        };
+        let mut led = DecisionLedger::new(cfg);
+        led.on_decision(
+            2_000_000,
+            7,
+            &DecisionRecord {
+                src: 0,
+                dst: 6,
+                capacity_bytes: 100_000,
+                min_first_hop: 3,
+                q_m: 90_000,
+                c_m: 90_000.0,
+                threshold_margin: None,
+                candidates: vec![DecisionCandidate {
+                    intermediate: 5,
+                    first_hop: 2,
+                    occupancy_bytes: 1_000,
+                    penalty: 2.0,
+                    cost: 2_000.0,
+                }],
+                verdict: DecisionVerdict::Indirect,
+                chosen_cost: 2_000.0,
+                margin: 88_000.0,
+            },
+        );
+        m.set_decisions(DecisionsManifest::from_points(
+            cfg,
+            &[PointLedger {
+                index: 1,
+                load: 0.8,
+                ledger: led.finish(),
+            }],
+        ));
+        let s = m.to_json();
+        assert!(s.contains("\"decisions\":{\"sample_rate\":1,\"max_samples\":8,"));
+        assert!(s.contains("\"margin_bounds_bytes\":[256,1024,4096,16384,65536]"));
+        assert!(s.contains("{\"name\":\"misroutes_total\",\"labels\":{},\"kind\":\"counter\",\"value\":1}"));
+        assert!(s.contains("\"misroute_rate\":1.000000"));
+        assert!(s.contains(
+            "\"routers\":[{\"router\":0,\"decisions\":1,\"misroutes\":1,\
+             \"forced_minimal\":0,\"fallback_minimal\":0,"
+        ));
+        // Both the consulted minimal port and the candidate port land in
+        // the heatmap, hottest first.
+        assert!(s.contains("\"hot_ports\":[{\"router\":0,\"next\":3,\"observations\":1,"));
+        assert!(s.contains("\"verdict\":\"indirect\""));
+        assert!(s.contains("\"t_ps\":2000000"));
+        assert!(s.contains(
+            "\"candidates\":[{\"intermediate\":5,\"first_hop\":2,\
+             \"occupancy_bytes\":1000,\"penalty\":2.000000,\"cost\":2000.000000}]"
+        ));
+        assert!(s.contains("\"samples_truncated\":false"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
     }

@@ -14,7 +14,7 @@
 //! pass an empty slice.
 
 use crate::report::JsonWriter;
-use d2net_sim::{FlightEventKind, HarnessSpan, PacketFlight, PointTrace};
+use d2net_sim::{FlightEventKind, HarnessSpan, PacketFlight, PointLedger, PointTrace};
 
 /// Timestamps in `trace_event` JSON are microseconds; printing
 /// picoseconds through [`JsonWriter::f64`]'s six decimals keeps them
@@ -94,6 +94,31 @@ fn flight_end_ps(f: &PacketFlight) -> u64 {
 /// Serializes harness spans plus per-point engine traces into one
 /// Perfetto-loadable `trace_event` JSON document.
 pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTrace]) -> String {
+    let mut w = open_trace(title);
+    write_trace_events(&mut w, harness, points);
+    close_trace(w)
+}
+
+/// Like [`chrome_trace_json`], but additionally renders each point's
+/// decision ledger onto thread 2 ("decisions") of that point's process:
+/// one instant (`ph:"i"`) per sampled routing decision, a cumulative
+/// misroute counter track (`ph:"C"`), and one occupancy-at-decision
+/// counter track per consulted port — the congestion heatmap on the
+/// trace timeline. Flight threads and decision instants join on
+/// `flight_id`.
+pub fn chrome_trace_json_ledgered(
+    title: &str,
+    harness: &[HarnessSpan],
+    points: &[PointTrace],
+    ledgers: &[PointLedger],
+) -> String {
+    let mut w = open_trace(title);
+    write_trace_events(&mut w, harness, points);
+    write_decision_events(&mut w, ledgers);
+    close_trace(w)
+}
+
+fn open_trace(title: &str) -> JsonWriter {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("displayTimeUnit").string("ns");
@@ -102,11 +127,20 @@ pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTr
     w.key("title").string(title);
     w.end_object();
     w.key("traceEvents").begin_array();
+    w
+}
 
-    meta_process(&mut w, 0, "harness");
+fn close_trace(mut w: JsonWriter) -> String {
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn write_trace_events(w: &mut JsonWriter, harness: &[HarnessSpan], points: &[PointTrace]) {
+    meta_process(w, 0, "harness");
     for s in harness {
         begin_complete(
-            &mut w,
+            w,
             &s.name,
             "harness",
             0,
@@ -121,11 +155,11 @@ pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTr
 
     for p in points {
         let pid = p.index as u64 + 1;
-        meta_process(&mut w, pid, &format!("point {} @ {:.3}", p.index, p.load));
-        meta_thread(&mut w, pid, 1, "engine phases");
+        meta_process(w, pid, &format!("point {} @ {:.3}", p.index, p.load));
+        meta_thread(w, pid, 1, "engine phases");
         for span in &p.trace.phases {
             begin_complete(
-                &mut w,
+                w,
                 span.phase.name(),
                 "phase",
                 pid,
@@ -138,9 +172,9 @@ pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTr
         }
         for (k, f) in p.trace.flights.iter().enumerate() {
             let tid = 100 + k as u64;
-            meta_thread(&mut w, pid, tid, &format!("flight {}", f.flight_id));
+            meta_thread(w, pid, tid, &format!("flight {}", f.flight_id));
             begin_complete(
-                &mut w,
+                w,
                 &format!("{} -> {}", f.src, f.dst),
                 "flight",
                 pid,
@@ -187,10 +221,67 @@ pub fn chrome_trace_json(title: &str, harness: &[HarnessSpan], points: &[PointTr
             }
         }
     }
+}
 
-    w.end_array();
-    w.end_object();
-    w.finish()
+fn write_decision_events(w: &mut JsonWriter, ledgers: &[PointLedger]) {
+    for p in ledgers {
+        let pid = p.index as u64 + 1;
+        // Same name the trace path emits for this pid — harmless when
+        // both sections are present, and it labels the process when a
+        // point is ledgered but untraced.
+        meta_process(w, pid, &format!("point {} @ {:.3}", p.index, p.load));
+        meta_thread(w, pid, 2, "decisions");
+        for s in &p.ledger.samples {
+            let rec = &s.record;
+            w.begin_object();
+            w.key("name")
+                .string(&format!("{} {}->{}", rec.verdict.name(), rec.src, rec.dst));
+            w.key("cat").string("decision");
+            w.key("ph").string("i");
+            w.key("s").string("t");
+            w.key("pid").u64(pid);
+            w.key("tid").u64(2);
+            w.key("ts").f64(ps_to_us(s.t_ps));
+            w.key("args").begin_object();
+            w.key("flight_id").u64(s.flight_id);
+            w.key("q_m").u64(rec.q_m);
+            w.key("chosen_cost").f64(rec.chosen_cost);
+            w.key("margin").f64(rec.margin);
+            w.key("candidates").u64(rec.candidates.len() as u64);
+            w.end_object(); // args
+            w.end_object(); // event
+            w.begin_object();
+            w.key("name").string("misroutes (cum)");
+            w.key("cat").string("decision");
+            w.key("ph").string("C");
+            w.key("pid").u64(pid);
+            w.key("tid").u64(2);
+            w.key("ts").f64(ps_to_us(s.t_ps));
+            w.key("args").begin_object();
+            w.key("misroutes").u64(s.indirect_so_far);
+            w.end_object();
+            w.end_object();
+            // One counter track per consulted port: the occupancy each
+            // decision saw, plotted where it saw it.
+            let mut occ = |next: u32, bytes: u64| {
+                w.begin_object();
+                w.key("name").string(&format!("occ r{}->r{}", rec.src, next));
+                w.key("cat").string("decision");
+                w.key("ph").string("C");
+                w.key("pid").u64(pid);
+                w.key("tid").u64(2);
+                w.key("ts").f64(ps_to_us(s.t_ps));
+                w.key("args").begin_object();
+                w.key("bytes").u64(bytes);
+                w.end_object();
+                w.end_object();
+            };
+            occ(rec.min_first_hop, rec.q_m);
+            for cand in &rec.candidates {
+                occ(cand.first_hop, cand.occupancy_bytes);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +355,61 @@ mod tests {
         // 5 µs start, 2 µs duration.
         assert!(s.contains("\"ts\":5.000000"));
         assert!(s.contains("\"dur\":2.000000"));
+    }
+
+    #[test]
+    fn ledgered_export_adds_decision_thread_and_counters() {
+        use d2net_routing::{DecisionCandidate, DecisionRecord, DecisionVerdict};
+        use d2net_sim::{DecisionLedger, LedgerConfig, PointLedger};
+
+        let mut led = DecisionLedger::new(LedgerConfig {
+            sample_rate: 1,
+            max_samples: 8,
+        });
+        led.on_decision(
+            1_250_000,
+            42,
+            &DecisionRecord {
+                src: 3,
+                dst: 17,
+                capacity_bytes: 100_000,
+                min_first_hop: 9,
+                q_m: 700,
+                c_m: 700.0,
+                threshold_margin: None,
+                candidates: vec![DecisionCandidate {
+                    intermediate: 11,
+                    first_hop: 5,
+                    occupancy_bytes: 100,
+                    penalty: 2.0,
+                    cost: 200.0,
+                }],
+                verdict: DecisionVerdict::Indirect,
+                chosen_cost: 200.0,
+                margin: 500.0,
+            },
+        );
+        let ledgers = vec![PointLedger {
+            index: 0,
+            load: 0.5,
+            ledger: led.finish(),
+        }];
+        let plain = chrome_trace_json("unit", &[], &[one_point()]);
+        let s = chrome_trace_json_ledgered("unit", &[], &[one_point()], &ledgers);
+        // The trace half is byte-identical; decisions only append.
+        assert!(s.starts_with(plain.trim_end_matches("]}")));
+        assert!(s.contains("\"name\":\"decisions\""));
+        assert!(s.contains("\"name\":\"indirect 3->17\""));
+        // Instant lands at the decision's exact sim time (1.25 µs).
+        assert!(s.contains("\"ts\":1.250000"));
+        assert!(s.contains("\"name\":\"misroutes (cum)\""));
+        assert!(s.contains("\"misroutes\":1"));
+        // Minimal port and candidate port each get a counter track.
+        assert!(s.contains("\"name\":\"occ r3->r9\""));
+        assert!(s.contains("\"name\":\"occ r3->r5\""));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 
     #[test]

@@ -131,6 +131,175 @@ impl OccupancyView for ZeroOccupancy {
     }
 }
 
+/// How a routing decision was settled (decision-ledger taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionVerdict {
+    /// Adaptive comparison ran and the minimal path won (or no indirect
+    /// candidate beat it).
+    Minimal,
+    /// Adaptive comparison ran and an indirect candidate won.
+    Indirect,
+    /// Threshold short-circuit: `qM < T · capacity`, minimal forced
+    /// without costing any candidate.
+    ForcedMinimal,
+    /// Oblivious indirect (Valiant): no cost comparison took place.
+    ForcedIndirect,
+    /// Indirect algorithm with no surviving intermediate (degraded
+    /// networks): minimal fallback.
+    FallbackMinimal,
+}
+
+impl DecisionVerdict {
+    /// True for verdicts that route the packet indirectly.
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        matches!(self, DecisionVerdict::Indirect | DecisionVerdict::ForcedIndirect)
+    }
+
+    /// Stable lower-snake label for manifests and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionVerdict::Minimal => "minimal",
+            DecisionVerdict::Indirect => "indirect",
+            DecisionVerdict::ForcedMinimal => "forced_minimal",
+            DecisionVerdict::ForcedIndirect => "forced_indirect",
+            DecisionVerdict::FallbackMinimal => "fallback_minimal",
+        }
+    }
+}
+
+/// One indirect candidate considered during an adaptive decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionCandidate {
+    /// The Valiant intermediate sampled for this candidate.
+    pub intermediate: RouterId,
+    /// First hop the candidate would take out of the source router.
+    pub first_hop: RouterId,
+    /// Occupancy consulted for this candidate: the first output port's
+    /// bytes under UGAL-L, the whole-path sum under UGAL-G.
+    pub occupancy_bytes: u64,
+    /// Penalty multiplier applied (`c`, or `L_I/L_M · c` when scaled).
+    pub penalty: f64,
+    /// Final cost `penalty · occupancy` the comparison used.
+    pub cost: f64,
+}
+
+/// A full account of one injection-time routing decision: the state
+/// consulted, every candidate costed, and the verdict. Emitted by
+/// [`RoutePolicy::try_choose_recorded`]; byte-for-byte rng-neutral with
+/// respect to [`RoutePolicy::try_choose`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Source router of the decision.
+    pub src: RouterId,
+    /// Destination router.
+    pub dst: RouterId,
+    /// Output-buffer capacity the occupancy view reported (threshold base).
+    pub capacity_bytes: u64,
+    /// First hop of the minimal route that was costed (for oblivious
+    /// verdicts: the first hop of the chosen route).
+    pub min_first_hop: RouterId,
+    /// Occupancy cost of the minimal route: best first-port bytes under
+    /// UGAL-L, whole-path sum under UGAL-G, 0 for oblivious verdicts.
+    pub q_m: u64,
+    /// Minimal-route cost as the comparison saw it (`qM` as f64).
+    pub c_m: f64,
+    /// `T · capacity − qM` when a threshold is configured (positive means
+    /// the threshold forced the minimal route).
+    pub threshold_margin: Option<f64>,
+    /// Every indirect candidate costed, in sampling order.
+    pub candidates: Vec<DecisionCandidate>,
+    /// How the decision was settled.
+    pub verdict: DecisionVerdict,
+    /// Cost of the route actually taken.
+    pub chosen_cost: f64,
+    /// Divergence margin `c_m − best candidate cost`: positive when the
+    /// best indirect candidate undercut the minimal route (diverted),
+    /// non-positive when minimal held; 0 when no candidate was costed.
+    pub margin: f64,
+}
+
+/// Compile-time tap on the decision internals of the `*_choice` methods.
+/// [`NoSink`] (the `try_choose` path) has `ENABLED = false`, so every
+/// recording block folds away and the adaptive algorithms run exactly the
+/// instructions — and exactly the rng draws — they ran before the ledger
+/// existed.
+trait DecisionSink {
+    const ENABLED: bool;
+    fn begin(&mut self, src: RouterId, dst: RouterId, capacity_bytes: u64);
+    fn minimal_cost(&mut self, first_hop: RouterId, q_m: u64, c_m: f64);
+    fn threshold_margin(&mut self, margin: f64);
+    fn candidate(&mut self, cand: DecisionCandidate);
+    fn verdict(&mut self, verdict: DecisionVerdict, chosen_cost: f64, margin: f64);
+}
+
+/// The no-op sink behind [`RoutePolicy::try_choose`].
+struct NoSink;
+
+impl DecisionSink for NoSink {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn begin(&mut self, _: RouterId, _: RouterId, _: u64) {}
+    #[inline(always)]
+    fn minimal_cost(&mut self, _: RouterId, _: u64, _: f64) {}
+    #[inline(always)]
+    fn threshold_margin(&mut self, _: f64) {}
+    #[inline(always)]
+    fn candidate(&mut self, _: DecisionCandidate) {}
+    #[inline(always)]
+    fn verdict(&mut self, _: DecisionVerdict, _: f64, _: f64) {}
+}
+
+/// Builds a [`DecisionRecord`] in place as the choice methods report in.
+struct RecordSink {
+    rec: DecisionRecord,
+}
+
+impl RecordSink {
+    fn new() -> Self {
+        RecordSink {
+            rec: DecisionRecord {
+                src: 0,
+                dst: 0,
+                capacity_bytes: 0,
+                min_first_hop: 0,
+                q_m: 0,
+                c_m: 0.0,
+                threshold_margin: None,
+                candidates: Vec::new(),
+                verdict: DecisionVerdict::Minimal,
+                chosen_cost: 0.0,
+                margin: 0.0,
+            },
+        }
+    }
+}
+
+impl DecisionSink for RecordSink {
+    const ENABLED: bool = true;
+    fn begin(&mut self, src: RouterId, dst: RouterId, capacity_bytes: u64) {
+        self.rec.src = src;
+        self.rec.dst = dst;
+        self.rec.capacity_bytes = capacity_bytes;
+    }
+    fn minimal_cost(&mut self, first_hop: RouterId, q_m: u64, c_m: f64) {
+        self.rec.min_first_hop = first_hop;
+        self.rec.q_m = q_m;
+        self.rec.c_m = c_m;
+    }
+    fn threshold_margin(&mut self, margin: f64) {
+        self.rec.threshold_margin = Some(margin);
+    }
+    fn candidate(&mut self, cand: DecisionCandidate) {
+        self.rec.candidates.push(cand);
+    }
+    fn verdict(&mut self, verdict: DecisionVerdict, chosen_cost: f64, margin: f64) {
+        self.rec.verdict = verdict;
+        self.rec.chosen_cost = chosen_cost;
+        self.rec.margin = margin;
+    }
+}
+
 /// A route policy bound to one network.
 pub struct RoutePolicy {
     tables: MinimalTables,
@@ -308,17 +477,74 @@ impl RoutePolicy {
         occ: &impl OccupancyView,
         rng: &mut R,
     ) -> Option<RouteChoice> {
+        self.try_choose_with(src, dst, occ, rng, &mut NoSink)
+    }
+
+    /// Like [`RoutePolicy::try_choose`], but also returns the full
+    /// [`DecisionRecord`] behind the choice. Both entry points run the
+    /// same generic implementation — the recorder differs only in a sink
+    /// whose disabled form compiles to nothing — so the rng stream, and
+    /// therefore every seeded simulation, is identical with recording on
+    /// or off (pinned by tests in `d2net-sim`).
+    pub fn try_choose_recorded<R: Rng>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+    ) -> Option<(RouteChoice, DecisionRecord)> {
+        let mut sink = RecordSink::new();
+        let choice = self.try_choose_with(src, dst, occ, rng, &mut sink)?;
+        Some((choice, sink.rec))
+    }
+
+    fn try_choose_with<R: Rng, S: DecisionSink>(
+        &self,
+        src: RouterId,
+        dst: RouterId,
+        occ: &impl OccupancyView,
+        rng: &mut R,
+        sink: &mut S,
+    ) -> Option<RouteChoice> {
         assert_ne!(src, dst, "intra-router traffic never enters the network");
         if !self.tables.is_reachable(src, dst) {
             return None;
         }
+        if S::ENABLED {
+            sink.begin(src, dst, occ.capacity_bytes());
+        }
         Some(match self.algorithm {
-            Algorithm::Minimal => self.minimal_choice(src, dst, rng),
-            Algorithm::Valiant => self.valiant_choice(src, dst, rng),
-            Algorithm::Ugal { n_i, c, threshold } => {
-                self.ugal_choice(src, dst, n_i, c, threshold, occ, rng)
+            Algorithm::Minimal => {
+                let ch = self.minimal_choice(src, dst, rng);
+                if S::ENABLED {
+                    sink.minimal_cost(ch.path.routers()[1], 0, 0.0);
+                    sink.verdict(DecisionVerdict::ForcedMinimal, 0.0, 0.0);
+                }
+                ch
             }
-            Algorithm::UgalG { n_i, c } => self.ugal_g_choice(src, dst, n_i, c, occ, rng),
+            Algorithm::Valiant => {
+                let ch = self.valiant_choice(src, dst, rng);
+                if S::ENABLED {
+                    sink.minimal_cost(ch.path.routers()[1], 0, 0.0);
+                    if ch.indirect {
+                        sink.candidate(DecisionCandidate {
+                            intermediate: ch.path.routers()[ch.phase_hops as usize],
+                            first_hop: ch.path.routers()[1],
+                            occupancy_bytes: 0,
+                            penalty: 0.0,
+                            cost: 0.0,
+                        });
+                        sink.verdict(DecisionVerdict::ForcedIndirect, 0.0, 0.0);
+                    } else {
+                        sink.verdict(DecisionVerdict::FallbackMinimal, 0.0, 0.0);
+                    }
+                }
+                ch
+            }
+            Algorithm::Ugal { n_i, c, threshold } => {
+                self.ugal_choice(src, dst, n_i, c, threshold, occ, rng, sink)
+            }
+            Algorithm::UgalG { n_i, c } => self.ugal_g_choice(src, dst, n_i, c, occ, rng, sink),
         })
     }
 
@@ -328,7 +554,8 @@ impl RoutePolicy {
     }
 
     /// The idealized global UGAL decision: whole-path congestion sums.
-    fn ugal_g_choice<R: Rng>(
+    #[allow(clippy::too_many_arguments)]
+    fn ugal_g_choice<R: Rng, S: DecisionSink>(
         &self,
         src: RouterId,
         dst: RouterId,
@@ -336,27 +563,57 @@ impl RoutePolicy {
         c: f64,
         occ: &impl OccupancyView,
         rng: &mut R,
+        sink: &mut S,
     ) -> RouteChoice {
         let min_path = self.tables.sample_min_path(src, dst, rng);
-        let c_m = self.path_cost(&min_path, occ) as f64;
+        let q_m = self.path_cost(&min_path, occ);
+        let c_m = q_m as f64;
+        if S::ENABLED {
+            sink.minimal_cost(min_path.routers()[1], q_m, c_m);
+        }
         let mut best: Option<(f64, RouteChoice)> = None;
         for _ in 0..n_i {
             let Some(mid) = self.sample_intermediate(src, dst, rng) else {
                 break;
             };
             let cand = self.indirect_path(src, mid, dst, rng);
-            let cost = c * self.path_cost(&cand.path, occ) as f64;
+            let q_i = self.path_cost(&cand.path, occ);
+            let cost = c * q_i as f64;
+            if S::ENABLED {
+                sink.candidate(DecisionCandidate {
+                    intermediate: mid,
+                    first_hop: cand.path.routers()[1],
+                    occupancy_bytes: q_i,
+                    penalty: c,
+                    cost,
+                });
+            }
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 best = Some((cost, cand));
             }
         }
+        let best_cost = best.as_ref().map(|(b, _)| *b);
         match best {
-            Some((cost, cand)) if cost < c_m => cand,
-            _ => RouteChoice {
-                phase_hops: min_path.num_hops() as u8,
-                path: min_path,
-                indirect: false,
-            },
+            Some((cost, cand)) if cost < c_m => {
+                if S::ENABLED {
+                    sink.verdict(DecisionVerdict::Indirect, cost, c_m - cost);
+                }
+                cand
+            }
+            _ => {
+                if S::ENABLED {
+                    sink.verdict(
+                        DecisionVerdict::Minimal,
+                        c_m,
+                        best_cost.map_or(0.0, |b| c_m - b),
+                    );
+                }
+                RouteChoice {
+                    phase_hops: min_path.num_hops() as u8,
+                    path: min_path,
+                    indirect: false,
+                }
+            }
         }
     }
 
@@ -432,7 +689,7 @@ impl RoutePolicy {
     /// ties favor the minimal path. With a threshold `T`, the packet is
     /// routed minimally outright while `qM < T · capacity`.
     #[allow(clippy::too_many_arguments)]
-    fn ugal_choice<R: Rng>(
+    fn ugal_choice<R: Rng, S: DecisionSink>(
         &self,
         src: RouterId,
         dst: RouterId,
@@ -441,6 +698,7 @@ impl RoutePolicy {
         threshold: Option<f64>,
         occ: &impl OccupancyView,
         rng: &mut R,
+        sink: &mut S,
     ) -> RouteChoice {
         // Among equal-length minimal paths, take the least-occupied first
         // hop (footnote 1 in the paper).
@@ -450,6 +708,9 @@ impl RoutePolicy {
             .map(|n| (n, occ.occupancy_bytes(src, *n)))
             .min_by_key(|&(_, q)| q)
             .expect("reachable pair implies at least one first hop");
+        if S::ENABLED {
+            sink.minimal_cost(best_first, q_m, q_m as f64);
+        }
 
         let min_choice = |rng: &mut R| {
             let mut path = RoutePath::new(src);
@@ -466,7 +727,14 @@ impl RoutePolicy {
         };
 
         if let Some(t) = threshold {
-            if (q_m as f64) < t * occ.capacity_bytes() as f64 {
+            let limit = t * occ.capacity_bytes() as f64;
+            if S::ENABLED {
+                sink.threshold_margin(limit - q_m as f64);
+            }
+            if (q_m as f64) < limit {
+                if S::ENABLED {
+                    sink.verdict(DecisionVerdict::ForcedMinimal, q_m as f64, 0.0);
+                }
                 return min_choice(rng);
             }
         }
@@ -484,15 +752,39 @@ impl RoutePolicy {
                 let hops = self.tables.first_hops(src, mid);
                 hops[rng.gen_range(0..hops.len())]
             };
-            let cost = penalty * occ.occupancy_bytes(src, first) as f64;
+            let q_i = occ.occupancy_bytes(src, first);
+            let cost = penalty * q_i as f64;
+            if S::ENABLED {
+                sink.candidate(DecisionCandidate {
+                    intermediate: mid,
+                    first_hop: first,
+                    occupancy_bytes: q_i,
+                    penalty,
+                    cost,
+                });
+            }
             if best.is_none_or(|(b, _)| cost < b) {
                 best = Some((cost, mid));
             }
         }
         match best {
             // Strict inequality: ties go to the shorter minimal route.
-            Some((cost, mid)) if cost < c_m => self.indirect_path(src, mid, dst, rng),
-            _ => min_choice(rng),
+            Some((cost, mid)) if cost < c_m => {
+                if S::ENABLED {
+                    sink.verdict(DecisionVerdict::Indirect, cost, c_m - cost);
+                }
+                self.indirect_path(src, mid, dst, rng)
+            }
+            _ => {
+                if S::ENABLED {
+                    sink.verdict(
+                        DecisionVerdict::Minimal,
+                        c_m,
+                        best.map_or(0.0, |(b, _)| c_m - b),
+                    );
+                }
+                min_choice(rng)
+            }
         }
     }
 }
@@ -916,6 +1208,93 @@ mod tests {
             }
         }
         assert_eq!(policy.tables().unreachable_pairs(), 2 * (net.num_routers() as u64 - 1));
+    }
+
+    #[test]
+    fn recorded_choice_is_rng_neutral_and_identical() {
+        // The ledger's core guarantee: try_choose_recorded makes the same
+        // choice AND leaves the rng in the same state as try_choose.
+        let net = mlfm(4);
+        let the_gr = net.common_neighbors(0, 6)[0];
+        let occ = MapOccupancy {
+            map: HashMap::from([((0, the_gr), 80_000u64), ((the_gr, 6u32), 90_000u64)]),
+            cap: 100_000,
+        };
+        for algo in [
+            Algorithm::Minimal,
+            Algorithm::Valiant,
+            Algorithm::Ugal { n_i: 4, c: 1.0, threshold: None },
+            Algorithm::Ugal { n_i: 4, c: 1.0, threshold: Some(0.25) },
+            Algorithm::UgalG { n_i: 4, c: 1.0 },
+        ] {
+            let policy = RoutePolicy::new(&net, algo);
+            let mut ra = SmallRng::seed_from_u64(77);
+            let mut rb = SmallRng::seed_from_u64(77);
+            for _ in 0..100 {
+                let plain = policy.choose(0, 6, &occ, &mut ra);
+                let (recorded, rec) = policy
+                    .try_choose_recorded(0, 6, &occ, &mut rb)
+                    .expect("pristine network routes every pair");
+                assert_eq!(plain, recorded, "{algo:?}");
+                assert_eq!(rec.src, 0);
+                assert_eq!(rec.dst, 6);
+                assert_eq!(rec.verdict.is_indirect(), recorded.indirect, "{algo:?}");
+            }
+            // Post-decision draws must coincide: no extra rng consumption.
+            for _ in 0..8 {
+                assert_eq!(
+                    ra.gen_range(0..u64::MAX),
+                    rb.gen_range(0..u64::MAX),
+                    "{algo:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_records_expose_hop2_blindness() {
+        // The forensic version of `ugal_g_sees_downstream_congestion...`:
+        // the records themselves show WHY the variants diverge — UGAL-L
+        // costs the minimal route at its empty first port (q_m = 0) and
+        // stays, UGAL-G sums the jammed second hop into q_m and diverts.
+        let net = mlfm(4);
+        let the_gr = net.common_neighbors(0, 6)[0];
+        let occ = MapOccupancy {
+            map: HashMap::from([((the_gr, 6u32), 90_000u64)]),
+            cap: 100_000,
+        };
+        let local = RoutePolicy::new(&net, Algorithm::Ugal { n_i: 4, c: 1.0, threshold: None });
+        let global = RoutePolicy::new(&net, Algorithm::UgalG { n_i: 4, c: 1.0 });
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (_, lrec) = local.try_choose_recorded(0, 6, &occ, &mut rng).unwrap();
+        let (_, grec) = global.try_choose_recorded(0, 6, &occ, &mut rng).unwrap();
+        assert_eq!(lrec.q_m, 0, "UGAL-L sees only the empty first port");
+        assert_eq!(lrec.verdict, DecisionVerdict::Minimal);
+        assert_eq!(lrec.candidates.len(), 4);
+        assert_eq!(grec.q_m, 90_000, "UGAL-G sums the jammed second hop");
+        assert_eq!(grec.verdict, DecisionVerdict::Indirect);
+        assert!(grec.margin > 0.0, "divergence margin must be positive: {}", grec.margin);
+        assert!(grec.chosen_cost < grec.c_m);
+    }
+
+    #[test]
+    fn threshold_decisions_record_their_margin() {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(
+            &net,
+            Algorithm::Ugal { n_i: 4, c: 0.0, threshold: Some(0.10) },
+        );
+        let the_gr = net.common_neighbors(0, 6)[0];
+        let occ = MapOccupancy {
+            map: HashMap::from([((0, the_gr), 9_000u64)]),
+            cap: 100_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(13);
+        let (ch, rec) = policy.try_choose_recorded(0, 6, &occ, &mut rng).unwrap();
+        assert!(!ch.indirect);
+        assert_eq!(rec.verdict, DecisionVerdict::ForcedMinimal);
+        assert_eq!(rec.threshold_margin, Some(10_000.0 - 9_000.0));
+        assert!(rec.candidates.is_empty(), "threshold short-circuits before sampling");
     }
 
     #[test]

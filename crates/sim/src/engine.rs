@@ -27,6 +27,7 @@ use crate::config::{EventQueueKind, Preflight, SimConfig};
 use crate::equeue::{CalendarQueue, EventQ};
 use crate::fault::FaultSchedule;
 use crate::injector::{NextPacket, NodeSource, PacketSpec};
+use crate::ledger::{DecisionLedger, EngineLedger, LedgerConfig};
 use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
     DeadlockReport, ProbeConfig, Telemetry, TelemetryReport, WaitPoint, WaitSide,
@@ -128,6 +129,9 @@ struct Packet {
     choice: RouteChoice,
     hop: u8,
     link_vc: u8,
+    /// Per-run injection ordinal (slab ids recycle; this never does).
+    /// Links the flight recorder's and the decision ledger's samples.
+    flight_id: u64,
     /// VC scheme of the policy that routed this packet: after a mid-run
     /// repair switches the injection policy, packets routed before and
     /// after coexist and each must keep its own VC ladder.
@@ -328,6 +332,13 @@ pub struct Engine<'a> {
     /// Finalized trace of the last run, parked here by the run methods
     /// (which only borrow the engine) for [`Engine::take_trace`].
     finished_trace: Option<EngineTrace>,
+    /// Optional routing-decision ledger (see [`crate::ledger`]); same
+    /// zero-overhead contract as the probe and tracer — one branch at
+    /// the injection decision when `None`, recorded state never feeds
+    /// the simulation, and the recorded entry point is rng-neutral.
+    ledger: Option<DecisionLedger>,
+    /// Finalized ledger of the last run, for [`Engine::take_ledger`].
+    finished_ledger: Option<EngineLedger>,
 
     // ----- fault machinery (all inert when `fault_events` is empty) --
     /// Mid-run fault schedule, sorted by time; re-armed by `reset`.
@@ -487,6 +498,8 @@ impl<'a> Engine<'a> {
             telemetry: None,
             trace: None,
             finished_trace: None,
+            ledger: None,
+            finished_ledger: None,
             fault_events,
             cur_policy: policy,
             dead: vec![false; total],
@@ -550,6 +563,8 @@ impl<'a> Engine<'a> {
         self.telemetry = None;
         self.trace = None;
         self.finished_trace = None;
+        self.ledger = None;
+        self.finished_ledger = None;
         self.cur_policy = self.policy;
         self.dead.fill(false);
         self.retry.fill(None);
@@ -621,6 +636,25 @@ impl<'a> Engine<'a> {
             let cal = self.queue.calendar_stats();
             self.finished_trace =
                 Some(tr.finish(self.warmup_ps, measure_end_ps, self.now, self.seq, cal));
+        }
+    }
+
+    /// Attaches a routing-decision ledger; must be called before the run
+    /// starts. See [`crate::ledger`] for what gets recorded.
+    pub fn attach_ledger(&mut self, cfg: LedgerConfig) {
+        self.ledger = Some(DecisionLedger::new(cfg));
+    }
+
+    /// The finalized ledger of the last run, when one was attached. The
+    /// run methods finalize it; calling this again returns `None`.
+    pub fn take_ledger(&mut self) -> Option<EngineLedger> {
+        self.finished_ledger.take()
+    }
+
+    /// Detaches the ledger into [`Engine::take_ledger`]'s slot.
+    fn finalize_ledger(&mut self) {
+        if let Some(led) = self.ledger.take() {
+            self.finished_ledger = Some(led.finish());
         }
     }
 
@@ -771,11 +805,13 @@ impl<'a> Engine<'a> {
             },
             hop: 0,
             link_vc: 0,
+            flight_id: 0,
             scheme: self.cur_policy.vc_scheme(),
         });
+        // The flight id is the injection ordinal (`created`), which
+        // `alloc` just advanced — slab ids recycle through the free list.
+        self.packets[pkt as usize].flight_id = self.created;
         if let Some(tr) = self.trace.as_mut() {
-            // The flight id is the injection ordinal (`created`), not the
-            // slab id `pkt` — slab ids recycle through the free list.
             tr.on_alloc(
                 pkt,
                 self.created,
@@ -819,7 +855,27 @@ impl<'a> Engine<'a> {
                     num_vcs: self.num_vcs,
                     cap: self.cfg.buffer_bytes,
                 };
-                match self.cur_policy.try_choose(src_r, dst_r, &view, &mut self.rng) {
+                // With a ledger attached, route through the recorded
+                // entry point — rng-neutral by construction, so the
+                // simulated schedule is byte-identical either way.
+                let decided = if self.ledger.is_some() {
+                    match self
+                        .cur_policy
+                        .try_choose_recorded(src_r, dst_r, &view, &mut self.rng)
+                    {
+                        Some((c, rec)) => {
+                            let fid = self.packets[pkt as usize].flight_id;
+                            if let Some(led) = self.ledger.as_mut() {
+                                led.on_decision(self.now, fid, &rec);
+                            }
+                            Some(c)
+                        }
+                        None => None,
+                    }
+                } else {
+                    self.cur_policy.try_choose(src_r, dst_r, &view, &mut self.rng)
+                };
+                match decided {
                     Some(c) => c,
                     None => {
                         // A failure fired while the packet serialized and
@@ -1407,6 +1463,7 @@ impl<'a> Engine<'a> {
         }
         let telemetry = self.take_probe_report(deadlocked);
         self.finalize_trace(end_ps);
+        self.finalize_ledger();
         let window = (end_ps - self.warmup_ps) as f64;
         let n = self.net.num_nodes() as f64;
         let throughput =
@@ -1473,6 +1530,7 @@ impl<'a> Engine<'a> {
                 tr.last_alloc_ps.min(self.acc.last_delivery_ps)
             });
         self.finalize_trace(measure_end);
+        self.finalize_ledger();
         let trace = self.take_trace();
         let completion_ps = self.acc.last_delivery_ps;
         let n = self.net.num_nodes() as f64;
@@ -1638,6 +1696,31 @@ pub fn run_synthetic_traced(
     let (stats, _) = engine.run_synthetic_to(load, end_ps);
     let trace = engine.take_trace().expect("trace was attached");
     (stats, trace)
+}
+
+/// [`run_synthetic`] with a routing-decision ledger attached: identical
+/// simulated schedule and byte-identical stats, plus the deterministic
+/// [`EngineLedger`] of the run (see [`crate::ledger`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_ledgered(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    ledger: LedgerConfig,
+) -> (SyntheticStats, EngineLedger) {
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns).unwrap_or_else(|e| panic!("{e}"));
+    let end_ps = duration_ns * 1_000;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+    let mut engine = Engine::new(net, policy, cfg, sources, warmup_ns * 1_000, rng);
+    engine.attach_ledger(ledger);
+    let (stats, _) = engine.run_synthetic_to(load, end_ps);
+    let ledger = engine.take_ledger().expect("ledger was attached");
+    (stats, ledger)
 }
 
 /// [`run_synthetic`] under a mid-run [`FaultSchedule`]: each event's

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod equeue;
 pub mod fault;
 pub mod injector;
+pub mod ledger;
 pub mod par;
 pub mod stats;
 pub mod sweep;
@@ -34,21 +35,25 @@ pub mod trace;
 pub use config::{EventQueueKind, Preflight, SimConfig};
 pub use engine::{
     preflight, run_exchange, run_exchange_probed, run_exchange_traced, run_synthetic,
-    run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_probed,
-    run_synthetic_traced, Engine, EngineFault,
+    run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_ledgered,
+    run_synthetic_probed, run_synthetic_traced, Engine, EngineFault,
 };
 pub use equeue::CalendarStats;
 pub use fault::{FaultEvent, FaultSchedule};
+pub use ledger::{
+    ledger_metrics, DecisionLedger, DecisionSample, EngineLedger, LedgerConfig, PointLedger,
+    PortHeat, RouterDecisionStats, LEDGER_TOP_N, MARGIN_BOUNDS_BYTES,
+};
 pub use par::{
-    par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_probed,
-    par_load_sweep_probed_collect, par_load_sweep_traced_collect, par_load_sweep_with_order,
-    resolve_threads,
+    par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_ledgered_collect,
+    par_load_sweep_probed, par_load_sweep_probed_collect, par_load_sweep_traced_collect,
+    par_load_sweep_with_order, resolve_threads,
 };
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
 pub use sweep::{
-    load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_probed,
-    load_sweep_probed_collect, load_sweep_traced_collect, point_seed, saturation_throughput,
-    SweepNotice, SweepOutcome, SweepPoint,
+    load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_ledgered_collect,
+    load_sweep_probed, load_sweep_probed_collect, load_sweep_traced_collect, point_seed,
+    saturation_throughput, SweepNotice, SweepOutcome, SweepPoint,
 };
 pub use telemetry::{
     DeadlockReport, ProbeConfig, RingEvent, RingEventKind, TelemetryReport, TelemetrySummary,

@@ -24,6 +24,7 @@
 //! `PointRunner`), so per-point allocation cost is paid once per worker.
 
 use crate::config::SimConfig;
+use crate::ledger::{EngineLedger, LedgerConfig, PointLedger};
 use crate::stats::SyntheticStats;
 use crate::sweep::{PointRunner, SweepNotice, SweepOutcome, SweepPoint};
 use crate::telemetry::{ProbeConfig, TelemetrySummary};
@@ -117,7 +118,8 @@ pub fn par_load_sweep_collect(
 ) -> SweepOutcome {
     let order: Vec<usize> = (0..loads.len()).collect();
     par_sweep_core(
-        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, threads, &order,
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, None, threads,
+        &order,
     )
     .0
 }
@@ -166,6 +168,7 @@ pub fn par_load_sweep_probed_collect(
         cfg,
         Some(probe),
         None,
+        None,
         threads,
         &order,
     )
@@ -190,7 +193,7 @@ pub fn par_load_sweep_traced_collect(
     threads: usize,
 ) -> (SweepOutcome, Vec<PointTrace>) {
     let order: Vec<usize> = (0..loads.len()).collect();
-    par_sweep_core(
+    let (out, traces, _) = par_sweep_core(
         net,
         policy,
         pattern,
@@ -200,9 +203,46 @@ pub fn par_load_sweep_traced_collect(
         cfg,
         None,
         Some(trace),
+        None,
         threads,
         &order,
-    )
+    );
+    (out, traces)
+}
+
+/// [`crate::load_sweep_ledgered_collect`] fanned across `threads`
+/// workers (`0` = auto). Per-worker ledgers are merged by point index,
+/// so the returned ledgers — and any manifest serialized from them —
+/// are byte-identical to the serial sweep's regardless of thread count
+/// or completion order.
+#[allow(clippy::too_many_arguments)]
+pub fn par_load_sweep_ledgered_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    ledger: LedgerConfig,
+    threads: usize,
+) -> (SweepOutcome, Vec<PointLedger>) {
+    let order: Vec<usize> = (0..loads.len()).collect();
+    let (out, _, ledgers) = par_sweep_core(
+        net,
+        policy,
+        pattern,
+        loads,
+        duration_ns,
+        warmup_ns,
+        cfg,
+        None,
+        None,
+        Some(ledger),
+        threads,
+        &order,
+    );
+    (out, ledgers)
 }
 
 /// [`par_load_sweep_collect`] with an explicit work order — the audit
@@ -222,7 +262,7 @@ pub fn par_load_sweep_with_order(
     order: &[usize],
 ) -> SweepOutcome {
     par_sweep_core(
-        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, threads, order,
+        net, policy, pattern, loads, duration_ns, warmup_ns, cfg, None, None, None, threads, order,
     )
     .0
 }
@@ -238,9 +278,10 @@ fn par_sweep_core(
     cfg: SimConfig,
     probe: Option<ProbeConfig>,
     trace: Option<TraceConfig>,
+    ledger: Option<LedgerConfig>,
     threads: usize,
     order: &[usize],
-) -> (SweepOutcome, Vec<PointTrace>) {
+) -> (SweepOutcome, Vec<PointTrace>, Vec<PointLedger>) {
     let n = loads.len();
     assert_eq!(order.len(), n, "work order must cover every point once");
     debug_assert!({
@@ -252,13 +293,18 @@ fn par_sweep_core(
     // the shape of a rejected configuration's outcome.
     let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
         Ok(cfg) => cfg,
-        Err(e) => return (crate::sweep::rejected_outcome(loads, e), Vec::new()),
+        Err(e) => return (crate::sweep::rejected_outcome(loads, e), Vec::new(), Vec::new()),
     };
     if let Err(e) = PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
-        return (crate::sweep::rejected_outcome(loads, e), Vec::new());
+        return (crate::sweep::rejected_outcome(loads, e), Vec::new(), Vec::new());
     }
     let threads = resolve_threads(threads).min(n.max(1));
-    type Slot = Option<(SyntheticStats, Option<TelemetrySummary>, Option<EngineTrace>)>;
+    type Slot = Option<(
+        SyntheticStats,
+        Option<TelemetrySummary>,
+        Option<EngineTrace>,
+        Option<EngineLedger>,
+    )>;
     let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Low-watermark of wedged point indices: workers skip indices
     // strictly above it instead of burning a full simulated horizon on a
@@ -280,12 +326,13 @@ fn par_sweep_core(
                     if idx > watermark.load(Ordering::Relaxed) {
                         continue; // will be stubbed by the final pass
                     }
-                    let (stats, report, tr) = runner.run_point(idx, loads[idx], probe, trace);
+                    let (stats, report, tr, led) =
+                        runner.run_point(idx, loads[idx], probe, trace, ledger);
                     if stats.deadlocked {
                         watermark.fetch_min(idx, Ordering::Relaxed);
                     }
                     *results[idx].lock().unwrap() =
-                        Some((stats, report.map(|r| r.summary()), tr));
+                        Some((stats, report.map(|r| r.summary()), tr, led));
                 }
             });
         }
@@ -304,21 +351,29 @@ fn par_sweep_core(
     }
     let mut points = Vec::with_capacity(n);
     let mut traces = Vec::new();
+    let mut ledgers = Vec::new();
     for (idx, slot) in results.into_iter().enumerate() {
         let load = loads[idx];
         let stubbed = first_wedge.is_some_and(|w| idx > w);
         let point = match (stubbed, slot.into_inner().unwrap()) {
-            (false, Some((stats, telemetry, tr))) => {
-                // Traces from points the serial sweep would have stubbed
-                // (simulated here only by racing ahead of the watermark)
-                // are dropped with their stats; the survivors are pushed
-                // in index order, so the merged file matches the serial
-                // sweep's byte for byte.
+            (false, Some((stats, telemetry, tr, led))) => {
+                // Traces and ledgers from points the serial sweep would
+                // have stubbed (simulated here only by racing ahead of
+                // the watermark) are dropped with their stats; the
+                // survivors are pushed in index order, so the merged
+                // file matches the serial sweep's byte for byte.
                 if let Some(tr) = tr {
                     traces.push(PointTrace {
                         index: idx,
                         load,
                         trace: tr,
+                    });
+                }
+                if let Some(led) = led {
+                    ledgers.push(PointLedger {
+                        index: idx,
+                        load,
+                        ledger: led,
                     });
                 }
                 SweepPoint {
@@ -338,7 +393,7 @@ fn par_sweep_core(
     let notices = first_wedge
         .map(|w| vec![SweepNotice::wedged(w, loads[w])])
         .unwrap_or_default();
-    (SweepOutcome { points, notices }, traces)
+    (SweepOutcome { points, notices }, traces, ledgers)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::{synthetic_sources, Engine};
+use crate::ledger::{EngineLedger, LedgerConfig, PointLedger};
 use crate::stats::SyntheticStats;
 use crate::telemetry::{ProbeConfig, TelemetryReport, TelemetrySummary};
 use crate::trace::{EngineTrace, PointTrace, TraceConfig};
@@ -179,7 +180,13 @@ impl<'a> PointRunner<'a> {
         load: f64,
         probe: Option<ProbeConfig>,
         trace: Option<TraceConfig>,
-    ) -> (SyntheticStats, Option<TelemetryReport>, Option<EngineTrace>) {
+        ledger: Option<LedgerConfig>,
+    ) -> (
+        SyntheticStats,
+        Option<TelemetryReport>,
+        Option<EngineTrace>,
+        Option<EngineLedger>,
+    ) {
         let mut rng = SmallRng::seed_from_u64(point_seed(self.cfg.seed, idx));
         let sources = synthetic_sources(self.net, self.pattern, load, self.end_ps, &self.cfg, &mut rng);
         let engine = match &mut self.engine {
@@ -202,9 +209,13 @@ impl<'a> PointRunner<'a> {
         if let Some(t) = trace {
             engine.attach_trace(t);
         }
+        if let Some(l) = ledger {
+            engine.attach_ledger(l);
+        }
         let (stats, report) = engine.run_synthetic_to(load, self.end_ps);
         let tr = engine.take_trace();
-        (stats, report, tr)
+        let led = engine.take_ledger();
+        (stats, report, tr, led)
     }
 }
 
@@ -243,7 +254,7 @@ pub fn load_sweep_collect(
         },
         None => SweepPoint {
             load,
-            stats: runner.run_point(idx, load, None, None).0,
+            stats: runner.run_point(idx, load, None, None, None).0,
             telemetry: None,
         },
     })
@@ -293,7 +304,7 @@ pub fn load_sweep_probed_collect(
             telemetry: None,
         },
         None => {
-            let (stats, report, _) = runner.run_point(idx, load, Some(probe), None);
+            let (stats, report, _, _) = runner.run_point(idx, load, Some(probe), None, None);
             SweepPoint {
                 load,
                 stats,
@@ -354,7 +365,7 @@ pub fn load_sweep_traced_collect(
             telemetry: None,
         },
         None => {
-            let (stats, _, tr) = runner.run_point(idx, load, None, Some(trace));
+            let (stats, _, tr, _) = runner.run_point(idx, load, None, Some(trace), None);
             traces.push(PointTrace {
                 index: idx,
                 load,
@@ -368,6 +379,54 @@ pub fn load_sweep_traced_collect(
         }
     });
     (out, traces)
+}
+
+/// [`load_sweep_collect`] with a [`LedgerConfig`] attached to every
+/// simulated point. Returns the outcome plus one [`PointLedger`] per
+/// *simulated* point, in index order — wedge-stubbed points have no
+/// ledger, exactly like the parallel variant, so serial and parallel
+/// ledger serializations stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn load_sweep_ledgered_collect(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &SyntheticPattern,
+    loads: &[f64],
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    ledger: LedgerConfig,
+) -> (SweepOutcome, Vec<PointLedger>) {
+    let cfg = match crate::engine::try_preflight_once(net, policy, cfg) {
+        Ok(cfg) => cfg,
+        Err(e) => return (rejected_outcome(loads, e), Vec::new()),
+    };
+    let mut runner = match PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
+        Ok(r) => r,
+        Err(e) => return (rejected_outcome(loads, e), Vec::new()),
+    };
+    let mut ledgers = Vec::new();
+    let out = sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
+        Some(_) => SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        None => {
+            let (stats, _, _, led) = runner.run_point(idx, load, None, None, Some(ledger));
+            ledgers.push(PointLedger {
+                index: idx,
+                load,
+                ledger: led.expect("ledger was attached"),
+            });
+            SweepPoint {
+                load,
+                stats,
+                telemetry: None,
+            }
+        }
+    });
+    (out, ledgers)
 }
 
 /// Shared early-abort loop: `point` receives the index, the load and,

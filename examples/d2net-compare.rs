@@ -1,0 +1,56 @@
+//! Cross-run manifest diff: load two ledgered run manifests (written by
+//! `d2net-decisions` or any campaign that called
+//! `RunManifest::set_decisions`) and report where their routing
+//! decisions diverged and why.
+//!
+//! ```text
+//! cargo run --release --example d2net-compare -- A.json B.json [--json]
+//! ```
+//!
+//! Prints the per-load misroute-rate table, the first load point where
+//! the two runs disagree, the per-source-router misroute deltas at that
+//! point, and the sampled decision records behind the largest divergence
+//! margins. When the pair is UGAL-L vs UGAL-G the divergence is
+//! attributed to the local variant's first-hop-only cost visibility
+//! (paper §3.3). `--json` emits a machine-readable summary instead.
+
+use d2net::prelude::*;
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut as_json = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => as_json = true,
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}; usage: d2net-compare A.json B.json [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: d2net-compare A.json B.json [--json]");
+        std::process::exit(2);
+    }
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("reading {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (read(&paths[0]), read(&paths[1]));
+    match compare_manifests(&a, &b) {
+        Ok(report) => {
+            if as_json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+        }
+        Err(e) => {
+            eprintln!("d2net-compare: {e}");
+            std::process::exit(1);
+        }
+    }
+}

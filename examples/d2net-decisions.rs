@@ -1,0 +1,171 @@
+//! Routing-decision forensics demo: run the same adversarial load sweep
+//! under UGAL-L and UGAL-G with the decision ledger attached, prove the
+//! serial/parallel determinism contract on the full manifests, and write
+//! one ledgered run manifest per variant for `d2net-compare`.
+//!
+//! ```text
+//! cargo run --release --example d2net-decisions \
+//!     [-- --rate N] [--manifest-l FILE] [--manifest-g FILE] [--trace FILE]
+//! ```
+//!
+//! The ledger records, for every non-trivial injection-time decision,
+//! the occupancies the cost function consulted, every candidate it
+//! costed, and the verdict — aggregated exactly (per-router misroute
+//! tables, divergence-margin histograms, port heatmaps) with full
+//! records retained for a deterministic 1-in-N flight sample. The two
+//! manifests feed `d2net-compare`, which attributes UGAL-L-vs-UGAL-G
+//! divergence to first-hop-only cost visibility (paper §3.3).
+//!
+//! `--trace FILE` additionally exports the UGAL-L ledger onto a
+//! Perfetto-loadable decisions track (`ph:"i"` instants plus misroute
+//! and occupancy counter tracks).
+
+use d2net::prelude::*;
+
+fn main() {
+    let args = parse_args();
+    let ledger_cfg = LedgerConfig {
+        sample_rate: args.rate,
+        ..LedgerConfig::default()
+    };
+
+    let net = slim_fly(5, SlimFlyP::Floor);
+    let pattern = worst_case(&net);
+    let params = RunParams {
+        duration_ns: 30_000,
+        warmup_ns: 6_000,
+        loads: vec![0.2, 0.5, 0.8],
+        sim: SimConfig::default(),
+    };
+    let variants = [
+        (
+            "UGAL-L",
+            Algorithm::Ugal {
+                n_i: 4,
+                c: 2.0,
+                threshold: None,
+            },
+            &args.manifest_l,
+        ),
+        ("UGAL-G", Algorithm::UgalG { n_i: 4, c: 2.0 }, &args.manifest_g),
+    ];
+
+    println!(
+        "== decision-ledgered sweeps: {} under WC, loads {:?} ==\n",
+        net.name(),
+        params.loads
+    );
+    let mut first_ledgers = None;
+    for (name, algo, path) in variants {
+        let policy = RoutePolicy::new(&net, algo);
+        let report = verify(&net, &policy, &params.sim.verify_params());
+        assert_ne!(report.verdict(), Verdict::Rejected, "{}", report.render());
+        let label = format!("{} {name} WC", net.name());
+
+        let build_manifest = |run: &LedgeredCurve| {
+            let mut m = RunManifest::new(
+                label.clone(),
+                &net,
+                name,
+                "worst-case",
+                params.duration_ns,
+                params.warmup_ns,
+                params.sim,
+            );
+            m.set_preflight(report.summary());
+            m.set_algorithm(algo);
+            m.push_notices(&run.notices);
+            m.set_decisions(DecisionsManifest::from_points(ledger_cfg, &run.ledgers));
+            m.push_curve(run.curve.clone());
+            m.to_json()
+        };
+
+        let serial = ledgered_curve(&net, &policy, &pattern, &label, &params, ledger_cfg, 1);
+        let parallel = ledgered_curve(&net, &policy, &pattern, &label, &params, ledger_cfg, 0);
+
+        // The determinism contract, asserted on every run: ledgers are
+        // pure functions of (config, point index), and the manifest
+        // serializer is deterministic, so the whole documents match.
+        let ser_json = build_manifest(&serial);
+        let par_json = build_manifest(&parallel);
+        assert_eq!(
+            ser_json, par_json,
+            "serial and parallel sweeps must produce byte-identical ledgered manifests"
+        );
+
+        println!("{name}:");
+        println!("  load  | decisions | misroutes | rate    | sampled");
+        for p in &serial.ledgers {
+            let l = &p.ledger;
+            println!(
+                "  {:5.3} | {:9} | {:9} | {:7.4} | {}{}",
+                p.load,
+                l.decisions,
+                l.indirect,
+                l.misroute_rate(),
+                l.samples.len(),
+                if l.samples_truncated { " (truncated)" } else { "" }
+            );
+        }
+        std::fs::write(path, &ser_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  wrote {path} ({} bytes)\n", ser_json.len());
+        if first_ledgers.is_none() {
+            first_ledgers = Some((label, serial.ledgers));
+        }
+    }
+
+    if let Some(trace_path) = &args.trace {
+        let (label, ledgers) = first_ledgers.as_ref().expect("variants ran");
+        let json = chrome_trace_json_ledgered(label, &[], &[], ledgers);
+        std::fs::write(trace_path, &json)
+            .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+        println!(
+            "wrote {trace_path} ({} bytes) — decision instants and counter tracks \
+             load in https://ui.perfetto.dev",
+            json.len()
+        );
+    }
+    println!("next: cargo run --release --example d2net-compare -- {} {}",
+        args.manifest_l, args.manifest_g);
+}
+
+struct Args {
+    rate: u32,
+    manifest_l: String,
+    manifest_g: String,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        rate: 4,
+        manifest_l: "MANIFEST_ugal_l.json".to_string(),
+        manifest_g: "MANIFEST_ugal_g.json".to_string(),
+        trace: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--rate" => {
+                out.rate = value("--rate").parse().unwrap_or_else(|e| {
+                    eprintln!("--rate: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--manifest-l" => out.manifest_l = value("--manifest-l"),
+            "--manifest-g" => out.manifest_g = value("--manifest-g"),
+            "--trace" => out.trace = Some(value("--trace")),
+            other => {
+                eprintln!("unknown flag {other}; see the module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}

@@ -66,6 +66,79 @@ fn main() {
         );
     }
 
+    // Decision forensics (§3.3): replay sampled pairs through the
+    // recorded chooser against a synthetic hot spot on the second hop of
+    // the minimal path, and print what each adaptive variant saw at the
+    // moment it decided. UGAL-L's first-hop-only cost function is blind
+    // to this congestion; UGAL-G's whole-path sums are not.
+    struct Congested {
+        hot: (u32, u32),
+        bytes: u64,
+    }
+    impl d2net::routing::OccupancyView for Congested {
+        fn occupancy_bytes(&self, router: u32, next: u32) -> u64 {
+            if (router, next) == self.hot {
+                self.bytes
+            } else {
+                0
+            }
+        }
+        fn capacity_bytes(&self) -> u64 {
+            100_000
+        }
+    }
+
+    let pairs: Vec<(u32, u32)> = (0..3)
+        .map(|k| (eps[k], eps[(eps.len() / 2 + k) % eps.len()]))
+        .filter(|&(a, b)| a != b)
+        .collect();
+    println!("\ndecision forensics (hot second hop at 90% buffer capacity):");
+    for (detail, &(s, d)) in pairs.iter().enumerate().map(|(i, p)| (i == 0, p)) {
+        let common = net.common_neighbors(s, d);
+        let Some(&gr) = common.first() else {
+            println!("  {s} -> {d}: adjacent routers, no two-hop minimal path; skipped");
+            continue;
+        };
+        let occ = Congested {
+            hot: (gr, d),
+            bytes: 90_000,
+        };
+        println!("  {s} -> {d} via {gr}, link {gr}->{d} holds 90000 bytes:");
+        println!(
+            "    {:9} | {:14} | {:>6} | {:>9} | {:>11} | {:>9} | cands",
+            "algo", "verdict", "q_m", "c_m", "chosen cost", "margin"
+        );
+        for (name, algo) in [
+            ("UGAL-L", Algorithm::Ugal { n_i: 4, c: 2.0, threshold: None }),
+            ("UGAL-ATh", Algorithm::Ugal { n_i: 4, c: 2.0, threshold: Some(0.1) }),
+            ("UGAL-G", Algorithm::UgalG { n_i: 4, c: 2.0 }),
+        ] {
+            let policy = RoutePolicy::new(&net, algo);
+            let (_, rec) = policy
+                .try_choose_recorded(s, d, &occ, &mut rng)
+                .expect("pair is connected");
+            println!(
+                "    {:9} | {:14} | {:>6} | {:>9.1} | {:>11.1} | {:>9.1} | {}",
+                name,
+                rec.verdict.name(),
+                rec.q_m,
+                rec.c_m,
+                rec.chosen_cost,
+                rec.margin,
+                rec.candidates.len()
+            );
+            if detail {
+                for c in &rec.candidates {
+                    println!(
+                        "      candidate via {:>3} (first hop {:>3}): occ {:>6} bytes, \
+                         cost {:>9.1}",
+                        c.intermediate, c.first_hop, c.occupancy_bytes, c.cost
+                    );
+                }
+            }
+        }
+    }
+
     // Deadlock-freedom proofs (§3.4): CDG acyclicity under the paper's VC
     // budget, and the cycle that appears if the budget is cut to one VC.
     println!("\ndeadlock analysis (channel dependency graphs):");
