@@ -3,6 +3,7 @@
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
 # Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke] [--decision-smoke]
+#              [--analysis-smoke]
 #   --bench-smoke     additionally compiles every benchmark and runs a
 #                     smoke-sized bench_sweep, writing BENCH_sweep.json.
 #   --fault-smoke     additionally runs the tiny resilience sweep and
@@ -17,6 +18,12 @@
 #                     "algorithm" and "decisions" sections, and runs
 #                     d2net-compare over them expecting the hop-2
 #                     blindness attribution.
+#   --analysis-smoke  additionally runs the analytic-oracle gate
+#                     (d2net-analyze: §4.2 exactness, divergence gate,
+#                     serial == parallel manifest bytes), checks the
+#                     manifests carry "analysis" sections with passing
+#                     verdicts, and runs a smoke-sized bench_analysis
+#                     writing BENCH_analysis.json.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,12 +33,14 @@ BENCH_SMOKE=0
 FAULT_SMOKE=0
 TRACE_SMOKE=0
 DECISION_SMOKE=0
+ANALYSIS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --fault-smoke) FAULT_SMOKE=1 ;;
     --trace-smoke) TRACE_SMOKE=1 ;;
     --decision-smoke) DECISION_SMOKE=1 ;;
+    --analysis-smoke) ANALYSIS_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -92,6 +101,20 @@ if [[ "$DECISION_SMOKE" == "1" ]]; then
     DECISIONS_ugal_l.json DECISIONS_ugal_g.json | tee COMPARE_decisions.txt
   grep -q 'first divergence at load' COMPARE_decisions.txt
   grep -q 'first-hop-only cost visibility' COMPARE_decisions.txt
+fi
+
+if [[ "$ANALYSIS_SMOKE" == "1" ]]; then
+  echo "== analysis smoke: analytic oracle gate + static-vs-sim bench =="
+  cargo run --release --example d2net-analyze -- --prefix ANALYSIS_smoke_
+  for f in ANALYSIS_smoke_SF5.json ANALYSIS_smoke_MLFM4.json ANALYSIS_smoke_OFT4.json; do
+    grep -q '"analysis"' "$f"
+    grep -q '"predicted_saturation"' "$f"
+    grep -q '"passed":true' "$f"
+  done
+  D2NET_BENCH_DURATION_NS=10000 D2NET_BENCH_LOAD_STEPS=3 \
+    cargo run --release -p d2net-bench --bin bench_analysis -- BENCH_analysis.json
+  grep -q '"schema":"d2net.bench-analysis/v1"' BENCH_analysis.json
+  grep -q '"gate_passed":true' BENCH_analysis.json
 fi
 
 echo "ci.sh: all green"

@@ -8,6 +8,7 @@
 //! two halves split the *end-nodes* evenly; the cut counts router-router
 //! links.
 
+use crate::error::AnalysisError;
 use d2net_topo::Network;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -24,25 +25,36 @@ pub struct Bisection {
     pub side: Vec<bool>,
 }
 
-/// Runs FM bisection with `restarts` random starts; returns the best cut.
-pub fn bisection(net: &Network, restarts: usize, seed: u64) -> Bisection {
+/// Runs FM bisection with `restarts` random starts; returns the best
+/// cut, or [`AnalysisError::NotBisectable`] when the network has fewer
+/// than two routers or no end-nodes to balance.
+pub fn try_bisection(net: &Network, restarts: usize, seed: u64) -> Result<Bisection, AnalysisError> {
+    if net.num_routers() < 2 || net.num_nodes() == 0 {
+        return Err(AnalysisError::NotBisectable { routers: net.num_routers() });
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut best: Option<Bisection> = None;
-    for _ in 0..restarts.max(1) {
+    let mut best = fm_once(net, &mut rng);
+    for _ in 1..restarts.max(1) {
         let b = fm_once(net, &mut rng);
-        if best.as_ref().is_none_or(|cur| b.cut_links < cur.cut_links) {
-            best = Some(b);
+        if b.cut_links < best.cut_links {
+            best = b;
         }
     }
-    best.unwrap()
+    Ok(best)
+}
+
+/// Panicking convenience wrapper around [`try_bisection`].
+pub fn bisection(net: &Network, restarts: usize, seed: u64) -> Bisection {
+    try_bisection(net, restarts, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn fm_once(net: &Network, rng: &mut SmallRng) -> Bisection {
     let r = net.num_routers() as usize;
     let weights: Vec<i64> = (0..r as u32).map(|i| net.nodes_at(i) as i64).collect();
     let total_w: i64 = weights.iter().sum();
-    // Balance tolerance: one router's worth of endpoints.
-    let max_w = *weights.iter().max().unwrap();
+    // Balance tolerance: one router's worth of endpoints (try_bisection
+    // guarantees at least one router and one end-node here).
+    let max_w = weights.iter().copied().max().unwrap_or(0);
     let target = total_w / 2;
 
     // Random balanced initial partition by weight.
@@ -238,6 +250,20 @@ mod tests {
             "ceil {} must be below floor {}",
             lo.per_node,
             hi.per_node
+        );
+    }
+
+    #[test]
+    fn single_router_is_not_bisectable() {
+        use d2net_topo::TopologyKind;
+        let net = Network::from_parts(
+            TopologyKind::Custom { label: "lonely".into() },
+            vec![vec![]],
+            vec![4],
+        );
+        assert_eq!(
+            try_bisection(&net, 4, 0),
+            Err(crate::AnalysisError::NotBisectable { routers: 1 })
         );
     }
 

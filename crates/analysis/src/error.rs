@@ -1,0 +1,48 @@
+//! `Result`-based error reporting for the analysis crate, mirroring the
+//! `try_` topology constructors: malformed inputs surface as values
+//! instead of panics, and the legacy panicking entry points become thin
+//! wrappers.
+
+use d2net_topo::RouterId;
+use std::fmt;
+
+/// Why an analytic computation could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// An input slice length does not match the network's node count.
+    SizeMismatch { expected: usize, got: usize },
+    /// A destination array references a node id outside the network.
+    DestinationOutOfRange { index: usize, dst: u32, nodes: u32 },
+    /// Idealized minimal-path splitting needs diameter-two reachability,
+    /// but this router pair has neither a direct link nor a common
+    /// neighbor (use the table-based model for such networks).
+    NoMinimalPath { src: RouterId, dst: RouterId },
+    /// Bisection needs at least two routers carrying end-nodes.
+    NotBisectable { routers: u32 },
+    /// A numeric parameter is out of its documented domain.
+    BadParameter(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::SizeMismatch { expected, got } => {
+                write!(f, "input length {got} does not match the network's {expected} nodes")
+            }
+            AnalysisError::DestinationOutOfRange { index, dst, nodes } => {
+                write!(f, "destination {dst} at index {index} exceeds the {nodes}-node network")
+            }
+            AnalysisError::NoMinimalPath { src, dst } => write!(
+                f,
+                "no direct link or common neighbor between routers {src} and {dst}: \
+                 idealized splitting requires diameter-two reachability"
+            ),
+            AnalysisError::NotBisectable { routers } => {
+                write!(f, "bisection needs at least two routers, network has {routers}")
+            }
+            AnalysisError::BadParameter(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

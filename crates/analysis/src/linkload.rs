@@ -9,8 +9,28 @@
 //! saturations), and a per-flow bottleneck model predicts the *mean*
 //! accepted throughput the simulator reports for arbitrary permutations.
 
+use crate::error::AnalysisError;
+use crate::oracle::{analyze_minimal, LatencyModel, TrafficMatrix};
+use d2net_routing::MinimalTables;
 use d2net_topo::{Network, RouterId};
 use std::collections::HashMap;
+
+/// Which minimal-path splitting rule a link-load analysis assumes.
+#[derive(Clone, Copy)]
+pub enum LoadModel<'a> {
+    /// **Idealized** diameter-two splitting: a distance-2 pair divides
+    /// its flow evenly over *all* common neighbors, a distance-1 pair
+    /// uses its direct link. This is the closed-form model behind the
+    /// §4.2 saturation arguments (1/2p, 1/h, 1/k); it coincides with the
+    /// real tables on pristine diameter-two networks but knows nothing
+    /// about repaired routes, so it errors on pairs left without a
+    /// direct link or common neighbor.
+    IdealSplit,
+    /// Split according to the given route tables' first-hop sets — the
+    /// distribution the simulator's random minimal-path selection
+    /// actually produces, valid on degraded/repaired networks too.
+    Tables(&'a MinimalTables),
+}
 
 /// Static per-link load report for a node-level permutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,11 +55,47 @@ pub struct LinkLoadReport {
 }
 
 /// Computes expected directed-link loads for a node permutation routed
-/// minimally with uniform splitting over minimal paths. Diameter-two
-/// networks only (every minimal path is direct or via one common
-/// neighbor).
+/// minimally with **idealized** common-neighbor splitting
+/// ([`LoadModel::IdealSplit`]) — the §4.2 closed-form model. Panics on
+/// malformed permutations or non-diameter-two pairs; prefer
+/// [`try_permutation_link_load`] with [`LoadModel::Tables`] to analyze
+/// the route tables a policy really uses (required on degraded
+/// networks, where the ideal model has no answer).
 pub fn permutation_link_load(net: &Network, perm: &[u32]) -> LinkLoadReport {
-    assert_eq!(perm.len(), net.num_nodes() as usize);
+    try_permutation_link_load(net, LoadModel::IdealSplit, perm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Computes expected directed-link loads for a node permutation routed
+/// minimally, splitting flows according to `model`.
+pub fn try_permutation_link_load(
+    net: &Network,
+    model: LoadModel<'_>,
+    perm: &[u32],
+) -> Result<LinkLoadReport, AnalysisError> {
+    let n = net.num_nodes();
+    if perm.len() != n as usize {
+        return Err(AnalysisError::SizeMismatch { expected: n as usize, got: perm.len() });
+    }
+    if let Some((index, &dst)) = perm.iter().enumerate().find(|&(_, &d)| d >= n) {
+        return Err(AnalysisError::DestinationOutOfRange { index, dst, nodes: n });
+    }
+    match model {
+        LoadModel::IdealSplit => ideal_split_link_load(net, perm),
+        LoadModel::Tables(tables) => {
+            let tm = TrafficMatrix::permutation(net, perm)?;
+            let rep = analyze_minimal(net, tables, &tm, &LatencyModel::paper_default())?;
+            Ok(LinkLoadReport {
+                max_link_load: rep.max_link_load,
+                mean_link_load: rep.mean_link_load,
+                loaded_links: rep.loaded_links,
+                predicted_saturation: rep.predicted_saturation,
+                predicted_mean_throughput: rep.predicted_mean_throughput,
+            })
+        }
+    }
+}
+
+fn ideal_split_link_load(net: &Network, perm: &[u32]) -> Result<LinkLoadReport, AnalysisError> {
     let mut load: HashMap<(RouterId, RouterId), f64> = HashMap::new();
     for (src, &dst) in perm.iter().enumerate() {
         let rs = net.node_router(src as u32);
@@ -51,10 +107,9 @@ pub fn permutation_link_load(net: &Network, perm: &[u32]) -> LinkLoadReport {
             *load.entry((rs, rd)).or_default() += 1.0;
         } else {
             let mids = net.common_neighbors(rs, rd);
-            assert!(
-                !mids.is_empty(),
-                "link-load analysis requires diameter-two reachability"
-            );
+            if mids.is_empty() {
+                return Err(AnalysisError::NoMinimalPath { src: rs, dst: rd });
+            }
             let share = 1.0 / mids.len() as f64;
             for m in mids {
                 *load.entry((rs, m)).or_default() += share;
@@ -91,7 +146,7 @@ pub fn permutation_link_load(net: &Network, perm: &[u32]) -> LinkLoadReport {
             }
         }
     }
-    LinkLoadReport {
+    Ok(LinkLoadReport {
         max_link_load,
         mean_link_load,
         loaded_links,
@@ -101,7 +156,7 @@ pub fn permutation_link_load(net: &Network, perm: &[u32]) -> LinkLoadReport {
             1.0
         },
         predicted_mean_throughput: rate_sum / perm.len() as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -186,6 +241,66 @@ mod tests {
         assert_eq!(rep.max_link_load, 1.0);
         assert_eq!(rep.predicted_saturation, 1.0);
         assert_eq!(rep.loaded_links, 2);
+    }
+
+    #[test]
+    fn tables_model_matches_ideal_split_on_pristine_networks() {
+        // On pristine diameter-two networks the tables' first-hop sets
+        // for distance-2 pairs are exactly the common neighbors, so both
+        // models agree to rounding.
+        use d2net_routing::MinimalTables;
+        for net in [slim_fly(7, SlimFlyP::Floor), mlfm(4), oft(4)] {
+            let perm = perm_of(&net);
+            let tables = MinimalTables::build(&net);
+            let ideal = try_permutation_link_load(&net, LoadModel::IdealSplit, &perm)
+                .expect("pristine diameter-two network");
+            let real = try_permutation_link_load(&net, LoadModel::Tables(&tables), &perm)
+                .expect("tables cover every pair");
+            assert!(
+                (ideal.max_link_load - real.max_link_load).abs() < 1e-9,
+                "{}: {} vs {}",
+                net.name(),
+                ideal.max_link_load,
+                real.max_link_load
+            );
+            assert_eq!(ideal.loaded_links, real.loaded_links, "{}", net.name());
+            assert!((ideal.predicted_saturation - real.predicted_saturation).abs() < 1e-12);
+            assert!(
+                (ideal.predicted_mean_throughput - real.predicted_mean_throughput).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn tables_model_survives_degraded_networks() {
+        // The ideal model errors once a repair reroutes around a dead
+        // link; the table model follows the repaired routes.
+        use d2net_routing::MinimalTables;
+        let net = mlfm(4);
+        let faults = d2net_topo::FaultSet::sample_links(&net, 0.10, 3);
+        let deg = net.degrade(&faults);
+        let tables = MinimalTables::build_partial(&deg);
+        let perm = perm_of(&net);
+        let rep = try_permutation_link_load(&deg, LoadModel::Tables(&tables), &perm)
+            .expect("table model handles repairs");
+        assert!(rep.max_link_load > 0.0);
+        assert!(rep.predicted_saturation <= 1.0);
+    }
+
+    #[test]
+    fn malformed_permutations_are_errors_not_panics() {
+        let net = mlfm(3);
+        let n = net.num_nodes();
+        assert!(matches!(
+            try_permutation_link_load(&net, LoadModel::IdealSplit, &[0, 1]),
+            Err(crate::AnalysisError::SizeMismatch { .. })
+        ));
+        let mut oob: Vec<u32> = (0..n).collect();
+        oob[2] = n + 7;
+        assert!(matches!(
+            try_permutation_link_load(&net, LoadModel::IdealSplit, &oob),
+            Err(crate::AnalysisError::DestinationOutOfRange { index: 2, .. })
+        ));
     }
 
     #[test]

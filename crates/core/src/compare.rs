@@ -276,6 +276,23 @@ pub struct PointDigest {
     pub samples: Vec<SampleDigest>,
 }
 
+/// The `"analysis"` section of a manifest, as read back for diffing:
+/// the static oracle's saturation envelope and (when a sweep was
+/// cross-checked) the divergence verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisDigest {
+    /// Rows in the `"predictions"` array.
+    pub predictions: usize,
+    /// Lowest `predicted_saturation` across the rows.
+    pub saturation_lo: f64,
+    /// Highest `predicted_saturation` across the rows.
+    pub saturation_hi: f64,
+    /// `"measured_saturation"` of the divergence verdict, when present.
+    pub measured_saturation: Option<f64>,
+    /// `"passed"` of the divergence verdict, when present.
+    pub divergence_passed: Option<bool>,
+}
+
 /// What [`compare_manifests`] needs from one run manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunDigest {
@@ -283,6 +300,8 @@ pub struct RunDigest {
     pub routing: String,
     /// `"kind"` of the manifest's `"algorithm"` section, when present.
     pub algorithm_kind: Option<String>,
+    /// The `"analysis"` section, when the campaign ran the oracle.
+    pub analysis: Option<AnalysisDigest>,
     pub points: Vec<PointDigest>,
 }
 
@@ -291,8 +310,9 @@ fn need<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
 }
 
 /// Digests a parsed run manifest into the comparison view. Fails with a
-/// description when the manifest carries no `"decisions"` section (an
-/// unledgered run cannot be diffed forensically).
+/// description when the manifest carries neither a `"decisions"` nor an
+/// `"analysis"` section (a run with no ledger and no oracle pass has
+/// nothing to diff); an analysis-only manifest digests with no points.
 pub fn digest_manifest(doc: &Json, ctx: &str) -> Result<RunDigest, String> {
     let title = need(doc, "title", ctx)?.as_str().unwrap_or("?").to_string();
     let routing = need(doc, "routing", ctx)?.as_str().unwrap_or("?").to_string();
@@ -301,9 +321,37 @@ pub fn digest_manifest(doc: &Json, ctx: &str) -> Result<RunDigest, String> {
         .and_then(|a| a.get("kind"))
         .and_then(|k| k.as_str())
         .map(str::to_string);
-    let decisions = doc.get("decisions").ok_or_else(|| {
-        format!("{ctx}: no \"decisions\" section — rerun the campaign with the ledger enabled")
-    })?;
+    let decisions = doc.get("decisions");
+    if decisions.is_none() && doc.get("analysis").is_none() {
+        return Err(format!(
+            "{ctx}: no \"decisions\" or \"analysis\" section — rerun the campaign \
+             with the ledger enabled or the oracle attached"
+        ));
+    }
+    let analysis = doc.get("analysis").map(|a| {
+        let sats: Vec<f64> = a
+            .get("predictions")
+            .and_then(|p| p.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| r.get("predicted_saturation").and_then(|s| s.as_f64()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let divergence = a.get("divergence").filter(|d| **d != Json::Null);
+        AnalysisDigest {
+            predictions: sats.len(),
+            saturation_lo: sats.iter().copied().fold(f64::INFINITY, f64::min),
+            saturation_hi: sats.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            measured_saturation: divergence
+                .and_then(|d| d.get("measured_saturation"))
+                .and_then(|m| m.as_f64()),
+            divergence_passed: divergence.and_then(|d| d.get("passed")).and_then(|p| match p {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+        }
+    });
 
     // Curve points are indexed by grid position, same as ledger points.
     let curve_points: Vec<&Json> = doc
@@ -315,8 +363,12 @@ pub fn digest_manifest(doc: &Json, ctx: &str) -> Result<RunDigest, String> {
         .map(|p| p.iter().collect())
         .unwrap_or_default();
 
+    let ledger_points = match decisions {
+        Some(d) => need(d, "points", ctx)?.as_array().unwrap_or(&[]),
+        None => &[],
+    };
     let mut points = Vec::new();
-    for p in need(decisions, "points", ctx)?.as_array().unwrap_or(&[]) {
+    for p in ledger_points {
         let index = need(p, "index", ctx)?.as_u64().unwrap_or(0);
         let curve = curve_points.get(index as usize);
         let mut routers = Vec::new();
@@ -367,6 +419,7 @@ pub fn digest_manifest(doc: &Json, ctx: &str) -> Result<RunDigest, String> {
         title,
         routing,
         algorithm_kind,
+        analysis,
         points,
     })
 }
@@ -403,8 +456,10 @@ pub struct CompareReport {
     pub attribution: Option<String>,
 }
 
-/// Diffs two run-manifest JSON documents. Both must carry `"decisions"`
-/// sections; points are matched by grid index and must agree on load.
+/// Diffs two run-manifest JSON documents. Each must carry a
+/// `"decisions"` or `"analysis"` section; ledger points are matched by
+/// grid index and must agree on load, while an analysis-only pair
+/// reports just the two saturation envelopes.
 pub fn compare_manifests(a_text: &str, b_text: &str) -> Result<CompareReport, String> {
     let a = digest_manifest(&Json::parse(a_text).map_err(|e| format!("manifest A: {e}"))?, "A")?;
     let b = digest_manifest(&Json::parse(b_text).map_err(|e| format!("manifest B: {e}"))?, "B")?;
@@ -450,7 +505,12 @@ pub fn compare_manifests(a_text: &str, b_text: &str) -> Result<CompareReport, St
             });
         }
     }
-    if compared_loads.is_empty() {
+    // An analysis-only pair has no ledger points to match; the report
+    // then carries just the two envelope lines. Anything else with no
+    // overlap is a grid mismatch and stays an error.
+    let analysis_only =
+        a.points.is_empty() && b.points.is_empty() && a.analysis.is_some() && b.analysis.is_some();
+    if compared_loads.is_empty() && !analysis_only {
         return Err("no common load points between the two manifests".into());
     }
 
@@ -513,6 +573,35 @@ impl CompareReport {
             self.a.algorithm_kind.as_deref().unwrap_or("(unrecorded)"),
             self.b.algorithm_kind.as_deref().unwrap_or("(unrecorded)"),
         ));
+        for (label, run) in [("A", &self.a), ("B", &self.b)] {
+            if let Some(an) = &run.analysis {
+                out.push_str(&format!(
+                    "  static analysis {label}: saturation envelope [{:.3}, {:.3}] over {} predictions",
+                    an.saturation_lo, an.saturation_hi, an.predictions
+                ));
+                if let Some(m) = an.measured_saturation {
+                    out.push_str(&format!(
+                        ", measured {:.3} ({})",
+                        m,
+                        match an.divergence_passed {
+                            Some(true) => "gate passed",
+                            Some(false) => "GATE FAILED",
+                            None => "no verdict",
+                        }
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        if self.compared_loads.is_empty() {
+            out.push_str(
+                "  no decision ledgers to diff — static analysis sections only\n",
+            );
+            if let Some(attr) = &self.attribution {
+                out.push_str(&format!("\n  attribution: {attr}\n"));
+            }
+            return out;
+        }
         out.push_str(&format!(
             "  compared {} common load points ({:.3} .. {:.3})\n\n",
             self.compared_loads.len(),
@@ -603,6 +692,39 @@ impl CompareReport {
                 w.end_object();
             }
         }
+        for (key, run) in [("analysis_a", &self.a), ("analysis_b", &self.b)] {
+            w.key(key);
+            match &run.analysis {
+                None => {
+                    w.null();
+                }
+                Some(an) => {
+                    w.begin_object();
+                    w.key("predictions").u64(an.predictions as u64);
+                    w.key("saturation_lo").f64(an.saturation_lo);
+                    w.key("saturation_hi").f64(an.saturation_hi);
+                    w.key("measured_saturation");
+                    match an.measured_saturation {
+                        Some(m) => {
+                            w.f64(m);
+                        }
+                        None => {
+                            w.null();
+                        }
+                    }
+                    w.key("divergence_passed");
+                    match an.divergence_passed {
+                        Some(p) => {
+                            w.bool(p);
+                        }
+                        None => {
+                            w.null();
+                        }
+                    }
+                    w.end_object();
+                }
+            }
+        }
         w.key("attributed").bool(self.attribution.is_some());
         w.end_object();
         w.finish()
@@ -663,6 +785,33 @@ mod tests {
     }
 
     #[test]
+    fn analysis_only_manifests_compare_on_envelopes_alone() {
+        let mk = |title: &str, lo: f64, hi: f64| {
+            format!(
+                concat!(
+                    r#"{{"title":"{}","routing":"UGAL-L","curves":[],"#,
+                    r#""analysis":{{"predictions":["#,
+                    r#"{{"predicted_saturation":{}}},{{"predicted_saturation":{}}}],"#,
+                    r#""divergence":{{"measured_saturation":0.97,"passed":true}}}}}}"#,
+                ),
+                title, lo, hi
+            )
+        };
+        let rep = compare_manifests(&mk("SF run", 0.637, 1.0), &mk("MLFM run", 0.52, 1.0))
+            .expect("analysis-only pair must diff");
+        assert!(rep.compared_loads.is_empty());
+        assert!(rep.first_divergence.is_none());
+        let text = rep.render();
+        assert!(text.contains("static analysis A: saturation envelope [0.637, 1.000]"));
+        assert!(text.contains("static analysis B: saturation envelope [0.520, 1.000]"));
+        assert!(text.contains("gate passed"));
+        assert!(text.contains("no decision ledgers to diff"));
+        // One ledgerless side is still an error — nothing to anchor it.
+        let bare = r#"{"title":"t","routing":"MIN","curves":[]}"#;
+        assert!(compare_manifests(&mk("SF run", 0.6, 1.0), bare).is_err());
+    }
+
+    #[test]
     fn compare_finds_first_divergence_and_attributes_hop2_blindness() {
         let local = manifest("UGAL-L run", "ugal", 0.001, 0.002);
         let global = manifest("UGAL-G run", "ugal_g", 0.001, 0.340);
@@ -694,6 +843,40 @@ mod tests {
         assert!(rep.first_divergence.is_none());
         assert!(rep.attribution.is_none());
         assert!(rep.render().contains("no divergence"));
+    }
+
+    #[test]
+    fn analysis_sections_digest_render_and_serialize() {
+        let base = manifest("UGAL-L run", "ugal", 0.001, 0.002);
+        // Splice an "analysis" section in front of "decisions", as the
+        // manifest writer emits it for oracle-backed campaigns.
+        let with = base.replace(
+            "\"decisions\":",
+            concat!(
+                "\"analysis\":{\"load_units\":\"node injection rates at offered load 1.0\",",
+                "\"predictions\":[",
+                "{\"traffic\":\"uniform\",\"algorithm\":\"ugal\",\"envelope\":\"minimal\",",
+                "\"predicted_saturation\":1.000000},",
+                "{\"traffic\":\"uniform\",\"algorithm\":\"ugal\",\"envelope\":\"all_indirect\",",
+                "\"predicted_saturation\":0.520000}],",
+                "\"divergence\":{\"traffic\":\"uniform\",\"measured_saturation\":0.950000,",
+                "\"passed\":true}},\"decisions\":"
+            ),
+        );
+        let rep = compare_manifests(&with, &base).unwrap();
+        let an = rep.a.analysis.as_ref().expect("A carries an analysis digest");
+        assert_eq!(an.predictions, 2);
+        assert!((an.saturation_lo - 0.52).abs() < 1e-9);
+        assert!((an.saturation_hi - 1.0).abs() < 1e-9);
+        assert_eq!(an.measured_saturation, Some(0.95));
+        assert_eq!(an.divergence_passed, Some(true));
+        assert!(rep.b.analysis.is_none());
+        let text = rep.render();
+        assert!(text.contains("static analysis A: saturation envelope [0.520, 1.000]"), "{text}");
+        assert!(text.contains("measured 0.950 (gate passed)"), "{text}");
+        let js = rep.to_json();
+        assert!(js.contains("\"analysis_a\":{\"predictions\":2"), "{js}");
+        assert!(js.contains("\"analysis_b\":null"), "{js}");
     }
 
     #[test]

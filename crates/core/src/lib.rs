@@ -37,6 +37,7 @@
 
 pub mod compare;
 pub mod configs;
+pub mod divergence;
 pub mod experiment;
 pub mod plot;
 pub mod report;
@@ -54,10 +55,13 @@ pub use d2net_verify as verify;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use crate::compare::{
-        compare_manifests, digest_manifest, CompareReport, Divergence, Json, PointDigest,
-        RunDigest, SampleDigest, DIVERGENCE_EPS,
+        compare_manifests, digest_manifest, AnalysisDigest, CompareReport, Divergence, Json,
+        PointDigest, RunDigest, SampleDigest, DIVERGENCE_EPS,
     };
     pub use crate::configs::{eval_topologies, RunParams, Scale};
+    pub use crate::divergence::{
+        divergence_gate, link_residuals, measured_saturation, DivergenceGateConfig, LinkResiduals,
+    };
     pub use crate::experiment::{
         adaptive_sweep, adaptive_sweep_par, adaptive_variants, best_adaptive, diversity_report,
         fig13, fig14, fig3, fig4, fig6, fig6_par, ledgered_curve, table2, traced_curve, Curve,
@@ -70,7 +74,12 @@ pub mod prelude {
         resilience_sweep_traced_par, ResilienceCurve, ResiliencePoint,
     };
     pub use crate::trace_export::{chrome_trace_json, chrome_trace_json_ledgered};
-    pub use d2net_analysis::{bisection, endpoint_diversity, non_adjacent_diversity, scale_table};
+    pub use d2net_analysis::{
+        algorithm_label, analyze_all_indirect, analyze_minimal, analyze_policy, bisection,
+        endpoint_diversity, non_adjacent_diversity, scale_table, try_bisection,
+        try_permutation_link_load, AnalysisError, Envelope, LatencyModel, LinkIndex, LoadModel,
+        OracleReport, PolicyAnalysis, TrafficMatrix,
+    };
     pub use d2net_routing::{
         build_cdg, try_build_cdg, Algorithm, ChannelError, DecisionCandidate, DecisionRecord,
         DecisionVerdict, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
@@ -97,8 +106,9 @@ pub mod prelude {
         FaultSet, Network, SlimFlyP, TopologyKind,
     };
     pub use d2net_traffic::{
-        all_to_all, fit_torus, nearest_neighbor, shift_pattern, torus_dims_for, worst_case,
-        worst_case_saturation, SyntheticPattern,
+        all_to_all, fit_torus, nearest_neighbor, shift_pattern, slim_fly_saturating_worst_case,
+        torus_dims_for, worst_case, worst_case_exact, worst_case_saturation, zipf_pattern,
+        SyntheticPattern,
     };
     pub use d2net_verify::{
         verify, Diagnostic, Report as VerifyReport, Severity, Verdict, VerifyParams,

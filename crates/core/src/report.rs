@@ -139,6 +139,126 @@ impl DecisionsManifest {
     }
 }
 
+/// One row of the `"analysis"` section: the static oracle's verdict for
+/// one (traffic matrix, routing envelope) pair, flattened from
+/// [`d2net_analysis::OracleReport`] (the per-link load vector stays in
+/// memory; the manifest carries the aggregates downstream tooling
+/// diffs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisPrediction {
+    /// Label of the analyzed traffic matrix (e.g. `uniform`).
+    pub traffic: String,
+    /// Stable algorithm label (`minimal`, `valiant`, `ugal`, `ugal_g`).
+    pub algorithm: String,
+    /// Envelope edge this row describes (`minimal` or `all_indirect`).
+    pub envelope: String,
+    /// Hottest directed link, node-injection-rate units at load 1.0.
+    pub max_link_load: f64,
+    /// Mean load over links carrying any traffic.
+    pub mean_link_load: f64,
+    /// Directed links carrying traffic.
+    pub loaded_links: u64,
+    /// Predicted saturation throughput per node (capped at 1).
+    pub predicted_saturation: f64,
+    /// Per-flow bottleneck estimate of mean accepted throughput.
+    pub predicted_mean_throughput: f64,
+    /// Demand-weighted mean router-router hops over delivered demand.
+    pub mean_hops: f64,
+    /// Demand-weighted zero-load latency, ns.
+    pub zero_load_latency_ns: f64,
+    /// Fraction of demand with no surviving route.
+    pub unreachable_fraction: f64,
+    /// Router ports (network + endpoint) per end-node.
+    pub cost_ports_per_node: f64,
+    /// Ports per node divided by predicted saturation.
+    pub cost_per_unit_throughput: f64,
+}
+
+impl AnalysisPrediction {
+    /// Flattens one oracle report under its policy's stable label.
+    pub fn from_report(algorithm: &str, r: &d2net_analysis::OracleReport) -> Self {
+        AnalysisPrediction {
+            traffic: r.traffic.clone(),
+            algorithm: algorithm.to_string(),
+            envelope: r.envelope.name().to_string(),
+            max_link_load: r.max_link_load,
+            mean_link_load: r.mean_link_load,
+            loaded_links: r.loaded_links as u64,
+            predicted_saturation: r.predicted_saturation,
+            predicted_mean_throughput: r.predicted_mean_throughput,
+            mean_hops: r.mean_hops,
+            zero_load_latency_ns: r.zero_load_latency_ns,
+            unreachable_fraction: r.unreachable_fraction,
+            cost_ports_per_node: r.cost_ports_per_node,
+            cost_per_unit_throughput: r.cost_per_unit_throughput,
+        }
+    }
+}
+
+/// Outcome of cross-checking the static predictions against a measured
+/// sweep (see [`crate::divergence`]): did the measured saturation land
+/// inside the predicted envelope, and how far do per-link static loads
+/// stray from telemetry utilizations at the probe load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceSummary {
+    /// Traffic matrix the gate compared under.
+    pub traffic: String,
+    /// Lower edge of the predicted saturation envelope.
+    pub predicted_saturation_lo: f64,
+    /// Upper edge of the predicted saturation envelope.
+    pub predicted_saturation_hi: f64,
+    /// Peak accepted throughput over the sweep's non-deadlocked points.
+    pub measured_saturation: f64,
+    /// Distance from the measured value to the envelope (0 inside).
+    pub saturation_gap: f64,
+    /// Tolerance the gate allowed beyond the envelope edges.
+    pub tolerance: f64,
+    /// Whether the measured saturation fell within envelope ± tolerance.
+    pub passed: bool,
+    /// Offered load of the telemetry point used for link residuals
+    /// (0 when no telemetry point was available).
+    pub probe_load: f64,
+    /// Directed links with both a static load and a telemetry sample.
+    pub links_compared: u64,
+    /// Mean |measured − predicted| link utilization at the probe load.
+    pub mean_abs_residual: f64,
+    /// Largest |measured − predicted| link utilization.
+    pub max_abs_residual: f64,
+    /// Source router of the worst-residual directed link.
+    pub max_residual_router: u32,
+    /// Next-hop router of the worst-residual directed link.
+    pub max_residual_next: u32,
+}
+
+/// The `"analysis"` section of a [`RunManifest`]: the analytic oracle's
+/// static channel-load predictions for the campaign's configuration,
+/// plus the measured-vs-predicted divergence verdict when a sweep was
+/// cross-checked. Like `"faults"`/`"trace"`/`"decisions"`, the key only
+/// appears when the campaign ran the oracle — the CI analysis-smoke
+/// gate greps for its presence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisManifest {
+    /// One row per (traffic, envelope edge) the oracle evaluated.
+    pub predictions: Vec<AnalysisPrediction>,
+    /// Cross-check against a measured sweep, when one ran.
+    pub divergence: Option<DivergenceSummary>,
+}
+
+impl AnalysisManifest {
+    /// Flattens a policy analysis into manifest rows (one per envelope
+    /// edge), with no divergence verdict yet.
+    pub fn from_policy(pa: &d2net_analysis::PolicyAnalysis) -> Self {
+        AnalysisManifest {
+            predictions: pa
+                .reports
+                .iter()
+                .map(|r| AnalysisPrediction::from_report(pa.algorithm, r))
+                .collect(),
+            divergence: None,
+        }
+    }
+}
+
 /// Renders the Fig. 3 scale table.
 pub fn render_fig3(rows: &[ScaleRow]) -> String {
     let mut s = String::new();
@@ -440,6 +560,10 @@ pub struct RunManifest {
     /// ([`RunManifest::set_decisions`]); `None` for unledgered runs,
     /// which then emit no `"decisions"` key.
     pub decisions: Option<DecisionsManifest>,
+    /// Static channel-load predictions and divergence verdict from the
+    /// analytic oracle ([`RunManifest::set_analysis`]); `None` for
+    /// campaigns that never ran it, which then emit no `"analysis"` key.
+    pub analysis: Option<AnalysisManifest>,
     pub curves: Vec<Curve>,
 }
 
@@ -470,6 +594,7 @@ impl RunManifest {
             faults: None,
             trace: None,
             decisions: None,
+            analysis: None,
             curves: Vec::new(),
         }
     }
@@ -521,6 +646,13 @@ impl RunManifest {
     /// Records the routing-decision forensics of a ledgered campaign.
     pub fn set_decisions(&mut self, decisions: DecisionsManifest) -> &mut Self {
         self.decisions = Some(decisions);
+        self
+    }
+
+    /// Records the analytic oracle's predictions (and, when a sweep was
+    /// cross-checked, the divergence verdict) for this campaign.
+    pub fn set_analysis(&mut self, analysis: AnalysisManifest) -> &mut Self {
+        self.analysis = Some(analysis);
         self
     }
 
@@ -795,6 +927,55 @@ impl RunManifest {
                 w.end_object();
             }
             w.end_array();
+            w.end_object();
+        }
+        // Emitted only when the analytic oracle ran — the analysis-smoke
+        // gate's and `d2net-compare`'s grep/parse target.
+        if let Some(a) = &self.analysis {
+            w.key("analysis").begin_object();
+            w.key("load_units").string("node injection rates at offered load 1.0");
+            w.key("predictions").begin_array();
+            for p in &a.predictions {
+                w.begin_object();
+                w.key("traffic").string(&p.traffic);
+                w.key("algorithm").string(&p.algorithm);
+                w.key("envelope").string(&p.envelope);
+                w.key("max_link_load").f64(p.max_link_load);
+                w.key("mean_link_load").f64(p.mean_link_load);
+                w.key("loaded_links").u64(p.loaded_links);
+                w.key("predicted_saturation").f64(p.predicted_saturation);
+                w.key("predicted_mean_throughput").f64(p.predicted_mean_throughput);
+                w.key("mean_hops").f64(p.mean_hops);
+                w.key("zero_load_latency_ns").f64(p.zero_load_latency_ns);
+                w.key("unreachable_fraction").f64(p.unreachable_fraction);
+                w.key("cost_ports_per_node").f64(p.cost_ports_per_node);
+                w.key("cost_per_unit_throughput").f64(p.cost_per_unit_throughput);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("divergence");
+            match &a.divergence {
+                None => {
+                    w.null();
+                }
+                Some(d) => {
+                    w.begin_object();
+                    w.key("traffic").string(&d.traffic);
+                    w.key("predicted_saturation_lo").f64(d.predicted_saturation_lo);
+                    w.key("predicted_saturation_hi").f64(d.predicted_saturation_hi);
+                    w.key("measured_saturation").f64(d.measured_saturation);
+                    w.key("saturation_gap").f64(d.saturation_gap);
+                    w.key("tolerance").f64(d.tolerance);
+                    w.key("passed").bool(d.passed);
+                    w.key("probe_load").f64(d.probe_load);
+                    w.key("links_compared").u64(d.links_compared);
+                    w.key("mean_abs_residual").f64(d.mean_abs_residual);
+                    w.key("max_abs_residual").f64(d.max_abs_residual);
+                    w.key("max_residual_router").u64(d.max_residual_router as u64);
+                    w.key("max_residual_next").u64(d.max_residual_next as u64);
+                    w.end_object();
+                }
+            }
             w.end_object();
         }
         w.key("curves").begin_array();
@@ -1177,6 +1358,59 @@ mod tests {
              \"occupancy_bytes\":1000,\"penalty\":2.000000,\"cost\":2000.000000}]"
         ));
         assert!(s.contains("\"samples_truncated\":false"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn analysis_section_absent_until_set_then_serializes() {
+        use d2net_analysis::{analyze_policy, LatencyModel, TrafficMatrix};
+        use d2net_routing::RoutePolicy;
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "oracle", &net, "UGAL-L", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        // The `"analysis"` key is the analysis-smoke gate's grep target:
+        // it must not appear when the oracle never ran.
+        assert!(!m.to_json().contains("\"analysis\""));
+
+        let policy = RoutePolicy::new(&net, Algorithm::Ugal { n_i: 2, c: 2.0, threshold: None });
+        let tm = TrafficMatrix::uniform(&net).expect("uniform matrix");
+        let pa = analyze_policy(&net, &policy, &tm, &LatencyModel::paper_default())
+            .expect("oracle runs");
+        let mut section = AnalysisManifest::from_policy(&pa);
+        // UGAL brackets between its minimal and all-indirect envelopes.
+        assert_eq!(section.predictions.len(), 2);
+        assert_eq!(section.predictions[0].algorithm, "ugal");
+        section.divergence = Some(DivergenceSummary {
+            traffic: "uniform".into(),
+            predicted_saturation_lo: pa.saturation_lo,
+            predicted_saturation_hi: pa.saturation_hi,
+            measured_saturation: 0.95,
+            saturation_gap: 0.0,
+            tolerance: 0.1,
+            passed: true,
+            probe_load: 0.4,
+            links_compared: 160,
+            mean_abs_residual: 0.01,
+            max_abs_residual: 0.04,
+            max_residual_router: 3,
+            max_residual_next: 9,
+        });
+        m.set_analysis(section);
+        let s = m.to_json();
+        assert!(s.contains("\"analysis\":{\"load_units\":"));
+        assert!(s.contains("\"traffic\":\"uniform\",\"algorithm\":\"ugal\",\"envelope\":\"minimal\""));
+        assert!(s.contains("\"envelope\":\"all_indirect\""));
+        assert!(s.contains("\"predicted_saturation\":"));
+        assert!(s.contains("\"divergence\":{\"traffic\":\"uniform\""));
+        assert!(s.contains("\"measured_saturation\":0.950000"));
+        assert!(s.contains("\"passed\":true"));
+        assert!(s.contains("\"links_compared\":160"));
+        // The section nests cleanly between "decisions" and "curves".
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
     }

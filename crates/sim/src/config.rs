@@ -109,6 +109,7 @@ impl SimConfig {
             buffer_bytes: self.buffer_bytes,
             packet_bytes: self.packet_bytes,
             link_bandwidth_gbps: self.link_bandwidth_gbps,
+            ..d2net_verify::VerifyParams::default()
         }
     }
 

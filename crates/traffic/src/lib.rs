@@ -15,8 +15,11 @@ pub mod patterns;
 pub mod worstcase;
 
 pub use exchange::{all_to_all, all_to_all_shuffled, fit_torus, nearest_neighbor, torus_dims_for, Exchange, Message};
-pub use patterns::{random_permutation, shift_pattern, SyntheticPattern};
-pub use worstcase::{slim_fly_worst_case, worst_case, worst_case_saturation};
+pub use patterns::{random_permutation, shift_pattern, zipf_pattern, SyntheticPattern};
+pub use worstcase::{
+    slim_fly_saturating_worst_case, slim_fly_worst_case, worst_case, worst_case_exact,
+    worst_case_saturation,
+};
 
 #[cfg(test)]
 mod proptests {

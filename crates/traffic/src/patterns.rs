@@ -14,6 +14,12 @@ pub enum SyntheticPattern {
     /// Fixed node-level permutation: `dst[i]` receives all of node `i`'s
     /// traffic. Used for adversarial/worst-case experiments.
     Permutation(Vec<NodeId>),
+    /// Zipf-popularity traffic: destination `d` is drawn with
+    /// probability proportional to `1/(d+1)^alpha` (node 0 the most
+    /// popular), self-sends redrawn. Models skewed hotspot workloads;
+    /// `cdf[d]` holds the cumulative weight through node `d` (built by
+    /// [`zipf_pattern`]).
+    Zipf { cdf: Vec<f64> },
 }
 
 impl SyntheticPattern {
@@ -31,6 +37,19 @@ impl SyntheticPattern {
                 }
             }
             SyntheticPattern::Permutation(p) => p[src as usize],
+            SyntheticPattern::Zipf { cdf } => {
+                debug_assert_eq!(cdf.len(), n_nodes as usize);
+                let total = cdf[cdf.len() - 1];
+                loop {
+                    let u = rng.gen_range(0.0..total);
+                    // First node whose cumulative weight exceeds `u`.
+                    let d = cdf.partition_point(|&c| c <= u) as NodeId;
+                    let d = d.min(n_nodes - 1);
+                    if d != src {
+                        return d;
+                    }
+                }
+            }
         }
     }
 
@@ -39,7 +58,7 @@ impl SyntheticPattern {
     /// sends to itself) — the "not end-node limited" requirement of §4.2.
     pub fn is_valid_permutation(&self, n_nodes: u32) -> bool {
         match self {
-            SyntheticPattern::Uniform => false,
+            SyntheticPattern::Uniform | SyntheticPattern::Zipf { .. } => false,
             SyntheticPattern::Permutation(p) => {
                 if p.len() != n_nodes as usize {
                     return false;
@@ -65,6 +84,22 @@ pub fn shift_pattern(n_nodes: u32, shift: u32) -> SyntheticPattern {
     SyntheticPattern::Permutation(
         (0..n_nodes).map(|i| (i + shift) % n_nodes).collect(),
     )
+}
+
+/// Builds a Zipf-popularity pattern over `n_nodes` with exponent
+/// `alpha` (> 0 skews toward node 0; `alpha == 0` degenerates to
+/// uniform popularity). The destination weight of node `d` is
+/// `1/(d+1)^alpha`; self-sends are excluded by redrawing.
+pub fn zipf_pattern(n_nodes: u32, alpha: f64) -> SyntheticPattern {
+    assert!(n_nodes >= 2, "Zipf traffic needs at least two nodes");
+    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+    let mut cdf = Vec::with_capacity(n_nodes as usize);
+    let mut acc = 0.0f64;
+    for d in 0..n_nodes {
+        acc += 1.0 / ((d + 1) as f64).powf(alpha);
+        cdf.push(acc);
+    }
+    SyntheticPattern::Zipf { cdf }
 }
 
 /// A random derangement-style permutation (uniform random permutation,
@@ -139,5 +174,39 @@ mod tests {
     #[should_panic(expected = "zero shift")]
     fn shift_rejects_identity() {
         shift_pattern(10, 10);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ids_and_never_self_sends() {
+        let n = 16u32;
+        let pat = zipf_pattern(n, 1.0);
+        assert!(!pat.is_valid_permutation(n));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..4000 {
+            let d = pat.dest(0, n, &mut rng);
+            assert_ne!(d, 0, "self-sends must be redrawn");
+            assert!(d < n);
+            counts[d as usize] += 1;
+        }
+        // Node 1 (weight 1/2) must beat node 15 (weight 1/16) clearly.
+        assert!(
+            counts[1] > 3 * counts[15],
+            "Zipf skew missing: {} vs {}",
+            counts[1],
+            counts[15]
+        );
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform_popularity() {
+        let n = 8u32;
+        let pat = zipf_pattern(n, 0.0);
+        let cdf = match &pat {
+            SyntheticPattern::Zipf { cdf } => cdf,
+            _ => unreachable!(),
+        };
+        assert_eq!(cdf.len(), n as usize);
+        assert!((cdf[n as usize - 1] - n as f64).abs() < 1e-12);
     }
 }

@@ -126,6 +126,132 @@ pub fn slim_fly_worst_case(net: &Network) -> SyntheticPattern {
     SyntheticPattern::Permutation(perm)
 }
 
+/// The worst-case pattern that *exactly* attains the paper's §4.2
+/// closed-form saturation under minimal routing — `1/h` and `1/k` come
+/// straight from the shift patterns; for Slim Fly this builds a
+/// permutation that loads one link with exactly `2p` full flows (the
+/// greedy chain of [`slim_fly_worst_case`] tops out at `2p − 2`).
+/// `None` when the construction finds no suitable link (possible on the
+/// girth-4 Hafner extensions, where unique-midpoint pairs are scarcer)
+/// or the family has no defined worst case.
+pub fn worst_case_exact(net: &Network) -> Option<SyntheticPattern> {
+    match net.kind() {
+        TopologyKind::SlimFly(_) => slim_fly_saturating_worst_case(net),
+        TopologyKind::Mlfm(_) | TopologyKind::Oft(_) | TopologyKind::Sspt(_) => {
+            Some(worst_case(net))
+        }
+        _ => None,
+    }
+}
+
+/// Builds a Slim Fly permutation whose hottest link carries exactly
+/// `2p` unsplittable flows (§4.2's `1/2p` bound, attained):
+///
+/// - pick an adjacent router pair `(a, b)`;
+/// - `a`'s `p` nodes send to `p` distinct routers `d ∈ N(b)` whose
+///   *only* common neighbor with `a` is `b` (girth 5 makes every
+///   non-adjacent neighbor of `b` such a router), putting `p` full
+///   flows on `a→b`;
+/// - `p` routers `s ∈ N(a)` whose only common neighbor with `b` is `a`
+///   each send one node's flow to `b`'s nodes — `p` more full flows on
+///   `a→b`;
+/// - every remaining node pairs up in a rotation, which can never touch
+///   `a→b` (a minimal route crosses it only when the source router is
+///   `a` or the destination router is `b`, and those endpoints are
+///   exhausted above).
+pub fn slim_fly_saturating_worst_case(net: &Network) -> Option<SyntheticPattern> {
+    let p = net.nodes_at(0);
+    if p == 0 {
+        return None;
+    }
+    let unique_mid = |x: RouterId, y: RouterId, mid: RouterId| -> bool {
+        x != y && !net.are_adjacent(x, y) && net.common_neighbors(x, y) == vec![mid]
+    };
+    for (a, b) in net.links() {
+        // The link is undirected; try both orientations.
+        for (a, b) in [(a, b), (b, a)] {
+            let dsts: Vec<RouterId> = net
+                .neighbors(b)
+                .iter()
+                .copied()
+                .filter(|&d| d != a && unique_mid(a, d, b))
+                .take(p as usize)
+                .collect();
+            let srcs: Vec<RouterId> = net
+                .neighbors(a)
+                .iter()
+                .copied()
+                .filter(|&s| s != b && unique_mid(s, b, a))
+                .take(p as usize)
+                .collect();
+            if dsts.len() < p as usize || srcs.len() < p as usize {
+                continue;
+            }
+            if let Some(pat) = assemble_saturating(net, a, b, &srcs, &dsts) {
+                return Some(pat);
+            }
+        }
+    }
+    None
+}
+
+/// Expands the router-level plan of [`slim_fly_saturating_worst_case`]
+/// to a fixed-point-free node permutation, or `None` when the leftover
+/// rotation cannot avoid a self-send (only possible on degenerate
+/// remainders; the caller then tries another link).
+fn assemble_saturating(
+    net: &Network,
+    a: RouterId,
+    b: RouterId,
+    srcs: &[RouterId],
+    dsts: &[RouterId],
+) -> Option<SyntheticPattern> {
+    let n = net.num_nodes();
+    const UNSET: u32 = u32::MAX;
+    let mut perm = vec![UNSET; n as usize];
+    let mut dst_used = vec![false; n as usize];
+    // a's nodes → the first node of each chosen destination router.
+    for (j, &d) in dsts.iter().enumerate() {
+        let src_node = net.router_nodes(a).start + j as u32;
+        let dst_node = net.router_nodes(d).start;
+        perm[src_node as usize] = dst_node;
+        dst_used[dst_node as usize] = true;
+    }
+    // One node of each chosen source router → b's nodes.
+    for (j, &s) in srcs.iter().enumerate() {
+        let src_node = net.router_nodes(s).start;
+        let dst_node = net.router_nodes(b).start + j as u32;
+        perm[src_node as usize] = dst_node;
+        dst_used[dst_node as usize] = true;
+    }
+    // Rotation over the leftovers, repaired to stay fixed-point free.
+    let rem_src: Vec<u32> = (0..n).filter(|&i| perm[i as usize] == UNSET).collect();
+    let rem_dst: Vec<u32> = (0..n).filter(|&i| !dst_used[i as usize]).collect();
+    debug_assert_eq!(rem_src.len(), rem_dst.len());
+    let m = rem_src.len();
+    let mut target: Vec<u32> = (0..m).map(|i| rem_dst[(i + 1) % m.max(1)]).collect();
+    for i in 0..m {
+        if rem_src[i] == target[i] {
+            if m < 2 {
+                return None;
+            }
+            let j = (i + 1) % m;
+            target.swap(i, j);
+            // Both lists are sorted, so the swapped assignments cannot
+            // introduce a new fixed point (see sorted-rotation argument).
+            if rem_src[i] == target[i] || rem_src[j] == target[j] {
+                return None;
+            }
+        }
+    }
+    for (i, &s) in rem_src.iter().enumerate() {
+        perm[s as usize] = target[i];
+    }
+    debug_assert!(perm.iter().all(|&d| d != UNSET));
+    let pat = SyntheticPattern::Permutation(perm);
+    pat.is_valid_permutation(n).then_some(pat)
+}
+
 /// Counts, for a router-level interpretation of a permutation pattern
 /// under *unique-path* minimal routing, the maximum number of flows that
 /// share a directed link. Used to verify adversarial pressure.
@@ -254,6 +380,27 @@ mod tests {
         let pat = worst_case(&net);
         assert!(pat.is_valid_permutation(net.num_nodes()));
         assert!((worst_case_saturation(&net) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_worst_case_attains_exactly_2p() {
+        // Girth-5 MMS instances (q ≡ 1 mod 4): the exact construction
+        // must land exactly 2p unsplittable flows on one link.
+        for q in [5u64, 13] {
+            let net = slim_fly(q, SlimFlyP::Floor);
+            let pat = slim_fly_saturating_worst_case(&net)
+                .unwrap_or_else(|| panic!("q={q}: construction must succeed on girth-5 MMS"));
+            assert!(pat.is_valid_permutation(net.num_nodes()), "q={q}");
+            let p = net.nodes_at(0);
+            assert_eq!(max_link_flows(&net, &pat), 2 * p, "q={q}");
+        }
+    }
+
+    #[test]
+    fn worst_case_exact_dispatch() {
+        assert!(worst_case_exact(&mlfm(4)).is_some());
+        assert!(worst_case_exact(&oft(4)).is_some());
+        assert!(worst_case_exact(&d2net_topo::fat_tree2(4)).is_none());
     }
 
     #[test]

@@ -705,3 +705,104 @@ pub(crate) fn check_params(
         push(diags, Severity::Error, "bandwidth-quantization", e);
     }
 }
+
+/// Check 5 (analytic channel-load certification): runs the static oracle
+/// on uniform traffic over the policy's real tables and inspects the
+/// predicted saturation envelope. Severity thresholds live in
+/// [`VerifyParams`] so paper-standard configs certify cleanly: MLFM's
+/// uniform worst link is expected near 2 node rates (saturation ≈ 0.55),
+/// which is physics, not a defect.
+pub(crate) fn check_analysis(
+    net: &Network,
+    policy: &RoutePolicy,
+    params: &VerifyParams,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tm = match d2net_analysis::TrafficMatrix::uniform(net) {
+        Ok(tm) => tm,
+        Err(e) => {
+            push(
+                diags,
+                Severity::Warning,
+                "analysis-skipped",
+                format!("static load analysis skipped: {e}"),
+            );
+            return;
+        }
+    };
+    let pa = match d2net_analysis::analyze_policy(
+        net,
+        policy,
+        &tm,
+        &d2net_analysis::LatencyModel::paper_default(),
+    ) {
+        Ok(pa) => pa,
+        Err(e) => {
+            push(
+                diags,
+                Severity::Warning,
+                "analysis-skipped",
+                format!("static load analysis skipped: {e}"),
+            );
+            return;
+        }
+    };
+    let Some(best) = pa
+        .reports
+        .iter()
+        .min_by(|a, b| a.max_link_load.total_cmp(&b.max_link_load))
+    else {
+        return;
+    };
+    push(
+        diags,
+        Severity::Info,
+        "analysis-saturation",
+        format!(
+            "uniform-traffic saturation envelope [{:.3}, {:.3}] ({}), \
+             zero-load latency {:.1} ns, {:.2} ports/node, \
+             {:.2} ports/node per unit throughput",
+            pa.saturation_lo,
+            pa.saturation_hi,
+            pa.algorithm,
+            best.zero_load_latency_ns,
+            best.cost_ports_per_node,
+            best.cost_per_unit_throughput,
+        ),
+    );
+    if best.max_link_load > params.overload_limit {
+        let (hot, _) = best
+            .link_loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap_or((0, &0.0));
+        let idx = d2net_analysis::LinkIndex::new(net);
+        let (a, b) = idx.endpoints(net, hot);
+        push(
+            diags,
+            Severity::Error,
+            "analysis-overload",
+            format!(
+                "statically overloaded link under uniform traffic: router {a} -> {b} \
+                 expects {:.2} node rates even under the {} assignment \
+                 (limit {:.2}); the tables concentrate load pathologically",
+                best.max_link_load,
+                best.envelope.name(),
+                params.overload_limit,
+            ),
+        );
+    }
+    if pa.saturation_hi < params.saturation_floor {
+        push(
+            diags,
+            Severity::Warning,
+            "analysis-saturation-floor",
+            format!(
+                "predicted uniform saturation tops out at {:.4}, below the \
+                 configured floor {:.4}",
+                pa.saturation_hi, params.saturation_floor,
+            ),
+        );
+    }
+}

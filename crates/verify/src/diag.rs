@@ -199,7 +199,7 @@ mod tests {
         assert!(text.starts_with("PREFLIGHT ring under MIN: REJECTED"));
         assert!(text.contains("ERROR [cdg-cycle]"));
         assert!(text.contains("\n        second line"));
-        assert_eq!(r.find("cdg-cycle").unwrap().severity, Severity::Error);
+        assert_eq!(r.find("cdg-cycle").expect("cycle diag present").severity, Severity::Error);
         assert!(r.find("nope").is_none());
     }
 }

@@ -85,7 +85,7 @@ mod tests {
         assert_eq!(vc_buffer_sufficient(100_000, 2, 256), Ok(50_000));
         assert_eq!(vc_buffer_sufficient(256, 1, 256), Ok(256));
         assert!(vc_buffer_sufficient(256, 2, 256)
-            .unwrap_err()
+            .expect_err("half a packet per VC must be rejected")
             .contains("at least one packet"));
         assert!(vc_buffer_sufficient(100_000, 0, 256).is_err());
         assert!(vc_buffer_sufficient(100_000, 2, 0).is_err());
@@ -95,7 +95,9 @@ mod tests {
     fn bandwidth_quantization_law() {
         assert_eq!(exact_ps_per_byte(100.0), Ok(80));
         assert_eq!(exact_ps_per_byte(40.0), Ok(200));
-        assert!(exact_ps_per_byte(3.0).unwrap_err().contains("8000"));
+        assert!(exact_ps_per_byte(3.0)
+            .expect_err("non-divisor rate must be rejected")
+            .contains("8000"));
         assert!(exact_ps_per_byte(0.0).is_err());
         assert!(exact_ps_per_byte(-1.0).is_err());
     }

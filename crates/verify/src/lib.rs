@@ -20,7 +20,12 @@
 //!    radix census;
 //! 4. **escape coverage and buffer sufficiency** — adaptive policies keep
 //!    an acyclic minimal-route escape, and every VC's buffer share holds
-//!    at least one maximum-size packet.
+//!    at least one maximum-size packet;
+//! 5. **analytic channel-load certification** — the `d2net-analysis`
+//!    oracle evaluates uniform traffic over the policy's real tables and
+//!    flags configs whose predicted saturation envelope collapses below
+//!    [`VerifyParams::saturation_floor`] (WARN) or whose best-case link
+//!    loads exceed [`VerifyParams::overload_limit`] (ERROR).
 //!
 //! The simulation engine calls [`verify`] from its `preflight()` hook;
 //! the `d2net-verify` example exposes the same pass as a CLI.
@@ -45,6 +50,17 @@ pub struct VerifyParams {
     pub packet_bytes: u32,
     /// Link bandwidth in Gb/s (must divide 8000 ps/byte exactly).
     pub link_bandwidth_gbps: f64,
+    /// Analytic-oracle floor: WARN when the predicted uniform-traffic
+    /// saturation envelope tops out below this fraction of injection
+    /// bandwidth (the config would crawl even before congestion).
+    pub saturation_floor: f64,
+    /// Analytic-oracle overload limit: ERROR when, even under the
+    /// policy's most favorable load assignment, some directed link is
+    /// expected to carry more than this many node-injection rates under
+    /// uniform traffic at offered load 1.0. Ordinary diameter-two
+    /// configs sit well below this (MLFM uniform peaks near 2); a
+    /// breach means a planted hotspot or a broken table.
+    pub overload_limit: f64,
 }
 
 impl Default for VerifyParams {
@@ -54,6 +70,8 @@ impl Default for VerifyParams {
             buffer_bytes: 100_000,
             packet_bytes: 256,
             link_bandwidth_gbps: 100.0,
+            saturation_floor: 0.05,
+            overload_limit: 8.0,
         }
     }
 }
@@ -95,6 +113,7 @@ pub fn verify(net: &Network, policy: &RoutePolicy, params: &VerifyParams) -> Rep
         let routes = checks::enumerate_labeled_routes(net, policy);
         checks::check_routes(net, policy, &routes, &mut diags);
         cdg_cycle_len = checks::check_cdg(net, policy, &routes, &mut diags);
+        checks::check_analysis(net, policy, params, &mut diags);
     }
     Report {
         subject,
@@ -315,6 +334,58 @@ mod tests {
         assert!(report.find("degraded-endpoints-lost").is_some());
         assert!(report.find("degraded-partition").is_none());
         assert!(report.find("degraded-unreachable").is_some());
+    }
+
+    #[test]
+    fn analysis_tier_reports_saturation_on_certified_configs() {
+        // Every connected verification carries the oracle's INFO line,
+        // and the paper-standard configs stay Certified with the
+        // default thresholds (MLFM's uniform max load ≈ 2 is expected
+        // physics, not an overload).
+        for net in [slim_fly(5, SlimFlyP::Floor), mlfm(4), oft(4)] {
+            for algo in [
+                Algorithm::Minimal,
+                Algorithm::Valiant,
+                Algorithm::Ugal { n_i: 4, c: 2.0, threshold: None },
+            ] {
+                let policy = RoutePolicy::new(&net, algo);
+                let report = verify(&net, &policy, &VerifyParams::default());
+                assert_eq!(report.verdict(), Verdict::Certified, "{}", report.render());
+                let sat = report.find("analysis-saturation").expect("oracle INFO line");
+                assert_eq!(sat.severity, Severity::Info);
+                assert!(sat.message.contains("saturation envelope"));
+                assert!(report.find("analysis-overload").is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_floor_warns_without_rejecting() {
+        // An absurd floor trips the WARN but cannot reject on its own
+        // (all-indirect uniform saturation on the MLFM is ≈ 0.52).
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Valiant);
+        let params = VerifyParams { saturation_floor: 0.99, ..Default::default() };
+        let report = verify(&net, &policy, &params);
+        let floor = report.find("analysis-saturation-floor").expect("floor WARN");
+        assert_eq!(floor.severity, Severity::Warning);
+        assert_eq!(report.verdict(), Verdict::Certified, "{}", report.render());
+    }
+
+    #[test]
+    fn analysis_overload_rejects_with_link_forensics() {
+        // Dropping the overload limit below ordinary uniform loads makes
+        // the oracle's ERROR fire, naming the hottest directed link —
+        // the same gate a genuinely pathological table would trip at the
+        // default limit.
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let params = VerifyParams { overload_limit: 0.5, ..Default::default() };
+        let report = verify(&net, &policy, &params);
+        assert_eq!(report.verdict(), Verdict::Rejected);
+        let over = report.find("analysis-overload").expect("overload ERROR");
+        assert_eq!(over.severity, Severity::Error);
+        assert!(over.message.contains("router"), "{}", over.message);
     }
 
     #[test]
