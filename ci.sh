@@ -3,7 +3,7 @@
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
 # Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke] [--decision-smoke]
-#              [--analysis-smoke]
+#              [--analysis-smoke] [--shard-smoke]
 #   --bench-smoke     additionally compiles every benchmark and runs a
 #                     smoke-sized bench_sweep, writing BENCH_sweep.json.
 #   --fault-smoke     additionally runs the tiny resilience sweep and
@@ -24,6 +24,12 @@
 #                     manifests carry "analysis" sections with passing
 #                     verdicts, and runs a smoke-sized bench_analysis
 #                     writing BENCH_analysis.json.
+#   --shard-smoke     additionally runs the intra-run sharding gate
+#                     (d2net-shard: sharded sweep manifests byte-equal
+#                     the serial engine's, through the serial harness at
+#                     two shard counts and the parallel harness at two
+#                     thread budgets) and checks the written manifest
+#                     carries a "sharding" section.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,6 +40,7 @@ FAULT_SMOKE=0
 TRACE_SMOKE=0
 DECISION_SMOKE=0
 ANALYSIS_SMOKE=0
+SHARD_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -41,6 +48,7 @@ for arg in "$@"; do
     --trace-smoke) TRACE_SMOKE=1 ;;
     --decision-smoke) DECISION_SMOKE=1 ;;
     --analysis-smoke) ANALYSIS_SMOKE=1 ;;
+    --shard-smoke) SHARD_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -115,6 +123,14 @@ if [[ "$ANALYSIS_SMOKE" == "1" ]]; then
     cargo run --release -p d2net-bench --bin bench_analysis -- BENCH_analysis.json
   grep -q '"schema":"d2net.bench-analysis/v1"' BENCH_analysis.json
   grep -q '"gate_passed":true' BENCH_analysis.json
+fi
+
+if [[ "$SHARD_SMOKE" == "1" ]]; then
+  echo "== shard smoke: sharded sweeps byte-equal serial, manifest gate =="
+  cargo run --release --example d2net-shard -- --out SHARD_smoke.json
+  grep -q '"sharding"' SHARD_smoke.json
+  grep -q '"shards":2' SHARD_smoke.json
+  grep -q '"thread_budget":6' SHARD_smoke.json
 fi
 
 echo "ci.sh: all green"

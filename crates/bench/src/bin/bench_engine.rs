@@ -1,0 +1,32 @@
+//! Times the serial engine vs the intra-run sharded engine on single
+//! runs and writes `BENCH_engine.json` (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p d2net-bench --release --bin bench_engine [OUT]`
+//! (default `OUT` is `BENCH_engine.json` in the working directory).
+//! `D2NET_BENCH_DURATION_NS` shrinks the run for CI smoke. Cases span
+//! SF/MLFM/OFT at the reduced evaluation scale and the paper's
+//! CORAL-class §4.1 scale; each case is gated on the sharded runs
+//! reproducing the serial stats and event totals exactly.
+
+use d2net_bench::engine_timing::{
+    bench_engine_json, default_engine_cases, render_engine_row, time_engine_case,
+    BENCH_SHARD_COUNTS,
+};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+    let cases = default_engine_cases();
+    println!("case             tier    | events    | serial ms | sharded ms (speedup)");
+    println!("-------------------------+-----------+-----------+---------------------");
+    let mut results = Vec::with_capacity(cases.len());
+    for case in &cases {
+        let timed = time_engine_case(case, &BENCH_SHARD_COUNTS);
+        println!("{}", render_engine_row(&timed));
+        results.push(timed);
+    }
+    let json = bench_engine_json(&results);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("\nwrote {out} ({} bytes)", json.len());
+}

@@ -29,6 +29,20 @@ pub struct SweepTiming {
     pub points: u32,
 }
 
+/// The `"sharding"` section of a [`RunManifest`]: how one thread budget
+/// was split between point-level workers and intra-run shards (see
+/// `d2net_sim::shard`). Recorded for forensics only; every simulated
+/// result is byte-identical to an unsharded run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingManifest {
+    /// Intra-run shard count every sweep point ran with (1 = serial).
+    pub shards: u32,
+    /// Point-level sweep workers running concurrently.
+    pub point_workers: u32,
+    /// Total thread budget the split started from.
+    pub thread_budget: u32,
+}
+
 impl SweepTiming {
     /// Serial wall-clock over parallel wall-clock.
     pub fn speedup(&self) -> f64 {
@@ -564,6 +578,12 @@ pub struct RunManifest {
     /// analytic oracle ([`RunManifest::set_analysis`]); `None` for
     /// campaigns that never ran it, which then emit no `"analysis"` key.
     pub analysis: Option<AnalysisManifest>,
+    /// Intra-run sharding record of the campaign
+    /// ([`RunManifest::set_sharding`]); `None` for unsharded campaigns,
+    /// which then emit no `"sharding"` key — sharding never changes
+    /// simulated results (see `d2net_sim::shard`), so its record is
+    /// deliberately outside the byte-compared result sections.
+    pub sharding: Option<ShardingManifest>,
     pub curves: Vec<Curve>,
 }
 
@@ -595,6 +615,7 @@ impl RunManifest {
             trace: None,
             decisions: None,
             analysis: None,
+            sharding: None,
             curves: Vec::new(),
         }
     }
@@ -646,6 +667,13 @@ impl RunManifest {
     /// Records the routing-decision forensics of a ledgered campaign.
     pub fn set_decisions(&mut self, decisions: DecisionsManifest) -> &mut Self {
         self.decisions = Some(decisions);
+        self
+    }
+
+    /// Records how the campaign's thread budget was split between
+    /// point-level and shard-level parallelism.
+    pub fn set_sharding(&mut self, sharding: ShardingManifest) -> &mut Self {
+        self.sharding = Some(sharding);
         self
     }
 
@@ -978,6 +1006,16 @@ impl RunManifest {
             }
             w.end_object();
         }
+        // Emitted only when the campaign ran sharded — the shard-smoke
+        // gate strips this section before comparing manifests, and its
+        // absence keeps unsharded manifests byte-stable.
+        if let Some(sh) = &self.sharding {
+            w.key("sharding").begin_object();
+            w.key("shards").u64(sh.shards as u64);
+            w.key("point_workers").u64(sh.point_workers as u64);
+            w.key("thread_budget").u64(sh.thread_budget as u64);
+            w.end_object();
+        }
         w.key("curves").begin_array();
         for c in &self.curves {
             w.begin_object();
@@ -1175,6 +1213,31 @@ mod tests {
     }
 
     #[test]
+    fn sharding_section_is_optional_and_serializes() {
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "sharded", &net, "MIN", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        // Unsharded campaigns emit no key at all — existing manifests
+        // stay byte-stable.
+        assert!(!m.to_json().contains("sharding"));
+
+        m.set_sharding(ShardingManifest {
+            shards: 4,
+            point_workers: 2,
+            thread_budget: 8,
+        });
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"sharding\":{\"shards\":4,\"point_workers\":2,\"thread_budget\":8}"
+        ));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
     fn faults_section_absent_until_set_then_serializes() {
         use d2net_sim::SimConfig;
         use d2net_topo::mlfm;
@@ -1310,6 +1373,7 @@ mod tests {
         let mut led = DecisionLedger::new(cfg);
         led.on_decision(
             2_000_000,
+            1,
             7,
             &DecisionRecord {
                 src: 0,

@@ -368,6 +368,7 @@ mod tests {
         });
         led.on_decision(
             1_250_000,
+            1,
             42,
             &DecisionRecord {
                 src: 3,

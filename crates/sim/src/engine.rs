@@ -24,7 +24,7 @@
 //! [`Engine::reset`] between sweep points reuses every allocation.
 
 use crate::config::{EventQueueKind, Preflight, SimConfig};
-use crate::equeue::{CalendarQueue, EventQ};
+use crate::equeue::{CalendarQueue, CalendarStats, EventQ};
 use crate::fault::FaultSchedule;
 use crate::injector::{NextPacket, NodeSource, PacketSpec};
 use crate::ledger::{DecisionLedger, EngineLedger, LedgerConfig};
@@ -32,7 +32,7 @@ use crate::stats::{Accumulator, ExchangeStats, SyntheticStats};
 use crate::telemetry::{
     DeadlockReport, ProbeConfig, Telemetry, TelemetryReport, WaitPoint, WaitSide,
 };
-use crate::trace::{EngineTrace, TraceConfig, TraceRecorder};
+use crate::trace::{EngineTrace, PacketFlight, TraceConfig, TraceRecorder};
 use d2net_routing::{vc_for_hop, OccupancyView, RouteChoice, RoutePath, RoutePolicy, VcScheme};
 use d2net_topo::{FaultSet, Network, NodeId, RouterId};
 use d2net_verify::{debug_invariant, invariant, Verdict};
@@ -120,7 +120,7 @@ impl FifoSet {
 /// sequence) of the router the packet currently occupies or is arriving
 /// at; `link_vc` is the VC of the last link traversed (= the input VC).
 #[derive(Debug, Clone, Copy)]
-struct Packet {
+pub(crate) struct Packet {
     src: NodeId,
     dst: NodeId,
     bytes: u32,
@@ -129,8 +129,10 @@ struct Packet {
     choice: RouteChoice,
     hop: u8,
     link_vc: u8,
-    /// Per-run injection ordinal (slab ids recycle; this never does).
-    /// Links the flight recorder's and the decision ledger's samples.
+    /// `(src_node << 32) | per-node injection ordinal` (slab ids recycle;
+    /// this never does). Composite so every shard of a sharded run can
+    /// assign it locally, identical to serial. Links the flight
+    /// recorder's and the decision ledger's samples.
     flight_id: u64,
     /// VC scheme of the policy that routed this packet: after a mid-run
     /// repair switches the injection policy, packets routed before and
@@ -159,6 +161,22 @@ enum Ev {
     /// Fault event (index into `Engine::fault_events`) fires: links go
     /// dead, queued packets on them drop, injection policy switches.
     LinkFail(u32),
+}
+
+/// A cross-shard event staged into a shard's `outbox` during a
+/// conservative window and delivered into the owning shard's queue at
+/// the window barrier (see [`crate::shard`]). The sender assigns the
+/// `(time, key)` the event would have carried in a serial run, so the
+/// merged global schedule is byte-identical to serial.
+#[derive(Debug, Clone)]
+pub(crate) enum OutEv {
+    /// A packet finishing its link traversal into a router owned by
+    /// another shard, together with its in-progress flight record when
+    /// the sending shard's trace recorder was tracking it.
+    Arrive(Packet, Option<((u64, u64), PacketFlight)>),
+    /// A credit returning to an output `(port, VC)` owned by another
+    /// shard.
+    Credit { pv: u32, bytes: u32 },
 }
 
 /// Dense port numbering: router `r` owns ports `base[r] .. base[r+1]`;
@@ -316,11 +334,48 @@ pub struct Engine<'a> {
     delivered: u64,
 
     queue: EventQ<Ev>,
-    seq: u64,
     now: u64,
-    rng: SmallRng,
     acc: Accumulator,
     warmup_ps: u64,
+
+    // ----- event keying & sharding ----------------------------------
+    // A serial engine is the degenerate one-shard case: it owns every
+    // router, so the ownership branches below are perfectly predicted
+    // and the outbox stays empty.
+    /// Owned router range `[own_lo, own_hi)`. Events whose handling
+    /// router falls outside it never enter this engine's queue; the
+    /// emissions that would cross the boundary go to `outbox` instead.
+    own_lo: u32,
+    own_hi: u32,
+    /// Cross-shard events staged during the current window.
+    outbox: Vec<(u64, u64, OutEv)>,
+    /// Per-lane schedule counters: lane `r + 1` is router `r`'s stream
+    /// (keyed `(lane << 32) | ctr`), lane 0 carries the formula-keyed
+    /// build-time events (node wakes, fault events).
+    lane_ctr: Vec<u32>,
+    /// Lane of the event currently being handled — the lane every
+    /// `schedule` call during that handling keys into.
+    cur_lane: u32,
+    /// Full `(lane << 32) | ctr` key of the event currently being
+    /// handled; observers use `(now, cur_key)` as a global sort key.
+    cur_key: u64,
+    /// Total events scheduled (the role the globally monotonic `seq`
+    /// played before keys became per-lane).
+    events_scheduled: u64,
+    /// Whether this engine accounts for the fault events' build-time
+    /// schedule entries and their pops (serial engines and shard 0).
+    count_fault_events: bool,
+    /// Per-node RNG streams, derived from one draw of the master RNG so
+    /// every shard (seeded identically) derives identical streams. All
+    /// stochastic per-node decisions (arrival sampling, route sampling)
+    /// draw from the owning node's stream, making the draw sequence
+    /// independent of global event interleaving.
+    node_rngs: Vec<SmallRng>,
+    /// Per-node injection ordinal (the low word of `Packet::flight_id`).
+    node_seq: Vec<u32>,
+    /// Calendar statistics absorbed from sibling shards, merged into
+    /// the finalized trace next to this engine's own queue stats.
+    extra_calendar: Option<CalendarStats>,
     /// Optional observability probe (see [`crate::telemetry`]). `None`
     /// costs the event loop a single branch per event and leaves the
     /// simulated schedule byte-identical to an unprobed run.
@@ -423,6 +478,39 @@ impl<'a> Engine<'a> {
         rng: SmallRng,
         fault_events: Vec<EngineFault<'a>>,
     ) -> Result<Self, String> {
+        Self::build_shard(
+            net,
+            policy,
+            cfg,
+            sources,
+            warmup_ps,
+            rng,
+            fault_events,
+            0,
+            net.num_routers(),
+            true,
+        )
+    }
+
+    /// [`Engine::build`] restricted to the router range `[own_lo,
+    /// own_hi)`: only owned nodes' wake events are armed, and fault
+    /// events are not enqueued (the shard coordinator applies them at
+    /// window barriers). `count_fault_events` marks the one shard that
+    /// carries the fault events' schedule/pop accounting so summed
+    /// counters match serial.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_shard(
+        net: &'a Network,
+        policy: &'a RoutePolicy,
+        cfg: SimConfig,
+        sources: Vec<NodeSource>,
+        warmup_ps: u64,
+        rng: SmallRng,
+        fault_events: Vec<EngineFault<'a>>,
+        own_lo: u32,
+        own_hi: u32,
+        count_fault_events: bool,
+    ) -> Result<Self, String> {
         preflight_gate(net, policy, &cfg)?;
         invariant!(
             sources.len() == net.num_nodes() as usize,
@@ -447,6 +535,12 @@ impl<'a> Engine<'a> {
             cfg.packet_bytes,
         )?;
         let n = net.num_nodes() as usize;
+        invariant!(
+            own_lo < own_hi && own_hi <= net.num_routers(),
+            "shard router range [{own_lo}, {own_hi}) out of bounds"
+        );
+        let mut rng = rng;
+        let node_rngs = derive_node_rngs(&mut rng, n);
         let queue = match cfg.event_queue {
             EventQueueKind::Heap => EventQ::Heap(BinaryHeap::new()),
             EventQueueKind::Calendar => {
@@ -490,11 +584,20 @@ impl<'a> Engine<'a> {
             created: 0,
             delivered: 0,
             queue,
-            seq: 0,
             now: 0,
-            rng,
             acc: Accumulator::default(),
             warmup_ps,
+            own_lo,
+            own_hi,
+            outbox: Vec::new(),
+            lane_ctr: vec![0; net.num_routers() as usize + 1],
+            cur_lane: 0,
+            cur_key: 0,
+            events_scheduled: 0,
+            count_fault_events,
+            node_rngs,
+            node_seq: vec![0; n],
+            extra_calendar: None,
             telemetry: None,
             trace: None,
             finished_trace: None,
@@ -509,15 +612,37 @@ impl<'a> Engine<'a> {
             dropped_injection: 0,
             retried: 0,
         };
-        for node in 0..n as u32 {
-            engine.schedule(0, Ev::NodeWake(node));
-            engine.node_wake[node as usize] = true;
-        }
-        for i in 0..engine.fault_events.len() {
-            let t = engine.fault_events[i].t_ps;
-            engine.schedule(t, Ev::LinkFail(i as u32));
-        }
+        engine.arm_initial_events();
         Ok(engine)
+    }
+
+    /// Schedules the lane-0 build-time events: wake events for owned
+    /// nodes (keyed by node id) and, on full-range engines, the fault
+    /// events (keyed past the node range). The formula keys are
+    /// identical no matter how the routers are sharded, which is what
+    /// makes the merged sharded schedule equal the serial one from the
+    /// very first event.
+    fn arm_initial_events(&mut self) {
+        let n = self.net.num_nodes();
+        for node in 0..n {
+            if !self.owns(self.net.node_router(node)) {
+                continue;
+            }
+            self.schedule_keyed(0, node as u64, Ev::NodeWake(node));
+            self.node_wake[node as usize] = true;
+        }
+        let full = self.own_lo == 0 && self.own_hi == self.net.num_routers();
+        for i in 0..self.fault_events.len() {
+            if full {
+                let t = self.fault_events[i].t_ps;
+                self.schedule_keyed(t, (n as usize + i) as u64, Ev::LinkFail(i as u32));
+            } else if self.count_fault_events {
+                // Shard 0 carries the accounting for the fault events
+                // the coordinator will apply at window barriers, so the
+                // summed `events_scheduled` matches serial.
+                self.events_scheduled += 1;
+            }
+        }
     }
 
     /// Rewinds the engine to the just-constructed state for a fresh run
@@ -555,9 +680,16 @@ impl<'a> Engine<'a> {
         self.created = 0;
         self.delivered = 0;
         self.queue.clear();
-        self.seq = 0;
         self.now = 0;
-        self.rng = rng;
+        let mut rng = rng;
+        self.node_rngs = derive_node_rngs(&mut rng, self.sources.len());
+        self.node_seq.fill(0);
+        self.outbox.clear();
+        self.lane_ctr.fill(0);
+        self.cur_lane = 0;
+        self.cur_key = 0;
+        self.events_scheduled = 0;
+        self.extra_calendar = None;
         self.acc = Accumulator::default();
         self.warmup_ps = warmup_ps;
         self.telemetry = None;
@@ -572,14 +704,7 @@ impl<'a> Engine<'a> {
         self.dropped_flight = 0;
         self.dropped_injection = 0;
         self.retried = 0;
-        for node in 0..self.sources.len() as u32 {
-            self.schedule(0, Ev::NodeWake(node));
-            self.node_wake[node as usize] = true;
-        }
-        for i in 0..self.fault_events.len() {
-            let t = self.fault_events[i].t_ps;
-            self.schedule(t, Ev::LinkFail(i as u32));
-        }
+        self.arm_initial_events();
     }
 
     /// Runs the static preflight verifier on exactly the (network,
@@ -633,9 +758,17 @@ impl<'a> Engine<'a> {
     /// the phase spans with the run's statistics horizon.
     fn finalize_trace(&mut self, measure_end_ps: u64) {
         if let Some(tr) = self.trace.take() {
-            let cal = self.queue.calendar_stats();
-            self.finished_trace =
-                Some(tr.finish(self.warmup_ps, measure_end_ps, self.now, self.seq, cal));
+            let cal = match (self.queue.calendar_stats(), self.extra_calendar.take()) {
+                (Some(own), Some(extra)) => Some(own.merged(&extra)),
+                (own, extra) => own.or(extra),
+            };
+            self.finished_trace = Some(tr.finish(
+                self.warmup_ps,
+                measure_end_ps,
+                self.now,
+                self.events_scheduled,
+                cal,
+            ));
         }
     }
 
@@ -658,10 +791,39 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Whether this engine owns router `r`'s state.
+    #[inline]
+    fn owns(&self, r: RouterId) -> bool {
+        r >= self.own_lo && r < self.own_hi
+    }
+
+    /// Assigns the next key on the current lane. Keys are unique across
+    /// an entire (possibly sharded) run: a lane's events are emitted
+    /// only while handling that lane's router, and every sharding
+    /// processes a given router's events in the same order, so the
+    /// `ctr` sequence — and hence the key — of each logical event is
+    /// identical no matter how routers are partitioned.
+    #[inline]
+    fn next_key(&mut self) -> u64 {
+        let lane = self.cur_lane as usize;
+        let key = ((self.cur_lane as u64) << 32) | self.lane_ctr[lane] as u64;
+        self.lane_ctr[lane] += 1;
+        self.events_scheduled += 1;
+        key
+    }
+
     #[inline]
     fn schedule(&mut self, t: u64, ev: Ev) {
-        self.seq += 1;
-        self.queue.push((t, self.seq, ev));
+        let key = self.next_key();
+        self.queue.push((t, key, ev));
+    }
+
+    /// Schedules a lane-0 build-time event under a formula-assigned key
+    /// (all of which sort before every runtime key, whose lane is ≥ 1).
+    #[inline]
+    fn schedule_keyed(&mut self, t: u64, key: u64, ev: Ev) {
+        self.events_scheduled += 1;
+        self.queue.push((t, key, ev));
     }
 
     #[inline]
@@ -669,8 +831,10 @@ impl<'a> Engine<'a> {
         (port * self.num_vcs + vc as u32) as usize
     }
 
-    fn alloc(&mut self, p: Packet) -> u32 {
-        self.created += 1;
+    /// Slab allocation without the `created` accounting — used directly
+    /// when a cross-shard packet is implanted (its injection was already
+    /// counted by the shard that created it).
+    fn alloc_slot(&mut self, p: Packet) -> u32 {
         if let Some(id) = self.free.pop() {
             self.packets[id as usize] = p;
             id
@@ -679,6 +843,11 @@ impl<'a> Engine<'a> {
             self.pkt_next.push(NIL);
             (self.packets.len() - 1) as u32
         }
+    }
+
+    fn alloc(&mut self, p: Packet) -> u32 {
+        self.created += 1;
+        self.alloc_slot(p)
     }
 
     // ----- node side ------------------------------------------------
@@ -724,7 +893,12 @@ impl<'a> Engine<'a> {
         }
         let n_nodes = self.net.num_nodes();
         loop {
-            let next = self.sources[node as usize].next(self.now, n_nodes, node, &mut self.rng);
+            let next = self.sources[node as usize].next(
+                self.now,
+                n_nodes,
+                node,
+                &mut self.node_rngs[node as usize],
+            );
             match next {
                 NextPacket::Exhausted => return,
                 NextPacket::WakeAt(t) => {
@@ -738,7 +912,7 @@ impl<'a> Engine<'a> {
                     if self.node_credits[node as usize] < spec.bytes as u64 {
                         return; // NodeCredit re-kicks
                     }
-                    self.sources[node as usize].consume(&mut self.rng);
+                    self.sources[node as usize].consume(&mut self.node_rngs[node as usize]);
                     if !self.routable(node, spec.dst) {
                         if self.recovery_possible(node, spec.dst) {
                             // A pending fault event's policy can still
@@ -792,6 +966,12 @@ impl<'a> Engine<'a> {
     fn inject_spec(&mut self, node: u32, spec: PacketSpec) {
         self.node_credits[node as usize] -= spec.bytes as u64;
         self.node_sending[node as usize] = true;
+        // The flight id is `(src_node << 32) | injection ordinal` — a
+        // per-node counter, so shards assign ids identical to serial
+        // without global coordination (slab ids recycle; this doesn't).
+        let ordinal = self.node_seq[node as usize];
+        self.node_seq[node as usize] = ordinal + 1;
+        let flight_id = ((node as u64) << 32) | ordinal as u64;
         let pkt = self.alloc(Packet {
             src: node,
             dst: spec.dst,
@@ -805,16 +985,14 @@ impl<'a> Engine<'a> {
             },
             hop: 0,
             link_vc: 0,
-            flight_id: 0,
+            flight_id,
             scheme: self.cur_policy.vc_scheme(),
         });
-        // The flight id is the injection ordinal (`created`), which
-        // `alloc` just advanced — slab ids recycle through the free list.
-        self.packets[pkt as usize].flight_id = self.created;
         if let Some(tr) = self.trace.as_mut() {
             tr.on_alloc(
                 pkt,
-                self.created,
+                flight_id,
+                (self.now, self.cur_key),
                 self.now,
                 self.net.node_router(node),
                 node,
@@ -858,22 +1036,32 @@ impl<'a> Engine<'a> {
                 // With a ledger attached, route through the recorded
                 // entry point — rng-neutral by construction, so the
                 // simulated schedule is byte-identical either way.
+                // Route sampling draws from the source node's stream —
+                // the node's injections route through a deterministic
+                // draw sequence regardless of global interleaving.
                 let decided = if self.ledger.is_some() {
-                    match self
-                        .cur_policy
-                        .try_choose_recorded(src_r, dst_r, &view, &mut self.rng)
-                    {
+                    match self.cur_policy.try_choose_recorded(
+                        src_r,
+                        dst_r,
+                        &view,
+                        &mut self.node_rngs[src as usize],
+                    ) {
                         Some((c, rec)) => {
                             let fid = self.packets[pkt as usize].flight_id;
                             if let Some(led) = self.ledger.as_mut() {
-                                led.on_decision(self.now, fid, &rec);
+                                led.on_decision(self.now, self.cur_key, fid, &rec);
                             }
                             Some(c)
                         }
                         None => None,
                     }
                 } else {
-                    self.cur_policy.try_choose(src_r, dst_r, &view, &mut self.rng)
+                    self.cur_policy.try_choose(
+                        src_r,
+                        dst_r,
+                        &view,
+                        &mut self.node_rngs[src as usize],
+                    )
                 };
                 match decided {
                     Some(c) => c,
@@ -1020,13 +1208,17 @@ impl<'a> Engine<'a> {
         } else {
             let up_out = self.ports.peer[in_port as usize];
             let vc = pv as u32 % self.num_vcs;
-            self.schedule(
-                credit_at,
-                Ev::Credit {
-                    pv: up_out * self.num_vcs + vc,
-                    bytes,
-                },
-            );
+            let up_pv = up_out * self.num_vcs + vc;
+            if self.owns(self.ports.owner[up_out as usize]) {
+                self.schedule(credit_at, Ev::Credit { pv: up_pv, bytes });
+            } else {
+                // Upstream output lives on another shard: stage the
+                // credit into the mailbox under the key the local lane
+                // just assigned it.
+                let key = self.next_key();
+                self.outbox
+                    .push((credit_at, key, OutEv::Credit { pv: up_pv, bytes }));
+            }
         }
     }
 
@@ -1057,6 +1249,17 @@ impl<'a> Engine<'a> {
             if std::mem::replace(&mut self.dead[port as usize], true) {
                 continue; // already dead from an earlier event
             }
+            let owner = self.ports.owner[port as usize];
+            if !self.owns(owner) {
+                // Every shard marks the port dead (routing reads the
+                // flag), but flush/wake bookkeeping belongs to the
+                // owning shard alone.
+                continue;
+            }
+            // Emissions from this port's teardown (the TrySwitch wakes
+            // below) key into the owning router's lane, exactly as if
+            // the teardown ran on that router.
+            self.cur_lane = owner + 1;
             let mut flushed = 0u32;
             for vc in 0..self.num_vcs {
                 let pv = (port * self.num_vcs + vc) as usize;
@@ -1134,8 +1337,24 @@ impl<'a> Engine<'a> {
             if is_node {
                 self.schedule(arrive, Ev::ArriveNode(pkt));
             } else {
-                self.packets[pkt as usize].hop += 1;
-                self.schedule(arrive, Ev::ArriveRouter(pkt));
+                let peer_r =
+                    self.ports.owner[self.ports.peer[out_port as usize] as usize];
+                if self.owns(peer_r) {
+                    self.packets[pkt as usize].hop += 1;
+                    self.schedule(arrive, Ev::ArriveRouter(pkt));
+                } else {
+                    // Cross-shard hop: ship the packet (and its flight
+                    // record, if sampled) through the mailbox under the
+                    // key this lane would have given the arrival. The
+                    // local slab slot is recycled; the receiving shard
+                    // re-allocates one at the window barrier.
+                    let key = self.next_key();
+                    let mut p = self.packets[pkt as usize];
+                    p.hop += 1;
+                    let flight = self.trace.as_mut().and_then(|tr| tr.extract_flight(pkt));
+                    self.free.push(pkt);
+                    self.outbox.push((arrive, key, OutEv::Arrive(p, flight)));
+                }
             }
             return;
         }
@@ -1210,6 +1429,47 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Lane (router stream) handling `ev` — the lane every event it
+    /// emits while being handled keys into.
+    #[inline]
+    fn lane_of(&self, ev: &Ev) -> u32 {
+        match *ev {
+            Ev::NodeWake(n) | Ev::NodeSendDone(n) | Ev::NodeCredit { node: n, .. } => {
+                self.net.node_router(n) + 1
+            }
+            Ev::ArriveRouter(p) => {
+                let pkt = &self.packets[p as usize];
+                if pkt.hop == 0 {
+                    self.net.node_router(pkt.src) + 1
+                } else {
+                    pkt.choice.path.routers()[pkt.hop as usize] + 1
+                }
+            }
+            Ev::TrySwitch(pv) | Ev::Credit { pv, .. } => {
+                self.ports.owner[(pv / self.num_vcs) as usize] + 1
+            }
+            Ev::SendDone(port) => self.ports.owner[port as usize] + 1,
+            Ev::ArriveNode(p) => self.net.node_router(self.packets[p as usize].dst) + 1,
+            // link_fail sets the lane per affected port itself.
+            Ev::LinkFail(_) => 0,
+        }
+    }
+
+    /// Pops-side bookkeeping plus dispatch for one event.
+    #[inline]
+    fn step(&mut self, t: u64, key: u64, ev: Ev) {
+        self.now = t;
+        if self.telemetry.is_some() {
+            self.flush_probe(t);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.counters.events_popped += 1;
+        }
+        self.cur_key = key;
+        self.cur_lane = self.lane_of(&ev);
+        self.handle(ev);
+    }
+
     /// Runs until the event horizon `end_ps` (events beyond it are left
     /// unprocessed) or the queue drains. Returns `true` if the run wedged
     /// with packets still in flight — a deadlock.
@@ -1221,21 +1481,147 @@ impl<'a> Engine<'a> {
                     return false;
                 }
             }
-            let (t, _, ev) = self.queue.pop().unwrap();
-            self.now = t;
-            if self.telemetry.is_some() {
-                self.flush_probe(t);
-            }
-            if let Some(tr) = self.trace.as_mut() {
-                tr.counters.events_popped += 1;
-            }
-            self.handle(ev);
+            let (t, key, ev) = self.queue.pop().unwrap();
+            self.step(t, key, ev);
         }
         let wedged = self.created > self.delivered + self.dropped_flight;
         if wedged && std::env::var_os("D2NET_DEBUG_WEDGE").is_some() {
             self.dump_wedge();
         }
         wedged
+    }
+
+    // ----- shard-coordinator surface (see `crate::shard`) -----------
+
+    /// Drains every queued event with `t < until` — this shard's share
+    /// of one conservative window. Within the window no cross-shard
+    /// influence is possible: anything a sibling shard emits at `t ≥`
+    /// the global minimum arrives a full link latency later, which is
+    /// exactly how `until` is chosen.
+    pub(crate) fn run_window(&mut self, until: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= until {
+                break;
+            }
+            let (t, key, ev) = self.queue.pop().unwrap();
+            self.step(t, key, ev);
+        }
+    }
+
+    /// Timestamp of this shard's next queued event.
+    pub(crate) fn min_peek(&mut self) -> Option<u64> {
+        self.queue.peek_time()
+    }
+
+    /// Takes the cross-shard events staged during the last window.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(u64, u64, OutEv)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Owning shard of router `r` under this engine's shard layout —
+    /// used by the coordinator to route mailbox items.
+    pub(crate) fn owner_shard(bounds: &[(u32, u32)], r: RouterId) -> usize {
+        bounds
+            .iter()
+            .position(|&(lo, hi)| r >= lo && r < hi)
+            .expect("router outside every shard range")
+    }
+
+    /// Destination router of a staged mailbox event.
+    pub(crate) fn out_ev_router(&self, ev: &OutEv) -> RouterId {
+        match ev {
+            OutEv::Arrive(p, _) => p.choice.path.routers()[p.hop as usize],
+            OutEv::Credit { pv, .. } => self.ports.owner[(pv / self.num_vcs) as usize],
+        }
+    }
+
+    /// Merges one mailbox event into this shard's queue under the
+    /// sender-assigned `(t, key)`; called at window barriers before the
+    /// next window runs. The schedule accounting stays with the sender.
+    pub(crate) fn deliver(&mut self, t: u64, key: u64, ev: OutEv) {
+        match ev {
+            OutEv::Arrive(p, flight) => {
+                let id = self.alloc_slot(p);
+                if let Some(tr) = self.trace.as_mut() {
+                    match flight {
+                        Some((k, f)) => tr.implant_flight(id, k, f),
+                        // Unsampled migrant: still reset the slab slot's
+                        // mapping so id recycling can't splice timelines.
+                        None => tr.clear_slot(id),
+                    }
+                }
+                self.queue.push((t, key, Ev::ArriveRouter(id)));
+            }
+            OutEv::Credit { pv, bytes } => {
+                self.queue.push((t, key, Ev::Credit { pv, bytes }));
+            }
+        }
+    }
+
+    /// Applies fault event `i` at a window barrier: the sharded
+    /// equivalent of popping the serial `Ev::LinkFail` event. Every
+    /// shard advances its clock and marks ports dead; the designated
+    /// accounting shard also books the pop the serial engine would have
+    /// counted.
+    pub(crate) fn apply_fault(&mut self, i: usize) {
+        let t = self.fault_events[i].t_ps;
+        debug_invariant!(self.now <= t, "fault applied in this shard's past");
+        self.now = t;
+        if self.telemetry.is_some() {
+            self.flush_probe(t);
+        }
+        if self.count_fault_events {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.counters.events_popped += 1;
+            }
+        }
+        self.link_fail(i);
+    }
+
+    /// Forces the clock to the run horizon, mirroring the serial loop's
+    /// `now = end` when events remain beyond it.
+    pub(crate) fn force_now(&mut self, t: u64) {
+        self.now = self.now.max(t);
+    }
+
+    /// This shard's contribution to the global wedge check:
+    /// `(created, delivered + dropped_flight)`.
+    pub(crate) fn wedge_counts(&self) -> (u64, u64) {
+        (self.created, self.delivered + self.dropped_flight)
+    }
+
+    /// Folds a sibling shard's run products into this engine so the
+    /// ordinary finalization path emits merged, serial-identical output.
+    /// Element-wise sums are exact because every per-router quantity has
+    /// disjoint support across shards.
+    pub(crate) fn absorb_shard(&mut self, other: &mut Engine<'a>) {
+        self.created += other.created;
+        self.delivered += other.delivered;
+        self.dropped_flight += other.dropped_flight;
+        self.dropped_injection += other.dropped_injection;
+        self.retried += other.retried;
+        self.events_scheduled += other.events_scheduled;
+        self.now = self.now.max(other.now);
+        self.acc.absorb(&other.acc);
+        for (a, b) in self.sent_bytes.iter_mut().zip(&other.sent_bytes) {
+            *a += *b;
+        }
+        if let Some(cs) = other.queue.calendar_stats() {
+            let merged = match self.extra_calendar.take() {
+                Some(acc) => acc.merged(&cs),
+                None => cs,
+            };
+            self.extra_calendar = Some(merged);
+        }
+        if let (Some(t), Some(o)) = (self.telemetry.as_mut(), other.telemetry.take()) {
+            t.absorb(o);
+        }
+        if let (Some(t), Some(o)) = (self.trace.as_mut(), other.trace.take()) {
+            t.absorb(o);
+        }
+        if let (Some(l), Some(o)) = (self.ledger.as_mut(), other.ledger.take()) {
+            l.absorb(o);
+        }
     }
 
     /// Diagnostic dump of stuck state (enabled via D2NET_DEBUG_WEDGE).
@@ -1410,20 +1796,30 @@ impl<'a> Engine<'a> {
     /// Detaches the probe (if any) into its report, running deadlock
     /// forensics on the frozen state when the run wedged.
     fn take_probe_report(&mut self, wedged: bool) -> Option<TelemetryReport> {
+        let forensics = if wedged {
+            // A wedged run with no wait-for cycle is a partition (or
+            // otherwise unreachable traffic), not a credit deadlock:
+            // synthesize a cycle-less report so the two render
+            // distinctly (see DeadlockReport::is_partition).
+            self.deadlock_forensics().or(Some(DeadlockReport {
+                cycle: Vec::new(),
+                stranded_packets: self.created - self.delivered - self.dropped_flight,
+                t_ps: self.now,
+            }))
+        } else {
+            None
+        };
+        self.take_probe_report_with(forensics)
+    }
+
+    /// [`Engine::take_probe_report`] with the forensics already computed
+    /// — the sharded runner walks the wait-for graph across every shard
+    /// before absorbing them into one engine.
+    pub(crate) fn take_probe_report_with(
+        &mut self,
+        forensics: Option<DeadlockReport>,
+    ) -> Option<TelemetryReport> {
         self.telemetry.take().map(|tel| {
-            let forensics = if wedged {
-                // A wedged run with no wait-for cycle is a partition (or
-                // otherwise unreachable traffic), not a credit deadlock:
-                // synthesize a cycle-less report so the two render
-                // distinctly (see DeadlockReport::is_partition).
-                self.deadlock_forensics().or(Some(DeadlockReport {
-                    cycle: Vec::new(),
-                    stranded_packets: self.created - self.delivered - self.dropped_flight,
-                    t_ps: self.now,
-                }))
-            } else {
-                None
-            };
             let mut report = tel.into_report(forensics);
             // The probe never sees drops or retries directly (they have
             // no hook of their own); fold the engine counters in so the
@@ -1462,6 +1858,20 @@ impl<'a> Engine<'a> {
             self.flush_probe(end_ps);
         }
         let telemetry = self.take_probe_report(deadlocked);
+        let stats = self.synthetic_stats(load, end_ps, deadlocked);
+        (stats, telemetry)
+    }
+
+    /// Builds the run's [`SyntheticStats`] from the accumulated state and
+    /// finalizes the attached trace/ledger — the tail shared by the
+    /// serial and sharded runners (which differ only in how the run and
+    /// the probe report happen).
+    pub(crate) fn synthetic_stats(
+        &mut self,
+        load: f64,
+        end_ps: u64,
+        deadlocked: bool,
+    ) -> SyntheticStats {
         self.finalize_trace(end_ps);
         self.finalize_ledger();
         let window = (end_ps - self.warmup_ps) as f64;
@@ -1477,7 +1887,7 @@ impl<'a> Engine<'a> {
         }
         let max_link_utilization =
             (max_sent as f64 * self.cfg.ps_per_byte() as f64 / window).min(1.0);
-        let stats = SyntheticStats {
+        SyntheticStats {
             offered_load: load,
             throughput,
             avg_delay_ns: self.acc.avg_delay_ns(),
@@ -1490,8 +1900,16 @@ impl<'a> Engine<'a> {
             dropped_packets: self.dropped_flight + self.dropped_injection,
             retried_packets: self.retried,
             deadlocked,
-        };
-        (stats, telemetry)
+        }
+    }
+
+    /// Flushes the probe's sample windows to the run horizon — the
+    /// sharded runner's per-shard equivalent of the flush
+    /// [`Engine::run_synthetic_to`] performs after the event loop.
+    pub(crate) fn flush_probe_to(&mut self, t: u64) {
+        if self.telemetry.is_some() {
+            self.flush_probe(t);
+        }
     }
 
     /// Consumes the engine after an exchange run.
@@ -1556,6 +1974,134 @@ impl<'a> Engine<'a> {
         };
         (stats, telemetry, trace)
     }
+}
+
+/// [`Engine::deadlock_forensics`] across the shards of a wedged sharded
+/// run: the wait-for graph spans shard boundaries (an output starved of
+/// credits waits on a downstream input buffer that may live on another
+/// shard), so each global `pv`'s frozen state is read from the shard
+/// owning its router. Shards hold full-length arrays with only owned
+/// slots populated, so the per-shard reads compose into exactly the walk
+/// the serial engine would have done.
+pub(crate) fn deadlock_forensics_sharded(shards: &[&Engine]) -> Option<DeadlockReport> {
+    let e0 = shards[0];
+    let pv_total = e0.in_occ.len();
+    let shard_of = |pv: usize| -> &Engine {
+        let port = pv as u32 / e0.num_vcs;
+        let r = e0.ports.owner[port as usize];
+        shards
+            .iter()
+            .copied()
+            .find(|s| s.owns(r))
+            .expect("every router is owned by exactly one shard")
+    };
+    const NONE: u32 = u32::MAX;
+    let mut succ = vec![NONE; 2 * pv_total];
+    for pv in 0..pv_total {
+        let e = shard_of(pv);
+        if let Some(pkt) = e.in_q.front(pv) {
+            let p = &e.packets[pkt as usize];
+            let in_port = pv as u32 / e.num_vcs;
+            let r = e.ports.owner[in_port as usize];
+            let routers = p.choice.path.routers();
+            let hop = p.hop as usize;
+            let (out_port, out_vc) = if hop == routers.len() - 1 {
+                (e.ports.node_port(e.net, r, p.dst), 0u8)
+            } else {
+                let next = routers[hop + 1];
+                (
+                    e.ports.network_port(e.net, r, next),
+                    vc_for_hop(p.scheme, &p.choice, hop),
+                )
+            };
+            let out_pv = e.pv(out_port, out_vc);
+            if e.out_occ[out_pv] + p.bytes as u64 > e.vc_cap {
+                succ[pv] = (pv_total + out_pv) as u32;
+            }
+        }
+        if let Some(pkt) = e.out_q.front(pv) {
+            let port = pv as u32 / e.num_vcs;
+            if !e.ports.is_node_port(e.net, port) {
+                let bytes = e.packets[pkt as usize].bytes as u64;
+                if e.credits[pv] < bytes {
+                    let down_port = e.ports.peer[port as usize];
+                    let vc = pv as u32 % e.num_vcs;
+                    succ[pv_total + pv] = down_port * e.num_vcs + vc;
+                }
+            }
+        }
+    }
+    let stranded: u64 = shards
+        .iter()
+        .map(|s| s.created - s.delivered - s.dropped_flight)
+        .sum();
+    let t_ps = shards.iter().map(|s| s.now).max().unwrap();
+    let mut state = vec![0u8; 2 * pv_total];
+    for start in 0..2 * pv_total {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if state[cur] == 1 {
+                let pos = path.iter().position(|&x| x == cur).unwrap();
+                let cycle = path[pos..]
+                    .iter()
+                    .map(|&id| {
+                        let pv = if id < pv_total { id } else { id - pv_total };
+                        shard_of(pv).wait_point(id, pv_total)
+                    })
+                    .collect();
+                return Some(DeadlockReport {
+                    cycle,
+                    stranded_packets: stranded,
+                    t_ps,
+                });
+            }
+            if state[cur] == 2 || succ[cur] == NONE {
+                state[cur] = 2;
+                for &x in &path {
+                    state[x] = 2;
+                }
+                break;
+            }
+            state[cur] = 1;
+            path.push(cur);
+            cur = succ[cur] as usize;
+        }
+    }
+    None
+}
+
+/// Cycle-less [`DeadlockReport`] for a wedged sharded run whose wait-for
+/// walk found no cycle — a partition, rendered distinctly (see
+/// [`DeadlockReport::is_partition`]); mirrors the serial fallback in
+/// [`Engine::take_probe_report`].
+pub(crate) fn partition_report_sharded(shards: &[&Engine]) -> DeadlockReport {
+    DeadlockReport {
+        cycle: Vec::new(),
+        stranded_packets: shards
+            .iter()
+            .map(|s| s.created - s.delivered - s.dropped_flight)
+            .sum(),
+        t_ps: shards.iter().map(|s| s.now).max().unwrap(),
+    }
+}
+
+/// Per-node RNG streams for one run, derived from a single draw of the
+/// master RNG: every shard of a sharded run (handed an identically
+/// seeded master) derives identical streams without consuming the
+/// master differently, and each node's stochastic decisions (arrival
+/// sampling, route sampling) become independent of the global event
+/// interleaving. The per-node seeds are decorrelated by
+/// `SmallRng::seed_from_u64`'s SplitMix initialization.
+pub(crate) fn derive_node_rngs(rng: &mut SmallRng, n: usize) -> Vec<SmallRng> {
+    use rand::RngCore;
+    let base: u64 = rng.next_u64();
+    (0..n as u64)
+        .map(|i| SmallRng::seed_from_u64(base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+        .collect()
 }
 
 /// Statically verifies the (network, policy, config) triple the way the
@@ -1792,29 +2338,8 @@ fn run_synthetic_faulted_inner(
 ) -> Result<(SyntheticStats, Option<TelemetryReport>), String> {
     d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)?;
     let end_ps = duration_ns * 1_000;
-    // Pre-resolve the schedule: each event's cumulatively degraded
-    // network and a policy repaired around it. Out-of-range or
-    // non-adjacent ids are filtered here; re-failing an already-failed
-    // link is a no-op in the engine.
-    let mut nets: Vec<Network> = Vec::with_capacity(schedule.events().len());
-    for ev in schedule.events() {
-        let base = nets.last().unwrap_or(net);
-        nets.push(base.degrade(&ev.faults));
-    }
-    let policies: Vec<RoutePolicy> = nets
-        .iter()
-        .map(|n| RoutePolicy::repair(n, policy.algorithm()))
-        .collect();
-    let faults: Vec<EngineFault> = schedule
-        .events()
-        .iter()
-        .zip(&policies)
-        .map(|(ev, p)| EngineFault {
-            t_ps: ev.t_ns * 1_000,
-            faults: ev.faults.applied_to(net),
-            policy: p,
-        })
-        .collect();
+    let policies = resolve_fault_policies(net, policy, schedule);
+    let faults = engine_faults(net, schedule, &policies);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
     let mut engine =
@@ -1823,6 +2348,46 @@ fn run_synthetic_faulted_inner(
         engine.attach_probe(p);
     }
     Ok(engine.run_synthetic_to(load, end_ps))
+}
+
+/// Pre-resolves a [`FaultSchedule`]: for each event, a policy repaired
+/// around the cumulatively degraded network. Out-of-range or
+/// non-adjacent ids are filtered downstream; re-failing an
+/// already-failed link is a no-op in the engine.
+pub(crate) fn resolve_fault_policies(
+    net: &Network,
+    policy: &RoutePolicy,
+    schedule: &FaultSchedule,
+) -> Vec<RoutePolicy> {
+    let mut nets: Vec<Network> = Vec::with_capacity(schedule.events().len());
+    for ev in schedule.events() {
+        let base = nets.last().unwrap_or(net);
+        nets.push(base.degrade(&ev.faults));
+    }
+    nets.iter()
+        .map(|n| RoutePolicy::repair(n, policy.algorithm()))
+        .collect()
+}
+
+/// Builds the engine-facing fault events from a schedule and its
+/// pre-resolved policies — shared by the serial and sharded faulted
+/// entry points (each shard holds its own copy of the events, all
+/// borrowing the same policies).
+pub(crate) fn engine_faults<'a>(
+    net: &Network,
+    schedule: &FaultSchedule,
+    policies: &'a [RoutePolicy],
+) -> Vec<EngineFault<'a>> {
+    schedule
+        .events()
+        .iter()
+        .zip(policies)
+        .map(|(ev, p)| EngineFault {
+            t_ps: ev.t_ns * 1_000,
+            faults: ev.faults.applied_to(net),
+            policy: p,
+        })
+        .collect()
 }
 
 /// Runs a fixed-size exchange to completion. `window` is the number of

@@ -48,6 +48,21 @@ impl CalendarStats {
     pub fn total_pushes(&self) -> u64 {
         self.ring_pushes + self.drain_pushes + self.overflow_pushes
     }
+
+    /// Counters of two queues combined: sums for the cumulative counts,
+    /// maxima for the high-water marks. A sharded run reports the merge
+    /// over its per-shard calendar queues.
+    pub fn merged(&self, other: &CalendarStats) -> CalendarStats {
+        CalendarStats {
+            ring_pushes: self.ring_pushes + other.ring_pushes,
+            drain_pushes: self.drain_pushes + other.drain_pushes,
+            overflow_pushes: self.overflow_pushes + other.overflow_pushes,
+            ring_highwater: self.ring_highwater.max(other.ring_highwater),
+            overflow_highwater: self.overflow_highwater.max(other.overflow_highwater),
+            day_jumps: self.day_jumps + other.day_jumps,
+            days_collected: self.days_collected + other.days_collected,
+        }
+    }
 }
 
 /// Hierarchical calendar queue: a ring of day-buckets over a sliding
@@ -69,7 +84,9 @@ impl CalendarStats {
 ///   `day & (nb-1)` holds only events of exactly one in-window day;
 /// - `drain` holds every not-yet-popped event of `cur_day` once that day
 ///   has been collected (`collected == true`); same-day inserts after
-///   collection push into `drain` directly.
+///   collection, and any insert at a day the cursor has already passed
+///   (possible only via shard-barrier deliveries and fault application,
+///   never the serial loop), push into `drain` directly.
 #[derive(Debug)]
 pub struct CalendarQueue<T> {
     shift: u32,
@@ -154,12 +171,17 @@ impl<T: Ord> CalendarQueue<T> {
     #[inline]
     pub fn push(&mut self, item: Timed<T>) {
         let day = item.0 >> self.shift;
-        debug_assert!(
-            day >= self.cur_day || !self.collected,
-            "event scheduled into an already-drained bucket day"
-        );
         self.len += 1;
-        if day == self.cur_day && self.collected {
+        if day < self.cur_day || (day == self.cur_day && self.collected) {
+            // At or behind the cursor: the slot for `day` may already be
+            // reused for `day + nb`, so the item goes straight into the
+            // drain heap, which always holds the queue's minimum. Serial
+            // runs only take this path for same-day inserts; shard
+            // barriers also land here when a migrant event precedes the
+            // settled cursor (the cursor moves to this shard's *next own*
+            // event at window end, which may sit a day past the mailbox
+            // item — see `crate::shard`). Times are still always ≥ the
+            // last popped time, so pop order stays a total (t, seq) order.
             self.stats.drain_pushes += 1;
             self.drain.push(Reverse(item));
         } else if day < self.cur_day + self.nb {
@@ -365,6 +387,24 @@ mod tests {
         assert_eq!(q.pop(), Some((90_000_000, 2, 0)));
         assert_eq!(q.pop(), Some((90_000_500, 3, 0)));
         assert_eq!(q.pop(), None);
+    }
+
+    /// A shard barrier can deliver an event whose bucket day the cursor
+    /// has already settled past (though its time is ≥ every popped
+    /// time). It must pop in (t, seq) order, not a ring-wrap later.
+    #[test]
+    fn push_behind_settled_cursor_pops_in_order() {
+        let mut q = CalendarQueue::<u32>::new(14, 8); // 16 KiPs days
+        q.push((600_000, 1, 0));
+        q.push((652_344, 2, 0));
+        assert_eq!(q.pop(), Some((600_000, 1, 0)));
+        // Settle the cursor onto 652_344's day...
+        assert_eq!(q.peek_time(), Some(652_344));
+        // ...then deliver a mailbox item one day behind it.
+        q.push((632_322, 3, 0));
+        assert_eq!(q.pop(), Some((632_322, 3, 0)));
+        assert_eq!(q.pop(), Some((652_344, 2, 0)));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -82,8 +82,9 @@ pub struct PortHeat {
 /// One retained full decision, linked to its flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionSample {
-    /// Per-run injection ordinal — the same id the flight recorder uses,
-    /// so sampled flights and sampled decisions join on it.
+    /// Composite injection id (`src_node << 32 | per-source ordinal`) —
+    /// the same id the flight recorder uses, so sampled flights and
+    /// sampled decisions join on it.
     pub flight_id: u64,
     /// Simulation time of the decision (injection commit).
     pub t_ps: u64,
@@ -155,7 +156,13 @@ pub struct DecisionLedger {
     margin_diverted: Vec<u64>,
     margin_held: Vec<u64>,
     heat: BTreeMap<(u32, u32), (u64, u64, u64)>,
-    samples: Vec<DecisionSample>,
+    /// `(t_ps, key)` schedule keys of every indirect decision, in local
+    /// decision order. [`DecisionLedger::finish`] recomputes each
+    /// sample's `indirect_so_far` from this list, which makes the value
+    /// exact even after shards are merged out of time order.
+    indirect_keys: Vec<(u64, u64)>,
+    /// Retained samples with their decision's `(t_ps, key)` sort key.
+    samples: Vec<((u64, u64), DecisionSample)>,
     samples_truncated: bool,
 }
 
@@ -179,18 +186,21 @@ impl DecisionLedger {
             margin_diverted: vec![0; MARGIN_BOUNDS_BYTES.len() + 1],
             margin_held: vec![0; MARGIN_BOUNDS_BYTES.len() + 1],
             heat: BTreeMap::new(),
+            indirect_keys: Vec::new(),
             samples: Vec::new(),
             samples_truncated: false,
         }
     }
 
-    /// Accounts one routing decision taken at simulation time `t_ps` for
-    /// the flight with injection ordinal `flight_id`.
-    pub fn on_decision(&mut self, t_ps: u64, flight_id: u64, rec: &DecisionRecord) {
+    /// Accounts one routing decision taken at simulation time `t_ps`
+    /// under the schedule key `key` (the handling event's unique key)
+    /// for the flight with composite injection id `flight_id`.
+    pub fn on_decision(&mut self, t_ps: u64, key: u64, flight_id: u64, rec: &DecisionRecord) {
         self.decisions += 1;
         let indirect = rec.verdict.is_indirect();
         if indirect {
             self.indirect += 1;
+            self.indirect_keys.push((t_ps, key));
         }
         match rec.verdict {
             DecisionVerdict::ForcedMinimal => self.forced_minimal += 1,
@@ -221,20 +231,77 @@ impl DecisionLedger {
 
         if flight_sampled(self.cfg.sample_rate, flight_id) {
             if self.samples.len() < self.cfg.max_samples {
-                self.samples.push(DecisionSample {
-                    flight_id,
-                    t_ps,
-                    indirect_so_far: self.indirect,
-                    record: rec.clone(),
-                });
+                self.samples.push((
+                    (t_ps, key),
+                    DecisionSample {
+                        flight_id,
+                        t_ps,
+                        indirect_so_far: 0, // recomputed in finish()
+                        record: rec.clone(),
+                    },
+                ));
             } else {
                 self.samples_truncated = true;
             }
         }
     }
 
-    /// Freezes the recorder into its immutable result.
-    pub fn finish(self) -> EngineLedger {
+    /// Folds another shard's ledger in after a sharded run. Decisions
+    /// happen at the source router, and each router is owned by exactly
+    /// one shard, so per-router aggregates (including the f64
+    /// `margin_sum`) never interleave across shards — the merge is a
+    /// disjoint union plus integer sums, and the result is exactly the
+    /// serial ledger once [`DecisionLedger::finish`] re-sorts samples.
+    pub(crate) fn absorb(&mut self, other: DecisionLedger) {
+        self.decisions += other.decisions;
+        self.indirect += other.indirect;
+        self.forced_minimal += other.forced_minimal;
+        self.fallback_minimal += other.fallback_minimal;
+        for (r, s) in other.routers {
+            let e = self.routers.entry(r).or_default();
+            e.decisions += s.decisions;
+            e.indirect += s.indirect;
+            e.forced_minimal += s.forced_minimal;
+            e.fallback_minimal += s.fallback_minimal;
+            e.margin_sum += s.margin_sum;
+            e.q_m_sum += s.q_m_sum;
+        }
+        for (a, b) in self.margin_diverted.iter_mut().zip(&other.margin_diverted) {
+            *a += *b;
+        }
+        for (a, b) in self.margin_held.iter_mut().zip(&other.margin_held) {
+            *a += *b;
+        }
+        for (k, v) in other.heat {
+            let e = self.heat.entry(k).or_insert((0, 0, 0));
+            e.0 += v.0;
+            e.1 += v.1;
+            e.2 = e.2.max(v.2);
+        }
+        self.indirect_keys.extend(other.indirect_keys);
+        self.samples.extend(other.samples);
+        self.samples_truncated |= other.samples_truncated;
+    }
+
+    /// Freezes the recorder into its immutable result. Samples are
+    /// emitted in global decision order (sorted by `(t_ps, key)`),
+    /// truncated to the cap, with `indirect_so_far` recomputed from the
+    /// merged indirect-decision key list — in a serial run all three
+    /// steps are the identity of what the live recorder built.
+    pub fn finish(mut self) -> EngineLedger {
+        self.indirect_keys.sort_unstable();
+        let mut keyed = self.samples;
+        keyed.sort_unstable_by_key(|e| e.0);
+        let samples_truncated = self.samples_truncated || keyed.len() > self.cfg.max_samples;
+        keyed.truncate(self.cfg.max_samples);
+        let indirect_keys = self.indirect_keys;
+        let samples = keyed
+            .into_iter()
+            .map(|(k, mut s)| {
+                s.indirect_so_far = indirect_keys.partition_point(|&ik| ik <= k) as u64;
+                s
+            })
+            .collect();
         EngineLedger {
             cfg: self.cfg,
             decisions: self.decisions,
@@ -255,8 +322,8 @@ impl DecisionLedger {
                     max_bytes,
                 })
                 .collect(),
-            samples: self.samples,
-            samples_truncated: self.samples_truncated,
+            samples,
+            samples_truncated,
         }
     }
 }
@@ -404,9 +471,9 @@ mod tests {
             max_samples: 3,
         });
         for i in 0..10u64 {
-            led.on_decision(i * 1_000, i, &rec(4, DecisionVerdict::Indirect, 400.0));
+            led.on_decision(i * 1_000, i, i, &rec(4, DecisionVerdict::Indirect, 400.0));
         }
-        led.on_decision(99, 99, &rec(5, DecisionVerdict::ForcedMinimal, 0.0));
+        led.on_decision(99, 99, 99, &rec(5, DecisionVerdict::ForcedMinimal, 0.0));
         let l = led.finish();
         assert_eq!(l.decisions, 11);
         assert_eq!(l.indirect, 10);
@@ -432,7 +499,7 @@ mod tests {
             max_samples: 16,
         });
         for i in 0..50u64 {
-            led.on_decision(i, i, &rec(1, DecisionVerdict::Minimal, -32.0));
+            led.on_decision(i, i, i, &rec(1, DecisionVerdict::Minimal, -32.0));
         }
         let l = led.finish();
         assert_eq!(l.decisions, 50);
@@ -442,13 +509,47 @@ mod tests {
     }
 
     #[test]
+    fn absorb_reproduces_the_serial_ledger() {
+        let cfg = LedgerConfig {
+            sample_rate: 1,
+            max_samples: 64,
+        };
+        // Decisions interleaved in time across two source routers; the
+        // sharded run sees them split by router, out of global order.
+        let all: Vec<(u64, u64, u32, DecisionVerdict)> = vec![
+            (100, 1, 0, DecisionVerdict::Indirect),
+            (200, 2, 7, DecisionVerdict::Minimal),
+            (300, 3, 0, DecisionVerdict::Minimal),
+            (400, 4, 7, DecisionVerdict::Indirect),
+            (500, 5, 0, DecisionVerdict::Indirect),
+        ];
+        let mut serial = DecisionLedger::new(cfg);
+        for &(t, k, src, v) in &all {
+            serial.on_decision(t, k, k, &rec(src, v, 64.0));
+        }
+        let mut a = DecisionLedger::new(cfg);
+        let mut b = DecisionLedger::new(cfg);
+        for &(t, k, src, v) in &all {
+            let shard = if src == 0 { &mut a } else { &mut b };
+            shard.on_decision(t, k, k, &rec(src, v, 64.0));
+        }
+        a.absorb(b);
+        let merged = a.finish();
+        let serial = serial.finish();
+        assert_eq!(merged, serial);
+        // indirect_so_far is the global cumulative count at each sample.
+        let so_far: Vec<u64> = serial.samples.iter().map(|s| s.indirect_so_far).collect();
+        assert_eq!(so_far, vec![1, 1, 1, 2, 3]);
+    }
+
+    #[test]
     fn ledger_metrics_summarize_and_cap() {
         let mut pts = Vec::new();
         for index in 0..2usize {
             let mut led = DecisionLedger::new(LedgerConfig::default());
             for i in 0..20u64 {
                 let src = (i % 12) as u32;
-                led.on_decision(i, i, &rec(src, DecisionVerdict::Indirect, 300.0));
+                led.on_decision(i, i, i, &rec(src, DecisionVerdict::Indirect, 300.0));
             }
             pts.push(PointLedger {
                 index,

@@ -18,7 +18,11 @@
 //!   per-router event rings and deadlock forensics;
 //! - [`par::par_load_sweep`] / [`par::par_curves`] — the same sweeps fanned
 //!   out across a scoped worker pool, byte-identical to the serial runs
-//!   (per-point seeds are index-derived; see [`par`]).
+//!   (per-point seeds are index-derived; see [`par`]);
+//! - [`run_synthetic_sharded`] and friends — single runs partitioned
+//!   across router shards in conservative time windows, byte-identical
+//!   to serial at any shard count (see [`shard`]); the sweeps compose
+//!   shard- with point-level parallelism under one thread budget.
 
 pub mod config;
 pub mod engine;
@@ -27,6 +31,7 @@ pub mod fault;
 pub mod injector;
 pub mod ledger;
 pub mod par;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
@@ -48,6 +53,11 @@ pub use par::{
     par_curves, par_load_sweep, par_load_sweep_collect, par_load_sweep_ledgered_collect,
     par_load_sweep_probed, par_load_sweep_probed_collect, par_load_sweep_traced_collect,
     par_load_sweep_with_order, resolve_threads,
+};
+pub use shard::{
+    plan_shards, run_synthetic_sharded, run_synthetic_sharded_faulted,
+    run_synthetic_sharded_faulted_probed, run_synthetic_sharded_ledgered,
+    run_synthetic_sharded_probed, run_synthetic_sharded_traced,
 };
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
 pub use sweep::{

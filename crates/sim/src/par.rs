@@ -298,7 +298,11 @@ fn par_sweep_core(
     if let Err(e) = PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
         return (crate::sweep::rejected_outcome(loads, e), Vec::new(), Vec::new());
     }
-    let threads = resolve_threads(threads).min(n.max(1));
+    // Each point of a sharded sweep occupies `shards` worker threads of
+    // its own (see `crate::shard`); divide the one budget between
+    // point- and shard-level parallelism instead of oversubscribing.
+    let shards = crate::shard::plan_shards(net, policy, &cfg);
+    let threads = (resolve_threads(threads) / shards).max(1).min(n.max(1));
     type Slot = Option<(
         SyntheticStats,
         Option<TelemetrySummary>,

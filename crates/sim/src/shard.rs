@@ -1,0 +1,681 @@
+//! Intra-run sharded simulation: conservative time-window engine
+//! parallelism.
+//!
+//! Routers are partitioned into `k` contiguous shards, each a full
+//! [`Engine`] restricted to its own router range
+//! (`Engine::build_shard`). A coordinator thread runs the shards in
+//! lock-step **conservative windows**: every cross-router interaction
+//! (a packet's link traversal, a credit's return trip) takes at least
+//! one link latency `L`, so if `T` is the global minimum timestamp over
+//! all shard queues and undelivered mailbox items, nothing a sibling
+//! emits at `t ≥ T` can influence another shard before `T + L` — every
+//! shard may drain events with `t < T + L` without synchronizing.
+//!
+//! Cross-shard transfers are staged into per-shard outboxes during a
+//! window and routed to their owning shards at the barrier. The sender
+//! assigns each staged event the exact `(time, key)` it would have
+//! carried serially; keys are globally unique (per-router lanes, see
+//! `Engine::next_key`), so each receiving queue's `(time, key)` order
+//! reproduces the serial schedule byte-for-byte — the same total-order
+//! argument that lets the calendar and heap queues cross-check today.
+//! Mid-run faults ([`EngineFault`]) are applied at barriers; the
+//! coordinator never opens a window across a fault time.
+//!
+//! Every observable output — [`SyntheticStats`], telemetry reports,
+//! traces, ledgers, and the manifests derived from them — is
+//! byte-identical to the serial engine's for every shard count. The
+//! window protocol, the mailbox merge-ordering proof sketch, and the
+//! shard-layout decisions are documented in DESIGN.md §14.
+
+use crate::config::{EventQueueKind, SimConfig};
+use crate::engine::{
+    deadlock_forensics_sharded, engine_faults, partition_report_sharded, resolve_fault_policies,
+    synthetic_sources, try_preflight_once, Engine, OutEv,
+};
+use crate::fault::FaultSchedule;
+use crate::ledger::{EngineLedger, LedgerConfig};
+use crate::stats::SyntheticStats;
+use crate::telemetry::{ProbeConfig, TelemetryReport};
+use crate::trace::{EngineTrace, TraceConfig};
+use d2net_routing::{Algorithm, RoutePolicy};
+use d2net_topo::Network;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+
+/// Below this router count the auto heuristic stays serial: window
+/// barriers cost more than they save on paper-scale instances, while
+/// CORAL-scale networks (hundreds to thousands of routers) are where
+/// sharding pays.
+const AUTO_MIN_ROUTERS: u32 = 128;
+
+/// Ceiling on the auto-selected shard count; barrier traffic grows with
+/// the shard count while per-shard work shrinks, and measurements in
+/// `bench_engine` show diminishing returns past this point.
+const AUTO_MAX_SHARDS: usize = 8;
+
+/// The requested shard count before correctness clamps: an explicit
+/// [`SimConfig::shards`] wins, then the `D2NET_SHARDS` environment
+/// variable, then the machine's parallelism (capped). The flag says
+/// whether the count was an explicit request (which skips the
+/// small-network heuristic) or auto.
+fn requested_shards(cfg: &SimConfig) -> (usize, bool) {
+    if cfg.shards > 0 {
+        return (cfg.shards as usize, true);
+    }
+    if let Some(n) = std::env::var("D2NET_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return (n, true);
+    }
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get().min(AUTO_MAX_SHARDS))
+        .unwrap_or(1);
+    (auto, false)
+}
+
+/// The shard count a synthetic run over `net` under `policy`/`cfg` will
+/// actually use (`1` = serial). The parallel sweeps call this to split
+/// one thread budget between point-level and shard-level parallelism.
+pub fn plan_shards(net: &Network, policy: &RoutePolicy, cfg: &SimConfig) -> usize {
+    effective_shards(net, policy, cfg, false)
+}
+
+fn effective_shards(
+    net: &Network,
+    policy: &RoutePolicy,
+    cfg: &SimConfig,
+    fault_at_zero: bool,
+) -> usize {
+    let (k, explicit) = requested_shards(cfg);
+    let mut k = k.min(net.num_routers() as usize).max(1);
+    if !explicit && net.num_routers() < AUTO_MIN_ROUTERS {
+        k = 1;
+    }
+    // The heap queue stays the unsharded reference implementation the
+    // determinism suite cross-checks against.
+    if cfg.event_queue == EventQueueKind::Heap {
+        k = 1;
+    }
+    // Global UGAL reads *remote* output occupancies at injection time;
+    // a shard only maintains its own routers' buffers, so the remote
+    // view would be stale and diverge from serial. (Local UGAL — the
+    // paper's variant — reads only the injection router's buffers.)
+    if matches!(policy.algorithm(), Algorithm::UgalG { .. }) {
+        k = 1;
+    }
+    // A fault at t = 0 shares its timestamp with the build-time
+    // NodeWake events, which serial orders *before* it by formula key;
+    // the barrier protocol applies faults before a window, so it
+    // cannot reproduce that interleaving. Faults at any t > 0 only
+    // ever share a timestamp with runtime-keyed events, which sort
+    // after the fault exactly as the barrier applies them.
+    if fault_at_zero {
+        k = 1;
+    }
+    k
+}
+
+/// Contiguous router ranges `[lo, hi)` per shard, sizes differing by at
+/// most one. Requires `1 ≤ k ≤ num_routers`; every range is non-empty.
+fn shard_bounds(num_routers: u32, k: usize) -> Vec<(u32, u32)> {
+    let k32 = k as u32;
+    let base = num_routers / k32;
+    let rem = num_routers % k32;
+    let mut bounds = Vec::with_capacity(k);
+    let mut lo = 0u32;
+    for i in 0..k32 {
+        let size = base + u32::from(i < rem);
+        bounds.push((lo, lo + size));
+        lo += size;
+    }
+    debug_assert_eq!(lo, num_routers);
+    bounds
+}
+
+/// A mailbox item tagged with its destination shard.
+type Routed = (usize, (u64, u64, OutEv));
+
+/// Coordinator → shard commands. Each of the first two is answered by
+/// exactly one [`Reply`].
+enum Cmd {
+    /// Deliver `inbox` into the shard's queue, then drain every event
+    /// with `t < until`.
+    Window {
+        until: u64,
+        inbox: Vec<(u64, u64, OutEv)>,
+    },
+    /// Apply fault-schedule entry `i` at this barrier — the sharded
+    /// equivalent of popping the serial `Ev::LinkFail`.
+    Fault(usize),
+    /// Final bookkeeping (clock to the horizon if events remained
+    /// beyond it, probe flush); the worker then returns its engine.
+    /// `inbox` holds mailbox items still undelivered at the break —
+    /// arrivals beyond the horizon. Serial keeps the matching events
+    /// (and their trace flight records) queued past `end_ps`, so they
+    /// are delivered rather than dropped: a migrant flight's record
+    /// travels inside its `OutEv::Arrive` and would otherwise vanish
+    /// from the merged trace.
+    Finish {
+        end_ps: u64,
+        at_horizon: bool,
+        inbox: Vec<(u64, u64, OutEv)>,
+    },
+}
+
+/// Shard → coordinator barrier reply: the cross-shard events staged
+/// during the window (already routed to their destination shards) and
+/// the shard's next queued timestamp.
+struct Reply {
+    shard: usize,
+    outbox: Vec<Routed>,
+    min_peek: Option<u64>,
+}
+
+fn shard_worker<'a>(
+    mut eng: Engine<'a>,
+    shard: usize,
+    bounds: &[(u32, u32)],
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<Reply>,
+) -> Engine<'a> {
+    for cmd in rx {
+        match cmd {
+            Cmd::Window { until, inbox } => {
+                for (t, key, ev) in inbox {
+                    eng.deliver(t, key, ev);
+                }
+                eng.run_window(until);
+            }
+            Cmd::Fault(i) => eng.apply_fault(i),
+            Cmd::Finish {
+                end_ps,
+                at_horizon,
+                inbox,
+            } => {
+                for (t, key, ev) in inbox {
+                    eng.deliver(t, key, ev);
+                }
+                if at_horizon {
+                    eng.force_now(end_ps);
+                }
+                eng.flush_probe_to(end_ps);
+                return eng;
+            }
+        }
+        let outbox = eng
+            .take_outbox()
+            .into_iter()
+            .map(|(t, key, ev)| {
+                let dst = Engine::owner_shard(bounds, eng.out_ev_router(&ev));
+                (dst, (t, key, ev))
+            })
+            .collect();
+        let min_peek = eng.min_peek();
+        let _ = tx.send(Reply {
+            shard,
+            outbox,
+            min_peek,
+        });
+    }
+    eng
+}
+
+/// Waits for one [`Reply`] per shard, refreshing each shard's queue
+/// minimum and routing its staged events into the destination inboxes.
+fn collect_replies(
+    rx: &mpsc::Receiver<Reply>,
+    k: usize,
+    min_peeks: &mut [Option<u64>],
+    inboxes: &mut [Vec<(u64, u64, OutEv)>],
+) {
+    for _ in 0..k {
+        let r = rx.recv().expect("shard worker alive");
+        min_peeks[r.shard] = r.min_peek;
+        for (dst, item) in r.outbox {
+            inboxes[dst].push(item);
+        }
+    }
+}
+
+/// The shared synthetic-run core: resolves the shard count, falls back
+/// to the serial engine at `k = 1`, and otherwise runs the
+/// window-barrier protocol, absorbing every shard into one engine for
+/// the ordinary finalization path. Called by every
+/// `run_synthetic_sharded*` entry point and the sweeps' `PointRunner`.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub(crate) fn run_sharded_inner(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: Option<&FaultSchedule>,
+    load: f64,
+    end_ps: u64,
+    warmup_ps: u64,
+    cfg: SimConfig,
+    probe: Option<ProbeConfig>,
+    trace: Option<TraceConfig>,
+    ledger: Option<LedgerConfig>,
+) -> Result<
+    (
+        SyntheticStats,
+        Option<TelemetryReport>,
+        Option<EngineTrace>,
+        Option<EngineLedger>,
+    ),
+    String,
+> {
+    let policies = schedule
+        .map(|s| resolve_fault_policies(net, policy, s))
+        .unwrap_or_default();
+    let fault_at_zero = schedule.is_some_and(|s| s.events().iter().any(|e| e.t_ns == 0));
+    let k = effective_shards(net, policy, &cfg, fault_at_zero);
+
+    if k <= 1 {
+        // Serial fallback: identical to the unsharded entry points.
+        let faults = schedule
+            .map(|s| engine_faults(net, s, &policies))
+            .unwrap_or_default();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+        let mut eng = Engine::try_new_faulted(net, policy, cfg, sources, warmup_ps, rng, faults)?;
+        if let Some(p) = probe {
+            eng.attach_probe(p);
+        }
+        if let Some(t) = trace {
+            eng.attach_trace(t);
+        }
+        if let Some(l) = ledger {
+            eng.attach_ledger(l);
+        }
+        let (stats, tel) = eng.run_synthetic_to(load, end_ps);
+        return Ok((stats, tel, eng.take_trace(), eng.take_ledger()));
+    }
+
+    // The static preflight pass is shard-independent; run it once here
+    // rather than once per shard build.
+    let cfg = try_preflight_once(net, policy, cfg)?;
+    let bounds = shard_bounds(net.num_routers(), k);
+    let fault_times: Vec<u64> = schedule
+        .map(|s| s.events().iter().map(|e| e.t_ns * 1_000).collect())
+        .unwrap_or_default();
+
+    let mut engines: Vec<Engine> = Vec::with_capacity(k);
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        // Every shard derives the run's randomness from an identically
+        // seeded master RNG and an identical source vector, so a
+        // node's stochastic stream is the same no matter which shard
+        // owns it (see `derive_node_rngs`).
+        let faults = schedule
+            .map(|s| engine_faults(net, s, &policies))
+            .unwrap_or_default();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+        let mut eng =
+            Engine::build_shard(net, policy, cfg, sources, warmup_ps, rng, faults, lo, hi, i == 0)?;
+        if let Some(p) = probe {
+            eng.attach_probe(p);
+        }
+        if let Some(t) = trace {
+            eng.attach_trace(t);
+        }
+        if let Some(l) = ledger {
+            eng.attach_ledger(l);
+        }
+        engines.push(eng);
+    }
+
+    let link_ps = cfg.link_ps();
+    let mut min_peeks: Vec<Option<u64>> = engines.iter_mut().map(|e| e.min_peek()).collect();
+    let mut inboxes: Vec<Vec<(u64, u64, OutEv)>> = (0..k).map(|_| Vec::new()).collect();
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let mut at_horizon = false;
+    let mut drained = false;
+
+    let mut engines: Vec<Engine> = std::thread::scope(|s| {
+        let bounds = &bounds;
+        let mut cmd_txs = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for (i, eng) in engines.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Cmd>();
+            cmd_txs.push(tx);
+            let reply_tx = reply_tx.clone();
+            handles.push(s.spawn(move || shard_worker(eng, i, bounds, rx, reply_tx)));
+        }
+        let mut next_fault = 0usize;
+        loop {
+            let queue_min = min_peeks.iter().flatten().copied().min();
+            let inbox_min = inboxes
+                .iter()
+                .flat_map(|b| b.iter().map(|&(t, _, _)| t))
+                .min();
+            let global_min = match (queue_min, inbox_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            // Apply every fault due at or before the next event, in
+            // schedule order. Faults beyond the horizon stay pending,
+            // exactly as their serial `Ev::LinkFail` would stay queued.
+            if next_fault < fault_times.len()
+                && fault_times[next_fault] <= end_ps
+                && global_min.is_none_or(|m| fault_times[next_fault] <= m)
+            {
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Fault(next_fault)).expect("shard worker alive");
+                }
+                collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes);
+                next_fault += 1;
+                continue;
+            }
+            let Some(m) = global_min else {
+                // All queues and mailboxes are empty. Serial would
+                // still hold any beyond-horizon LinkFail events, so it
+                // only counts as drained when none are pending.
+                if next_fault < fault_times.len() {
+                    at_horizon = true;
+                } else {
+                    drained = true;
+                }
+                break;
+            };
+            if m > end_ps {
+                at_horizon = true;
+                break;
+            }
+            // One conservative window: everything below the global
+            // minimum plus one link latency is causally sealed. Clamp
+            // to the horizon (serial processes t == end_ps, stops
+            // beyond) and to the next fault time.
+            let mut until = (m + link_ps).min(end_ps + 1);
+            if next_fault < fault_times.len() {
+                until = until.min(fault_times[next_fault]);
+            }
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                tx.send(Cmd::Window {
+                    until,
+                    inbox: std::mem::take(&mut inboxes[i]),
+                })
+                .expect("shard worker alive");
+            }
+            collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes);
+        }
+        for (i, tx) in cmd_txs.iter().enumerate() {
+            tx.send(Cmd::Finish {
+                end_ps,
+                at_horizon,
+                inbox: std::mem::take(&mut inboxes[i]),
+            })
+            .expect("shard worker alive");
+        }
+        drop(cmd_txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Wedge check over global counters, mirroring the serial loop's
+    // drained-queue test.
+    let (created, done) = engines.iter().fold((0u64, 0u64), |(c, d), e| {
+        let (ec, ed) = e.wedge_counts();
+        (c + ec, d + ed)
+    });
+    let wedged = drained && created > done;
+    let forensics = if wedged {
+        let refs: Vec<&Engine> = engines.iter().collect();
+        Some(
+            deadlock_forensics_sharded(&refs)
+                .unwrap_or_else(|| partition_report_sharded(&refs)),
+        )
+    } else {
+        None
+    };
+
+    let (first, rest) = engines.split_first_mut().expect("k >= 2 shards");
+    for other in rest.iter_mut() {
+        first.absorb_shard(other);
+    }
+    let telemetry = first.take_probe_report_with(forensics);
+    let stats = first.synthetic_stats(load, end_ps, wedged);
+    Ok((stats, telemetry, first.take_trace(), first.take_ledger()))
+}
+
+/// Validates the measurement window and converts to engine units —
+/// the public entry points' shared prologue.
+fn horizon(duration_ns: u64, warmup_ns: u64) -> Result<(u64, u64), String> {
+    d2net_verify::invariant::warmup_within(warmup_ns, duration_ns)?;
+    Ok((duration_ns * 1_000, warmup_ns * 1_000))
+}
+
+/// Sharded equivalent of [`crate::run_synthetic`]: identical output for
+/// every shard count (see the module docs), faster wall-clock on large
+/// networks. The shard count comes from [`SimConfig::shards`] /
+/// `D2NET_SHARDS` / the auto heuristic, via [`plan_shards`].
+pub fn run_synthetic_sharded(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> SyntheticStats {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns).unwrap_or_else(|e| panic!("{e}"));
+    run_sharded_inner(
+        net, policy, pattern, None, load, end_ps, warmup_ps, cfg, None, None, None,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+    .0
+}
+
+/// Sharded equivalent of [`crate::run_synthetic_probed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_sharded_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> (SyntheticStats, TelemetryReport) {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns).unwrap_or_else(|e| panic!("{e}"));
+    let (stats, tel, _, _) = run_sharded_inner(
+        net,
+        policy,
+        pattern,
+        None,
+        load,
+        end_ps,
+        warmup_ps,
+        cfg,
+        Some(probe),
+        None,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    (stats, tel.expect("probe was attached"))
+}
+
+/// Sharded equivalent of [`crate::run_synthetic_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_sharded_traced(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    tcfg: TraceConfig,
+) -> (SyntheticStats, EngineTrace) {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns).unwrap_or_else(|e| panic!("{e}"));
+    let (stats, _, trace, _) = run_sharded_inner(
+        net,
+        policy,
+        pattern,
+        None,
+        load,
+        end_ps,
+        warmup_ps,
+        cfg,
+        None,
+        Some(tcfg),
+        None,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    (stats, trace.expect("trace was attached"))
+}
+
+/// Sharded equivalent of [`crate::run_synthetic_ledgered`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_sharded_ledgered(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    lcfg: LedgerConfig,
+) -> (SyntheticStats, EngineLedger) {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns).unwrap_or_else(|e| panic!("{e}"));
+    let (stats, _, _, ledger) = run_sharded_inner(
+        net,
+        policy,
+        pattern,
+        None,
+        load,
+        end_ps,
+        warmup_ps,
+        cfg,
+        None,
+        None,
+        Some(lcfg),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    (stats, ledger.expect("ledger was attached"))
+}
+
+/// Sharded equivalent of [`crate::run_synthetic_faulted`]. The fault
+/// schedule threads through window barriers; a schedule with an event
+/// at `t = 0` falls back to serial (see [`plan_shards`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_sharded_faulted(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: &FaultSchedule,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+) -> Result<SyntheticStats, String> {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns)?;
+    run_sharded_inner(
+        net,
+        policy,
+        pattern,
+        Some(schedule),
+        load,
+        end_ps,
+        warmup_ps,
+        cfg,
+        None,
+        None,
+        None,
+    )
+    .map(|(stats, _, _, _)| stats)
+}
+
+/// Sharded equivalent of [`crate::run_synthetic_faulted_probed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_sharded_faulted_probed(
+    net: &Network,
+    policy: &RoutePolicy,
+    pattern: &d2net_traffic::SyntheticPattern,
+    schedule: &FaultSchedule,
+    load: f64,
+    duration_ns: u64,
+    warmup_ns: u64,
+    cfg: SimConfig,
+    probe: ProbeConfig,
+) -> Result<(SyntheticStats, TelemetryReport), String> {
+    let (end_ps, warmup_ps) = horizon(duration_ns, warmup_ns)?;
+    run_sharded_inner(
+        net,
+        policy,
+        pattern,
+        Some(schedule),
+        load,
+        end_ps,
+        warmup_ps,
+        cfg,
+        Some(probe),
+        None,
+        None,
+    )
+    .map(|(stats, tel, _, _)| (stats, tel.expect("probe was attached")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_synthetic;
+    use d2net_topo::slim_fly;
+    use d2net_traffic::SyntheticPattern;
+
+    fn cfg_with(shards: u32) -> SimConfig {
+        SimConfig {
+            shards,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn bounds_cover_router_range_evenly() {
+        assert_eq!(shard_bounds(10, 1), vec![(0, 10)]);
+        assert_eq!(shard_bounds(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(shard_bounds(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        for (n, k) in [(50u32, 7usize), (338, 8), (3, 2)] {
+            let b = shard_bounds(n, k);
+            assert_eq!(b.len(), k);
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b.last().unwrap().1, n);
+            assert!(b.iter().all(|&(lo, hi)| lo < hi));
+            assert!(b.windows(2).all(|w| w[0].1 == w[1].0));
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_stats() {
+        let net = slim_fly(5, d2net_topo::SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let pattern = SyntheticPattern::Uniform;
+        let serial = run_synthetic(&net, &policy, &pattern, 0.3, 6_000, 1_000, cfg_with(1));
+        for k in [2u32, 3, 5] {
+            let sharded =
+                run_synthetic_sharded(&net, &policy, &pattern, 0.3, 6_000, 1_000, cfg_with(k));
+            assert_eq!(sharded, serial, "shard count {k} diverged");
+        }
+    }
+
+    #[test]
+    fn explicit_shards_override_heuristics_but_not_correctness_clamps() {
+        let net = slim_fly(5, d2net_topo::SlimFlyP::Floor); // 50 routers
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        // Explicit request beats the small-network heuristic.
+        assert_eq!(plan_shards(&net, &policy, &cfg_with(4)), 4);
+        // Requests beyond the router count clamp down.
+        assert_eq!(plan_shards(&net, &policy, &cfg_with(999)), 50);
+        // The heap queue stays serial regardless.
+        let heap = SimConfig {
+            event_queue: EventQueueKind::Heap,
+            ..cfg_with(4)
+        };
+        assert_eq!(plan_shards(&net, &policy, &heap), 1);
+    }
+}

@@ -145,6 +145,16 @@ impl DelayHistogram {
     pub fn samples(&self) -> u64 {
         self.total
     }
+
+    /// Folds another histogram in (bucket-wise sums) — shards record
+    /// disjoint delivery sets, so the merged histogram equals the one a
+    /// serial run would have built.
+    pub(crate) fn absorb(&mut self, other: &DelayHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
 }
 
 /// Internal accumulator shared by both run modes.
@@ -190,6 +200,24 @@ impl Accumulator {
             return 0.0;
         }
         self.hops_sum as f64 / self.delivered_packets as f64
+    }
+
+    /// Folds another accumulator in: sums for the counters, min/max for
+    /// the first/last delivery marks. Exact (all-integer), so a sharded
+    /// run's merged accumulator is identical to the serial one.
+    pub(crate) fn absorb(&mut self, other: &Accumulator) {
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_bytes += other.delivered_bytes;
+        self.delay_sum_ps += other.delay_sum_ps;
+        self.max_delay_ps = self.max_delay_ps.max(other.max_delay_ps);
+        self.indirect_packets += other.indirect_packets;
+        self.hops_sum += other.hops_sum;
+        self.first_delivery_ps = match (self.first_delivery_ps, other.first_delivery_ps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_delivery_ps = self.last_delivery_ps.max(other.last_delivery_ps);
+        self.histogram.absorb(&other.histogram);
     }
 }
 

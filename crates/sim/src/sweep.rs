@@ -137,6 +137,11 @@ pub(crate) struct PointRunner<'a> {
     cfg: SimConfig,
     end_ps: u64,
     warmup_ps: u64,
+    /// Intra-run shard count every point uses (see
+    /// [`crate::shard::plan_shards`]); at `1` points run on the
+    /// reusable serial engine below, otherwise each point runs the
+    /// window-barrier protocol (whose output is byte-identical).
+    shards: usize,
     engine: Option<Engine<'a>>,
 }
 
@@ -168,6 +173,7 @@ impl<'a> PointRunner<'a> {
             cfg,
             end_ps: duration_ns * 1_000,
             warmup_ps: warmup_ns * 1_000,
+            shards: crate::shard::plan_shards(net, policy, &cfg),
             engine: None,
         })
     }
@@ -187,6 +193,27 @@ impl<'a> PointRunner<'a> {
         Option<EngineTrace>,
         Option<EngineLedger>,
     ) {
+        if self.shards > 1 {
+            // The sharded runner re-derives the run's randomness from
+            // `cfg.seed`; substituting the point seed reproduces
+            // exactly the stream the serial branch below would use.
+            let mut pcfg = self.cfg;
+            pcfg.seed = point_seed(self.cfg.seed, idx);
+            return crate::shard::run_sharded_inner(
+                self.net,
+                self.policy,
+                self.pattern,
+                None,
+                load,
+                self.end_ps,
+                self.warmup_ps,
+                pcfg,
+                probe,
+                trace,
+                ledger,
+            )
+            .expect("point parameters were validated in try_new");
+        }
         let mut rng = SmallRng::seed_from_u64(point_seed(self.cfg.seed, idx));
         let sources = synthetic_sources(self.net, self.pattern, load, self.end_ps, &self.cfg, &mut rng);
         let engine = match &mut self.engine {

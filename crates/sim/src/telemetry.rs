@@ -213,7 +213,7 @@ pub struct TelemetrySummary {
 }
 
 /// Full probe output of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryReport {
     pub config: ProbeConfig,
     /// Samples actually recorded (≤ `config.max_samples`).
@@ -381,12 +381,17 @@ pub struct Telemetry {
     link_util: Vec<f32>,
     in_occupancy: Vec<f32>,
     out_occupancy: Vec<f32>,
-    injection_rate: Vec<f32>,
-    ejection_rate: Vec<f32>,
-    indirect_fraction: Vec<f32>,
+    // Per-sample aggregate window counters, kept as raw integers: the
+    // f32 rate series are derived in `into_report`. Raw storage makes
+    // the sharded merge exact — summing integer window counters and
+    // dividing once is the same arithmetic the serial probe performs,
+    // whereas summing per-shard f32 quotients would not be.
+    raw_inj_pkts: Vec<u64>,
+    raw_inj_bytes: Vec<u64>,
+    raw_ej_bytes: Vec<u64>,
+    raw_indirect_pkts: Vec<u64>,
 
     rings: Vec<VecDeque<RingEvent>>,
-    converged_at_ps: Option<u64>,
 }
 
 /// A deferred window contribution (see [`Telemetry::pending`]-field docs).
@@ -444,11 +449,11 @@ impl Telemetry {
             link_util: Vec::with_capacity(cfg.max_samples * num_ports as usize),
             in_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
             out_occupancy: Vec::with_capacity(cfg.max_samples * pv_total),
-            injection_rate: Vec::with_capacity(cfg.max_samples),
-            ejection_rate: Vec::with_capacity(cfg.max_samples),
-            indirect_fraction: Vec::with_capacity(cfg.max_samples),
+            raw_inj_pkts: Vec::with_capacity(cfg.max_samples),
+            raw_inj_bytes: Vec::with_capacity(cfg.max_samples),
+            raw_ej_bytes: Vec::with_capacity(cfg.max_samples),
+            raw_indirect_pkts: Vec::with_capacity(cfg.max_samples),
             rings: vec![VecDeque::with_capacity(cfg.ring_capacity); num_routers as usize],
-            converged_at_ps: None,
             cfg,
         }
     }
@@ -620,51 +625,116 @@ impl Telemetry {
         for &occ in out_occ {
             self.out_occupancy.push(occ as f32 / cap);
         }
-        let node_window = wb * self.num_nodes as f32;
-        self.injection_rate
-            .push(self.win_injected_bytes as f32 / node_window);
-        self.ejection_rate
-            .push(self.win_ejected_bytes as f32 / node_window);
-        self.indirect_fraction.push(if self.win_injected_pkts > 0 {
-            self.win_indirect_pkts as f32 / self.win_injected_pkts as f32
-        } else {
-            0.0
-        });
+        self.raw_inj_pkts.push(self.win_injected_pkts);
+        self.raw_inj_bytes.push(self.win_injected_bytes);
+        self.raw_ej_bytes.push(self.win_ejected_bytes);
+        self.raw_indirect_pkts.push(self.win_indirect_pkts);
         self.win_injected_pkts = 0;
         self.win_injected_bytes = 0;
         self.win_ejected_bytes = 0;
         self.win_indirect_pkts = 0;
         self.samples_taken += 1;
-        self.check_convergence();
         self.next_sample_ps += self.sample_interval_ps;
     }
 
-    /// Marks the run converged at the current sample if the last
-    /// `convergence_window` ejection rates agree within tolerance.
-    fn check_convergence(&mut self) {
-        if self.converged_at_ps.is_some() {
-            return;
+    /// Folds the probe of a sibling shard into this one. Exactness
+    /// argument: every per-port/per-VC sample value is non-zero on at
+    /// most one shard (only a router's owner touches its state), so the
+    /// f32 element-wise sums are `x + 0.0`; the aggregate window
+    /// counters are raw integers here and become rates only after the
+    /// merge; and the per-router rings are disjoint, so concatenation
+    /// reproduces each router's serial ring. Both probes must have
+    /// flushed to the same horizon first (equal sample counts).
+    pub(crate) fn absorb(&mut self, other: Telemetry) {
+        assert_eq!(
+            self.samples_taken, other.samples_taken,
+            "shard probes must be flushed to the same horizon before merging"
+        );
+        for (a, b) in self.link_util.iter_mut().zip(&other.link_util) {
+            *a += *b;
         }
-        let w = self.cfg.convergence_window;
-        if self.samples_taken < w {
-            return;
+        for (a, b) in self.in_occupancy.iter_mut().zip(&other.in_occupancy) {
+            *a += *b;
         }
-        let tail = &self.ejection_rate[self.samples_taken - w..];
-        let (mut lo, mut hi, mut sum) = (f32::MAX, f32::MIN, 0.0f64);
-        for &r in tail {
-            lo = lo.min(r);
-            hi = hi.max(r);
-            sum += r as f64;
+        for (a, b) in self.out_occupancy.iter_mut().zip(&other.out_occupancy) {
+            *a += *b;
         }
-        let mean = sum / w as f64;
-        if mean > 0.0 && ((hi - lo) as f64) <= self.cfg.convergence_tolerance * mean {
-            self.converged_at_ps = Some(self.next_sample_ps);
+        for (a, b) in self.raw_inj_pkts.iter_mut().zip(&other.raw_inj_pkts) {
+            *a += *b;
+        }
+        for (a, b) in self.raw_inj_bytes.iter_mut().zip(&other.raw_inj_bytes) {
+            *a += *b;
+        }
+        for (a, b) in self.raw_ej_bytes.iter_mut().zip(&other.raw_ej_bytes) {
+            *a += *b;
+        }
+        for (a, b) in self.raw_indirect_pkts.iter_mut().zip(&other.raw_indirect_pkts) {
+            *a += *b;
+        }
+        for (a, b) in self.ejected_per_router.iter_mut().zip(&other.ejected_per_router) {
+            *a += *b;
+        }
+        self.total_injected += other.total_injected;
+        self.total_ejected += other.total_ejected;
+        self.total_indirect += other.total_indirect;
+        self.total_link_down += other.total_link_down;
+        self.total_flushed += other.total_flushed;
+        for (ring, other_ring) in self.rings.iter_mut().zip(other.rings) {
+            debug_assert!(
+                ring.is_empty() || other_ring.is_empty(),
+                "router ring populated on two shards"
+            );
+            ring.extend(other_ring);
         }
     }
 
     /// Consumes the probe into its report, attaching forensics when the
-    /// run wedged.
+    /// run wedged. The f32 rate series and the convergence scan are
+    /// computed here from the raw window counters — after any shard
+    /// merge, with exactly the arithmetic the serial probe used to
+    /// perform sample-by-sample.
     pub fn into_report(self, deadlock: Option<DeadlockReport>) -> TelemetryReport {
+        let node_window = self.window_bytes as f32 * self.num_nodes as f32;
+        let injection_rate: Vec<f32> = self
+            .raw_inj_bytes
+            .iter()
+            .map(|&b| b as f32 / node_window)
+            .collect();
+        let ejection_rate: Vec<f32> = self
+            .raw_ej_bytes
+            .iter()
+            .map(|&b| b as f32 / node_window)
+            .collect();
+        let indirect_fraction: Vec<f32> = self
+            .raw_inj_pkts
+            .iter()
+            .zip(&self.raw_indirect_pkts)
+            .map(|(&pkts, &ind)| {
+                if pkts > 0 {
+                    ind as f32 / pkts as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Convergence scan: first sample whose trailing window of
+        // ejection rates agrees within tolerance.
+        let w = self.cfg.convergence_window;
+        let mut converged_at_ps = None;
+        for s in w..=self.samples_taken {
+            let tail = &ejection_rate[s - w..s];
+            let (mut lo, mut hi, mut sum) = (f32::MAX, f32::MIN, 0.0f64);
+            for &r in tail {
+                lo = lo.min(r);
+                hi = hi.max(r);
+                sum += r as f64;
+            }
+            let mean = sum / w as f64;
+            if mean > 0.0 && ((hi - lo) as f64) <= self.cfg.convergence_tolerance * mean {
+                converged_at_ps = Some(s as u64 * self.sample_interval_ps);
+                break;
+            }
+        }
         TelemetryReport {
             num_samples: self.samples_taken,
             num_routers: self.num_routers,
@@ -676,9 +746,9 @@ impl Telemetry {
             link_util: self.link_util,
             in_occupancy: self.in_occupancy,
             out_occupancy: self.out_occupancy,
-            injection_rate: self.injection_rate,
-            ejection_rate: self.ejection_rate,
-            indirect_fraction: self.indirect_fraction,
+            injection_rate,
+            ejection_rate,
+            indirect_fraction,
             rings: self.rings.into_iter().map(Vec::from).collect(),
             total_injected_packets: self.total_injected,
             total_ejected_packets: self.total_ejected,
@@ -688,7 +758,7 @@ impl Telemetry {
             total_link_down_events: self.total_link_down,
             total_link_down_flushed: self.total_flushed,
             ejected_per_router: self.ejected_per_router,
-            converged_at_ns: self.converged_at_ps.map(|t| t / 1_000),
+            converged_at_ns: converged_at_ps.map(|t| t / 1_000),
             deadlock,
             config: self.cfg,
         }

@@ -157,7 +157,9 @@ pub struct PhaseSpan {
 pub struct HotCounters {
     /// Events dequeued by the run loop.
     pub events_popped: u64,
-    /// Events scheduled (equals the engine's monotonic `seq` counter).
+    /// Events scheduled, counted on the sender side (each event exactly
+    /// once, whether it lands on the local queue or a cross-shard
+    /// mailbox).
     pub events_scheduled: u64,
     /// Pushes into input-FIFO queues (packet arrivals at routers).
     pub in_q_pushes: u64,
@@ -199,13 +201,24 @@ pub struct PointTrace {
 #[derive(Debug)]
 pub struct TraceRecorder {
     cfg: TraceConfig,
-    flights: Vec<PacketFlight>,
+    /// Recorded flights keyed by their injection's `(t_ps, key)`
+    /// schedule key — the global alloc order. `None` tombstones mark
+    /// flights handed to another shard via
+    /// [`TraceRecorder::extract_flight`]; tombstones keep indices stable
+    /// so `slot` never needs patching.
+    flights: Vec<Option<((u64, u64), PacketFlight)>>,
     /// Packet-slab slot → index into `flights` (`u32::MAX` when the slab
     /// entry's current occupant is unsampled). Re-assigned on every
     /// alloc, so slab id recycling can never cross flight timelines.
     slot: Vec<u32>,
     pub(crate) counters: HotCounters,
     eligible: u64,
+    /// Flights this recorder recorded *at alloc time* (migrants implanted
+    /// by other shards excluded). The flight cap compares against this,
+    /// so a shard's recorded set is exactly the serial recorder's sample
+    /// restricted to the shard's sources — [`TraceRecorder::finish`]'s
+    /// sort-and-truncate then reproduces the serial flight list.
+    alloc_recorded: usize,
     /// Commit time of the most recent injection (any packet, sampled or
     /// not) — the exchange runner's measure/drain boundary.
     pub(crate) last_alloc_ps: u64,
@@ -221,18 +234,21 @@ impl TraceRecorder {
             slot: Vec::new(),
             counters: HotCounters::default(),
             eligible: 0,
+            alloc_recorded: 0,
             last_alloc_ps: 0,
         }
     }
 
     /// A packet entered the slab at `pkt` with injection ordinal
-    /// `flight_id`; decides whether this flight is sampled.
+    /// `flight_id` and alloc schedule key `key`; decides whether this
+    /// flight is sampled.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_alloc(
         &mut self,
         pkt: u32,
         flight_id: u64,
+        key: (u64, u64),
         t_ps: u64,
         router: u32,
         src: u32,
@@ -240,40 +256,97 @@ impl TraceRecorder {
         bytes: u32,
         birth_ps: u64,
     ) {
-        if self.slot.len() <= pkt as usize {
-            self.slot.resize(pkt as usize + 1, NO_FLIGHT);
-        }
-        self.slot[pkt as usize] = NO_FLIGHT;
+        self.clear_slot(pkt);
         self.last_alloc_ps = self.last_alloc_ps.max(t_ps);
         if self.cfg.phase_only || !flight_sampled(self.cfg.sample_rate, flight_id) {
             return;
         }
         self.eligible += 1;
-        if self.flights.len() >= self.cfg.max_flights {
+        if self.alloc_recorded >= self.cfg.max_flights {
             return;
         }
+        self.alloc_recorded += 1;
         self.slot[pkt as usize] = self.flights.len() as u32;
-        self.flights.push(PacketFlight {
-            flight_id,
-            src,
-            dst,
-            bytes,
-            birth_ps,
-            indirect: false,
-            events: vec![FlightEvent {
-                t_ps,
-                kind: FlightEventKind::Inject { router },
-            }],
-            delivered_ps: None,
-            dropped: false,
-            truncated: false,
-        });
+        self.flights.push(Some((
+            key,
+            PacketFlight {
+                flight_id,
+                src,
+                dst,
+                bytes,
+                birth_ps,
+                indirect: false,
+                events: vec![FlightEvent {
+                    t_ps,
+                    kind: FlightEventKind::Inject { router },
+                }],
+                delivered_ps: None,
+                dropped: false,
+                truncated: false,
+            },
+        )));
+    }
+
+    /// Clears any stale flight mapping for slab slot `pkt`. Called on
+    /// every slab (re)allocation — including cross-shard implants of
+    /// unsampled packets — so id recycling cannot splice timelines.
+    #[inline]
+    pub(crate) fn clear_slot(&mut self, pkt: u32) {
+        if self.slot.len() <= pkt as usize {
+            self.slot.resize(pkt as usize + 1, NO_FLIGHT);
+        }
+        self.slot[pkt as usize] = NO_FLIGHT;
+    }
+
+    /// Removes the flight tracking slab slot `pkt` (if any) so it can
+    /// migrate to the receiving shard's recorder. Leaves a tombstone.
+    #[inline]
+    pub(crate) fn extract_flight(&mut self, pkt: u32) -> Option<((u64, u64), PacketFlight)> {
+        match self.slot.get(pkt as usize) {
+            Some(&f) if f != NO_FLIGHT => {
+                self.slot[pkt as usize] = NO_FLIGHT;
+                self.flights[f as usize].take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Adopts a flight extracted on another shard, binding it to the
+    /// local slab slot `pkt`. Bypasses the flight cap on purpose: the
+    /// flight was already admitted by its source recorder.
+    #[inline]
+    pub(crate) fn implant_flight(&mut self, pkt: u32, key: (u64, u64), flight: PacketFlight) {
+        self.clear_slot(pkt);
+        self.slot[pkt as usize] = self.flights.len() as u32;
+        self.flights.push(Some((key, flight)));
+    }
+
+    /// Folds another shard's recorder in after a sharded run: flights
+    /// concatenate (each lives in exactly one recorder once the run
+    /// stops), counters sum, the final sort in
+    /// [`TraceRecorder::finish`] restores global alloc order. Slab
+    /// mappings are shard-local and meaningless after the merge.
+    pub(crate) fn absorb(&mut self, other: TraceRecorder) {
+        self.flights.extend(other.flights);
+        self.counters.events_popped += other.counters.events_popped;
+        self.counters.events_scheduled += other.counters.events_scheduled;
+        self.counters.in_q_pushes += other.counters.in_q_pushes;
+        self.counters.out_q_pushes += other.counters.out_q_pushes;
+        self.counters.blocked_entries += other.counters.blocked_entries;
+        self.counters.calendar = match (self.counters.calendar, other.counters.calendar) {
+            (Some(a), Some(b)) => Some(a.merged(&b)),
+            (a, b) => a.or(b),
+        };
+        self.eligible += other.eligible;
+        self.alloc_recorded += other.alloc_recorded;
+        self.last_alloc_ps = self.last_alloc_ps.max(other.last_alloc_ps);
+        self.slot.clear();
     }
 
     #[inline]
     fn flight_mut(&mut self, pkt: u32) -> Option<&mut PacketFlight> {
         match self.slot.get(pkt as usize) {
-            Some(&f) if f != NO_FLIGHT => Some(&mut self.flights[f as usize]),
+            Some(&f) if f != NO_FLIGHT => self.flights[f as usize].as_mut().map(|e| &mut e.1),
             _ => None,
         }
     }
@@ -381,6 +454,14 @@ impl TraceRecorder {
     /// is the statistics horizon (synthetic: the run's `end_ps`;
     /// exchange: the last delivery); `final_ps` is the engine clock when
     /// the event loop stopped.
+    ///
+    /// Flights are emitted sorted by their alloc `(t_ps, key)` schedule
+    /// key and truncated to [`TraceConfig::max_flights`]. Serial runs
+    /// record in that order already, so the sort is the identity there;
+    /// after a sharded merge it restores global order, and the truncate
+    /// drops exactly the flights a serial recorder's cap would have
+    /// rejected (each shard's cap admits a superset of the serial sample
+    /// restricted to its sources).
     pub(crate) fn finish(
         mut self,
         warmup_ps: u64,
@@ -391,6 +472,11 @@ impl TraceRecorder {
     ) -> EngineTrace {
         self.counters.events_scheduled = events_scheduled;
         self.counters.calendar = calendar;
+        let mut keyed: Vec<((u64, u64), PacketFlight)> =
+            self.flights.into_iter().flatten().collect();
+        keyed.sort_by_key(|&(k, _)| k);
+        keyed.truncate(self.cfg.max_flights);
+        let flights: Vec<PacketFlight> = keyed.into_iter().map(|(_, f)| f).collect();
         let warmup_end = warmup_ps.min(measure_end_ps);
         let phases = vec![
             PhaseSpan {
@@ -412,7 +498,7 @@ impl TraceRecorder {
         EngineTrace {
             cfg: self.cfg,
             phases,
-            flights: self.flights,
+            flights,
             counters: self.counters,
             eligible_flights: self.eligible,
         }
@@ -671,11 +757,11 @@ mod tests {
             ..TraceConfig::default()
         };
         let mut tr = TraceRecorder::new(cfg);
-        tr.on_alloc(0, 1, 100, 5, 10, 20, 256, 90);
+        tr.on_alloc(0, 1, (100, 1), 100, 5, 10, 20, 256, 90);
         tr.on_arrive_router(0, 300, 5, 0);
         tr.on_eject(0, 900, 7);
         // Slab slot 0 is recycled by a new, also-sampled flight.
-        tr.on_alloc(0, 2, 1_000, 6, 11, 21, 256, 950);
+        tr.on_alloc(0, 2, (1_000, 2), 1_000, 6, 11, 21, 256, 950);
         tr.on_drop(0, 1_200, 6);
         let t = tr.finish(0, 2_000, 2_000, 42, None);
         assert_eq!(t.flights.len(), 2);
@@ -696,7 +782,7 @@ mod tests {
             ..TraceConfig::default()
         };
         let mut tr = TraceRecorder::new(cfg);
-        tr.on_alloc(3, 1, 0, 0, 0, 1, 256, 0);
+        tr.on_alloc(3, 1, (0, 1), 0, 0, 0, 1, 256, 0);
         tr.on_arrive_router(3, 10, 0, 0);
         tr.on_arrive_router(3, 20, 1, 1); // over the cap
         tr.on_eject(3, 30, 1);
@@ -705,6 +791,38 @@ mod tests {
         assert!(t.flights[0].truncated);
         // Terminal metadata still lands even when the event was cut.
         assert_eq!(t.flights[0].delivered_ps, Some(30));
+    }
+
+    #[test]
+    fn flight_migration_and_merge_restore_alloc_order() {
+        let cfg = TraceConfig {
+            sample_rate: 1,
+            ..TraceConfig::default()
+        };
+        // Shard A records two flights; the first migrates to shard B,
+        // finishes there, then B is absorbed into A.
+        let mut a = TraceRecorder::new(cfg);
+        let mut b = TraceRecorder::new(cfg);
+        a.on_alloc(0, 1, (100, 1), 100, 5, 10, 20, 256, 90);
+        a.on_alloc(1, 2, (150, 2), 150, 5, 12, 22, 256, 140);
+        let (key, flight) = a.extract_flight(0).expect("sampled flight migrates");
+        assert_eq!(key, (100, 1));
+        // Slot 0 on A is recycled by an unsampled implant: must not
+        // splice into the extracted flight's tombstone.
+        a.clear_slot(0);
+        b.implant_flight(7, key, flight);
+        b.on_arrive_router(7, 300, 9, 1);
+        b.on_eject(7, 900, 9);
+        a.on_eject(1, 400, 5);
+        b.absorb(a);
+        let t = b.finish(0, 1_000, 1_000, 0, None);
+        // Sorted by alloc key, not merge order.
+        assert_eq!(t.flights.len(), 2);
+        assert_eq!(t.flights[0].flight_id, 1);
+        assert_eq!(t.flights[0].delivered_ps, Some(900));
+        assert_eq!(t.flights[0].events.len(), 3);
+        assert_eq!(t.flights[1].flight_id, 2);
+        assert_eq!(t.eligible_flights, 2);
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //! of every artifact in the paper's evaluation.
 //!
 //! Usage:
-//!   cargo run --release --example paper_figures -- <artifact> [--full]
+//!   cargo run --release --example paper_figures -- <artifact> [--small]
 //!
 //! Artifacts: table2, fig3, fig4, fig6a, fig6b, fig7a, fig7b, fig8a,
 //! fig8b, fig9a, fig9b, fig10a, fig10b, fig11a, fig11b, fig12a, fig12b,
 //! fig13, fig14, diversity, all
 //!
-//! `--full` switches from the reduced configurations to the paper's
-//! CORAL-Summit-scale configs (§4.1) — expect long runtimes.
+//! Runs the paper's CORAL-Summit-scale configs (§4.1) by default —
+//! intra-run sharding (`D2NET_SHARDS`, DESIGN.md §14) and `--par` keep
+//! the runtimes tractable; see EXPERIMENTS.md. `--small` switches to
+//! the reduced ~400-600-node configurations for laptop-speed turnaround
+//! (`--full` is still accepted and names the default).
 //! `--svg <dir>` additionally renders each simulated figure to SVG.
 //! `--par` fans each figure's curves across the worker pool
 //! (`D2NET_THREADS` pins the count); output is identical to the serial
@@ -37,13 +40,13 @@ fn save_svg(dir: &Option<PathBuf>, name: &str, svg: String) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let artifact = args.get(1).cloned().unwrap_or_else(|| {
-        eprintln!("usage: paper_figures <table2|fig3|fig4|fig6a|...|fig14|diversity|all> [--full]");
+        eprintln!("usage: paper_figures <table2|fig3|fig4|fig6a|...|fig14|diversity|all> [--small]");
         std::process::exit(2);
     });
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Full
-    } else {
+    let scale = if args.iter().any(|a| a == "--small") {
         Scale::Reduced
+    } else {
+        Scale::Full
     };
     let params = RunParams::for_scale(scale);
     let svg = svg_dir(&args);

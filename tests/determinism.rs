@@ -10,7 +10,12 @@
 //!    reference binary heap on full simulations, not just unit streams;
 //! 4. sweep points must equal standalone runs with the derived per-point
 //!    seeds — the guard that engine reuse (`Engine::reset`) leaks no
-//!    state between points.
+//!    state between points;
+//! 5. the sharded runner (`run_synthetic_sharded*`) must be
+//!    byte-identical to serial at every shard count — stats, telemetry,
+//!    traces (modulo the queue-internal calendar counters, which are
+//!    shard-local by construction), ledgers, and faulted runs alike —
+//!    and sharded sweeps must equal serial sweeps point for point.
 
 use d2net::prelude::*;
 use d2net::routing::{IntermediateSet, VcScheme};
@@ -336,5 +341,279 @@ proptest! {
         );
         prop_assert_eq!(&serial.points, &shuffled.points);
         prop_assert_eq!(&serial.notices, &shuffled.notices);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded-vs-serial gates: the window-barrier runner must reproduce the
+// serial engine byte for byte at every shard count (see
+// `d2net_sim::shard` and DESIGN.md §14).
+// ---------------------------------------------------------------------
+
+fn sharded_cfg(shards: u32) -> SimConfig {
+    SimConfig {
+        shards,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn sharded_run_matches_serial_across_families_patterns_and_algorithms() {
+    for net in families() {
+        for alg in [Algorithm::Minimal, Algorithm::Valiant] {
+            let policy = RoutePolicy::new(&net, alg);
+            for (pattern, load, tag) in [
+                (SyntheticPattern::Uniform, 0.6, "UNI"),
+                (worst_case(&net), 0.9, "WC"),
+            ] {
+                let serial = run_synthetic(
+                    &net, &policy, &pattern, load, 20_000, 4_000, sharded_cfg(1),
+                );
+                for k in [2u32, 4, 7] {
+                    let sharded = run_synthetic_sharded(
+                        &net, &policy, &pattern, load, 20_000, 4_000, sharded_cfg(k),
+                    );
+                    assert_eq!(
+                        sharded, serial,
+                        "{} {alg:?} {tag}: {k} shards diverged from serial",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Adaptive (UGAL) routing consults buffer occupancies and the per-node
+/// RNG on every injection — the strongest exercise of the claim that
+/// shard-local state reproduces the serial decision stream.
+#[test]
+fn sharded_run_matches_serial_under_adaptive_routing() {
+    let net = slim_fly(5, SlimFlyP::Floor);
+    let policy = RoutePolicy::new(&net, best_adaptive(&net).1);
+    let pattern = worst_case(&net);
+    let serial = run_synthetic(&net, &policy, &pattern, 0.8, 20_000, 4_000, sharded_cfg(1));
+    for k in [2u32, 5] {
+        let sharded =
+            run_synthetic_sharded(&net, &policy, &pattern, 0.8, 20_000, 4_000, sharded_cfg(k));
+        assert_eq!(sharded, serial, "{k} shards diverged under UGAL");
+    }
+}
+
+#[test]
+fn sharded_probed_run_matches_serial_telemetry_exactly() {
+    let probe = ProbeConfig::default();
+    for net in [mlfm(4), oft(4)] {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let (serial_stats, serial_tel) = run_synthetic_probed(
+            &net, &policy, &SyntheticPattern::Uniform, 0.7, 20_000, 4_000,
+            sharded_cfg(1), probe,
+        );
+        for k in [2u32, 4] {
+            let (stats, tel) = run_synthetic_sharded_probed(
+                &net, &policy, &SyntheticPattern::Uniform, 0.7, 20_000, 4_000,
+                sharded_cfg(k), probe,
+            );
+            assert_eq!(stats, serial_stats, "{}: {k}-shard stats", net.name());
+            assert_eq!(tel, serial_tel, "{}: {k}-shard telemetry", net.name());
+        }
+        assert!(serial_tel.num_samples > 0);
+    }
+}
+
+#[test]
+fn sharded_traced_run_matches_serial_modulo_calendar_internals() {
+    for net in families() {
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let (serial_stats, mut serial_trace) = run_synthetic_traced(
+            &net, &policy, &SyntheticPattern::Uniform, 0.7, 20_000, 4_000,
+            sharded_cfg(1), TraceConfig::default(),
+        );
+        for k in [2u32, 4] {
+            let (stats, mut trace) = run_synthetic_sharded_traced(
+                &net, &policy, &SyntheticPattern::Uniform, 0.7, 20_000, 4_000,
+                sharded_cfg(k), TraceConfig::default(),
+            );
+            assert_eq!(stats, serial_stats, "{}: {k}-shard stats", net.name());
+            // The calendar's ring/drain/overflow split and day-jump
+            // count depend on each queue's local contents, so they are
+            // the one legitimately shard-dependent diagnostic; every
+            // engine-level counter and the full flight log must agree.
+            let cal = trace.counters.calendar.take();
+            serial_trace.counters.calendar = None;
+            assert!(cal.is_some(), "{}: calendar stats missing", net.name());
+            assert_eq!(trace, serial_trace, "{}: {k}-shard trace", net.name());
+        }
+    }
+}
+
+#[test]
+fn sharded_ledgered_run_matches_serial_ledger_exactly() {
+    let net = slim_fly(5, SlimFlyP::Floor);
+    let policy = RoutePolicy::new(&net, best_adaptive(&net).1);
+    let pattern = worst_case(&net);
+    let (serial_stats, serial_led) = run_synthetic_ledgered(
+        &net, &policy, &pattern, 0.8, 20_000, 4_000, sharded_cfg(1),
+        LedgerConfig::default(),
+    );
+    assert!(serial_led.decisions > 0, "ledger must see decisions");
+    for k in [2u32, 5] {
+        let (stats, led) = run_synthetic_sharded_ledgered(
+            &net, &policy, &pattern, 0.8, 20_000, 4_000, sharded_cfg(k),
+            LedgerConfig::default(),
+        );
+        assert_eq!(stats, serial_stats, "{k}-shard stats");
+        assert_eq!(led, serial_led, "{k}-shard ledger");
+    }
+}
+
+#[test]
+fn sharded_faulted_run_matches_serial_through_window_barriers() {
+    for net in families() {
+        let victim = net.neighbors(0)[0];
+        let schedule = FaultSchedule::new()
+            .at(8_000, FaultSet::new().fail_link(0, victim).clone())
+            .at(16_000, FaultSet::new().fail_router(net.endpoint_routers()[0]).clone());
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let serial = run_synthetic_faulted(
+            &net, &policy, &SyntheticPattern::Uniform, &schedule, 0.5, 40_000, 8_000,
+            sharded_cfg(1),
+        )
+        .expect("faulted run constructs");
+        for k in [2u32, 4] {
+            let sharded = run_synthetic_sharded_faulted(
+                &net, &policy, &SyntheticPattern::Uniform, &schedule, 0.5, 40_000, 8_000,
+                sharded_cfg(k),
+            )
+            .expect("sharded faulted run constructs");
+            assert_eq!(sharded, serial, "{}: {k} shards under faults", net.name());
+        }
+        assert!(serial.dropped_packets > 0 || serial.retried_packets > 0);
+    }
+}
+
+#[test]
+fn sharded_faulted_probed_run_matches_serial_link_down_accounting() {
+    let net = mlfm(4);
+    let victim = net.neighbors(0)[0];
+    let schedule =
+        FaultSchedule::new().at(8_000, FaultSet::new().fail_link(0, victim).clone());
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let probe = ProbeConfig::default();
+    let (serial_stats, serial_tel) = run_synthetic_faulted_probed(
+        &net, &policy, &SyntheticPattern::Uniform, &schedule, 0.5, 30_000, 6_000,
+        sharded_cfg(1), probe,
+    )
+    .expect("faulted probed run constructs");
+    assert!(serial_tel.total_link_down_events > 0);
+    for k in [2u32, 4] {
+        let (stats, tel) = run_synthetic_sharded_faulted_probed(
+            &net, &policy, &SyntheticPattern::Uniform, &schedule, 0.5, 30_000, 6_000,
+            sharded_cfg(k), probe,
+        )
+        .expect("sharded faulted probed run constructs");
+        assert_eq!(stats, serial_stats, "{k}-shard stats");
+        assert_eq!(tel, serial_tel, "{k}-shard telemetry under faults");
+    }
+}
+
+/// Sweeps pass the shard count through `PointRunner`: a sweep whose
+/// points run sharded must equal the serial sweep point for point (the
+/// sharded point substitutes the derived per-point seed, see
+/// `PointRunner::run_point`), in both the serial and parallel harness.
+#[test]
+fn sharded_sweep_matches_serial_sweep_point_for_point() {
+    let loads = load_grid(4);
+    let net = slim_fly(5, SlimFlyP::Floor);
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let serial = load_sweep_collect(
+        &net, &policy, &SyntheticPattern::Uniform, &loads, 20_000, 4_000, sharded_cfg(1),
+    );
+    for k in [3u32, 4] {
+        let sharded = load_sweep_collect(
+            &net, &policy, &SyntheticPattern::Uniform, &loads, 20_000, 4_000, sharded_cfg(k),
+        );
+        assert_eq!(sharded.points, serial.points, "{k}-shard serial-harness sweep");
+        let par = par_load_sweep_collect(
+            &net, &policy, &SyntheticPattern::Uniform, &loads, 20_000, 4_000,
+            sharded_cfg(k), 4,
+        );
+        assert_eq!(par.points, serial.points, "{k}-shard parallel-harness sweep");
+    }
+}
+
+/// A wedging configuration must wedge identically sharded: same
+/// deadlock verdict, same stranded-packet forensics in the probe.
+#[test]
+fn sharded_wedge_detection_matches_serial() {
+    let (net, policy, pattern, cfg) = wedging_ring();
+    let probe = ProbeConfig::default();
+    let sharded_wedge_cfg = |k: u32| SimConfig { shards: k, ..cfg };
+    let (serial_stats, serial_tel) = run_synthetic_probed(
+        &net, &policy, &pattern, 1.0, 50_000, 0, sharded_wedge_cfg(1), probe,
+    );
+    assert!(serial_stats.deadlocked, "the ring must wedge");
+    for k in [2u32, 5] {
+        let (stats, tel) = run_synthetic_sharded_probed(
+            &net, &policy, &pattern, 1.0, 50_000, 0, sharded_wedge_cfg(k), probe,
+        );
+        assert_eq!(stats, serial_stats, "{k}-shard wedge stats");
+        assert_eq!(tel, serial_tel, "{k}-shard wedge forensics");
+    }
+}
+
+/// Satellite regression: `Engine::reset` must rewind the calendar
+/// queue's diagnostic counters along with its contents — a traced sweep
+/// point's calendar stats must equal a standalone traced run's.
+#[test]
+fn calendar_stats_reset_between_sweep_points() {
+    let net = mlfm(4);
+    let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+    let loads = [0.3, 0.7];
+    let base = SimConfig::default();
+    let (outcome, traces) = load_sweep_traced_collect(
+        &net, &policy, &SyntheticPattern::Uniform, &loads, 20_000, 4_000, base,
+        TraceConfig::default(),
+    );
+    assert_eq!(traces.len(), loads.len());
+    for (i, (pt, &load)) in traces.iter().zip(&loads).enumerate() {
+        let cfg = SimConfig {
+            seed: point_seed(base.seed, i),
+            ..base
+        };
+        let (_, standalone) = run_synthetic_traced(
+            &net, &policy, &SyntheticPattern::Uniform, load, 20_000, 4_000, cfg,
+            TraceConfig::default(),
+        );
+        assert_eq!(
+            pt.trace.counters.calendar, standalone.counters.calendar,
+            "point {i}: calendar stats leaked across Engine::reset"
+        );
+        assert_eq!(pt.trace, standalone, "point {i}: trace diverged");
+    }
+    assert!(outcome.notices.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shard-count independence: a random shard count (including counts
+    /// that don't divide the router count, and 1) never changes the
+    /// simulated statistics.
+    #[test]
+    fn random_shard_counts_never_change_stats(
+        k in 1u32..10,
+        load_idx in 0usize..3,
+    ) {
+        let net = mlfm(4);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let load = [0.3, 0.6, 1.0][load_idx];
+        let serial = run_synthetic(
+            &net, &policy, &SyntheticPattern::Uniform, load, 10_000, 2_000, sharded_cfg(1),
+        );
+        let sharded = run_synthetic_sharded(
+            &net, &policy, &SyntheticPattern::Uniform, load, 10_000, 2_000, sharded_cfg(k),
+        );
+        prop_assert_eq!(sharded, serial);
     }
 }
