@@ -3,7 +3,7 @@
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
 # Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke] [--decision-smoke]
-#              [--analysis-smoke] [--shard-smoke]
+#              [--analysis-smoke] [--shard-smoke] [--serve-smoke]
 #   --bench-smoke     additionally compiles every benchmark and runs a
 #                     smoke-sized bench_sweep, writing BENCH_sweep.json.
 #   --fault-smoke     additionally runs the tiny resilience sweep and
@@ -30,6 +30,13 @@
 #                     two shard counts and the parallel harness at two
 #                     thread budgets) and checks the written manifest
 #                     carries a "sharding" section.
+#   --serve-smoke     additionally runs the batch sweep service gate
+#                     (d2net-serve): spools two requests, SIGTERMs the
+#                     server mid-sweep, restarts it with --once, and
+#                     asserts the resumed manifest byte-equals an
+#                     uninterrupted run's once the "supervision" section
+#                     is stripped — and that the section records the
+#                     resume.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +48,7 @@ TRACE_SMOKE=0
 DECISION_SMOKE=0
 ANALYSIS_SMOKE=0
 SHARD_SMOKE=0
+SERVE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -49,6 +57,7 @@ for arg in "$@"; do
     --decision-smoke) DECISION_SMOKE=1 ;;
     --analysis-smoke) ANALYSIS_SMOKE=1 ;;
     --shard-smoke) SHARD_SMOKE=1 ;;
+    --serve-smoke) SERVE_SMOKE=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -131,6 +140,53 @@ if [[ "$SHARD_SMOKE" == "1" ]]; then
   grep -q '"sharding"' SHARD_smoke.json
   grep -q '"shards":2' SHARD_smoke.json
   grep -q '"thread_budget":6' SHARD_smoke.json
+fi
+
+if [[ "$SERVE_SMOKE" == "1" ]]; then
+  echo "== serve smoke: spool, SIGTERM mid-sweep, resume, byte-equality gate =="
+  cargo build --release --example d2net-serve
+  SERVE=target/release/examples/d2net-serve
+  SPOOL=$(mktemp -d)
+  trap 'rm -rf "$SPOOL"' EXIT
+  mkdir -p "$SPOOL/spool" "$SPOOL/out" "$SPOOL/clean"
+  # Request A is sized so SIGTERM lands mid-sweep (8 points x 60 us);
+  # request B is small and should finish in the first pass.
+  cat > "$SPOOL/req-a.json" <<'EOF'
+{"id":"req-a","topology":"slim_fly:5","algorithm":"minimal","pattern":"uniform","steps":8,"duration_ns":60000,"warmup_ns":10000,"seed":21}
+EOF
+  cat > "$SPOOL/req-b.json" <<'EOF'
+{"id":"req-b","topology":"mlfm:4","algorithm":"valiant","pattern":"uniform","loads":[0.2,0.5],"duration_ns":8000,"warmup_ns":1500,"seed":22}
+EOF
+  # Uninterrupted baseline for request A.
+  cp "$SPOOL/req-a.json" "$SPOOL/clean/req-a.json"
+  "$SERVE" "$SPOOL/clean" --out "$SPOOL/clean" --once > /dev/null
+
+  cp "$SPOOL/req-a.json" "$SPOOL/req-b.json" "$SPOOL/spool/"
+  "$SERVE" "$SPOOL/spool" --out "$SPOOL/out" --workers 1 &
+  SRV=$!
+  # SIGTERM once request A's journal holds at least two completed
+  # points (header + 2 lines) — i.e. genuinely mid-sweep.
+  for _ in $(seq 1 600); do
+    LINES=$(wc -l < "$SPOOL/out/req-a.journal" 2>/dev/null || echo 0)
+    [[ "$LINES" -ge 3 ]] && break
+    sleep 0.05
+  done
+  kill -TERM "$SRV"
+  wait "$SRV"
+  test -f "$SPOOL/spool/req-a.json"        # interrupted request stays spooled
+  test -f "$SPOOL/out/req-a.journal"       # with its journal
+  # Restart drains the spool, resuming request A from the journal.
+  "$SERVE" "$SPOOL/spool" --out "$SPOOL/out" --once
+  test ! -e "$SPOOL/spool/req-a.json"
+  grep -q '"supervision"' "$SPOOL/out/req-a.manifest.json"
+  grep -q '"skipped_by_resume":' "$SPOOL/out/req-a.manifest.json"
+  grep -q '"schema":"d2net.run-manifest/v1"' "$SPOOL/out/req-b.manifest.json"
+  # The resumed manifest must byte-equal the uninterrupted one modulo
+  # the supervision section (the one legitimate difference).
+  sed 's/"supervision":{[^{}]*},//' "$SPOOL/out/req-a.manifest.json" > "$SPOOL/resumed_stripped.json"
+  cmp "$SPOOL/resumed_stripped.json" "$SPOOL/clean/req-a.manifest.json"
+  trap - EXIT
+  rm -rf "$SPOOL"
 fi
 
 echo "ci.sh: all green"

@@ -32,7 +32,8 @@ fn main() {
         results.push(timed);
     }
     let json = bench_analysis_json(&results);
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    d2net_core::journal::write_atomic(&out, &json)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("\nwrote {out} ({} bytes)", json.len());
     if failed > 0 {
         eprintln!("{failed} case(s) failed the divergence gate");

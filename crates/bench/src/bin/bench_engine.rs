@@ -27,6 +27,7 @@ fn main() {
         results.push(timed);
     }
     let json = bench_engine_json(&results);
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    d2net_core::journal::write_atomic(&out, &json)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("\nwrote {out} ({} bytes)", json.len());
 }

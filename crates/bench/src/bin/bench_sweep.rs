@@ -22,6 +22,7 @@ fn main() {
         results.push(timed);
     }
     let json = bench_sweep_json(&results);
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    d2net_core::journal::write_atomic(&out, &json)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("\nwrote {out} ({} bytes)", json.len());
 }

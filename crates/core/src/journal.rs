@@ -1,0 +1,369 @@
+//! Durable point journal: crash-safe checkpoint/resume for supervised
+//! sweeps.
+//!
+//! A journal is a JSONL file next to a sweep's output: one header line
+//! identifying the run (a content hash of everything that determines
+//! simulated results), then one line per *completed* point carrying its
+//! [`SyntheticStats`]. Lines are appended and flushed as points finish,
+//! so a killed process loses at most the line it was writing; on
+//! restart, [`PointJournal::open`] replays the journal and the
+//! supervisor re-simulates only the missing points. Exceptional points
+//! (panicked, exhausted) are deliberately *not* journaled — a resume
+//! retries them.
+//!
+//! Stats round-trip byte-exactly: the journal stores every float in the
+//! manifest's own `{:.6}` rendering, and parsing then re-rendering a
+//! 6-decimal string of these magnitudes reproduces it — so a manifest
+//! assembled from replayed points is byte-identical to one from an
+//! uninterrupted run.
+
+use crate::compare::Json;
+use crate::report::JsonWriter;
+use d2net_sim::SyntheticStats;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a over `bytes` — the journal's content hash. Stable across
+/// runs and platforms (no randomized state), cheap, and collision-safe
+/// enough for "did the run configuration change" checks.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in
+/// `<path>.tmp` first and are renamed into place, so a reader (or a
+/// crash) never observes a half-written file. The rename stays on one
+/// filesystem, which makes it atomic on POSIX.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Outcome of replaying a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalReplay {
+    /// Per-index replayed stats; `None` where the journal had no
+    /// (valid) line. Always `loads.len()` long.
+    pub prefilled: Vec<Option<SyntheticStats>>,
+    /// Truncated or garbage lines skipped (the torn tail of a killed
+    /// writer, stray edits); surfaced as a coded notice upstream.
+    pub lines_skipped: u32,
+    /// Whether the header matched this run's key — `false` means the
+    /// file was absent or belonged to a different configuration and
+    /// every point re-simulates.
+    pub matched: bool,
+}
+
+impl JournalReplay {
+    fn empty(points: usize) -> Self {
+        JournalReplay {
+            prefilled: vec![None; points],
+            lines_skipped: 0,
+            matched: false,
+        }
+    }
+
+    /// Number of points the replay prefilled.
+    pub fn replayed(&self) -> usize {
+        self.prefilled.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// An append-side handle to a journal file. Appends are serialized
+/// through an internal lock and flushed per line, so worker threads can
+/// journal completions concurrently and a kill loses at most one line.
+pub struct PointJournal {
+    file: Mutex<std::fs::File>,
+}
+
+impl PointJournal {
+    /// Replays `path` against this run's identity (`run_key`, point
+    /// count) and opens it for appending. A missing, stale (key or
+    /// count mismatch) or headerless journal is truncated and restarted
+    /// fresh; a matching one is preserved and extended.
+    pub fn open(
+        path: &Path,
+        run_key: u64,
+        points: usize,
+    ) -> std::io::Result<(PointJournal, JournalReplay)> {
+        let replay = replay_file(path, run_key, points);
+        let mut opts = std::fs::OpenOptions::new();
+        if replay.matched {
+            opts.append(true);
+        } else {
+            opts.write(true).truncate(true);
+        }
+        let mut file = opts.create(true).open(path)?;
+        if !replay.matched {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("schema").string("d2net.journal/v1");
+            w.key("run_key").string(&format!("{run_key:016x}"));
+            w.key("points").u64(points as u64);
+            w.end_object();
+            let mut line = w.finish();
+            line.push('\n');
+            file.write_all(line.as_bytes())?;
+            file.flush()?;
+        }
+        Ok((
+            PointJournal {
+                file: Mutex::new(file),
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one completed point and flushes. An I/O error is
+    /// returned, not panicked — the supervisor keeps simulating and the
+    /// run degrades to journal-less.
+    pub fn append(&self, idx: usize, stats: &SyntheticStats) -> std::io::Result<()> {
+        let mut line = point_line(idx, stats);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// One journal point line (no trailing newline).
+fn point_line(idx: usize, s: &SyntheticStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("idx").u64(idx as u64);
+    w.key("offered_load").f64(s.offered_load);
+    w.key("throughput").f64(s.throughput);
+    w.key("avg_delay_ns").f64(s.avg_delay_ns);
+    w.key("max_delay_ns").u64(s.max_delay_ns);
+    w.key("delivered_packets").u64(s.delivered_packets);
+    w.key("indirect_packets").u64(s.indirect_packets);
+    w.key("avg_hops").f64(s.avg_hops);
+    w.key("p99_delay_ns").u64(s.p99_delay_ns);
+    w.key("max_link_utilization").f64(s.max_link_utilization);
+    w.key("dropped_packets").u64(s.dropped_packets);
+    w.key("retried_packets").u64(s.retried_packets);
+    w.key("deadlocked").bool(s.deadlocked);
+    w.key("exhausted").bool(s.exhausted);
+    w.end_object();
+    w.finish()
+}
+
+fn parse_point_line(doc: &Json, points: usize) -> Option<(usize, SyntheticStats)> {
+    let idx = doc.get("idx")?.as_u64()? as usize;
+    if idx >= points {
+        return None;
+    }
+    let stats = SyntheticStats {
+        offered_load: doc.get("offered_load")?.as_f64()?,
+        throughput: doc.get("throughput")?.as_f64()?,
+        avg_delay_ns: doc.get("avg_delay_ns")?.as_f64()?,
+        max_delay_ns: doc.get("max_delay_ns")?.as_u64()?,
+        delivered_packets: doc.get("delivered_packets")?.as_u64()?,
+        indirect_packets: doc.get("indirect_packets")?.as_u64()?,
+        avg_hops: doc.get("avg_hops")?.as_f64()?,
+        p99_delay_ns: doc.get("p99_delay_ns")?.as_u64()?,
+        max_link_utilization: doc.get("max_link_utilization")?.as_f64()?,
+        dropped_packets: doc.get("dropped_packets")?.as_u64()?,
+        retried_packets: doc.get("retried_packets")?.as_u64()?,
+        deadlocked: matches!(doc.get("deadlocked")?, Json::Bool(true)),
+        exhausted: matches!(doc.get("exhausted")?, Json::Bool(true)),
+    };
+    Some((idx, stats))
+}
+
+/// Replays a journal file without opening it for append — the
+/// read-only half of [`PointJournal::open`].
+pub fn replay_file(path: &Path, run_key: u64, points: usize) -> JournalReplay {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return JournalReplay::empty(points),
+    };
+    let mut lines = text.lines();
+    let header_ok = lines.next().and_then(|h| Json::parse(h).ok()).is_some_and(|h| {
+        h.get("schema").and_then(Json::as_str) == Some("d2net.journal/v1")
+            && h.get("run_key").and_then(Json::as_str)
+                == Some(format!("{run_key:016x}").as_str())
+            && h.get("points").and_then(Json::as_u64) == Some(points as u64)
+    });
+    if !header_ok {
+        return JournalReplay::empty(points);
+    }
+    let mut replay = JournalReplay {
+        prefilled: vec![None; points],
+        lines_skipped: 0,
+        matched: true,
+    };
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line)
+            .ok()
+            .as_ref()
+            .and_then(|doc| parse_point_line(doc, points))
+        {
+            Some((idx, stats)) => replay.prefilled[idx] = Some(stats),
+            // A torn tail from a killed writer, or stray garbage: skip
+            // the line and count it, never fail the resume.
+            None => replay.lines_skipped += 1,
+        }
+    }
+    replay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(load: f64) -> SyntheticStats {
+        SyntheticStats {
+            offered_load: load,
+            throughput: load * 0.987_654_4,
+            avg_delay_ns: 1_234.567_89,
+            max_delay_ns: 98_765,
+            delivered_packets: 4_242,
+            indirect_packets: 17,
+            avg_hops: 2.345_678,
+            p99_delay_ns: 4_096,
+            max_link_utilization: 0.875_001,
+            dropped_packets: 3,
+            retried_packets: 1,
+            deadlocked: false,
+            exhausted: false,
+        }
+    }
+
+    /// The manifest's `{:.6}` rendering of the stats fields a curve
+    /// point serializes — journal round-trips must preserve exactly
+    /// these bytes.
+    fn manifest_rendering(s: &SyntheticStats) -> String {
+        format!(
+            "{:.6}|{:.6}|{:.6}|{:.6}|{:.6}|{}|{}|{}|{}|{}|{}|{}",
+            s.offered_load,
+            s.throughput,
+            s.avg_delay_ns,
+            s.max_link_utilization,
+            s.avg_hops,
+            s.max_delay_ns,
+            s.delivered_packets,
+            s.indirect_packets,
+            s.p99_delay_ns,
+            s.dropped_packets,
+            s.retried_packets,
+            s.deadlocked,
+        )
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"run1"), fnv1a(b"run2"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("d2net_journal_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!dir.join("out.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_round_trips_points_byte_exactly() {
+        let dir = std::env::temp_dir().join("d2net_journal_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let key = fnv1a(b"round-trip-run");
+
+        let (journal, replay) = PointJournal::open(&path, key, 4).unwrap();
+        assert!(!replay.matched, "fresh journal has nothing to replay");
+        journal.append(1, &stats(0.25)).unwrap();
+        journal.append(3, &stats(0.75)).unwrap();
+        drop(journal);
+
+        let (_, replay) = PointJournal::open(&path, key, 4).unwrap();
+        assert!(replay.matched);
+        assert_eq!(replay.replayed(), 2);
+        assert!(replay.prefilled[0].is_none() && replay.prefilled[2].is_none());
+        for (idx, load) in [(1usize, 0.25), (3usize, 0.75)] {
+            let got = replay.prefilled[idx].as_ref().unwrap();
+            assert_eq!(
+                manifest_rendering(got),
+                manifest_rendering(&stats(load)),
+                "replayed stats must re-render to the same manifest bytes"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_or_foreign_journals_are_restarted() {
+        let dir = std::env::temp_dir().join("d2net_journal_test_stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+
+        let (journal, _) = PointJournal::open(&path, 1, 4).unwrap();
+        journal.append(0, &stats(0.1)).unwrap();
+        drop(journal);
+        // Same file, different run key: nothing replays and the file is
+        // truncated for the new run.
+        let (_, replay) = PointJournal::open(&path, 2, 4).unwrap();
+        assert!(!replay.matched);
+        assert_eq!(replay.replayed(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "only the new header remains");
+        // A point-count change is a config change too.
+        let (_, replay) = PointJournal::open(&path, 2, 5).unwrap();
+        assert!(!replay.matched);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_garbage_lines_are_skipped_with_a_count() {
+        let dir = std::env::temp_dir().join("d2net_journal_test_torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let key = fnv1a(b"torn-run");
+
+        let (journal, _) = PointJournal::open(&path, key, 4).unwrap();
+        journal.append(0, &stats(0.25)).unwrap();
+        journal.append(1, &stats(0.5)).unwrap();
+        drop(journal);
+        // Simulate a kill mid-append (torn tail) plus stray garbage.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"idx\":2,\"offered_load\":0.75,\"throu");
+        std::fs::write(&path, &text).unwrap();
+
+        let replay = replay_file(&path, key, 4);
+        assert!(replay.matched);
+        assert_eq!(replay.replayed(), 2, "intact lines replay");
+        assert_eq!(replay.lines_skipped, 1, "the torn tail is skipped");
+        assert!(replay.prefilled[2].is_none());
+
+        // Out-of-range indices are skipped too, not a crash.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&format!("\n{}\n", super::point_line(99, &stats(0.9))));
+        std::fs::write(&path, &text).unwrap();
+        let replay = replay_file(&path, key, 4);
+        assert_eq!(replay.lines_skipped, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -39,9 +39,11 @@ pub mod compare;
 pub mod configs;
 pub mod divergence;
 pub mod experiment;
+pub mod journal;
 pub mod plot;
 pub mod report;
 pub mod resilience;
+pub mod supervise;
 pub mod trace_export;
 
 pub use d2net_analysis as analysis;
@@ -67,11 +69,16 @@ pub mod prelude {
         fig13, fig14, fig3, fig4, fig6, fig6_par, ledgered_curve, table2, traced_curve, Curve,
         CurveSet, ExchangeRow, LedgeredCurve, TracedCurve, Traffic,
     };
+    pub use crate::journal::{fnv1a, write_atomic, JournalReplay, PointJournal};
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
     pub use crate::resilience::{
         failure_fractions, resilience_sweep, resilience_sweep_par, resilience_sweep_traced,
         resilience_sweep_traced_par, ResilienceCurve, ResiliencePoint,
+    };
+    pub use crate::supervise::{
+        parse_algorithm, parse_pattern, parse_topology, run_supervised, supervision_manifest,
+        SupervisedRequest, SupervisedRun,
     };
     pub use crate::trace_export::{chrome_trace_json, chrome_trace_json_ledgered};
     pub use d2net_analysis::{
@@ -85,7 +92,8 @@ pub mod prelude {
         DecisionVerdict, IntermediateSet, MinimalTables, RoutePolicy, VcScheme,
     };
     pub use d2net_sim::{
-        flight_sampled, ledger_metrics, load_grid, load_grid_from, load_sweep, load_sweep_collect,
+        backoff_ms, flight_sampled, ledger_metrics, load_grid, load_grid_from, load_sweep,
+        load_sweep_collect,
         load_sweep_ledgered_collect, load_sweep_probed, load_sweep_probed_collect,
         load_sweep_traced_collect, par_curves, par_load_sweep, par_load_sweep_collect,
         par_load_sweep_ledgered_collect, par_load_sweep_probed, par_load_sweep_probed_collect,
@@ -95,14 +103,16 @@ pub mod prelude {
         run_synthetic_ledgered, run_synthetic_probed, run_synthetic_sharded,
         run_synthetic_sharded_faulted, run_synthetic_sharded_faulted_probed,
         run_synthetic_sharded_ledgered, run_synthetic_sharded_probed, run_synthetic_sharded_traced,
-        run_synthetic_traced, sweep_metrics, CalendarStats, DeadlockReport,
-        DecisionLedger, DecisionSample, EngineFault, EngineLedger, EngineTrace, EventQueueKind,
-        ExchangeStats, FaultEvent, FaultSchedule, FlightEvent, FlightEventKind, HarnessSpan,
-        HotCounters, LedgerConfig, Metric, MetricValue, MetricsRegistry, PacketFlight, PhaseSpan,
-        PointLedger, PointTrace, PortHeat, Preflight, ProbeConfig, RingEvent, RingEventKind,
-        RouterDecisionStats, SimConfig, SimPhase, SpanProfiler, SweepNotice, SweepOutcome,
-        SweepPoint, SyntheticStats, TelemetryReport, TelemetrySummary, TraceConfig, WaitPoint,
-        WaitSide, LEDGER_TOP_N, MARGIN_BOUNDS_BYTES,
+        run_synthetic_traced, supervised_load_sweep_collect, supervised_load_sweep_hooked,
+        sweep_metrics, CalendarStats, ChaosConfig, ChaosKind, DeadlockReport,
+        DecisionLedger, DecisionSample, EngineChaos, EngineFault, EngineLedger, EngineTrace,
+        EventQueueKind, ExchangeStats, FaultEvent, FaultSchedule, FlightEvent, FlightEventKind,
+        HarnessSpan, HotCounters, LedgerConfig, Metric, MetricValue, MetricsRegistry,
+        PacketFlight, PhaseSpan, PointLedger, PointTrace, PortHeat, Preflight, ProbeConfig,
+        RingEvent, RingEventKind, RouterDecisionStats, RunBudget, SimConfig, SimPhase,
+        SpanProfiler, SupervisedSweep, SuperviseConfig, SuperviseHooks, SupervisionSummary,
+        SweepNotice, SweepOutcome, SweepPoint, SyntheticStats, TelemetryReport, TelemetrySummary,
+        TraceConfig, WaitPoint, WaitSide, LEDGER_TOP_N, MARGIN_BOUNDS_BYTES,
     };
     pub use d2net_topo::{
         fat_tree2, hyperx2, hyperx2_balanced, mlfm, mlfm_general, oft, oft_general, slim_fly,

@@ -374,6 +374,7 @@ mod tests {
                         dropped_packets: 0,
                         retried_packets: 0,
                         deadlocked: false,
+                        exhausted: false,
                     },
                 })
                 .collect(),

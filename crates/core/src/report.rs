@@ -43,6 +43,45 @@ pub struct ShardingManifest {
     pub thread_budget: u32,
 }
 
+/// The `"supervision"` section of a [`RunManifest`]: per-category point
+/// accounting from a supervised sweep (see `d2net_sim::supervise`) plus
+/// the journal's replay record. Emitted only when the run had something
+/// to report ([`SupervisionManifest::is_trivial`]) so clean supervised
+/// manifests stay byte-identical to unsupervised ones; the serve-smoke
+/// CI gate strips the section before comparing resumed against
+/// uninterrupted manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisionManifest {
+    /// Points simulated to a real result this run (wedges included).
+    pub completed: u32,
+    /// Points that succeeded only after at least one retry.
+    pub retried: u32,
+    /// Points whose final outcome (after retries) was budget exhaustion.
+    pub exhausted: u32,
+    /// Points whose final outcome (after retries) was an isolated panic.
+    pub panicked: u32,
+    /// Points replayed from the resume journal instead of simulated.
+    pub skipped_by_resume: u32,
+    /// Points never started because the stop signal fired first.
+    pub not_run: u32,
+    /// Truncated or garbage trailing journal lines skipped on replay.
+    pub journal_lines_skipped: u32,
+}
+
+impl SupervisionManifest {
+    /// True when there is nothing beyond plain completions to report —
+    /// the condition under which [`RunManifest::to_json`] omits the
+    /// section entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.retried == 0
+            && self.exhausted == 0
+            && self.panicked == 0
+            && self.skipped_by_resume == 0
+            && self.not_run == 0
+            && self.journal_lines_skipped == 0
+    }
+}
+
 impl SweepTiming {
     /// Serial wall-clock over parallel wall-clock.
     pub fn speedup(&self) -> f64 {
@@ -562,6 +601,11 @@ pub struct RunManifest {
     /// Structured notices the sweeps raised (early-abort on wedge, …),
     /// captured here instead of interleaving on stderr.
     pub notices: Vec<SweepNotice>,
+    /// Supervision accounting of a supervised campaign
+    /// ([`RunManifest::set_supervision`]); `None` — or a trivial record
+    /// — emits no `"supervision"` key, keeping clean supervised
+    /// manifests byte-identical to unsupervised ones.
+    pub supervision: Option<SupervisionManifest>,
     /// Fault-injection record of a resilience campaign
     /// ([`RunManifest::set_faults`]); `None` for pristine runs, which
     /// then emit no `"faults"` key.
@@ -611,6 +655,7 @@ impl RunManifest {
             preflight: None,
             timing: None,
             notices: Vec::new(),
+            supervision: None,
             faults: None,
             trace: None,
             decisions: None,
@@ -641,6 +686,12 @@ impl RunManifest {
     /// Appends sweep notices (e.g. from `SweepOutcome::notices`).
     pub fn push_notices(&mut self, notices: &[SweepNotice]) -> &mut Self {
         self.notices.extend_from_slice(notices);
+        self
+    }
+
+    /// Records the supervision accounting of a supervised campaign.
+    pub fn set_supervision(&mut self, supervision: SupervisionManifest) -> &mut Self {
+        self.supervision = Some(supervision);
         self
     }
 
@@ -789,12 +840,28 @@ impl RunManifest {
         w.key("notices").begin_array();
         for n in &self.notices {
             w.begin_object();
+            w.key("code").string(n.code);
             w.key("index").u64(n.index as u64);
             w.key("load").f64(n.load);
             w.key("message").string(&n.message);
             w.end_object();
         }
         w.end_array();
+        // Emitted only when supervision had something to report (see
+        // `SupervisionManifest::is_trivial`), and kept flat so the
+        // serve-smoke gate can strip it with one sed before byte-
+        // comparing resumed manifests against uninterrupted ones.
+        if let Some(sv) = self.supervision.filter(|sv| !sv.is_trivial()) {
+            w.key("supervision").begin_object();
+            w.key("completed").u64(sv.completed as u64);
+            w.key("retried").u64(sv.retried as u64);
+            w.key("exhausted").u64(sv.exhausted as u64);
+            w.key("panicked").u64(sv.panicked as u64);
+            w.key("skipped_by_resume").u64(sv.skipped_by_resume as u64);
+            w.key("not_run").u64(sv.not_run as u64);
+            w.key("journal_lines_skipped").u64(sv.journal_lines_skipped as u64);
+            w.end_object();
+        }
         // Emitted only for resilience campaigns so downstream tooling
         // (and the CI fault-smoke gate) can key on the section's presence.
         if let Some(f) = &self.faults {
@@ -1035,6 +1102,7 @@ impl RunManifest {
                 w.key("dropped_packets").u64(p.stats.dropped_packets);
                 w.key("retried_packets").u64(p.stats.retried_packets);
                 w.key("deadlocked").bool(p.stats.deadlocked);
+                w.key("exhausted").bool(p.stats.exhausted);
                 w.key("telemetry");
                 match &p.telemetry {
                     None => {
@@ -1199,16 +1267,17 @@ mod tests {
             threads: 4,
             points: 8,
         });
-        m.push_notices(&[SweepNotice {
-            index: 5,
-            load: 0.75,
-            message: "network wedged at offered load 0.750".into(),
-        }]);
+        m.push_notices(&[SweepNotice::new(
+            "wedged",
+            5,
+            0.75,
+            "network wedged at offered load 0.750".into(),
+        )]);
         let s = m.to_json();
         assert!(s.contains("\"serial_ms\":800.000000"));
         assert!(s.contains("\"speedup\":4.000000"));
         assert!(s.contains("\"serial_points_per_sec\":10.000000"));
-        assert!(s.contains("\"notices\":[{\"index\":5,\"load\":0.750000"));
+        assert!(s.contains("\"notices\":[{\"code\":\"wedged\",\"index\":5,\"load\":0.750000"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
@@ -1233,6 +1302,44 @@ mod tests {
         let s = m.to_json();
         assert!(s.contains(
             "\"sharding\":{\"shards\":4,\"point_workers\":2,\"thread_budget\":8}"
+        ));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn supervision_section_omitted_when_trivial_then_serializes_flat() {
+        use d2net_sim::SimConfig;
+        use d2net_topo::mlfm;
+
+        let net = mlfm(4);
+        let mut m = RunManifest::new(
+            "supervised", &net, "MIN", "uniform", 30_000, 6_000, SimConfig::default(),
+        );
+        assert!(!m.to_json().contains("supervision"));
+
+        // A clean run (only completions) must also emit nothing — that
+        // is what keeps clean supervised manifests byte-identical to
+        // unsupervised ones.
+        m.set_supervision(SupervisionManifest {
+            completed: 20,
+            ..SupervisionManifest::default()
+        });
+        assert!(!m.to_json().contains("supervision"));
+
+        m.set_supervision(SupervisionManifest {
+            completed: 17,
+            retried: 2,
+            exhausted: 1,
+            panicked: 0,
+            skipped_by_resume: 8,
+            not_run: 0,
+            journal_lines_skipped: 1,
+        });
+        let s = m.to_json();
+        assert!(s.contains(
+            "\"supervision\":{\"completed\":17,\"retried\":2,\"exhausted\":1,\
+             \"panicked\":0,\"skipped_by_resume\":8,\"not_run\":0,\
+             \"journal_lines_skipped\":1}"
         ));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
     }

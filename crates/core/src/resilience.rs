@@ -135,15 +135,16 @@ fn resilience_point(
     let report = verify(subject, &policy, &point_cfg.verify_params());
     let certified = report.verdict() == Verdict::Certified;
     let (stats, notice, engine_trace) = if report.verdict() == Verdict::Rejected {
-        let notice = SweepNotice {
-            index: idx,
+        let notice = SweepNotice::new(
+            "rejected",
+            idx,
             load,
-            message: format!(
+            format!(
                 "verifier rejected the repaired configuration at failure \
                  fraction {fraction:.3}; point carries a stub:\n{}",
                 report.render()
             ),
-        };
+        );
         // Rejected points carry no trace — rejection is pure per point,
         // so serial and parallel traced sweeps skip the same points.
         (SyntheticStats::rejected_stub(load), Some(notice), None)

@@ -55,6 +55,73 @@ pub enum EventQueueKind {
     Heap,
 }
 
+/// Per-point run budget, enforced inside the engine's event loop. A
+/// field of `0` means unlimited; the default is fully unlimited, so a
+/// budget-free config simulates exactly as before. When a limit trips,
+/// the engine stops popping events and reports the run as **exhausted**
+/// ([`crate::SyntheticStats::exhausted`]) with the measurements
+/// accumulated so far — a structured abort instead of a hang.
+///
+/// The event-count limit is deterministic (the schedule is a pure
+/// function of the config, so the abort point is too); the wall-clock
+/// limit is inherently not, and is meant as a supervisor's last line of
+/// defense against runs that stall without making event progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Maximum events popped per run (`0` = unlimited). Deterministic.
+    pub max_events: u64,
+    /// Maximum wall-clock milliseconds per run (`0` = unlimited).
+    /// Checked every 1024 pops; not deterministic across machines.
+    pub max_wall_ms: u64,
+}
+
+impl RunBudget {
+    /// True when no limit is set — the engine loop skips all budget
+    /// bookkeeping in that case.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events == 0 && self.max_wall_ms == 0
+    }
+
+    /// An event-count-only budget.
+    pub fn events(max_events: u64) -> Self {
+        RunBudget {
+            max_events,
+            max_wall_ms: 0,
+        }
+    }
+
+    /// A wall-clock-only budget.
+    pub fn wall_ms(max_wall_ms: u64) -> Self {
+        RunBudget {
+            max_events: 0,
+            max_wall_ms,
+        }
+    }
+}
+
+/// What an injected chaos fault does when it fires (see
+/// [`crate::supervise::ChaosConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// `panic!` inside the event loop — exercises `catch_unwind`
+    /// isolation in the sweep harnesses.
+    Panic,
+    /// Stop making event progress (sleep) until the wall-clock budget
+    /// trips (or a 2 s failsafe, so an unbudgeted run cannot hang
+    /// forever) — exercises the budget abort path.
+    Stall,
+}
+
+/// One armed chaos fault: fire `kind` after `after_events` event pops.
+/// Decided per (point, attempt) by the supervisor
+/// ([`crate::supervise::ChaosConfig::decide`]); `SimConfig::chaos` is
+/// `None` everywhere outside supervised chaos runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineChaos {
+    pub kind: ChaosKind,
+    pub after_events: u64,
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -84,6 +151,13 @@ pub struct SimConfig {
     /// set, otherwise a size-based heuristic; `1` forces serial. Results
     /// are byte-identical for every value (see `sim::shard`).
     pub shards: u32,
+    /// Per-point run budget (default unlimited — see [`RunBudget`]).
+    /// Not part of a point's content hash: a tripped budget yields an
+    /// exhausted partial result, never a journaled completed point.
+    pub budget: RunBudget,
+    /// Armed chaos fault for this run (default `None`). Set only by the
+    /// supervisor's chaos registry; never by ordinary configs.
+    pub chaos: Option<EngineChaos>,
 }
 
 impl Default for SimConfig {
@@ -99,6 +173,8 @@ impl Default for SimConfig {
             preflight: Preflight::Off,
             event_queue: EventQueueKind::Calendar,
             shards: 0,
+            budget: RunBudget::default(),
+            chaos: None,
         }
     }
 }

@@ -23,7 +23,7 @@
 //! lists) is held in intrusive linked lists over flat arrays so an
 //! [`Engine::reset`] between sweep points reuses every allocation.
 
-use crate::config::{EventQueueKind, Preflight, SimConfig};
+use crate::config::{ChaosKind, EngineChaos, EventQueueKind, Preflight, SimConfig};
 use crate::equeue::{CalendarQueue, CalendarStats, EventQ};
 use crate::fault::FaultSchedule;
 use crate::injector::{NextPacket, NodeSource, PacketSpec};
@@ -418,6 +418,17 @@ pub struct Engine<'a> {
     dropped_injection: u64,
     /// Packets injected after at least one unroutable-destination retry.
     retried: u64,
+
+    // ----- run-budget supervision (see `SimConfig::budget`) ----------
+    /// Events popped this run — the counter the event budget (and the
+    /// chaos registry's fire point) is enforced against.
+    popped: u64,
+    /// Set when the run budget tripped: the loop stopped before the
+    /// horizon and the accumulated measurements are partial.
+    exhausted: bool,
+    /// Wall-clock start of the run, lazily armed at the first budget
+    /// check so unbudgeted runs never touch the clock.
+    wall_start: Option<std::time::Instant>,
 }
 
 impl<'a> Engine<'a> {
@@ -611,6 +622,9 @@ impl<'a> Engine<'a> {
             dropped_flight: 0,
             dropped_injection: 0,
             retried: 0,
+            popped: 0,
+            exhausted: false,
+            wall_start: None,
         };
         engine.arm_initial_events();
         Ok(engine)
@@ -704,6 +718,9 @@ impl<'a> Engine<'a> {
         self.dropped_flight = 0;
         self.dropped_injection = 0;
         self.retried = 0;
+        self.popped = 0;
+        self.exhausted = false;
+        self.wall_start = None;
         self.arm_initial_events();
     }
 
@@ -1474,12 +1491,18 @@ impl<'a> Engine<'a> {
     /// unprocessed) or the queue drains. Returns `true` if the run wedged
     /// with packets still in flight — a deadlock.
     fn run(&mut self, end_ps: Option<u64>) -> bool {
+        // Budget/chaos bookkeeping is hoisted behind one branch so the
+        // default (unlimited, chaos-free) hot loop is unchanged.
+        let guarded = !self.cfg.budget.is_unlimited() || self.cfg.chaos.is_some();
         while let Some(t) = self.queue.peek_time() {
             if let Some(end) = end_ps {
                 if t > end {
                     self.now = end;
                     return false;
                 }
+            }
+            if guarded && self.budget_spent() {
+                return false;
             }
             let (t, key, ev) = self.queue.pop().unwrap();
             self.step(t, key, ev);
@@ -1491,6 +1514,69 @@ impl<'a> Engine<'a> {
         wedged
     }
 
+    /// One guarded-loop bookkeeping step: counts the pop about to
+    /// happen, fires an armed chaos fault at its event count, and
+    /// returns `true` (setting [`Engine::exhausted`]) when the run
+    /// budget is spent. Only called when a budget or a chaos fault is
+    /// configured.
+    fn budget_spent(&mut self) -> bool {
+        self.popped += 1;
+        if let Some(ch) = self.cfg.chaos {
+            if self.popped == ch.after_events {
+                match ch.kind {
+                    ChaosKind::Panic => panic!(
+                        "chaos: injected panic after {} events (seed {:#x})",
+                        self.popped, self.cfg.seed
+                    ),
+                    ChaosKind::Stall => return self.chaos_stall(),
+                }
+            }
+        }
+        let budget = self.cfg.budget;
+        if budget.max_events > 0 && self.popped > budget.max_events {
+            self.exhausted = true;
+            return true;
+        }
+        if budget.max_wall_ms > 0 && self.popped & 0x3FF == 0 {
+            let start = *self.wall_start.get_or_insert_with(std::time::Instant::now);
+            if start.elapsed().as_millis() as u64 >= budget.max_wall_ms {
+                self.exhausted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// An injected chaos stall: stop making event progress until the
+    /// wall-clock budget trips — what a genuinely hung run looks like
+    /// from the supervisor's side. A 2 s failsafe bounds unbudgeted
+    /// runs so a misconfigured chaos test cannot hang forever. Always
+    /// ends exhausted.
+    fn chaos_stall(&mut self) -> bool {
+        let start = std::time::Instant::now();
+        let limit_ms = match self.cfg.budget.max_wall_ms {
+            0 => 2_000,
+            ms => ms,
+        };
+        while (start.elapsed().as_millis() as u64) < limit_ms {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        self.exhausted = true;
+        true
+    }
+
+    /// Whether the last run was aborted by its budget (see
+    /// [`crate::RunBudget`]); cleared by [`Engine::reset`].
+    pub fn budget_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Arms (or clears) a chaos fault for the next run — the
+    /// supervisor's per-(point, attempt) hook.
+    pub(crate) fn set_chaos(&mut self, chaos: Option<EngineChaos>) {
+        self.cfg.chaos = chaos;
+    }
+
     // ----- shard-coordinator surface (see `crate::shard`) -----------
 
     /// Drains every queued event with `t < until` — this shard's share
@@ -1499,8 +1585,12 @@ impl<'a> Engine<'a> {
     /// the global minimum arrives a full link latency later, which is
     /// exactly how `until` is chosen.
     pub(crate) fn run_window(&mut self, until: u64) {
+        let guarded = !self.cfg.budget.is_unlimited() || self.cfg.chaos.is_some();
         while let Some(t) = self.queue.peek_time() {
             if t >= until {
+                break;
+            }
+            if guarded && self.budget_spent() {
                 break;
             }
             let (t, key, ev) = self.queue.pop().unwrap();
@@ -1601,6 +1691,8 @@ impl<'a> Engine<'a> {
         self.dropped_injection += other.dropped_injection;
         self.retried += other.retried;
         self.events_scheduled += other.events_scheduled;
+        self.popped += other.popped;
+        self.exhausted |= other.exhausted;
         self.now = self.now.max(other.now);
         self.acc.absorb(&other.acc);
         for (a, b) in self.sent_bytes.iter_mut().zip(&other.sent_bytes) {
@@ -1900,6 +1992,7 @@ impl<'a> Engine<'a> {
             dropped_packets: self.dropped_flight + self.dropped_injection,
             retried_packets: self.retried,
             deadlocked,
+            exhausted: self.exhausted,
         }
     }
 

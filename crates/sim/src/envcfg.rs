@@ -1,0 +1,63 @@
+//! Strict parsing for the crate's environment overrides.
+//!
+//! `D2NET_THREADS` and `D2NET_SHARDS` used to fall back to auto
+//! *silently* when set to garbage — a typo like `D2NET_THREADS=all`
+//! would quietly change the machine's parallelism without a trace. Both
+//! now go through [`env_positive`], which emits one coded WARN
+//! diagnostic per invalid read and then falls back, so the fallback is
+//! visible in logs and CI transcripts.
+
+/// Parses a positive-integer environment value. Pure (no environment
+/// access, no I/O) so the diagnostic wording and the accepted grammar
+/// are unit-testable. `Err` carries the coded WARN line verbatim.
+pub fn parse_positive(name: &str, raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "d2net: WARN ENV_INVALID {name}='{raw}' is not a positive integer; \
+             falling back to auto"
+        )),
+    }
+}
+
+/// Reads environment variable `name` as a positive integer. Returns
+/// `None` when unset; when set but invalid, prints the coded
+/// `ENV_INVALID` WARN to stderr and returns `None` (auto fallback).
+pub fn env_positive(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match parse_positive(name, &raw) {
+        Ok(n) => Some(n),
+        Err(warn) => {
+            eprintln!("{warn}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_integers_with_whitespace() {
+        assert_eq!(parse_positive("D2NET_THREADS", "4"), Ok(4));
+        assert_eq!(parse_positive("D2NET_SHARDS", " 16 "), Ok(16));
+        assert_eq!(parse_positive("D2NET_THREADS", "1"), Ok(1));
+    }
+
+    #[test]
+    fn rejects_zero_negative_and_garbage_with_coded_warn() {
+        for raw in ["0", "-3", "all", "4.5", "", "0x10", "8 cores"] {
+            let err = parse_positive("D2NET_THREADS", raw).unwrap_err();
+            assert!(err.contains("WARN ENV_INVALID"), "missing code: {err}");
+            assert!(err.contains("D2NET_THREADS"), "missing var name: {err}");
+            assert!(err.contains(raw), "missing offending value: {err}");
+            assert!(err.contains("falling back to auto"), "missing action: {err}");
+        }
+    }
+
+    #[test]
+    fn unset_variable_reads_as_none() {
+        assert_eq!(env_positive("D2NET_TEST_UNSET_VAR_XYZ"), None);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod envcfg;
 pub mod equeue;
 pub mod fault;
 pub mod injector;
@@ -33,11 +34,12 @@ pub mod ledger;
 pub mod par;
 pub mod shard;
 pub mod stats;
+pub mod supervise;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 
-pub use config::{EventQueueKind, Preflight, SimConfig};
+pub use config::{ChaosKind, EngineChaos, EventQueueKind, Preflight, RunBudget, SimConfig};
 pub use engine::{
     preflight, run_exchange, run_exchange_probed, run_exchange_traced, run_synthetic,
     run_synthetic_faulted, run_synthetic_faulted_probed, run_synthetic_ledgered,
@@ -60,6 +62,10 @@ pub use shard::{
     run_synthetic_sharded_probed, run_synthetic_sharded_traced,
 };
 pub use stats::{DelayHistogram, ExchangeStats, SyntheticStats};
+pub use supervise::{
+    backoff_ms, supervised_load_sweep_collect, supervised_load_sweep_hooked, ChaosConfig,
+    SupervisedSweep, SuperviseConfig, SuperviseHooks, SupervisionSummary,
+};
 pub use sweep::{
     load_grid, load_grid_from, load_sweep, load_sweep_collect, load_sweep_ledgered_collect,
     load_sweep_probed, load_sweep_probed_collect, load_sweep_traced_collect, point_seed,

@@ -36,18 +36,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolves a thread-count request: `0` means "auto" — the
-/// `D2NET_THREADS` environment variable if set, otherwise
-/// [`std::thread::available_parallelism`].
+/// `D2NET_THREADS` environment variable if set (invalid values emit one
+/// coded `ENV_INVALID` WARN and fall back, see [`crate::envcfg`]),
+/// otherwise [`std::thread::available_parallelism`].
 pub fn resolve_threads(threads: usize) -> usize {
     if threads > 0 {
         return threads;
     }
-    if let Some(n) = std::env::var("D2NET_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    if let Some(n) = crate::envcfg::env_positive("D2NET_THREADS") {
+        return n as usize;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -303,11 +300,15 @@ fn par_sweep_core(
     // point- and shard-level parallelism instead of oversubscribing.
     let shards = crate::shard::plan_shards(net, policy, &cfg);
     let threads = (resolve_threads(threads) / shards).max(1).min(n.max(1));
+    // The last element carries the panic message when the point had to
+    // be isolated — a panicked point's stub reads `deadlocked` but must
+    // neither arm the watermark nor masquerade as a genuine wedge.
     type Slot = Option<(
         SyntheticStats,
         Option<TelemetrySummary>,
         Option<EngineTrace>,
         Option<EngineLedger>,
+        Option<String>,
     )>;
     let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Low-watermark of wedged point indices: workers skip indices
@@ -330,13 +331,23 @@ fn par_sweep_core(
                     if idx > watermark.load(Ordering::Relaxed) {
                         continue; // will be stubbed by the final pass
                     }
-                    let (stats, report, tr, led) =
-                        runner.run_point(idx, loads[idx], probe, trace, ledger);
-                    if stats.deadlocked {
+                    let (stats, summary, tr, led, panic_msg) =
+                        match runner.run_point_isolated(idx, loads[idx], probe, trace, ledger) {
+                            Ok((stats, report, tr, led)) => {
+                                (stats, report.map(|r| r.summary()), tr, led, None)
+                            }
+                            Err(msg) => (
+                                SyntheticStats::panicked_stub(loads[idx]),
+                                None,
+                                None,
+                                None,
+                                Some(msg),
+                            ),
+                        };
+                    if stats.deadlocked && panic_msg.is_none() {
                         watermark.fetch_min(idx, Ordering::Relaxed);
                     }
-                    *results[idx].lock().unwrap() =
-                        Some((stats, report.map(|r| r.summary()), tr, led));
+                    *results[idx].lock().unwrap() = Some((stats, summary, tr, led, panic_msg));
                 }
             });
         }
@@ -346,8 +357,8 @@ fn par_sweep_core(
     // is exactly the serial sweep's first-wedge index.
     let mut first_wedge: Option<usize> = None;
     for (idx, slot) in results.iter().enumerate() {
-        if let Some((stats, ..)) = slot.lock().unwrap().as_ref() {
-            if stats.deadlocked {
+        if let Some((stats, .., panic_msg)) = slot.lock().unwrap().as_ref() {
+            if stats.deadlocked && panic_msg.is_none() {
                 first_wedge = Some(idx);
                 break;
             }
@@ -356,16 +367,31 @@ fn par_sweep_core(
     let mut points = Vec::with_capacity(n);
     let mut traces = Vec::new();
     let mut ledgers = Vec::new();
+    // Notices are rebuilt in index order during the final pass — one
+    // panicked/exhausted notice per surviving point plus the single
+    // wedge notice — which is exactly the order the serial loop emits
+    // them in, so notices compare `==` across harnesses.
+    let mut notices = Vec::new();
     for (idx, slot) in results.into_iter().enumerate() {
         let load = loads[idx];
         let stubbed = first_wedge.is_some_and(|w| idx > w);
         let point = match (stubbed, slot.into_inner().unwrap()) {
-            (false, Some((stats, telemetry, tr, led))) => {
+            (false, Some((stats, telemetry, tr, led, panic_msg))) => {
                 // Traces and ledgers from points the serial sweep would
                 // have stubbed (simulated here only by racing ahead of
                 // the watermark) are dropped with their stats; the
                 // survivors are pushed in index order, so the merged
                 // file matches the serial sweep's byte for byte.
+                if let Some(msg) = &panic_msg {
+                    notices.push(SweepNotice::panicked(idx, load, msg));
+                } else {
+                    if stats.exhausted {
+                        notices.push(SweepNotice::exhausted(idx, load));
+                    }
+                    if first_wedge == Some(idx) {
+                        notices.push(SweepNotice::wedged(idx, load));
+                    }
+                }
                 if let Some(tr) = tr {
                     traces.push(PointTrace {
                         index: idx,
@@ -394,9 +420,6 @@ fn par_sweep_core(
         };
         points.push(point);
     }
-    let notices = first_wedge
-        .map(|w| vec![SweepNotice::wedged(w, loads[w])])
-        .unwrap_or_default();
     (SweepOutcome { points, notices }, traces, ledgers)
 }
 

@@ -63,12 +63,8 @@ fn requested_shards(cfg: &SimConfig) -> (usize, bool) {
     if cfg.shards > 0 {
         return (cfg.shards as usize, true);
     }
-    if let Some(n) = std::env::var("D2NET_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return (n, true);
+    if let Some(n) = crate::envcfg::env_positive("D2NET_SHARDS") {
+        return (n as usize, true);
     }
     let auto = std::thread::available_parallelism()
         .map(|n| n.get().min(AUTO_MAX_SHARDS))
@@ -172,6 +168,10 @@ struct Reply {
     shard: usize,
     outbox: Vec<Routed>,
     min_peek: Option<u64>,
+    /// The shard's run budget tripped inside the window (see
+    /// [`crate::RunBudget`]): the coordinator stops opening windows and
+    /// finalizes the partial run as exhausted.
+    exhausted: bool,
 }
 
 fn shard_worker<'a>(
@@ -218,6 +218,7 @@ fn shard_worker<'a>(
             shard,
             outbox,
             min_peek,
+            exhausted: eng.budget_exhausted(),
         });
     }
     eng
@@ -230,14 +231,17 @@ fn collect_replies(
     k: usize,
     min_peeks: &mut [Option<u64>],
     inboxes: &mut [Vec<(u64, u64, OutEv)>],
-) {
+) -> bool {
+    let mut exhausted = false;
     for _ in 0..k {
         let r = rx.recv().expect("shard worker alive");
         min_peeks[r.shard] = r.min_peek;
+        exhausted |= r.exhausted;
         for (dst, item) in r.outbox {
             inboxes[dst].push(item);
         }
     }
+    exhausted
 }
 
 /// The shared synthetic-run core: resolves the shard count, falls back
@@ -313,8 +317,16 @@ pub(crate) fn run_sharded_inner(
             .unwrap_or_default();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let sources = synthetic_sources(net, pattern, load, end_ps, &cfg, &mut rng);
+        // An armed chaos fault fires once per run, not once per shard:
+        // only shard 0 carries it (its fire point counts that shard's
+        // own pops, so sharded chaos timing differs from serial — chaos
+        // runs never claim byte-identity, see DESIGN.md §15).
+        let mut scfg = cfg;
+        if i != 0 {
+            scfg.chaos = None;
+        }
         let mut eng =
-            Engine::build_shard(net, policy, cfg, sources, warmup_ps, rng, faults, lo, hi, i == 0)?;
+            Engine::build_shard(net, policy, scfg, sources, warmup_ps, rng, faults, lo, hi, i == 0)?;
         if let Some(p) = probe {
             eng.attach_probe(p);
         }
@@ -365,7 +377,7 @@ pub(crate) fn run_sharded_inner(
                 for tx in &cmd_txs {
                     tx.send(Cmd::Fault(next_fault)).expect("shard worker alive");
                 }
-                collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes);
+                let _ = collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes);
                 next_fault += 1;
                 continue;
             }
@@ -399,7 +411,13 @@ pub(crate) fn run_sharded_inner(
                 })
                 .expect("shard worker alive");
             }
-            collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes);
+            if collect_replies(&reply_rx, k, &mut min_peeks, &mut inboxes) {
+                // A shard's run budget tripped mid-window: stop opening
+                // windows and finalize the partial run — the absorbed
+                // engine's `exhausted` flag marks the stats.
+                at_horizon = true;
+                break;
+            }
         }
         for (i, tx) in cmd_txs.iter().enumerate() {
             tx.send(Cmd::Finish {

@@ -36,6 +36,11 @@ pub struct SyntheticStats {
     /// True if the network wedged (no event progress with packets
     /// in flight) — a routing deadlock.
     pub deadlocked: bool,
+    /// True if the run was aborted by its [`crate::RunBudget`] before
+    /// reaching the horizon; the other fields hold the measurements
+    /// accumulated up to the abort. Always `false` under the default
+    /// (unlimited) budget.
+    pub exhausted: bool,
 }
 
 impl SyntheticStats {
@@ -57,6 +62,7 @@ impl SyntheticStats {
             dropped_packets: 0,
             retried_packets: 0,
             deadlocked: true,
+            exhausted: false,
         }
     }
 
@@ -66,6 +72,15 @@ impl SyntheticStats {
     /// set so downstream consumers treat the point as unusable. The
     /// accompanying [`crate::SweepNotice`] carries the reason.
     pub fn rejected_stub(load: f64) -> Self {
+        Self::deadlocked_stub(load)
+    }
+
+    /// A placeholder for a sweep point whose simulation panicked and was
+    /// isolated by `catch_unwind` rather than killing the process: all
+    /// measurements zero, `deadlocked` set so downstream consumers treat
+    /// the point as unusable. The accompanying [`crate::SweepNotice`]
+    /// (code `"panicked"`) carries the panic message.
+    pub fn panicked_stub(load: f64) -> Self {
         Self::deadlocked_stub(load)
     }
 }

@@ -7,7 +7,7 @@
 //! which thread. That is what lets [`crate::par::par_load_sweep`] return
 //! byte-identical results to the serial functions here.
 
-use crate::config::SimConfig;
+use crate::config::{EngineChaos, SimConfig};
 use crate::engine::{synthetic_sources, Engine};
 use crate::ledger::{EngineLedger, LedgerConfig, PointLedger};
 use crate::stats::SyntheticStats;
@@ -30,12 +30,18 @@ pub struct SweepPoint {
     pub telemetry: Option<TelemetrySummary>,
 }
 
-/// A structured event a sweep wants the caller to know about — today
-/// only the early-abort on a wedged point. Routed through the report
-/// layer (it lands in `RunManifest`) instead of being `eprintln!`ed from
-/// inside the sweep, so parallel workers never interleave on stderr.
+/// A structured event a sweep wants the caller to know about — an
+/// early-abort on a wedged point, a rejected configuration, a point
+/// isolated after a panic, or a point aborted by its run budget. Routed
+/// through the report layer (it lands in `RunManifest`) instead of
+/// being `eprintln!`ed from inside the sweep, so parallel workers never
+/// interleave on stderr. `code` is the machine-readable discriminator
+/// (`"wedged"`, `"rejected"`, `"panicked"`, `"exhausted"`, …);
+/// `message` is the human-readable rendering.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepNotice {
+    /// Machine-readable notice code.
+    pub code: &'static str,
     /// Index of the point that triggered the notice.
     pub index: usize,
     /// Offered load of that point.
@@ -44,8 +50,21 @@ pub struct SweepNotice {
 }
 
 impl SweepNotice {
+    /// A notice with a caller-chosen code — the hook for layers above
+    /// `sim` (the journal replay, the batch service) to speak the same
+    /// notice dialect as the sweeps.
+    pub fn new(code: &'static str, index: usize, load: f64, message: String) -> Self {
+        SweepNotice {
+            code,
+            index,
+            load,
+            message,
+        }
+    }
+
     pub(crate) fn wedged(index: usize, load: f64) -> Self {
         SweepNotice {
+            code: "wedged",
             index,
             load,
             message: format!(
@@ -59,9 +78,38 @@ impl SweepNotice {
     /// run (failed preflight, undersized buffers, warm-up ≥ duration).
     pub(crate) fn rejected(load: f64, reason: String) -> Self {
         SweepNotice {
+            code: "rejected",
             index: 0,
             load,
             message: format!("configuration rejected before simulating any point: {reason}"),
+        }
+    }
+
+    /// A point whose simulation panicked; `catch_unwind` isolated it
+    /// into a [`SyntheticStats::panicked_stub`] instead of killing the
+    /// process.
+    pub(crate) fn panicked(index: usize, load: f64, panic_msg: &str) -> Self {
+        SweepNotice {
+            code: "panicked",
+            index,
+            load,
+            message: format!(
+                "point at offered load {load:.3} panicked and was stubbed: {panic_msg}"
+            ),
+        }
+    }
+
+    /// A point aborted by its [`crate::RunBudget`]; the point keeps its
+    /// partial measurements with [`SyntheticStats::exhausted`] set.
+    pub(crate) fn exhausted(index: usize, load: f64) -> Self {
+        SweepNotice {
+            code: "exhausted",
+            index,
+            load,
+            message: format!(
+                "run budget exhausted at offered load {load:.3}; \
+                 partial measurements kept"
+            ),
         }
     }
 
@@ -114,6 +162,63 @@ impl SweepOutcome {
     }
 }
 
+/// How one sweep point ended — the discriminator [`sweep_impl`] (and
+/// the parallel post-pass in [`crate::par`]) uses to decide which
+/// notice, if any, a point raises. Kept separate from the stats so a
+/// panicked point (whose stub also reads `deadlocked`) never triggers
+/// the wedge early-abort: a panic is an isolated fault, not evidence
+/// the network deadlocks at every higher load.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PointFate {
+    /// Ran to completion; the stats are real (and may report a genuine
+    /// wedge or a budget exhaustion).
+    Simulated,
+    /// Stubbed without simulating because a lower load already wedged.
+    Skipped,
+    /// The simulation panicked and was isolated; carries the panic
+    /// message. The point holds a [`SyntheticStats::panicked_stub`].
+    Panicked(String),
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// True while this thread runs an isolated point — consulted by the
+    /// wrapper panic hook below.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Runs `f` with the default panic printout suppressed on this thread.
+/// Installed process-wide exactly once as a wrapper that delegates to
+/// the previous hook for every panic *not* raised under this guard, so
+/// unrelated panics (test harness assertions, other threads) keep their
+/// normal backtrace output.
+pub(crate) fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    QUIET_PANICS.with(|q| q.set(true));
+    let out = f();
+    QUIET_PANICS.with(|q| q.set(false));
+    out
+}
+
 /// Derives the RNG seed for sweep point `idx` from the config's base
 /// seed: a SplitMix64-style finalizer over `base ⊕ golden·(idx+1)`.
 /// Deterministic, order-free, and well-spread even for adjacent indices
@@ -143,6 +248,10 @@ pub(crate) struct PointRunner<'a> {
     /// window-barrier protocol (whose output is byte-identical).
     shards: usize,
     engine: Option<Engine<'a>>,
+    /// Per-point chaos override armed by the supervisor (see
+    /// [`crate::supervise`]); `None` falls back to `cfg.chaos`, which
+    /// applies the same fault to every point.
+    chaos: Option<EngineChaos>,
 }
 
 impl<'a> PointRunner<'a> {
@@ -175,7 +284,14 @@ impl<'a> PointRunner<'a> {
             warmup_ps: warmup_ns * 1_000,
             shards: crate::shard::plan_shards(net, policy, &cfg),
             engine: None,
+            chaos: None,
         })
+    }
+
+    /// Arms (or clears) a chaos fault for the *next* point only — the
+    /// supervisor re-decides per (point, attempt).
+    pub(crate) fn set_chaos(&mut self, chaos: Option<EngineChaos>) {
+        self.chaos = chaos;
     }
 
     /// Runs point `idx` at `load`; the result depends only on
@@ -199,6 +315,9 @@ impl<'a> PointRunner<'a> {
             // exactly the stream the serial branch below would use.
             let mut pcfg = self.cfg;
             pcfg.seed = point_seed(self.cfg.seed, idx);
+            if self.chaos.is_some() {
+                pcfg.chaos = self.chaos;
+            }
             return crate::shard::run_sharded_inner(
                 self.net,
                 self.policy,
@@ -230,6 +349,7 @@ impl<'a> PointRunner<'a> {
                 rng,
             )),
         };
+        engine.set_chaos(self.chaos.or(self.cfg.chaos));
         if let Some(p) = probe {
             engine.attach_probe(p);
         }
@@ -243,6 +363,42 @@ impl<'a> PointRunner<'a> {
         let tr = engine.take_trace();
         let led = engine.take_ledger();
         (stats, report, tr, led)
+    }
+
+    /// [`PointRunner::run_point`] behind `catch_unwind`: a panicking
+    /// point comes back as `Err(panic message)` instead of unwinding
+    /// into (and killing) the sweep. The reusable engine is dropped on
+    /// the way out — it may hold arbitrary torn state — so the next
+    /// point rebuilds from scratch.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn run_point_isolated(
+        &mut self,
+        idx: usize,
+        load: f64,
+        probe: Option<ProbeConfig>,
+        trace: Option<TraceConfig>,
+        ledger: Option<LedgerConfig>,
+    ) -> Result<
+        (
+            SyntheticStats,
+            Option<TelemetryReport>,
+            Option<EngineTrace>,
+            Option<EngineLedger>,
+        ),
+        String,
+    > {
+        let result = with_quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_point(idx, load, probe, trace, ledger)
+            }))
+        });
+        match result {
+            Ok(out) => Ok(out),
+            Err(payload) => {
+                self.engine = None;
+                Err(panic_message(payload.as_ref()))
+            }
+        }
     }
 }
 
@@ -273,17 +429,21 @@ pub fn load_sweep_collect(
         Ok(r) => r,
         Err(e) => return rejected_outcome(loads, e),
     };
-    sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
-        Some(_) => SweepPoint {
-            load,
-            stats: SyntheticStats::deadlocked_stub(load),
-            telemetry: None,
-        },
-        None => SweepPoint {
-            load,
-            stats: runner.run_point(idx, load, None, None, None).0,
-            telemetry: None,
-        },
+    sweep_impl(loads, |idx, load, first_wedge| {
+        if first_wedge.is_some() {
+            return stub_point(load);
+        }
+        match runner.run_point_isolated(idx, load, None, None, None) {
+            Ok((stats, ..)) => (
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry: None,
+                },
+                PointFate::Simulated,
+            ),
+            Err(msg) => panicked_point(load, msg),
+        }
     })
 }
 
@@ -324,19 +484,20 @@ pub fn load_sweep_probed_collect(
         Ok(r) => r,
         Err(e) => return rejected_outcome(loads, e),
     };
-    sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
-        Some(_) => SweepPoint {
-            load,
-            stats: SyntheticStats::deadlocked_stub(load),
-            telemetry: None,
-        },
-        None => {
-            let (stats, report, _, _) = runner.run_point(idx, load, Some(probe), None, None);
-            SweepPoint {
-                load,
-                stats,
-                telemetry: Some(report.expect("probe was attached").summary()),
-            }
+    sweep_impl(loads, |idx, load, first_wedge| {
+        if first_wedge.is_some() {
+            return stub_point(load);
+        }
+        match runner.run_point_isolated(idx, load, Some(probe), None, None) {
+            Ok((stats, report, _, _)) => (
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry: Some(report.expect("probe was attached").summary()),
+                },
+                PointFate::Simulated,
+            ),
+            Err(msg) => panicked_point(load, msg),
         }
     })
 }
@@ -385,24 +546,29 @@ pub fn load_sweep_traced_collect(
         Err(e) => return (rejected_outcome(loads, e), Vec::new()),
     };
     let mut traces = Vec::new();
-    let out = sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
-        Some(_) => SweepPoint {
-            load,
-            stats: SyntheticStats::deadlocked_stub(load),
-            telemetry: None,
-        },
-        None => {
-            let (stats, _, tr, _) = runner.run_point(idx, load, None, Some(trace), None);
-            traces.push(PointTrace {
-                index: idx,
-                load,
-                trace: tr.expect("trace was attached"),
-            });
-            SweepPoint {
-                load,
-                stats,
-                telemetry: None,
+    let out = sweep_impl(loads, |idx, load, first_wedge| {
+        if first_wedge.is_some() {
+            return stub_point(load);
+        }
+        match runner.run_point_isolated(idx, load, None, Some(trace), None) {
+            Ok((stats, _, tr, _)) => {
+                traces.push(PointTrace {
+                    index: idx,
+                    load,
+                    trace: tr.expect("trace was attached"),
+                });
+                (
+                    SweepPoint {
+                        load,
+                        stats,
+                        telemetry: None,
+                    },
+                    PointFate::Simulated,
+                )
             }
+            // A panicked point has no trace — same as the parallel
+            // variant, which drops traces of stubbed points.
+            Err(msg) => panicked_point(load, msg),
         }
     });
     (out, traces)
@@ -433,47 +599,89 @@ pub fn load_sweep_ledgered_collect(
         Err(e) => return (rejected_outcome(loads, e), Vec::new()),
     };
     let mut ledgers = Vec::new();
-    let out = sweep_impl(loads, |idx, load, first_wedge| match first_wedge {
-        Some(_) => SweepPoint {
-            load,
-            stats: SyntheticStats::deadlocked_stub(load),
-            telemetry: None,
-        },
-        None => {
-            let (stats, _, _, led) = runner.run_point(idx, load, None, None, Some(ledger));
-            ledgers.push(PointLedger {
-                index: idx,
-                load,
-                ledger: led.expect("ledger was attached"),
-            });
-            SweepPoint {
-                load,
-                stats,
-                telemetry: None,
+    let out = sweep_impl(loads, |idx, load, first_wedge| {
+        if first_wedge.is_some() {
+            return stub_point(load);
+        }
+        match runner.run_point_isolated(idx, load, None, None, Some(ledger)) {
+            Ok((stats, _, _, led)) => {
+                ledgers.push(PointLedger {
+                    index: idx,
+                    load,
+                    ledger: led.expect("ledger was attached"),
+                });
+                (
+                    SweepPoint {
+                        load,
+                        stats,
+                        telemetry: None,
+                    },
+                    PointFate::Simulated,
+                )
             }
+            Err(msg) => panicked_point(load, msg),
         }
     });
     (out, ledgers)
 }
 
 /// Shared early-abort loop: `point` receives the index, the load and,
-/// once any point has wedged, the load that first wedged.
+/// once any point has wedged, the load that first wedged, and reports
+/// how the point ended via its [`PointFate`]. Only a genuinely
+/// simulated wedge arms the early-abort; panicked and budget-exhausted
+/// points raise their coded notice and let the sweep continue.
 fn sweep_impl(
     loads: &[f64],
-    mut point: impl FnMut(usize, f64, Option<f64>) -> SweepPoint,
+    mut point: impl FnMut(usize, f64, Option<f64>) -> (SweepPoint, PointFate),
 ) -> SweepOutcome {
     let mut points = Vec::with_capacity(loads.len());
     let mut notices = Vec::new();
     let mut first_wedge: Option<f64> = None;
     for (idx, &load) in loads.iter().enumerate() {
-        let p = point(idx, load, first_wedge);
-        if p.stats.deadlocked && first_wedge.is_none() {
-            first_wedge = Some(load);
-            notices.push(SweepNotice::wedged(idx, load));
+        let (p, fate) = point(idx, load, first_wedge);
+        match fate {
+            PointFate::Simulated => {
+                // `deadlocked` and `exhausted` are mutually exclusive: a
+                // budget abort returns before the wedge check runs.
+                if p.stats.exhausted {
+                    notices.push(SweepNotice::exhausted(idx, load));
+                }
+                if p.stats.deadlocked && first_wedge.is_none() {
+                    first_wedge = Some(load);
+                    notices.push(SweepNotice::wedged(idx, load));
+                }
+            }
+            PointFate::Skipped => {}
+            PointFate::Panicked(msg) => notices.push(SweepNotice::panicked(idx, load, &msg)),
         }
         points.push(p);
     }
     SweepOutcome { points, notices }
+}
+
+/// The stub-or-simulate skeleton every serial sweep closure shares:
+/// stubs once a lower load wedged, otherwise runs the point isolated
+/// and maps a panic to its stub + fate.
+fn stub_point(load: f64) -> (SweepPoint, PointFate) {
+    (
+        SweepPoint {
+            load,
+            stats: SyntheticStats::deadlocked_stub(load),
+            telemetry: None,
+        },
+        PointFate::Skipped,
+    )
+}
+
+fn panicked_point(load: f64, msg: String) -> (SweepPoint, PointFate) {
+    (
+        SweepPoint {
+            load,
+            stats: SyntheticStats::panicked_stub(load),
+            telemetry: None,
+        },
+        PointFate::Panicked(msg),
+    )
 }
 
 /// The standard load grid used by the figure harness: `steps` evenly
@@ -557,21 +765,20 @@ mod tests {
         let mut simulated = Vec::new();
         let out = sweep_impl(&[0.25, 0.5, 0.75, 1.0], |_, load, first_wedge| {
             if first_wedge.is_some() {
-                return SweepPoint {
-                    load,
-                    stats: SyntheticStats::deadlocked_stub(load),
-                    telemetry: None,
-                };
+                return stub_point(load);
             }
             simulated.push(load);
             let mut stats = SyntheticStats::deadlocked_stub(load);
             stats.deadlocked = load >= 0.5;
             stats.throughput = load;
-            SweepPoint {
-                load,
-                stats,
-                telemetry: None,
-            }
+            (
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry: None,
+                },
+                PointFate::Simulated,
+            )
         });
         assert_eq!(simulated, vec![0.25, 0.5]);
         let points = &out.points;
@@ -581,8 +788,101 @@ mod tests {
         assert!(points[2].stats.deadlocked && points[2].stats.throughput == 0.0);
         assert!(points[3].stats.deadlocked && points[3].stats.delivered_packets == 0);
         assert_eq!(out.notices.len(), 1);
+        assert_eq!(out.notices[0].code, "wedged");
         assert_eq!(out.notices[0].index, 1);
         assert!((out.notices[0].load - 0.5).abs() < 1e-12);
         assert!(out.notices[0].render().contains("wedged at offered load 0.500"));
+    }
+
+    #[test]
+    fn panicked_point_raises_coded_notice_without_aborting_the_sweep() {
+        let mut simulated = Vec::new();
+        let out = sweep_impl(&[0.25, 0.5, 0.75], |_, load, first_wedge| {
+            assert!(first_wedge.is_none(), "a panic must not arm early-abort");
+            simulated.push(load);
+            if (load - 0.5).abs() < 1e-12 {
+                return panicked_point(load, "boom".to_string());
+            }
+            let mut stats = SyntheticStats::deadlocked_stub(load);
+            stats.deadlocked = false;
+            (
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry: None,
+                },
+                PointFate::Simulated,
+            )
+        });
+        // Every load simulated: the panic at 0.5 did not stub 0.75.
+        assert_eq!(simulated, vec![0.25, 0.5, 0.75]);
+        assert!(out.points[1].stats.deadlocked, "panicked stub is unusable");
+        assert!(!out.points[2].stats.deadlocked);
+        assert_eq!(out.notices.len(), 1);
+        assert_eq!(out.notices[0].code, "panicked");
+        assert_eq!(out.notices[0].index, 1);
+        assert!(out.notices[0].message.contains("boom"));
+    }
+
+    #[test]
+    fn exhausted_point_keeps_partial_stats_and_raises_coded_notice() {
+        let out = sweep_impl(&[0.25, 0.5], |_, load, _| {
+            let mut stats = SyntheticStats::deadlocked_stub(load);
+            stats.deadlocked = false;
+            stats.exhausted = (load - 0.5).abs() < 1e-12;
+            stats.throughput = load * 0.9;
+            (
+                SweepPoint {
+                    load,
+                    stats,
+                    telemetry: None,
+                },
+                PointFate::Simulated,
+            )
+        });
+        assert!(out.points[1].stats.exhausted);
+        assert!(out.points[1].stats.throughput > 0.0, "partial stats kept");
+        assert_eq!(out.notices.len(), 1);
+        assert_eq!(out.notices[0].code, "exhausted");
+        assert_eq!(out.notices[0].index, 1);
+    }
+
+    #[test]
+    fn run_point_isolated_catches_chaos_panics_and_recovers() {
+        use crate::config::{ChaosKind, EngineChaos};
+        use d2net_routing::Algorithm;
+        use d2net_topo::slim_fly;
+        use d2net_topo::SlimFlyP;
+
+        let net = slim_fly(5, SlimFlyP::Floor);
+        let policy = RoutePolicy::new(&net, Algorithm::Minimal);
+        let pattern = SyntheticPattern::Uniform;
+        let cfg = SimConfig::default();
+        let mut runner =
+            PointRunner::try_new(&net, &policy, &pattern, cfg, 2_000, 200).unwrap();
+
+        // Arm a panic a few hundred events in; the point must come back
+        // as Err, not kill the process.
+        runner.set_chaos(Some(EngineChaos {
+            kind: ChaosKind::Panic,
+            after_events: 300,
+        }));
+        let err = runner
+            .run_point_isolated(0, 0.3, None, None, None)
+            .unwrap_err();
+        assert!(err.contains("chaos: injected panic"), "{err}");
+
+        // Disarm: the very next point on the same runner must simulate
+        // normally (the torn engine was dropped and rebuilt).
+        runner.set_chaos(None);
+        let (stats, ..) = runner.run_point_isolated(1, 0.3, None, None, None).unwrap();
+        assert!(!stats.deadlocked);
+        assert!(stats.delivered_packets > 0);
+
+        // And it must be byte-identical to a fresh runner that never
+        // saw the panic — isolation cannot leak into later points.
+        let mut clean = PointRunner::try_new(&net, &policy, &pattern, cfg, 2_000, 200).unwrap();
+        let (clean_stats, ..) = clean.run_point_isolated(1, 0.3, None, None, None).unwrap();
+        assert_eq!(stats, clean_stats);
     }
 }

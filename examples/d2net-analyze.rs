@@ -257,7 +257,7 @@ fn main() {
             summary.probe_load,
         );
         let path = format!("{}{}.json", args.prefix, name.replace(['(', ')'], ""));
-        std::fs::write(&path, &ser_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        write_atomic(&path, &ser_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("  wrote {path} ({} bytes)\n", ser_json.len());
     }
 

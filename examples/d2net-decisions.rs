@@ -107,7 +107,7 @@ fn main() {
                 if l.samples_truncated { " (truncated)" } else { "" }
             );
         }
-        std::fs::write(path, &ser_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        write_atomic(path, &ser_json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("  wrote {path} ({} bytes)\n", ser_json.len());
         if first_ledgers.is_none() {
             first_ledgers = Some((label, serial.ledgers));
@@ -117,8 +117,7 @@ fn main() {
     if let Some(trace_path) = &args.trace {
         let (label, ledgers) = first_ledgers.as_ref().expect("variants ran");
         let json = chrome_trace_json_ledgered(label, &[], &[], ledgers);
-        std::fs::write(trace_path, &json)
-            .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+        write_atomic(trace_path, &json).unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
         println!(
             "wrote {trace_path} ({} bytes) — decision instants and counter tracks \
              load in https://ui.perfetto.dev",

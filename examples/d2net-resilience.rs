@@ -63,7 +63,7 @@ fn main() {
     let json = format!("[\n{}\n]\n", manifests.join(",\n"));
     match out {
         Some(path) => {
-            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            write_atomic(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote {path}");
         }
         None => print!("{json}"),

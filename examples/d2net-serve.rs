@@ -1,0 +1,255 @@
+//! Resilient batch sweep service: drains a spool directory of sweep
+//! requests into durable run manifests.
+//!
+//! ```text
+//! cargo run --release --example d2net-serve -- SPOOL_DIR \
+//!     [--out DIR] [--workers N] [--poll-ms N] [--once]
+//! ```
+//!
+//! Each `*.json` file in the spool is one request (the grammar of
+//! `SupervisedRequest::from_json`, plus an optional `deadline_ms`
+//! wall-clock cap). For each request the server runs a supervised sweep
+//! (panic isolation, run budgets, seeded retries — DESIGN.md §15),
+//! journaling every completed point to `OUT/<id>.journal` and finally
+//! writing `OUT/<id>.manifest.json` atomically. Only then is the
+//! request file consumed; a request cut short by its deadline or a
+//! shutdown signal stays spooled, and the next pass (or the next server
+//! process) resumes it from the journal — the resumed manifest is
+//! byte-identical to an uninterrupted run's, modulo the strippable
+//! `"supervision"` section.
+//!
+//! Shutdown: SIGTERM/SIGINT flips a flag the sweeps poll between
+//! points. In-flight points finish, journals are flushed, partial
+//! manifests are written as `OUT/<id>.partial.json`, and the process
+//! exits cleanly. `--once` drains the spool once and exits instead of
+//! watching. Requests that fail to parse are consumed into
+//! `OUT/<name>.rejected.json` so a poison file cannot wedge the spool.
+
+use d2net::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+struct Opts {
+    spool: PathBuf,
+    out: PathBuf,
+    workers: usize,
+    poll_ms: u64,
+    once: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let mut spool = None;
+    let mut out = None;
+    let mut workers = 2usize;
+    let mut poll_ms = 200u64;
+    let mut once = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().map(PathBuf::from),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| usage("--workers wants a positive integer"))
+            }
+            "--poll-ms" => {
+                poll_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--poll-ms wants an integer"))
+            }
+            "--once" => once = true,
+            other if spool.is_none() && !other.starts_with('-') => {
+                spool = Some(PathBuf::from(other))
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| usage("missing SPOOL_DIR"));
+    let out = out.unwrap_or_else(|| spool.clone());
+    Opts {
+        spool,
+        out,
+        workers,
+        poll_ms,
+        once,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("d2net-serve: {err}");
+    eprintln!(
+        "usage: d2net-serve SPOOL_DIR [--out DIR] [--workers N] [--poll-ms N] [--once]"
+    );
+    std::process::exit(2);
+}
+
+/// Requests currently spooled, oldest name first (deterministic order).
+/// The service's own response files (which share the directory when
+/// `--out` is omitted) are never requests.
+fn spooled_requests(spool: &Path) -> Vec<PathBuf> {
+    const RESPONSES: [&str; 3] = [".manifest.json", ".partial.json", ".rejected.json"];
+    let mut reqs: Vec<PathBuf> = match std::fs::read_dir(spool) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+            .filter(|p| {
+                let name = p.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+                !RESPONSES.iter().any(|sfx| name.ends_with(sfx))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("d2net-serve: WARN cannot read spool {}: {e}", spool.display());
+            Vec::new()
+        }
+    };
+    reqs.sort();
+    reqs
+}
+
+/// One request end to end: parse, run supervised against its journal,
+/// respond. Returns whether the request file was consumed.
+fn serve_one(path: &Path, out: &Path) -> bool {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "request".into());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("d2net-serve: WARN cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let req = match SupervisedRequest::from_json(&text) {
+        Ok(req) => req,
+        Err(e) => {
+            let reply = format!("{{\"request\":\"{name}\",\"error\":\"{e}\"}}\n");
+            let reply_path = out.join(format!("{name}.rejected.json"));
+            if let Err(we) = write_atomic(&reply_path, &reply) {
+                eprintln!("d2net-serve: WARN cannot write rejection: {we}");
+                return false;
+            }
+            let _ = std::fs::remove_file(path);
+            println!("d2net-serve: request {name} rejected: {e}");
+            return true;
+        }
+    };
+    let deadline = Json::parse(&text)
+        .ok()
+        .and_then(|doc| doc.get("deadline_ms").and_then(|j| j.as_u64()))
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let stop = move || {
+        STOP.load(Ordering::SeqCst) || deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+    };
+    let journal = out.join(format!("{}.journal", req.id));
+    let run = match run_supervised(&req, Some(&journal), Some(&stop)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("d2net-serve: WARN request {} journal failure: {e}", req.id);
+            return false;
+        }
+    };
+    if run.finished {
+        let reply_path = out.join(format!("{}.manifest.json", req.id));
+        if let Err(e) = write_atomic(&reply_path, run.manifest.to_json()) {
+            eprintln!("d2net-serve: WARN cannot write manifest: {e}");
+            return false;
+        }
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(path);
+        println!(
+            "d2net-serve: request {} finished ({} completed, {} resumed, {} retried)",
+            req.id, run.summary.completed, run.summary.skipped_by_resume, run.summary.retried
+        );
+        true
+    } else {
+        // Cut short: journal stays, request stays spooled; the partial
+        // manifest is a progress response, not the final one.
+        let reply_path = out.join(format!("{}.partial.json", req.id));
+        if let Err(e) = write_atomic(&reply_path, run.manifest.to_json()) {
+            eprintln!("d2net-serve: WARN cannot write partial manifest: {e}");
+        }
+        println!(
+            "d2net-serve: request {} interrupted ({} completed, {} not run) — will resume",
+            req.id, run.summary.completed, run.summary.not_run
+        );
+        false
+    }
+}
+
+/// Drains the current spool listing with `workers` request-level
+/// workers. Requests are claimed from an atomic cursor so the worker
+/// count bounds concurrency without partitioning the list up front.
+fn drain(reqs: &[PathBuf], out: &Path, workers: usize) -> usize {
+    let cursor = AtomicUsize::new(0);
+    let consumed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(reqs.len()).max(1) {
+            scope.spawn(|| loop {
+                if STOP.load(Ordering::SeqCst) {
+                    break;
+                }
+                let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(path) = reqs.get(idx) else { break };
+                if serve_one(path, out) {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    consumed.load(Ordering::SeqCst)
+}
+
+fn main() {
+    let opts = parse_opts();
+    install_signal_handlers();
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("d2net-serve: cannot create {}: {e}", opts.out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "d2net-serve: watching {} ({} workers{})",
+        opts.spool.display(),
+        opts.workers,
+        if opts.once { ", single pass" } else { "" }
+    );
+    loop {
+        let reqs = spooled_requests(&opts.spool);
+        if !reqs.is_empty() {
+            drain(&reqs, &opts.out, opts.workers);
+        }
+        if STOP.load(Ordering::SeqCst) {
+            println!("d2net-serve: shutdown signal received; drained and exiting");
+            break;
+        }
+        if opts.once {
+            let leftover = spooled_requests(&opts.spool).len();
+            println!("d2net-serve: spool drained ({leftover} request(s) left)");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(opts.poll_ms));
+    }
+}

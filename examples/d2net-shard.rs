@@ -121,7 +121,7 @@ fn main() {
         thread_budget: threads as u32,
     });
     let json = manifest.to_json();
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    write_atomic(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out} ({} bytes)", json.len());
 }
 

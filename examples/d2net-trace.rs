@@ -123,7 +123,7 @@ fn main() {
     // those are nondeterministic by nature, which is why the byte
     // comparison above ran on the engine-only export.
     let full = chrome_trace_json(&label, prof.spans(), &serial.traces);
-    std::fs::write(&args.out, &full).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    write_atomic(&args.out, &full).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
     println!("wrote {} ({} bytes) — load it in https://ui.perfetto.dev", args.out, full.len());
 
     if let Some(path) = &args.manifest {
@@ -141,7 +141,7 @@ fn main() {
         m.set_trace(TraceManifest::from_points(trace_cfg, &serial.traces));
         m.push_curve(serial.curve.clone());
         let json = m.to_json();
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        write_atomic(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
     }
 }
