@@ -3,7 +3,8 @@
 # vendored in vendor/ and wired up via [workspace.dependencies].
 #
 # Usage: ci.sh [--bench-smoke] [--fault-smoke] [--trace-smoke] [--decision-smoke]
-#              [--analysis-smoke] [--shard-smoke] [--serve-smoke]
+#              [--analysis-smoke] [--shard-smoke] [--serve-smoke] [--obs-smoke]
+#              [--bench-diff]
 #   --bench-smoke     additionally compiles every benchmark and runs a
 #                     smoke-sized bench_sweep, writing BENCH_sweep.json.
 #   --fault-smoke     additionally runs the tiny resilience sweep and
@@ -37,6 +38,18 @@
 #                     uninterrupted run's once the "supervision" section
 #                     is stripped — and that the section records the
 #                     resume.
+#   --obs-smoke       additionally runs the observability gate: starts
+#                     d2net-serve with a status endpoint and an event
+#                     log, probes /healthz and /metrics through
+#                     d2net-top (which enforces the exposition grammar),
+#                     checks the service gauges, and asserts the event
+#                     log carries the schema header plus the service and
+#                     request lifecycle codes.
+#   --bench-diff      additionally runs the bench-regression gate: two
+#                     real smoke-sized bench_engine runs appended to a
+#                     history file, bench_diff compare produces coded
+#                     verdicts, and a planted regression (--scale) must
+#                     trip the gate with a non-zero exit.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -49,6 +62,8 @@ DECISION_SMOKE=0
 ANALYSIS_SMOKE=0
 SHARD_SMOKE=0
 SERVE_SMOKE=0
+OBS_SMOKE=0
+BENCH_DIFF=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -58,6 +73,8 @@ for arg in "$@"; do
     --analysis-smoke) ANALYSIS_SMOKE=1 ;;
     --shard-smoke) SHARD_SMOKE=1 ;;
     --serve-smoke) SERVE_SMOKE=1 ;;
+    --obs-smoke) OBS_SMOKE=1 ;;
+    --bench-diff) BENCH_DIFF=1 ;;
     *) echo "ci.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -187,6 +204,93 @@ EOF
   cmp "$SPOOL/resumed_stripped.json" "$SPOOL/clean/req-a.manifest.json"
   trap - EXIT
   rm -rf "$SPOOL"
+fi
+
+if [[ "$OBS_SMOKE" == "1" ]]; then
+  echo "== obs smoke: status endpoint, metrics grammar, event log, live top =="
+  cargo build --release --example d2net-serve --example d2net-top
+  SERVE=target/release/examples/d2net-serve
+  TOP=target/release/examples/d2net-top
+  OBSD=$(mktemp -d)
+  trap 'rm -rf "$OBSD"' EXIT
+  mkdir -p "$OBSD/spool" "$OBSD/out"
+  cat > "$OBSD/spool/req-obs.json" <<'EOF'
+{"id":"req-obs","topology":"slim_fly:5","algorithm":"minimal","pattern":"uniform","steps":6,"duration_ns":30000,"warmup_ns":5000,"seed":33}
+EOF
+  "$SERVE" "$OBSD/spool" --out "$OBSD/out" --status-addr 127.0.0.1:0 \
+    --events "$OBSD/events.jsonl" > "$OBSD/serve.log" &
+  SRV=$!
+  # The service binds port 0 and prints the resolved address.
+  ADDR=
+  for _ in $(seq 1 200); do
+    ADDR=$(sed -n 's/^d2net-serve: status listening on //p' "$OBSD/serve.log" | head -1)
+    [[ -n "$ADDR" ]] && break
+    sleep 0.05
+  done
+  test -n "$ADDR"
+  # Wait until the spooled request has fully completed so the lifecycle
+  # codes and final counters are all in place.
+  for _ in $(seq 1 600); do
+    [[ -f "$OBSD/out/req-obs.manifest.json" ]] && break
+    sleep 0.05
+  done
+  test -f "$OBSD/out/req-obs.manifest.json"
+  # Dashboard probe: d2net-top exits non-zero on unreachable endpoints,
+  # failed health checks, or exposition-grammar violations.
+  "$TOP" --status "$ADDR" --once | tee "$OBSD/top.txt"
+  grep -q 'points:' "$OBSD/top.txt"
+  grep -q 'healthy' "$OBSD/top.txt"
+  # Raw exposition carries the progress counters and service gauges.
+  "$TOP" --status "$ADDR" --once --raw > "$OBSD/metrics.txt"
+  grep -q '^d2net_spool_depth ' "$OBSD/metrics.txt"
+  grep -q '^d2net_inflight_requests ' "$OBSD/metrics.txt"
+  grep -q '^d2net_points_per_sec ' "$OBSD/metrics.txt"
+  grep -q '^d2net_points_scheduled_total 6$' "$OBSD/metrics.txt"
+  grep -q '^d2net_requests_total{outcome="completed"} 1$' "$OBSD/metrics.txt"
+  kill -TERM "$SRV"
+  wait "$SRV"
+  grep -q 'drained and exiting' "$OBSD/serve.log"
+  # The event log: schema header plus service/request lifecycle codes.
+  head -1 "$OBSD/events.jsonl" | grep -q 'd2net.events/v1'
+  grep -q '"code":"service_start"' "$OBSD/events.jsonl"
+  grep -q '"code":"request_spooled"' "$OBSD/events.jsonl"
+  grep -q '"code":"request_started"' "$OBSD/events.jsonl"
+  grep -q '"code":"request_completed"' "$OBSD/events.jsonl"
+  grep -q '"code":"sweep_start"' "$OBSD/events.jsonl"
+  grep -q '"code":"point_run"' "$OBSD/events.jsonl"
+  grep -q '"code":"service_stop"' "$OBSD/events.jsonl"
+  # The tail view parses every line or dies.
+  "$TOP" --events "$OBSD/events.jsonl" --once > /dev/null
+  trap - EXIT
+  rm -rf "$OBSD"
+fi
+
+if [[ "$BENCH_DIFF" == "1" ]]; then
+  echo "== bench diff: history from two real runs, verdicts, planted regression trips =="
+  cargo build --release -p d2net-bench --bin bench_engine --bin bench_diff
+  BENGINE=target/release/bench_engine
+  BDIFF=target/release/bench_diff
+  DIFFD=$(mktemp -d)
+  trap 'rm -rf "$DIFFD"' EXIT
+  HIST="$DIFFD/bench_history.jsonl"
+  D2NET_BENCH_DURATION_NS=10000 "$BENGINE" "$DIFFD/BENCH_engine_a.json"
+  D2NET_BENCH_DURATION_NS=10000 "$BENGINE" "$DIFFD/BENCH_engine_b.json"
+  "$BDIFF" append "$DIFFD/BENCH_engine_a.json" --history "$HIST" --label base
+  "$BDIFF" append "$DIFFD/BENCH_engine_b.json" --history "$HIST" --label head
+  # Two real smoke runs: verdicts must appear. The wide threshold keeps
+  # CI timing noise from tripping the gate here.
+  "$BDIFF" compare --history "$HIST" --threshold 0.9 | tee "$DIFFD/diff.txt"
+  grep -Eq 'REGRESSION|IMPROVEMENT|NEUTRAL' "$DIFFD/diff.txt"
+  # Plant a regression (documented --scale test hook); the gate must
+  # trip with a non-zero exit and name the regressed groups.
+  "$BDIFF" append "$DIFFD/BENCH_engine_b.json" --history "$HIST" --label planted --scale 0.4
+  if "$BDIFF" compare --history "$HIST" --threshold 0.15 > "$DIFFD/diff_regression.txt"; then
+    echo "ci.sh: planted regression did not trip the bench gate" >&2
+    exit 1
+  fi
+  grep -q 'REGRESSION' "$DIFFD/diff_regression.txt"
+  trap - EXIT
+  rm -rf "$DIFFD"
 fi
 
 echo "ci.sh: all green"

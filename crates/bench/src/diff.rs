@@ -1,0 +1,371 @@
+//! Bench-history recording and regression verdicts (`d2net-benchdiff`).
+//!
+//! Every `bench_engine` run can be appended as one JSONL record
+//! (schema `d2net.bench-history/v1`) to `results/bench_history.jsonl`;
+//! comparing the latest two records turns the perf trajectory into
+//! coded per-group verdicts — `REGRESSION` / `IMPROVEMENT` / `NEUTRAL`
+//! against a relative threshold — which `ci.sh --bench-diff` gates on.
+//!
+//! Groups are higher-is-better rates: each engine case contributes its
+//! serial events-per-second and its best sharded speedup. A group
+//! present in only one record is reported (`ADDED` / `REMOVED`) but
+//! never trips the gate — renaming a bench case must not read as a
+//! perf regression.
+
+use d2net_core::compare::Json;
+use d2net_core::report::JsonWriter;
+use std::io::Write;
+use std::path::Path;
+
+/// Schema tag carried by every history record.
+pub const HISTORY_SCHEMA: &str = "d2net.bench-history/v1";
+
+/// Default relative threshold: a group must move by more than 15 % to
+/// leave `NEUTRAL`. Bench wall-clocks on shared CI machines are noisy;
+/// the gate is for cliffs, not jitter.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// One measured group of a bench run (higher is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One appended bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Wall-clock stamp, milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+    /// Caller-chosen tag (default `"run"`; CI uses the git describe).
+    pub label: String,
+    /// Which bench produced the record (`"engine"`).
+    pub source: String,
+    pub groups: Vec<Group>,
+}
+
+/// Extracts comparison groups from a `BENCH_engine.json` document
+/// (schema `d2net.bench-engine/v1`): per case, `<name>/serial_eps` and
+/// `<name>/best_speedup`.
+pub fn groups_from_engine_bench(text: &str) -> Result<Vec<Group>, String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(|j| j.as_str())
+        .ok_or("bench document has no schema")?;
+    if schema != "d2net.bench-engine/v1" {
+        return Err(format!("unsupported bench schema '{schema}'"));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(|j| j.as_array())
+        .ok_or("bench document has no cases array")?;
+    let mut groups = Vec::with_capacity(cases.len() * 2);
+    for case in cases {
+        let name = case
+            .get("name")
+            .and_then(|j| j.as_str())
+            .ok_or("case without a name")?;
+        let eps = case
+            .get("serial_events_per_sec")
+            .and_then(|j| j.as_f64())
+            .ok_or_else(|| format!("case {name} missing serial_events_per_sec"))?;
+        groups.push(Group {
+            name: format!("{name}/serial_eps"),
+            value: eps,
+        });
+        let speedup = case
+            .get("best_speedup")
+            .and_then(|j| j.as_f64())
+            .ok_or_else(|| format!("case {name} missing best_speedup"))?;
+        groups.push(Group {
+            name: format!("{name}/best_speedup"),
+            value: speedup,
+        });
+    }
+    if groups.is_empty() {
+        return Err("bench document has zero cases".into());
+    }
+    Ok(groups)
+}
+
+/// Renders one record as a single JSONL line (no trailing newline).
+pub fn render_record(rec: &HistoryRecord) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string(HISTORY_SCHEMA);
+    w.key("ts_ms").u64(rec.ts_ms);
+    w.key("label").string(&rec.label);
+    w.key("source").string(&rec.source);
+    w.key("groups").begin_array();
+    for g in &rec.groups {
+        w.begin_object();
+        w.key("name").string(&g.name);
+        w.key("value").f64(g.value);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn parse_record(line: &str) -> Result<HistoryRecord, String> {
+    let doc = Json::parse(line)?;
+    let schema = doc
+        .get("schema")
+        .and_then(|j| j.as_str())
+        .ok_or("history record has no schema")?;
+    if schema != HISTORY_SCHEMA {
+        return Err(format!("unsupported history schema '{schema}'"));
+    }
+    let groups = doc
+        .get("groups")
+        .and_then(|j| j.as_array())
+        .ok_or("history record has no groups")?
+        .iter()
+        .map(|g| {
+            Ok(Group {
+                name: g
+                    .get("name")
+                    .and_then(|j| j.as_str())
+                    .ok_or("group without name")?
+                    .to_string(),
+                value: g
+                    .get("value")
+                    .and_then(|j| j.as_f64())
+                    .ok_or("group without value")?,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()?;
+    Ok(HistoryRecord {
+        ts_ms: doc.get("ts_ms").and_then(|j| j.as_u64()).unwrap_or(0),
+        label: doc
+            .get("label")
+            .and_then(|j| j.as_str())
+            .unwrap_or("run")
+            .to_string(),
+        source: doc
+            .get("source")
+            .and_then(|j| j.as_str())
+            .unwrap_or("engine")
+            .to_string(),
+        groups,
+    })
+}
+
+/// Appends one record to the history file, creating it (and its parent
+/// directory) on first use.
+pub fn append_history(path: &Path, rec: &HistoryRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", render_record(rec))
+}
+
+/// Reads the full history. A torn final line (a run killed mid-append)
+/// is skipped, the same tolerance the point journal applies; a
+/// malformed line anywhere else is an error.
+pub fn read_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match parse_record(line) {
+            Ok(rec) => out.push(rec),
+            Err(_) if i + 1 == lines.len() => {} // torn tail
+            Err(e) => return Err(format!("history line {}: {e}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// One group's comparison outcome. `ratio` is `latest / prev` (higher
+/// is better); `verdict` is the coded discriminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    pub group: String,
+    pub prev: Option<f64>,
+    pub latest: Option<f64>,
+    pub ratio: Option<f64>,
+    /// `"REGRESSION"`, `"IMPROVEMENT"`, `"NEUTRAL"`, `"ADDED"`, or
+    /// `"REMOVED"`.
+    pub verdict: &'static str,
+}
+
+/// The comparison of the latest two history records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    pub prev_label: String,
+    pub latest_label: String,
+    pub threshold: f64,
+    pub verdicts: Vec<Verdict>,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> usize {
+        self.count("REGRESSION")
+    }
+
+    fn count(&self, verdict: &str) -> usize {
+        self.verdicts.iter().filter(|v| v.verdict == verdict).count()
+    }
+
+    /// One coded line per group plus a summary line — the gate output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.verdicts {
+            out.push_str(&format!("benchdiff: {} group={}", v.verdict, v.group));
+            if let Some(prev) = v.prev {
+                out.push_str(&format!(" prev={prev:.1}"));
+            }
+            if let Some(latest) = v.latest {
+                out.push_str(&format!(" latest={latest:.1}"));
+            }
+            if let Some(ratio) = v.ratio {
+                out.push_str(&format!(" ratio={ratio:.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "benchdiff: '{}' vs '{}': {} regression(s), {} improvement(s), \
+             {} neutral (threshold {:.0}%)\n",
+            self.prev_label,
+            self.latest_label,
+            self.regressions(),
+            self.count("IMPROVEMENT"),
+            self.count("NEUTRAL"),
+            self.threshold * 100.0
+        ));
+        out
+    }
+}
+
+/// Compares two records group by group against a relative threshold.
+pub fn compare(prev: &HistoryRecord, latest: &HistoryRecord, threshold: f64) -> DiffReport {
+    let mut verdicts = Vec::new();
+    for g in &prev.groups {
+        match latest.groups.iter().find(|l| l.name == g.name) {
+            Some(l) => {
+                let ratio = if g.value > 0.0 { l.value / g.value } else { f64::NAN };
+                let verdict = if !ratio.is_finite() {
+                    "NEUTRAL"
+                } else if ratio < 1.0 - threshold {
+                    "REGRESSION"
+                } else if ratio > 1.0 + threshold {
+                    "IMPROVEMENT"
+                } else {
+                    "NEUTRAL"
+                };
+                verdicts.push(Verdict {
+                    group: g.name.clone(),
+                    prev: Some(g.value),
+                    latest: Some(l.value),
+                    ratio: Some(ratio),
+                    verdict,
+                });
+            }
+            None => verdicts.push(Verdict {
+                group: g.name.clone(),
+                prev: Some(g.value),
+                latest: None,
+                ratio: None,
+                verdict: "REMOVED",
+            }),
+        }
+    }
+    for l in &latest.groups {
+        if !prev.groups.iter().any(|g| g.name == l.name) {
+            verdicts.push(Verdict {
+                group: l.name.clone(),
+                prev: None,
+                latest: Some(l.value),
+                ratio: None,
+                verdict: "ADDED",
+            });
+        }
+    }
+    DiffReport {
+        prev_label: prev.label.clone(),
+        latest_label: latest.label.clone(),
+        threshold,
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, values: &[(&str, f64)]) -> HistoryRecord {
+        HistoryRecord {
+            ts_ms: 1,
+            label: label.into(),
+            source: "engine".into(),
+            groups: values
+                .iter()
+                .map(|&(n, v)| Group {
+                    name: n.into(),
+                    value: v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let a = rec("base", &[("sf5/serial_eps", 1.25e6), ("sf5/best_speedup", 3.5)]);
+        let text = format!("{}\n{}\n", render_record(&a), render_record(&a));
+        let back = read_history(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].label, "base");
+        assert_eq!(back[0].groups, a.groups);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_but_inner_corruption_errors() {
+        let a = render_record(&rec("a", &[("g", 1.0)]));
+        let torn = format!("{a}\n{}", &a[..a.len() / 2]);
+        assert_eq!(read_history(&torn).unwrap().len(), 1);
+        let inner = format!("{}\n{a}\n", &a[..a.len() / 2]);
+        assert!(read_history(&inner).is_err());
+    }
+
+    #[test]
+    fn verdicts_split_on_the_threshold() {
+        let prev = rec("prev", &[("a", 100.0), ("b", 100.0), ("c", 100.0), ("gone", 5.0)]);
+        let latest = rec("new", &[("a", 80.0), ("b", 120.0), ("c", 104.0), ("fresh", 7.0)]);
+        let report = compare(&prev, &latest, 0.15);
+        let verdict_of = |name: &str| {
+            report
+                .verdicts
+                .iter()
+                .find(|v| v.group == name)
+                .unwrap()
+                .verdict
+        };
+        assert_eq!(verdict_of("a"), "REGRESSION");
+        assert_eq!(verdict_of("b"), "IMPROVEMENT");
+        assert_eq!(verdict_of("c"), "NEUTRAL");
+        assert_eq!(verdict_of("gone"), "REMOVED");
+        assert_eq!(verdict_of("fresh"), "ADDED");
+        assert_eq!(report.regressions(), 1);
+        let text = report.render();
+        assert!(text.contains("benchdiff: REGRESSION group=a prev=100.0 latest=80.0 ratio=0.800"));
+        assert!(text.contains("1 regression(s), 1 improvement(s), 1 neutral"));
+    }
+
+    #[test]
+    fn engine_bench_groups_extract_per_case() {
+        let doc = r#"{"schema":"d2net.bench-engine/v1","cases":[
+            {"name":"sf5","serial_events_per_sec":2.0e6,"best_speedup":3.1},
+            {"name":"mlfm4","serial_events_per_sec":1.5e6,"best_speedup":2.2}]}"#;
+        let groups = groups_from_engine_bench(doc).unwrap();
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].name, "sf5/serial_eps");
+        assert!((groups[0].value - 2.0e6).abs() < 1.0);
+        assert_eq!(groups[3].name, "mlfm4/best_speedup");
+        assert!(groups_from_engine_bench("{\"schema\":\"other\"}").is_err());
+    }
+}

@@ -10,6 +10,7 @@ use d2net_core::configs::RunParams;
 use d2net_core::prelude::*;
 
 pub mod analysis_timing;
+pub mod diff;
 pub mod engine_timing;
 pub mod timing;
 

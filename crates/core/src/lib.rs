@@ -40,6 +40,7 @@ pub mod configs;
 pub mod divergence;
 pub mod experiment;
 pub mod journal;
+pub mod obs;
 pub mod plot;
 pub mod report;
 pub mod resilience;
@@ -70,6 +71,11 @@ pub mod prelude {
         CurveSet, ExchangeRow, LedgeredCurve, TracedCurve, Traffic,
     };
     pub use crate::journal::{fnv1a, write_atomic, JournalReplay, PointJournal};
+    pub use crate::obs;
+    pub use crate::obs::{
+        http_get, parse_event_line, progress_metrics, prometheus_text, validate_prometheus,
+        ParsedEvent, StatusServer, StatusSource,
+    };
     pub use crate::plot::{delay_chart, exchange_chart, throughput_chart, BarChart, LineChart};
     pub use crate::report::*;
     pub use crate::resilience::{

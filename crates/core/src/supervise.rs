@@ -232,10 +232,32 @@ pub fn run_supervised(
             },
         ),
     };
+    if replay.matched {
+        let replayed = replay.prefilled.iter().filter(|p| p.is_some()).count();
+        if replayed > 0 && crate::obs::enabled() {
+            crate::obs::emit(
+                crate::obs::Level::Info,
+                "journal_resume",
+                format!(
+                    "request {}: resuming {replayed} journaled point(s), \
+                     {} torn line(s) skipped",
+                    req.id, replay.lines_skipped
+                ),
+                vec![
+                    ("id", req.id.as_str().into()),
+                    ("replayed", replayed.into()),
+                    ("lines_skipped", replay.lines_skipped.into()),
+                ],
+            );
+        }
+    }
     let on_point = |idx: usize, stats: &d2net_sim::SyntheticStats| {
         if let Some(j) = &journal {
             if let Err(e) = j.append(idx, stats) {
-                eprintln!("d2net: WARN JOURNAL_APPEND point {idx} not journaled: {e}");
+                crate::obs::warn_line(
+                    "journal_append",
+                    &format!("d2net: WARN JOURNAL_APPEND point {idx} not journaled: {e}"),
+                );
             }
         }
     };

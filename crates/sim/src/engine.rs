@@ -1966,6 +1966,13 @@ impl<'a> Engine<'a> {
     ) -> SyntheticStats {
         self.finalize_trace(end_ps);
         self.finalize_ledger();
+        // Observer-only: record this run's engine-event count for the
+        // progress layer (serial and sharded runs both finalize here,
+        // on the thread that drove the run — after an `absorb_shard`
+        // merge the count already spans every shard).
+        if crate::obs::enabled() {
+            crate::obs::note_run_events(self.events_scheduled);
+        }
         let window = (end_ps - self.warmup_ps) as f64;
         let n = self.net.num_nodes() as f64;
         let throughput =

@@ -21,14 +21,16 @@ pub fn parse_positive(name: &str, raw: &str) -> Result<u64, String> {
 }
 
 /// Reads environment variable `name` as a positive integer. Returns
-/// `None` when unset; when set but invalid, prints the coded
-/// `ENV_INVALID` WARN to stderr and returns `None` (auto fallback).
+/// `None` when unset; when set but invalid, routes the coded
+/// `ENV_INVALID` WARN through [`crate::obs::warn_line`] — an
+/// `env_invalid` event when observability is enabled, the same stderr
+/// line as before otherwise — and returns `None` (auto fallback).
 pub fn env_positive(name: &str) -> Option<u64> {
     let raw = std::env::var(name).ok()?;
     match parse_positive(name, &raw) {
         Ok(n) => Some(n),
         Err(warn) => {
-            eprintln!("{warn}");
+            crate::obs::warn_line("env_invalid", &warn);
             None
         }
     }

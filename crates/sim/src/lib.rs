@@ -31,6 +31,7 @@ pub mod equeue;
 pub mod fault;
 pub mod injector;
 pub mod ledger;
+pub mod obs;
 pub mod par;
 pub mod shard;
 pub mod stats;

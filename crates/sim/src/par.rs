@@ -295,6 +295,7 @@ fn par_sweep_core(
     if let Err(e) = PointRunner::try_new(net, policy, pattern, cfg, duration_ns, warmup_ns) {
         return (crate::sweep::rejected_outcome(loads, e), Vec::new(), Vec::new());
     }
+    crate::obs::sweep_started(n);
     // Each point of a sharded sweep occupies `shards` worker threads of
     // its own (see `crate::shard`); divide the one budget between
     // point- and shard-level parallelism instead of oversubscribing.
@@ -372,6 +373,7 @@ fn par_sweep_core(
     // wedge notice — which is exactly the order the serial loop emits
     // them in, so notices compare `==` across harnesses.
     let mut notices = Vec::new();
+    let mut acc = crate::obs::SweepAccounting::default();
     for (idx, slot) in results.into_iter().enumerate() {
         let load = loads[idx];
         let stubbed = first_wedge.is_some_and(|w| idx > w);
@@ -383,13 +385,20 @@ fn par_sweep_core(
                 // survivors are pushed in index order, so the merged
                 // file matches the serial sweep's byte for byte.
                 if let Some(msg) = &panic_msg {
+                    acc.panicked += 1;
                     notices.push(SweepNotice::panicked(idx, load, msg));
+                    crate::obs::notice(notices.last().unwrap());
                 } else {
                     if stats.exhausted {
+                        acc.exhausted += 1;
                         notices.push(SweepNotice::exhausted(idx, load));
+                        crate::obs::notice(notices.last().unwrap());
+                    } else {
+                        acc.completed += 1;
                     }
                     if first_wedge == Some(idx) {
                         notices.push(SweepNotice::wedged(idx, load));
+                        crate::obs::notice(notices.last().unwrap());
                     }
                 }
                 if let Some(tr) = tr {
@@ -412,14 +421,18 @@ fn par_sweep_core(
                     telemetry,
                 }
             }
-            _ => SweepPoint {
-                load,
-                stats: SyntheticStats::deadlocked_stub(load),
-                telemetry: None,
-            },
+            _ => {
+                acc.stubbed += 1;
+                SweepPoint {
+                    load,
+                    stats: SyntheticStats::deadlocked_stub(load),
+                    telemetry: None,
+                }
+            }
         };
         points.push(point);
     }
+    crate::obs::sweep_finished(&acc);
     (SweepOutcome { points, notices }, traces, ledgers)
 }
 

@@ -108,7 +108,10 @@ impl ChaosConfig {
             Ok(c) if c.panic_p > 0.0 || c.stall_p > 0.0 => Some(c),
             Ok(_) => None,
             Err(e) => {
-                eprintln!("d2net: WARN ENV_INVALID D2NET_CHAOS='{raw}' ({e}); chaos disabled");
+                crate::obs::warn_line(
+                    "env_invalid",
+                    &format!("d2net: WARN ENV_INVALID D2NET_CHAOS='{raw}' ({e}); chaos disabled"),
+                );
                 None
             }
         }
@@ -308,6 +311,7 @@ pub fn supervised_load_sweep_hooked(
             summary: SupervisionSummary::default(),
         };
     }
+    crate::obs::sweep_started(n);
     let shards = crate::shard::plan_shards(net, policy, &cfg);
     let threads = (crate::par::resolve_threads(sup.threads) / shards)
         .max(1)
@@ -382,6 +386,7 @@ pub fn supervised_load_sweep_hooked(
     let mut points = Vec::with_capacity(n);
     let mut notices = Vec::new();
     let mut summary = SupervisionSummary::default();
+    let mut stub_count: u64 = 0;
     for (idx, slot) in results.into_iter().enumerate() {
         let load = loads[idx];
         let stubbed = first_wedge.is_some_and(|w| idx > w);
@@ -406,6 +411,7 @@ pub fn supervised_load_sweep_hooked(
                                  partial measurements kept"
                             ),
                         ));
+                        crate::obs::notice(notices.last().unwrap());
                     }
                     SlotFate::Panicked { msg } => {
                         summary.panicked += 1;
@@ -417,6 +423,7 @@ pub fn supervised_load_sweep_hooked(
                                 "point at offered load {load:.3} panicked and was stubbed: {msg}"
                             ),
                         ));
+                        crate::obs::notice(notices.last().unwrap());
                     }
                 }
                 if first_wedge == Some(idx) {
@@ -429,6 +436,7 @@ pub fn supervised_load_sweep_hooked(
                              marking remaining loads deadlocked without simulating them"
                         ),
                     ));
+                    crate::obs::notice(notices.last().unwrap());
                 }
                 SweepPoint {
                     load,
@@ -451,8 +459,11 @@ pub fn supervised_load_sweep_hooked(
                                  remaining points left for resume"
                             ),
                         ));
+                        crate::obs::notice(notices.last().unwrap());
                     }
                     summary.not_run += 1;
+                } else {
+                    stub_count += 1;
                 }
                 SweepPoint {
                     load,
@@ -463,6 +474,15 @@ pub fn supervised_load_sweep_hooked(
         };
         points.push(point);
     }
+    crate::obs::sweep_finished(&crate::obs::SweepAccounting {
+        completed: summary.completed as u64,
+        retried: summary.retried as u64,
+        panicked: summary.panicked as u64,
+        exhausted: summary.exhausted as u64,
+        resumed: summary.skipped_by_resume as u64,
+        not_run: summary.not_run as u64,
+        stubbed: stub_count,
+    });
     SupervisedSweep {
         outcome: SweepOutcome { points, notices },
         summary,
@@ -482,10 +502,17 @@ fn run_supervised_point(
     let mut attempt: u32 = 0;
     loop {
         let chaos = sup.chaos.as_ref().and_then(|c| c.decide(pseed, attempt));
+        if let Some(c) = &chaos {
+            let kind = match c.kind {
+                ChaosKind::Panic => "panic",
+                ChaosKind::Stall => "stall",
+            };
+            crate::obs::chaos_armed(idx, attempt, kind, c.after_events);
+        }
         runner.set_chaos(chaos);
         let result = runner.run_point_isolated(idx, load, None, None, None);
         runner.set_chaos(None);
-        match result {
+        let reason = match result {
             Ok((stats, ..)) if !stats.exhausted => {
                 return (stats, SlotFate::Fresh { retries: attempt });
             }
@@ -493,13 +520,16 @@ fn run_supervised_point(
                 if attempt >= sup.max_retries {
                     return (stats, SlotFate::Exhausted);
                 }
+                "exhausted"
             }
             Err(msg) => {
                 if attempt >= sup.max_retries {
                     return (SyntheticStats::panicked_stub(load), SlotFate::Panicked { msg });
                 }
+                "panic"
             }
-        }
+        };
+        crate::obs::retry(idx, load, attempt + 1, reason);
         std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
             sup, pseed, attempt,
         )));

@@ -123,6 +123,8 @@ impl SweepNotice {
 /// every load carries a [`SyntheticStats::rejected_stub`] and a single
 /// notice carries the reason — the same shape serial and parallel.
 pub(crate) fn rejected_outcome(loads: &[f64], reason: String) -> SweepOutcome {
+    let notice = SweepNotice::rejected(loads.first().copied().unwrap_or(0.0), reason);
+    crate::obs::notice(&notice);
     SweepOutcome {
         points: loads
             .iter()
@@ -132,10 +134,7 @@ pub(crate) fn rejected_outcome(loads: &[f64], reason: String) -> SweepOutcome {
                 telemetry: None,
             })
             .collect(),
-        notices: vec![SweepNotice::rejected(
-            loads.first().copied().unwrap_or(0.0),
-            reason,
-        )],
+        notices: vec![notice],
     }
 }
 
@@ -148,9 +147,12 @@ pub struct SweepOutcome {
 
 impl SweepOutcome {
     /// Renders all notices to stderr in a single locked write (safe to
-    /// call from concurrent sweeps without interleaving garbage).
+    /// call from concurrent sweeps without interleaving garbage). With
+    /// observability enabled ([`crate::obs::enabled`]) this is a no-op:
+    /// every notice already reached the event stream, coded string
+    /// intact, when the sweep assembled it.
     pub fn print_notices(&self) {
-        if self.notices.is_empty() {
+        if self.notices.is_empty() || crate::obs::enabled() {
             return;
         }
         let mut text = String::new();
@@ -387,18 +389,38 @@ impl<'a> PointRunner<'a> {
         ),
         String,
     > {
+        let obs_t0 = crate::obs::enabled().then(std::time::Instant::now);
         let result = with_quiet_panics(|| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.run_point(idx, load, probe, trace, ledger)
             }))
         });
-        match result {
+        let result = match result {
             Ok(out) => Ok(out),
             Err(payload) => {
                 self.engine = None;
                 Err(panic_message(payload.as_ref()))
             }
+        };
+        // Observer-only: live progress for every attempt, after the
+        // result is fully formed — nothing here can influence it.
+        if let Some(t0) = obs_t0 {
+            let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+            let events = crate::obs::take_run_events();
+            match &result {
+                Ok((stats, ..)) => crate::obs::point_run(
+                    idx,
+                    load,
+                    wall_ms,
+                    events,
+                    stats.throughput,
+                    stats.deadlocked,
+                    stats.exhausted,
+                ),
+                Err(msg) => crate::obs::point_panic(idx, load, wall_ms, msg),
+            }
         }
+        result
     }
 }
 
@@ -634,6 +656,8 @@ fn sweep_impl(
     loads: &[f64],
     mut point: impl FnMut(usize, f64, Option<f64>) -> (SweepPoint, PointFate),
 ) -> SweepOutcome {
+    crate::obs::sweep_started(loads.len());
+    let mut acc = crate::obs::SweepAccounting::default();
     let mut points = Vec::with_capacity(loads.len());
     let mut notices = Vec::new();
     let mut first_wedge: Option<f64> = None;
@@ -644,18 +668,28 @@ fn sweep_impl(
                 // `deadlocked` and `exhausted` are mutually exclusive: a
                 // budget abort returns before the wedge check runs.
                 if p.stats.exhausted {
+                    acc.exhausted += 1;
                     notices.push(SweepNotice::exhausted(idx, load));
+                    crate::obs::notice(notices.last().unwrap());
+                } else {
+                    acc.completed += 1;
                 }
                 if p.stats.deadlocked && first_wedge.is_none() {
                     first_wedge = Some(load);
                     notices.push(SweepNotice::wedged(idx, load));
+                    crate::obs::notice(notices.last().unwrap());
                 }
             }
-            PointFate::Skipped => {}
-            PointFate::Panicked(msg) => notices.push(SweepNotice::panicked(idx, load, &msg)),
+            PointFate::Skipped => acc.stubbed += 1,
+            PointFate::Panicked(msg) => {
+                acc.panicked += 1;
+                notices.push(SweepNotice::panicked(idx, load, &msg));
+                crate::obs::notice(notices.last().unwrap());
+            }
         }
         points.push(p);
     }
+    crate::obs::sweep_finished(&acc);
     SweepOutcome { points, notices }
 }
 

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --example d2net-serve -- SPOOL_DIR \
-//!     [--out DIR] [--workers N] [--poll-ms N] [--once]
+//!     [--out DIR] [--workers N] [--poll-ms N] [--once] \
+//!     [--status-addr HOST:PORT] [--events FILE]
 //! ```
 //!
 //! Each `*.json` file in the spool is one request (the grammar of
@@ -24,10 +25,22 @@
 //! exits cleanly. `--once` drains the spool once and exits instead of
 //! watching. Requests that fail to parse are consumed into
 //! `OUT/<name>.rejected.json` so a poison file cannot wedge the spool.
+//!
+//! Observability (DESIGN.md §16): `--status-addr` serves `/healthz`,
+//! `/readyz` (503 while draining) and `/metrics` (Prometheus text:
+//! spool depth, in-flight requests, points/sec, retries, journal
+//! resumes, plus the global sweep-progress counters); the bound
+//! address is printed at startup, so `--status-addr 127.0.0.1:0` picks
+//! a free port discoverably. `--events FILE` writes the
+//! `d2net.events/v1` JSONL log — request lifecycle (spooled → started
+//! → point progress → completed/rejected/resumed), sweep notices,
+//! retries, heartbeats. Watch either live with `d2net-top`.
 
 use d2net::prelude::*;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -55,6 +68,8 @@ struct Opts {
     workers: usize,
     poll_ms: u64,
     once: bool,
+    status_addr: Option<String>,
+    events: Option<PathBuf>,
 }
 
 fn parse_opts() -> Opts {
@@ -64,6 +79,8 @@ fn parse_opts() -> Opts {
     let mut workers = 2usize;
     let mut poll_ms = 200u64;
     let mut once = false;
+    let mut status_addr = None;
+    let mut events = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().map(PathBuf::from),
@@ -81,6 +98,17 @@ fn parse_opts() -> Opts {
                     .unwrap_or_else(|| usage("--poll-ms wants an integer"))
             }
             "--once" => once = true,
+            "--status-addr" => {
+                status_addr =
+                    Some(args.next().unwrap_or_else(|| usage("--status-addr wants HOST:PORT")))
+            }
+            "--events" => {
+                events = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--events wants a file path")),
+                )
+            }
             other if spool.is_none() && !other.starts_with('-') => {
                 spool = Some(PathBuf::from(other))
             }
@@ -95,15 +123,87 @@ fn parse_opts() -> Opts {
         workers,
         poll_ms,
         once,
+        status_addr,
+        events,
     }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("d2net-serve: {err}");
     eprintln!(
-        "usage: d2net-serve SPOOL_DIR [--out DIR] [--workers N] [--poll-ms N] [--once]"
+        "usage: d2net-serve SPOOL_DIR [--out DIR] [--workers N] [--poll-ms N] [--once] \
+         [--status-addr HOST:PORT] [--events FILE]"
     );
     std::process::exit(2);
+}
+
+/// Service-level counters behind `/metrics`, alongside the global
+/// sweep-progress counters from `d2net::obs`.
+struct ServiceState {
+    start: Instant,
+    spool_depth: AtomicUsize,
+    in_flight: AtomicUsize,
+    completed: AtomicUsize,
+    rejected: AtomicUsize,
+    interrupted: AtomicUsize,
+    /// Requests that resumed at least one point from their journal.
+    journal_resumes: AtomicUsize,
+}
+
+impl ServiceState {
+    fn new() -> Self {
+        ServiceState {
+            start: Instant::now(),
+            spool_depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            interrupted: AtomicUsize::new(0),
+            journal_resumes: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl StatusSource for ServiceState {
+    fn ready(&self) -> bool {
+        !STOP.load(Ordering::SeqCst)
+    }
+
+    fn metrics_text(&self) -> String {
+        let snap = obs::snapshot();
+        let mut reg = progress_metrics(&snap);
+        let uptime = self.start.elapsed().as_secs_f64();
+        let ld = |a: &AtomicUsize| a.load(Ordering::SeqCst);
+        reg.gauge("d2net_spool_depth", &[], ld(&self.spool_depth) as f64);
+        reg.gauge("d2net_inflight_requests", &[], ld(&self.in_flight) as f64);
+        reg.gauge("d2net_uptime_seconds", &[], uptime);
+        reg.gauge(
+            "d2net_points_per_sec",
+            &[],
+            snap.points_run as f64 / uptime.max(1e-9),
+        );
+        reg.counter(
+            "d2net_requests_total",
+            &[("outcome", "completed")],
+            ld(&self.completed) as u64,
+        );
+        reg.counter(
+            "d2net_requests_total",
+            &[("outcome", "rejected")],
+            ld(&self.rejected) as u64,
+        );
+        reg.counter(
+            "d2net_requests_total",
+            &[("outcome", "interrupted")],
+            ld(&self.interrupted) as u64,
+        );
+        reg.counter(
+            "d2net_journal_resumes_total",
+            &[],
+            ld(&self.journal_resumes) as u64,
+        );
+        prometheus_text(&reg)
+    }
 }
 
 /// Requests currently spooled, oldest name first (deterministic order).
@@ -131,7 +231,7 @@ fn spooled_requests(spool: &Path) -> Vec<PathBuf> {
 
 /// One request end to end: parse, run supervised against its journal,
 /// respond. Returns whether the request file was consumed.
-fn serve_one(path: &Path, out: &Path) -> bool {
+fn serve_one(path: &Path, out: &Path, state: &ServiceState) -> bool {
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -143,6 +243,12 @@ fn serve_one(path: &Path, out: &Path) -> bool {
             return false;
         }
     };
+    obs::emit(
+        obs::Level::Info,
+        "request_started",
+        format!("request {name} started"),
+        vec![("id", name.as_str().into())],
+    );
     let req = match SupervisedRequest::from_json(&text) {
         Ok(req) => req,
         Err(e) => {
@@ -153,6 +259,13 @@ fn serve_one(path: &Path, out: &Path) -> bool {
                 return false;
             }
             let _ = std::fs::remove_file(path);
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            obs::emit(
+                obs::Level::Warn,
+                "request_rejected",
+                format!("request {name} rejected: {e}"),
+                vec![("id", name.as_str().into()), ("error", e.as_str().into())],
+            );
             println!("d2net-serve: request {name} rejected: {e}");
             return true;
         }
@@ -172,6 +285,21 @@ fn serve_one(path: &Path, out: &Path) -> bool {
             return false;
         }
     };
+    if run.summary.skipped_by_resume > 0 {
+        state.journal_resumes.fetch_add(1, Ordering::SeqCst);
+        obs::emit(
+            obs::Level::Info,
+            "request_resumed",
+            format!(
+                "request {} resumed {} point(s) from its journal",
+                req.id, run.summary.skipped_by_resume
+            ),
+            vec![
+                ("id", req.id.as_str().into()),
+                ("skipped_by_resume", u64::from(run.summary.skipped_by_resume).into()),
+            ],
+        );
+    }
     if run.finished {
         let reply_path = out.join(format!("{}.manifest.json", req.id));
         if let Err(e) = write_atomic(&reply_path, run.manifest.to_json()) {
@@ -180,6 +308,21 @@ fn serve_one(path: &Path, out: &Path) -> bool {
         }
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_file(path);
+        state.completed.fetch_add(1, Ordering::SeqCst);
+        obs::emit(
+            obs::Level::Info,
+            "request_completed",
+            format!(
+                "request {} finished ({} completed, {} resumed, {} retried)",
+                req.id, run.summary.completed, run.summary.skipped_by_resume, run.summary.retried
+            ),
+            vec![
+                ("id", req.id.as_str().into()),
+                ("completed", u64::from(run.summary.completed).into()),
+                ("resumed", u64::from(run.summary.skipped_by_resume).into()),
+                ("retried", u64::from(run.summary.retried).into()),
+            ],
+        );
         println!(
             "d2net-serve: request {} finished ({} completed, {} resumed, {} retried)",
             req.id, run.summary.completed, run.summary.skipped_by_resume, run.summary.retried
@@ -192,6 +335,20 @@ fn serve_one(path: &Path, out: &Path) -> bool {
         if let Err(e) = write_atomic(&reply_path, run.manifest.to_json()) {
             eprintln!("d2net-serve: WARN cannot write partial manifest: {e}");
         }
+        state.interrupted.fetch_add(1, Ordering::SeqCst);
+        obs::emit(
+            obs::Level::Info,
+            "request_interrupted",
+            format!(
+                "request {} interrupted ({} completed, {} not run) — will resume",
+                req.id, run.summary.completed, run.summary.not_run
+            ),
+            vec![
+                ("id", req.id.as_str().into()),
+                ("completed", u64::from(run.summary.completed).into()),
+                ("not_run", u64::from(run.summary.not_run).into()),
+            ],
+        );
         println!(
             "d2net-serve: request {} interrupted ({} completed, {} not run) — will resume",
             req.id, run.summary.completed, run.summary.not_run
@@ -203,7 +360,7 @@ fn serve_one(path: &Path, out: &Path) -> bool {
 /// Drains the current spool listing with `workers` request-level
 /// workers. Requests are claimed from an atomic cursor so the worker
 /// count bounds concurrency without partitioning the list up front.
-fn drain(reqs: &[PathBuf], out: &Path, workers: usize) -> usize {
+fn drain(reqs: &[PathBuf], out: &Path, workers: usize, state: &ServiceState) -> usize {
     let cursor = AtomicUsize::new(0);
     let consumed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -214,9 +371,11 @@ fn drain(reqs: &[PathBuf], out: &Path, workers: usize) -> usize {
                 }
                 let idx = cursor.fetch_add(1, Ordering::SeqCst);
                 let Some(path) = reqs.get(idx) else { break };
-                if serve_one(path, out) {
+                state.in_flight.fetch_add(1, Ordering::SeqCst);
+                if serve_one(path, out, state) {
                     consumed.fetch_add(1, Ordering::SeqCst);
                 }
+                state.in_flight.fetch_sub(1, Ordering::SeqCst);
             });
         }
     });
@@ -230,16 +389,90 @@ fn main() {
         eprintln!("d2net-serve: cannot create {}: {e}", opts.out.display());
         std::process::exit(1);
     }
+    if let Some(path) = &opts.events {
+        match obs::FileSink::create(path) {
+            Ok(sink) => obs::install_sink(sink),
+            Err(e) => {
+                eprintln!("d2net-serve: cannot create event log {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else if opts.status_addr.is_some() {
+        // Progress counters feed /metrics even without an event log.
+        obs::enable();
+    }
+    let state = Arc::new(ServiceState::new());
+    let status_server = opts.status_addr.as_ref().map(|addr| {
+        let source: Arc<dyn StatusSource> = state.clone();
+        match StatusServer::start(addr, source) {
+            Ok(server) => {
+                // Printed so callers binding port 0 can discover it.
+                println!("d2net-serve: status listening on {}", server.local_addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("d2net-serve: cannot bind status endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!(
         "d2net-serve: watching {} ({} workers{})",
         opts.spool.display(),
         opts.workers,
         if opts.once { ", single pass" } else { "" }
     );
+    obs::emit(
+        obs::Level::Info,
+        "service_start",
+        format!("watching {} with {} workers", opts.spool.display(), opts.workers),
+        vec![
+            ("spool", opts.spool.display().to_string().into()),
+            ("workers", opts.workers.into()),
+        ],
+    );
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    let mut last_heartbeat = Instant::now();
     loop {
         let reqs = spooled_requests(&opts.spool);
+        state.spool_depth.store(reqs.len(), Ordering::SeqCst);
+        for req in &reqs {
+            if seen.insert(req.clone()) {
+                let name = req
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "request".into());
+                obs::emit(
+                    obs::Level::Info,
+                    "request_spooled",
+                    format!("request {name} spooled"),
+                    vec![("id", name.into())],
+                );
+            }
+        }
         if !reqs.is_empty() {
-            drain(&reqs, &opts.out, opts.workers);
+            drain(&reqs, &opts.out, opts.workers, &state);
+        }
+        if obs::enabled() && last_heartbeat.elapsed() >= Duration::from_secs(5) {
+            last_heartbeat = Instant::now();
+            let snap = obs::snapshot();
+            obs::emit(
+                obs::Level::Debug,
+                "heartbeat",
+                format!(
+                    "{} spooled, {} points run, {} events processed",
+                    reqs.len(),
+                    snap.points_run,
+                    snap.events_processed
+                ),
+                vec![
+                    ("spool_depth", reqs.len().into()),
+                    ("points_run", snap.points_run.into()),
+                    ("points_total", snap.points_total.into()),
+                    ("events_processed", snap.events_processed.into()),
+                    ("uptime_s", state.start.elapsed().as_secs_f64().into()),
+                ],
+            );
         }
         if STOP.load(Ordering::SeqCst) {
             println!("d2net-serve: shutdown signal received; drained and exiting");
@@ -252,4 +485,14 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(opts.poll_ms));
     }
+    obs::emit(
+        obs::Level::Info,
+        "service_stop",
+        "service exiting".to_string(),
+        Vec::new(),
+    );
+    if let Some(server) = status_server {
+        server.shutdown();
+    }
+    let _ = obs::take_sink();
 }

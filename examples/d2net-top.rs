@@ -1,0 +1,217 @@
+//! Live progress viewer for the d2net sweep service (DESIGN.md §16).
+//!
+//! ```text
+//! cargo run --release --example d2net-top -- --status HOST:PORT \
+//!     [--once] [--raw] [--interval-ms N]
+//! cargo run --release --example d2net-top -- --events FILE [--once]
+//! ```
+//!
+//! `--status` polls a `d2net-serve --status-addr` endpoint: `/healthz`,
+//! `/readyz` and `/metrics` are combined into a one-screen dashboard
+//! with a live points/sec rate and an ETA over the scheduled points.
+//! `--events` tails a `d2net.events/v1` JSONL log instead, rendering
+//! each event as one line. `--once` prints a single snapshot and exits
+//! (non-zero when the endpoint is unreachable, unhealthy, or serves a
+//! payload that fails the exposition grammar — the CI probe). `--raw`
+//! dumps the verbatim `/metrics` body, for grepping.
+
+use d2net::prelude::*;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    status: Option<String>,
+    events: Option<std::path::PathBuf>,
+    once: bool,
+    raw: bool,
+    interval_ms: u64,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("d2net-top: {err}");
+    eprintln!("usage: d2net-top --status HOST:PORT [--once] [--raw] [--interval-ms N]");
+    eprintln!("       d2net-top --events FILE [--once]");
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Opts {
+        status: None,
+        events: None,
+        once: false,
+        raw: false,
+        interval_ms: 1_000,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--status" => {
+                opts.status = Some(args.next().unwrap_or_else(|| usage("--status wants HOST:PORT")))
+            }
+            "--events" => {
+                opts.events = Some(
+                    args.next()
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--events wants a file path")),
+                )
+            }
+            "--once" => opts.once = true,
+            "--raw" => opts.raw = true,
+            "--interval-ms" => {
+                opts.interval_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage("--interval-ms wants a positive integer"))
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.status.is_some() == opts.events.is_some() {
+        usage("pass exactly one of --status or --events");
+    }
+    opts
+}
+
+/// Plucks one sample value out of an exposition payload; `name` may
+/// include a label set (the exposition renders labels verbatim).
+fn metric(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+fn dashboard(addr: &str, body: &str, healthy: bool, ready: bool, rate: Option<f64>) -> String {
+    let g = |name: &str| metric(body, name).unwrap_or(0.0);
+    let run = g("d2net_points_run_total");
+    let total = g("d2net_points_scheduled_total");
+    let remaining = (total - run).max(0.0);
+    let eta = match rate {
+        Some(r) if r > 1e-9 && remaining > 0.0 => format!("{:.0}s", remaining / r),
+        _ if remaining == 0.0 => "done".to_string(),
+        _ => "—".to_string(),
+    };
+    format!(
+        "d2net-top — {addr} ({}, {})\n\
+         requests: {:.0} spooled | {:.0} in flight | {:.0} completed / {:.0} rejected / \
+         {:.0} interrupted | {:.0} journal resume(s)\n\
+         sweeps:   {:.0} started / {:.0} finished\n\
+         points:   {run:.0}/{total:.0} run | completed {:.0} | retried {:.0} | \
+         panicked {:.0} | exhausted {:.0} | stubbed {:.0}\n\
+         engine:   {:.0} events | {} points/sec | ETA {eta}\n",
+        if healthy { "healthy" } else { "UNHEALTHY" },
+        if ready { "ready" } else { "draining" },
+        g("d2net_spool_depth"),
+        g("d2net_inflight_requests"),
+        metric(body, "d2net_requests_total{outcome=\"completed\"}").unwrap_or(0.0),
+        metric(body, "d2net_requests_total{outcome=\"rejected\"}").unwrap_or(0.0),
+        metric(body, "d2net_requests_total{outcome=\"interrupted\"}").unwrap_or(0.0),
+        g("d2net_journal_resumes_total"),
+        g("d2net_sweeps_started_total"),
+        g("d2net_sweeps_finished_total"),
+        g("d2net_points_completed_total"),
+        g("d2net_points_retried_total"),
+        g("d2net_points_panicked_total"),
+        g("d2net_points_exhausted_total"),
+        g("d2net_points_stubbed_total"),
+        g("d2net_events_processed_total"),
+        rate.map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| format!("{:.1} (lifetime)", g("d2net_points_per_sec"))),
+    )
+}
+
+fn watch_status(opts: &Opts) -> ! {
+    let addr = opts.status.as_deref().expect("mode checked in parse_opts");
+    let mut prev: Option<(Instant, f64)> = None;
+    loop {
+        let healthy = matches!(http_get(addr, "/healthz"), Ok((200, _)));
+        let ready = matches!(http_get(addr, "/readyz"), Ok((200, _)));
+        let (code, body) = match http_get(addr, "/metrics") {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("d2net-top: {addr} unreachable: {e}");
+                std::process::exit(1);
+            }
+        };
+        if code != 200 {
+            eprintln!("d2net-top: /metrics answered {code}");
+            std::process::exit(1);
+        }
+        if let Err(e) = validate_prometheus(&body) {
+            eprintln!("d2net-top: /metrics violates the exposition grammar: {e}");
+            std::process::exit(1);
+        }
+        if opts.raw {
+            print!("{body}");
+        } else {
+            let run = metric(&body, "d2net_points_run_total").unwrap_or(0.0);
+            let now = Instant::now();
+            let rate = prev.map(|(t0, run0)| {
+                (run - run0).max(0.0) / now.duration_since(t0).as_secs_f64().max(1e-9)
+            });
+            prev = Some((now, run));
+            print!("{}", dashboard(addr, &body, healthy, ready, rate));
+        }
+        if opts.once {
+            std::process::exit(if healthy { 0 } else { 1 });
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+fn render_event(ev: &ParsedEvent) -> String {
+    format!(
+        "{:>8} {:5} {:<18} {}",
+        ev.seq,
+        ev.level.as_str().to_uppercase(),
+        ev.code,
+        ev.message
+    )
+}
+
+fn watch_events(opts: &Opts) -> ! {
+    let path = opts.events.as_deref().expect("mode checked in parse_opts");
+    let mut offset = 0usize;
+    let mut parsed_any = false;
+    loop {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("d2net-top: cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        // Byte offset of the last full line already printed; a torn
+        // tail (mid-append) is left for the next poll.
+        let fresh = &text[offset.min(text.len())..];
+        let consumed = fresh.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        for line in fresh[..consumed].lines() {
+            match parse_event_line(line) {
+                Ok(Some(ev)) => {
+                    parsed_any = true;
+                    println!("{}", render_event(&ev));
+                }
+                Ok(None) => parsed_any = true, // schema header
+                Err(e) => {
+                    eprintln!("d2net-top: bad event line: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        offset += consumed;
+        if opts.once {
+            std::process::exit(if parsed_any { 0 } else { 1 });
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    if opts.status.is_some() {
+        watch_status(&opts);
+    } else {
+        watch_events(&opts);
+    }
+}
